@@ -1,0 +1,27 @@
+"""A1 — ablation of Algorithm 3's tie-breaking rule.
+
+Measures, per tie-breaking rule (the paper's stateful history rule, the stable-order
+alternative, and a naive identity-only rule), whether the Definition III.7
+invariants survive and what orientation quality results.  The history and stable
+rules must keep the invariants (Lemma III.11); the naive rule may leave edges
+claimed by neither endpoint.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_report
+
+from repro.analysis.experiments import ablation_a1_tiebreak
+
+
+def test_a1_tiebreak_ablation(benchmark):
+    rows = run_and_report(
+        benchmark,
+        lambda: ablation_a1_tiebreak(dataset_names=("collab-small", "caveman"), epsilon=0.5),
+        "A1: tie-breaking rule vs Definition III.7 invariants and orientation quality",
+    )
+    for row in rows:
+        if row["tie_break"] in ("history", "stable"):
+            assert row["invariants_hold"], f"{row['tie_break']} must satisfy Lemma III.11"
+            assert row["uncovered_edges"] == 0
+        assert row["max_in_degree"] >= row["rho_star"] - 1e-9

@@ -1,0 +1,39 @@
+"""A2 — ablation of the Update implementation (Remark III.8).
+
+Compares the O(d log d) sorting Update with the O(d) counting Update on unit-weight
+inputs of growing degree: they must agree exactly, and the counting variant should
+win on large degrees.  The pytest-benchmark stats time the sorting variant on a
+large neighbourhood (the quantity Remark III.8 is about).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_and_report
+
+from repro.analysis.experiments import ablation_a2_update_variants
+from repro.core.update import update_counting, update_sorted
+
+
+def test_a2_update_variant_table(benchmark):
+    rows = run_and_report(
+        benchmark,
+        lambda: ablation_a2_update_variants(sizes=(100, 1000, 10000, 50000)),
+        "A2: sorting vs counting Update (unit weights)",
+    )
+    assert all(row["agree"] for row in rows)
+
+
+def test_a2_sorting_update_kernel(benchmark):
+    rng = np.random.default_rng(1)
+    degree = 20000
+    values = rng.integers(0, degree, size=degree).astype(float).tolist()
+    entries = [(i, values[i], 1.0) for i in range(degree)]
+    benchmark(lambda: update_sorted(entries))
+
+
+def test_a2_counting_update_kernel(benchmark):
+    rng = np.random.default_rng(1)
+    degree = 20000
+    values = rng.integers(0, degree, size=degree).astype(float).tolist()
+    benchmark(lambda: update_counting(values))

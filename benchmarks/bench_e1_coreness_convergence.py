@@ -1,0 +1,24 @@
+"""E1 — approximation ratio of the surviving numbers vs the round budget.
+
+Reproduces the paper's §V empirical claim: the worst-node ratio β_T(v)/c(v) (and
+β_T(v)/r(v)) converges to ≈2 after far fewer rounds than the worst-case bound
+2·n^(1/T) suggests.  One table row per (dataset, rounds) pair.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_report
+
+from repro.analysis.experiments import SMALL_SUITE, experiment_e1_convergence
+
+
+def test_e1_coreness_convergence(benchmark):
+    rows = run_and_report(
+        benchmark,
+        lambda: experiment_e1_convergence(SMALL_SUITE, max_rounds=10),
+        "E1: approximation ratio vs rounds (surviving numbers vs coreness / maximal density)",
+    )
+    # Sanity: the measured worst-case ratio never exceeds the theoretical guarantee.
+    for row in rows:
+        assert row["max_ratio_vs_coreness"] <= row["guarantee_2n^(1/T)"] + 1e-9
+        assert row["max_ratio_vs_coreness"] >= 1.0 - 1e-9

@@ -1,0 +1,24 @@
+"""E2 — measured worst-case ratio vs the Theorem I.1 bound, and rounds-to-target.
+
+For each dataset: the round budget T = ⌈log_{1+ε} n⌉ prescribed by the theorem, the
+number of rounds actually needed to reach a worst-node ratio of 2(1+ε), and the
+measured ratio at the prescribed budget (always below the bound).
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_report
+
+from repro.analysis.experiments import SMALL_SUITE, experiment_e2_bound_tightness
+
+
+def test_e2_bound_tightness(benchmark):
+    rows = run_and_report(
+        benchmark,
+        lambda: experiment_e2_bound_tightness(SMALL_SUITE, epsilon=1.0, max_rounds=16),
+        "E2: theoretical bound vs measured ratio (epsilon = 1.0)",
+    )
+    for row in rows:
+        assert row["bound_respected"]
+        measured = row["rounds_measured_to_target"]
+        assert measured is None or measured <= row["rounds_theory"]

@@ -1,0 +1,25 @@
+"""E3 — min-max edge orientation quality (Theorem I.2).
+
+Our orientation's maximum weighted in-degree vs the LP lower bound ρ*, the greedy
+centralized heuristic, the Barenboim–Elkin-style two-phase baseline and the
+idealised H-partition (ρ* known).  Weighted datasets (integer weights in [1, 10]).
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_report
+
+from repro.analysis.experiments import SMALL_SUITE, experiment_e3_orientation
+
+
+def test_e3_orientation_quality(benchmark):
+    rows = run_and_report(
+        benchmark,
+        lambda: experiment_e3_orientation(SMALL_SUITE, epsilon=0.5, weighted=True),
+        "E3: min-max edge orientation vs LP bound and baselines (weighted)",
+    )
+    for row in rows:
+        # Theorem I.2: within the proven guarantee of the LP optimum.
+        assert row["ours_max_in_degree"] <= row["ours_guarantee"] * row["rho_star(LP bound)"] + 1e-6
+        # Empirically the ratio is far better than the worst case (paper §V).
+        assert row["ours_ratio_vs_LP"] <= row["ours_guarantee"]

@@ -1,0 +1,25 @@
+"""E5 — Λ-rounding: message size vs accuracy (Section III-C, Corollary III.10).
+
+Sweeps the grid parameter λ; reports the per-message bit budget charged by the
+CONGEST size model, the total traffic and the resulting approximation quality
+against exact coreness values.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_report
+
+from repro.analysis.experiments import experiment_e5_message_size
+
+
+def test_e5_message_size_tradeoff(benchmark):
+    rows = run_and_report(
+        benchmark,
+        lambda: experiment_e5_message_size("collab-small",
+                                           lambdas=(0.0, 0.01, 0.05, 0.1, 0.25, 0.5),
+                                           epsilon=0.5),
+        "E5: message size vs accuracy under Lambda-rounding (collab-small, weighted)",
+    )
+    exact_bits = rows[0]["max_message_bits"]
+    for row in rows[1:]:
+        assert row["max_message_bits"] <= exact_bits

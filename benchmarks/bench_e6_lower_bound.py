@@ -1,0 +1,30 @@
+"""E6 — the lower-bound constructions (Figure I.1 and Lemma III.13).
+
+Shows, per round budget, the surviving number of the distinguished node on each
+gadget: while the values coincide the node provably cannot achieve a better-than-2
+(Figure I.1) or better-than-γ (Lemma III.13) approximation.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_report
+
+from repro.analysis.experiments import experiment_e6_lower_bound
+
+
+def test_e6_lower_bound_constructions(benchmark):
+    rows = run_and_report(
+        benchmark,
+        lambda: experiment_e6_lower_bound(cycle_nodes=64,
+                                          gamma_depth_pairs=((2, 4), (3, 3), (4, 3))),
+        "E6: lower-bound gadgets (Figure I.1 cycle, Lemma III.13 gamma-ary tree + clique)",
+    )
+    fig_rows = [r for r in rows if r["construction"].startswith("figure1")]
+    # Far below n/2 rounds the three Figure I.1 variants are indistinguishable.
+    assert all(not r["distinguishable"] for r in fig_rows if r["rounds"] <= 2)
+    lemma_rows = [r for r in rows if r["construction"].startswith("lemma313")]
+    # The tree and the tree+clique look identical to the root before `depth` rounds.
+    for row in lemma_rows:
+        depth = int(row["construction"].split("depth=")[1].rstrip(")"))
+        if row["rounds"] < depth:
+            assert not row["distinguishable"]

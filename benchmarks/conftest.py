@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one experiment of DESIGN.md §4 (the per-experiment
+index).  The convention is:
+
+* the experiment runner from :mod:`repro.analysis.experiments` produces the table
+  rows (deterministically — fixed dataset seeds);
+* ``benchmark.pedantic(runner, rounds=1, iterations=1)`` times one full run;
+* the rows are printed with :func:`repro.analysis.tables.format_records` so that
+  running ``pytest benchmarks/ --benchmark-only -s`` reproduces the tables recorded
+  in EXPERIMENTS.md verbatim.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_records
+
+
+def run_and_report(benchmark, runner, title: str):
+    """Benchmark ``runner`` once and print its rows under ``title``."""
+    rows = benchmark.pedantic(runner, rounds=1, iterations=1)
+    print(f"\n=== {title} ===")
+    print(format_records(rows))
+    return rows

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Scenario: min-max edge orientation as distributed load balancing.
+
+Each node is a machine and each edge is a job that must be executed by one of its
+two endpoints; the weight is the job's cost.  Minimising the maximum weighted
+in-degree is exactly minimising the makespan (Section I.B of the paper).  We build a
+weighted peer-to-peer-like graph, run the augmented elimination procedure and
+compare the resulting assignment against the LP lower bound ρ*, the centralized
+greedy heuristic, and the Barenboim–Elkin-style two-phase distributed baseline
+(which pays an extra factor ~2 because it needs a separate density-estimation
+phase).
+
+Run with:  python examples/load_balancing_orientation.py
+"""
+
+from __future__ import annotations
+
+from repro import approximate_orientation
+from repro.analysis.tables import format_table
+from repro.baselines import greedy_orientation, lp_lower_bound, two_phase_orientation
+from repro.graph.generators import erdos_renyi_gnm, with_two_level_weights
+
+
+def main() -> None:
+    topology = erdos_renyi_gnm(500, 2000, seed=23)
+    # Two job classes: cheap (cost 1) and expensive (cost 8) -- the weight regime in
+    # which the centralized problem is already NP-hard.
+    graph = with_two_level_weights(topology, heavy_weight=8.0, heavy_fraction=0.25, seed=24)
+    print(f"cluster: machines={graph.num_nodes}, jobs={graph.num_edges}, "
+          f"total work={graph.total_weight:.0f}")
+
+    rho_star = lp_lower_bound(graph)
+    ours = approximate_orientation(graph, epsilon=0.5)
+    greedy = greedy_orientation(graph)
+    two_phase = two_phase_orientation(graph, epsilon=0.5)
+
+    rows = [
+        ["LP lower bound (rho*)", f"{rho_star:.2f}", "-", "-"],
+        ["this paper (Alg. 2 + N_v)", f"{ours.max_in_weight:.2f}",
+         f"{ours.max_in_weight / rho_star:.2f}", ours.rounds],
+        ["greedy (centralized)", f"{greedy.max_in_weight:.2f}",
+         f"{greedy.max_in_weight / rho_star:.2f}", "-"],
+        ["two-phase (Barenboim-Elkin style)", f"{two_phase.max_in_weight:.2f}",
+         f"{two_phase.max_in_weight / rho_star:.2f}", two_phase.total_rounds],
+    ]
+    print(format_table(["method", "makespan (max in-degree)", "ratio vs rho*", "rounds"], rows))
+
+    print(f"\nproven guarantee for this paper's algorithm: {ours.guarantee:.2f}x rho*")
+    print(f"conflicts resolved with the extra round: {ours.orientation.conflicts}; "
+          f"edges claimed by neither endpoint: {ours.orientation.violations} "
+          f"(always 0 with Lambda = R, Lemma III.11)")
+
+
+if __name__ == "__main__":
+    main()

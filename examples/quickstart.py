@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Quickstart: the three problems of the paper on one small graph.
+
+Builds a small collaboration-network-like graph, then runs
+
+1. the approximate coreness protocol (Theorem I.1),
+2. the approximate min-max edge orientation (Theorem I.2),
+3. the weak densest subset pipeline (Theorem I.3),
+
+and compares each output against its exact centralized baseline.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import approximate_coreness, approximate_densest_subsets, approximate_orientation
+from repro.analysis.tables import format_table
+from repro.baselines import coreness, lp_lower_bound, maximum_density
+from repro.graph.generators import powerlaw_cluster
+
+
+def main() -> None:
+    graph = powerlaw_cluster(300, 3, 0.3, seed=7)
+    print(f"graph: n={graph.num_nodes}, m={graph.num_edges}, density={graph.density():.3f}")
+
+    # ------------------------------------------------------------- coreness
+    epsilon = 0.5
+    approx = approximate_coreness(graph, epsilon=epsilon)
+    exact = coreness(graph)
+    worst = max(approx.values[v] / max(exact[v], 1e-12) for v in graph.nodes())
+    print(f"\n[coreness]  rounds={approx.rounds}  proven guarantee={approx.guarantee:.2f}")
+    print(f"[coreness]  worst-node measured ratio = {worst:.3f} (paper: converges to ~2 quickly)")
+    rows = [[v, exact[v], approx.values[v]] for v in approx.top_nodes(5)]
+    print(format_table(["node", "exact coreness", "approximate"], rows))
+
+    # ---------------------------------------------------------- orientation
+    orientation = approximate_orientation(graph, epsilon=epsilon)
+    rho_star = lp_lower_bound(graph)
+    print(f"\n[orientation]  max weighted in-degree = {orientation.max_in_weight:.2f}"
+          f"  (LP lower bound rho* = {rho_star:.2f},"
+          f" ratio = {orientation.max_in_weight / rho_star:.2f})")
+    print(f"[orientation]  conflicts resolved = {orientation.orientation.conflicts},"
+          f" uncovered edges = {orientation.orientation.violations}")
+
+    # ------------------------------------------------------- densest subset
+    densest = approximate_densest_subsets(graph, epsilon=1.0)
+    print(f"\n[densest]  reported subsets = {len(densest.subsets)},"
+          f" best density = {densest.best_density:.3f},"
+          f" exact rho* = {maximum_density(graph):.3f}")
+    print(f"[densest]  total rounds across the 4 phases = {densest.rounds_total}"
+          f" (independent of the graph diameter)")
+
+
+if __name__ == "__main__":
+    main()

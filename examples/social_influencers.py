@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Scenario: identifying influential spreaders in a social network.
+
+The paper's motivating application (Section I, citing Kitsak et al.): users with
+high coreness are good "spreaders".  We build a core–periphery social network, run
+the distributed approximate-coreness protocol with a modest round budget, and show
+that the top-k nodes by approximate coreness are exactly the planted core — i.e. the
+approximation is good enough for the downstream ranking task long before the exact
+values are available, and without ever paying the network diameter in rounds.
+
+Run with:  python examples/social_influencers.py
+"""
+
+from __future__ import annotations
+
+from repro import approximate_coreness
+from repro.analysis.ratios import summarize_ratios
+from repro.analysis.tables import format_table
+from repro.baselines import coreness, montresor_kcore
+from repro.graph.generators import core_periphery
+from repro.graph.properties import hop_diameter
+
+CORE_SIZE = 25
+PERIPHERY = 400
+CHAIN_LENGTH = 120   #: a long "chain of followers" that inflates the diameter
+
+
+def build_network():
+    """A core-periphery community with one long follower chain attached.
+
+    The chain is what makes the *exact* distributed k-core protocol slow: its
+    surviving numbers only settle one hop per round, so convergence costs Θ(chain
+    length) rounds, while the approximate protocol's budget stays O(log n).
+    """
+    graph = core_periphery(CORE_SIZE, PERIPHERY, attach_degree=3, seed=13)
+    anchor = CORE_SIZE  # first periphery user
+    next_id = graph.num_nodes
+    prev = anchor
+    for _ in range(CHAIN_LENGTH):
+        graph.add_edge(prev, next_id, 1.0)
+        prev = next_id
+        next_id += 1
+    return graph
+
+
+def main() -> None:
+    graph = build_network()
+    print(f"social network: n={graph.num_nodes}, m={graph.num_edges}, "
+          f"diameter={hop_diameter(graph, exact=False)}")
+
+    exact = coreness(graph)
+    rows = []
+    for epsilon in (2.0, 1.0, 0.5, 0.25):
+        result = approximate_coreness(graph, epsilon=epsilon)
+        summary = summarize_ratios(result.values, exact)
+        top = set(result.top_nodes(CORE_SIZE))
+        recovered = len(top & set(range(CORE_SIZE)))
+        rows.append([epsilon, result.rounds, f"{result.guarantee:.2f}",
+                     f"{summary.max:.3f}", f"{summary.mean:.3f}",
+                     f"{recovered}/{CORE_SIZE}"])
+    print(format_table(
+        ["epsilon", "rounds T", "guarantee 2n^(1/T)", "worst ratio", "mean ratio",
+         "core recovered in top-k"],
+        rows))
+
+    # For reference: the exact distributed protocol (Montresor et al.) has to wait
+    # for the follower chain to peel away one hop per round.
+    exact_distributed = montresor_kcore(graph)
+    print(f"\nMontresor et al. (exact distributed k-core) needed "
+          f"{exact_distributed.rounds_to_convergence} rounds to converge on this graph; "
+          f"the approximate protocol above used "
+          f"{approximate_coreness(graph, epsilon=0.5).rounds} rounds for a "
+          f"ranking-equivalent answer (and its budget grows only with log n, never "
+          f"with the chain length).")
+
+
+if __name__ == "__main__":
+    main()

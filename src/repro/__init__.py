@@ -1,0 +1,59 @@
+"""repro — reproduction of "Distributed Approximate k-Core Decomposition and
+Min-Max Edge Orientation: Breaking the Diameter Barrier" (Chan, Sozio, Sun; IPDPS 2019).
+
+The package is organised as:
+
+* :mod:`repro.graph`     — weighted undirected graph substrate, generators, datasets;
+* :mod:`repro.distsim`   — synchronous LOCAL/CONGEST message-passing simulator;
+* :mod:`repro.core`      — the paper's Algorithms 1-6 and the high-level API;
+* :mod:`repro.baselines` — exact/centralized and distributed comparator algorithms;
+* :mod:`repro.analysis`  — approximation-ratio metrics, invariant checks, experiment
+  harness shared by the benchmarks.
+
+Quick start
+-----------
+>>> from repro import approximate_coreness, load_dataset
+>>> graph = load_dataset("collab-small")
+>>> result = approximate_coreness(graph, epsilon=0.5)
+>>> all(result.values[v] >= 0 for v in graph.nodes())
+True
+"""
+
+from repro._version import __version__
+from repro.core.api import (
+    CorenessResult,
+    OrientationResult,
+    approximate_coreness,
+    approximate_densest_subsets,
+    approximate_orientation,
+)
+from repro.core.densest import WeakDensestResult
+from repro.errors import (
+    AlgorithmError,
+    ConvergenceError,
+    GraphError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+)
+from repro.graph.datasets import list_datasets, load_dataset
+from repro.graph.graph import Graph
+
+__all__ = [
+    "__version__",
+    "Graph",
+    "load_dataset",
+    "list_datasets",
+    "approximate_coreness",
+    "approximate_orientation",
+    "approximate_densest_subsets",
+    "CorenessResult",
+    "OrientationResult",
+    "WeakDensestResult",
+    "ReproError",
+    "GraphError",
+    "ProtocolError",
+    "SimulationError",
+    "AlgorithmError",
+    "ConvergenceError",
+]

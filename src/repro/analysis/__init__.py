@@ -1,0 +1,39 @@
+"""Analysis toolkit: ratios, invariants, convergence traces, tables, experiments."""
+
+from repro.analysis.convergence import ConvergenceRow, ConvergenceTrace, convergence_trace, values_at_round
+from repro.analysis.invariants import (
+    InvariantReport,
+    check_coreness_density_relation,
+    check_monotone_non_increasing,
+    check_orientation_invariants,
+    check_sandwich,
+    check_weak_densest_definition,
+)
+from repro.analysis.ratios import (
+    RatioSummary,
+    fraction_within,
+    max_ratio_trajectory,
+    per_node_ratios,
+    summarize_ratios,
+)
+from repro.analysis.tables import format_records, format_table
+
+__all__ = [
+    "ConvergenceRow",
+    "ConvergenceTrace",
+    "convergence_trace",
+    "values_at_round",
+    "InvariantReport",
+    "check_coreness_density_relation",
+    "check_monotone_non_increasing",
+    "check_orientation_invariants",
+    "check_sandwich",
+    "check_weak_densest_definition",
+    "RatioSummary",
+    "fraction_within",
+    "max_ratio_trajectory",
+    "per_node_ratios",
+    "summarize_ratios",
+    "format_records",
+    "format_table",
+]

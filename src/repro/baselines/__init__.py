@@ -1,0 +1,89 @@
+"""Centralized / exact and distributed comparator algorithms."""
+
+from repro.baselines.bahmani import BahmaniResult, bahmani_densest_subset
+from repro.baselines.barenboim_elkin import (
+    HPartitionResult,
+    h_partition_orientation,
+    two_phase_orientation,
+)
+from repro.baselines.bruteforce import (
+    bruteforce_coreness,
+    bruteforce_max_density,
+    bruteforce_maximal_densest_subset,
+    bruteforce_maximal_densities,
+)
+from repro.baselines.charikar import DensestSubsetResult, charikar_peeling
+from repro.baselines.density_decomposition import (
+    DenseDecomposition,
+    DecompositionLayer,
+    check_strictly_decreasing,
+    diminishingly_dense_decomposition,
+    maximal_densities,
+)
+from repro.baselines.exact_kcore import (
+    coreness,
+    coreness_unweighted,
+    coreness_weighted,
+    degeneracy,
+    k_core_subgraph,
+)
+from repro.baselines.exact_orientation import (
+    exact_orientation_bruteforce,
+    exact_orientation_unweighted,
+    greedy_orientation,
+    lp_lower_bound,
+    optimal_minmax_value,
+)
+from repro.baselines.frank_wolfe import FrankWolfeResult, frank_wolfe_densities
+from repro.baselines.goldberg import maximal_densest_subset, maximum_density
+from repro.baselines.lp import (
+    LPResult,
+    solve_densest_lp,
+    solve_orientation_lp,
+    verify_strong_duality,
+)
+from repro.baselines.maxflow import FlowNetwork
+from repro.baselines.montresor import MontresorResult, montresor_kcore
+from repro.baselines.sarma import SarmaResult, sarma_densest_subset
+
+__all__ = [
+    "BahmaniResult",
+    "bahmani_densest_subset",
+    "HPartitionResult",
+    "h_partition_orientation",
+    "two_phase_orientation",
+    "bruteforce_coreness",
+    "bruteforce_max_density",
+    "bruteforce_maximal_densest_subset",
+    "bruteforce_maximal_densities",
+    "DensestSubsetResult",
+    "charikar_peeling",
+    "DenseDecomposition",
+    "DecompositionLayer",
+    "check_strictly_decreasing",
+    "diminishingly_dense_decomposition",
+    "maximal_densities",
+    "coreness",
+    "coreness_unweighted",
+    "coreness_weighted",
+    "degeneracy",
+    "k_core_subgraph",
+    "exact_orientation_bruteforce",
+    "exact_orientation_unweighted",
+    "greedy_orientation",
+    "lp_lower_bound",
+    "optimal_minmax_value",
+    "FrankWolfeResult",
+    "frank_wolfe_densities",
+    "maximal_densest_subset",
+    "maximum_density",
+    "LPResult",
+    "solve_densest_lp",
+    "solve_orientation_lp",
+    "verify_strong_duality",
+    "FlowNetwork",
+    "MontresorResult",
+    "montresor_kcore",
+    "SarmaResult",
+    "sarma_densest_subset",
+]

@@ -1,0 +1,86 @@
+"""Exhaustive-search references for tiny graphs.
+
+These are the ground truth used by property-based tests (hypothesis generates small
+random graphs, the brute force computes the exact answer, and the real algorithms
+must agree / stay within their guarantees).  Everything here is exponential and
+guarded by explicit size limits.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, Hashable, Iterable, Tuple
+
+from repro.errors import AlgorithmError
+from repro.graph.graph import Graph
+
+_MAX_NODES = 16
+
+
+def _check_size(graph: Graph, limit: int = _MAX_NODES) -> None:
+    if graph.num_nodes > limit:
+        raise AlgorithmError(
+            f"brute force limited to {limit} nodes, got {graph.num_nodes}")
+
+
+def _non_empty_subsets(nodes: list) -> Iterable[Tuple]:
+    for r in range(1, len(nodes) + 1):
+        yield from itertools.combinations(nodes, r)
+
+
+def bruteforce_max_density(graph: Graph) -> float:
+    """``ρ*`` by enumerating every non-empty subset."""
+    _check_size(graph)
+    if graph.num_nodes == 0:
+        raise AlgorithmError("densest subset of the empty graph is undefined")
+    nodes = list(graph.nodes())
+    return max(graph.subset_density(subset) for subset in _non_empty_subsets(nodes))
+
+
+def bruteforce_maximal_densest_subset(graph: Graph) -> Tuple[frozenset, float]:
+    """The maximal densest subset by enumeration (largest among the densest)."""
+    _check_size(graph)
+    nodes = list(graph.nodes())
+    best_density = -math.inf
+    best_subset: Tuple = ()
+    for subset in _non_empty_subsets(nodes):
+        density = graph.subset_density(subset)
+        if (density > best_density + 1e-12
+                or (abs(density - best_density) <= 1e-12 and len(subset) > len(best_subset))):
+            best_density = density
+            best_subset = subset
+    return frozenset(best_subset), best_density
+
+
+def bruteforce_coreness(graph: Graph) -> Dict[Hashable, float]:
+    """Exact coreness by enumerating subsets: c(v) = max over subsets containing v of
+    the minimum weighted degree of the induced subgraph."""
+    _check_size(graph, limit=12)
+    nodes = list(graph.nodes())
+    coreness = {v: 0.0 for v in nodes}
+    for subset in _non_empty_subsets(nodes):
+        members = set(subset)
+        min_degree = math.inf
+        for v in members:
+            deg = graph.self_loop_weight(v)
+            deg += sum(w for u, w in graph.neighbor_weights(v).items() if u in members)
+            min_degree = min(min_degree, deg)
+        for v in members:
+            coreness[v] = max(coreness[v], min_degree)
+    return coreness
+
+
+def bruteforce_maximal_densities(graph: Graph) -> Dict[Hashable, float]:
+    """Exact maximal densities r(v) by running Definition II.3 with brute-force layers."""
+    from repro.graph.quotient import quotient_graph
+
+    _check_size(graph)
+    result: Dict[Hashable, float] = {}
+    current = graph.copy()
+    while current.num_nodes > 0:
+        subset, density = bruteforce_maximal_densest_subset(current)
+        for v in subset:
+            result[v] = density
+        current = quotient_graph(current, subset)
+    return result

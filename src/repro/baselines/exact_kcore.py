@@ -1,0 +1,121 @@
+"""Exact (weighted) coreness values — the centralized baseline.
+
+The coreness ``c(v)`` is the largest ``k`` such that ``v`` belongs to a subgraph of
+minimum weighted degree at least ``k`` (Section I).  The classic peeling algorithm
+computes all coreness values exactly:
+
+* repeatedly remove a node of minimum weighted degree in the remaining graph;
+* the coreness of the removed node is the maximum, over the removals so far, of the
+  minimum degree observed at removal time (the running maximum makes the value
+  monotone along the peeling order, which is what the definition requires).
+
+For unit weights this is Batagelj–Zaversnik's ``O(m)`` bucket algorithm
+(:func:`coreness_unweighted`); for general weights a heap with lazy deletions is
+used (:func:`coreness_weighted`), ``O(m log n)``.  Self-loops contribute their
+weight to their endpoint's degree for as long as the node is present (the convention
+quotient graphs need).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Hashable, List, Tuple
+
+from repro.errors import AlgorithmError
+from repro.graph.graph import Graph
+
+
+def coreness_weighted(graph: Graph) -> Dict[Hashable, float]:
+    """Exact weighted coreness for every node (heap-based peeling)."""
+    degrees: Dict[Hashable, float] = {v: graph.degree(v) for v in graph.nodes()}
+    removed: Dict[Hashable, bool] = {v: False for v in graph.nodes()}
+    coreness: Dict[Hashable, float] = {}
+    heap: List[Tuple[float, Hashable]] = [(d, _key(v), v) for v, d in degrees.items()]  # type: ignore[misc]
+    heapq.heapify(heap)
+    running_max = 0.0
+    remaining = graph.num_nodes
+    while remaining > 0:
+        d, _, v = heapq.heappop(heap)
+        if removed[v]:
+            continue
+        if d > degrees[v] + 1e-12:
+            # Stale heap entry; the node's degree has decreased since insertion.
+            heapq.heappush(heap, (degrees[v], _key(v), v))
+            continue
+        removed[v] = True
+        remaining -= 1
+        running_max = max(running_max, degrees[v])
+        coreness[v] = running_max
+        for u, w in graph.neighbor_weights(v).items():
+            if not removed[u]:
+                degrees[u] -= w
+                heapq.heappush(heap, (degrees[u], _key(u), u))
+    return coreness
+
+
+def coreness_unweighted(graph: Graph) -> Dict[Hashable, int]:
+    """Exact coreness for unit-weight graphs (Batagelj–Zaversnik bucket peeling).
+
+    Raises :class:`AlgorithmError` if the graph is not unit-weighted; self-loops are
+    rejected as well (use :func:`coreness_weighted` for quotient graphs).
+    """
+    if not graph.is_unit_weighted():
+        raise AlgorithmError("coreness_unweighted requires unit edge weights")
+    for v in graph.nodes():
+        if graph.self_loop_weight(v) > 0:
+            raise AlgorithmError("coreness_unweighted does not support self-loops")
+    degrees: Dict[Hashable, int] = {v: sum(1 for _ in graph.neighbors(v)) for v in graph.nodes()}
+    max_degree = max(degrees.values(), default=0)
+    buckets: List[set] = [set() for _ in range(max_degree + 1)]
+    for v, d in degrees.items():
+        buckets[d].add(v)
+    coreness: Dict[Hashable, int] = {}
+    removed: set = set()
+    current = 0
+    running_max = 0
+    processed = 0
+    n = graph.num_nodes
+    while processed < n:
+        while current <= max_degree and not buckets[current]:
+            current += 1
+        if current > max_degree:
+            break
+        v = buckets[current].pop()
+        removed.add(v)
+        processed += 1
+        running_max = max(running_max, degrees[v])
+        coreness[v] = running_max
+        for u in graph.neighbors(v):
+            if u in removed:
+                continue
+            d = degrees[u]
+            buckets[d].discard(u)
+            degrees[u] = d - 1
+            buckets[d - 1].add(u)
+        current = max(0, current - 1)
+    return coreness
+
+
+def coreness(graph: Graph) -> Dict[Hashable, float]:
+    """Exact coreness, dispatching to the bucket or heap algorithm as appropriate."""
+    has_loops = any(graph.self_loop_weight(v) > 0 for v in graph.nodes())
+    if graph.is_unit_weighted() and not has_loops:
+        return {v: float(c) for v, c in coreness_unweighted(graph).items()}
+    return coreness_weighted(graph)
+
+
+def degeneracy(graph: Graph) -> float:
+    """The (weighted) degeneracy: the maximum coreness over all nodes (0 for empty graphs)."""
+    values = coreness(graph)
+    return max(values.values(), default=0.0)
+
+
+def k_core_subgraph(graph: Graph, k: float) -> set:
+    """The node set of the (weighted) ``k``-core (possibly empty)."""
+    values = coreness(graph)
+    return {v for v, c in values.items() if c >= k - 1e-12}
+
+
+def _key(node: Hashable):
+    """Deterministic heap tie-breaker for heterogeneous node labels."""
+    return (type(node).__name__, repr(node))

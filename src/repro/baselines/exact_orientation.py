@@ -1,0 +1,157 @@
+"""Exact and heuristic baselines for the min-max edge orientation problem.
+
+* :func:`lp_lower_bound` — the LP-relaxation optimum, which by the duality argument
+  of Section II equals the maximum subset density ``ρ*`` (computed exactly with the
+  flow-based densest-subset baseline).  It is a lower bound on every (integral)
+  orientation's objective and is the yardstick the paper's approximation guarantee
+  is stated against.
+* :func:`exact_orientation_unweighted` — for unit-weight graphs the integral optimum
+  is ``⌈ρ⌉``-like and computable in polynomial time; we binary-search the smallest
+  integer ``k`` for which an orientation with maximum in-degree ``<= k`` exists,
+  testing feasibility with a max-flow (edges are unit jobs, nodes are machines of
+  capacity ``k``).
+* :func:`exact_orientation_bruteforce` — exhaustive search over all ``2^m``
+  orientations, for tiny (property-test sized) weighted instances.
+* :func:`greedy_orientation` — the natural centralized heuristic that assigns every
+  edge (in descending weight order) to its currently lighter endpoint.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.baselines.goldberg import maximum_density
+from repro.baselines.maxflow import FlowNetwork
+from repro.core.orientation import Orientation, canonical_edge
+from repro.errors import AlgorithmError
+from repro.graph.graph import Graph
+
+
+def lp_lower_bound(graph: Graph) -> float:
+    """The LP-relaxation optimum ``ρ*`` (maximum subset density) — a lower bound."""
+    if graph.num_nodes == 0:
+        raise AlgorithmError("the orientation problem needs a non-empty graph")
+    return maximum_density(graph)
+
+
+def _orientation_from_assignment(graph: Graph, owner_of: Dict[Tuple, Hashable]) -> Orientation:
+    in_weight: Dict[Hashable, float] = {v: 0.0 for v in graph.nodes()}
+    loop_weight: Dict[Hashable, float] = {}
+    assignment = {}
+    for u, v, w in graph.edges():
+        if u == v:
+            loop_weight[u] = loop_weight.get(u, 0.0) + w
+            in_weight[u] += w
+            continue
+        key = canonical_edge(u, v)
+        owner = owner_of[key]
+        assignment[key] = owner
+        in_weight[owner] += w
+    return Orientation(assignment=assignment, in_weight=in_weight, loop_weight=loop_weight)
+
+
+def greedy_orientation(graph: Graph) -> Orientation:
+    """Assign edges (heaviest first) to their currently lighter endpoint."""
+    edges = sorted((e for e in graph.edges() if e[0] != e[1]), key=lambda e: -e[2])
+    load: Dict[Hashable, float] = {v: graph.self_loop_weight(v) for v in graph.nodes()}
+    owner_of: Dict[Tuple, Hashable] = {}
+    for u, v, w in edges:
+        owner = u if load[u] <= load[v] else v
+        owner_of[canonical_edge(u, v)] = owner
+        load[owner] += w
+    return _orientation_from_assignment(graph, owner_of)
+
+
+def _feasible_orientation_unweighted(graph: Graph, k: int) -> Optional[Dict[Tuple, Hashable]]:
+    """An orientation with maximum in-degree <= k, or None if none exists (unit weights)."""
+    network = FlowNetwork()
+    source, sink = ("s",), ("t",)
+    network.add_node(source)
+    network.add_node(sink)
+    non_loop_edges = [(u, v) for u, v, _ in graph.edges() if u != v]
+    for v in graph.nodes():
+        network.add_edge(("v", v), sink, float(k))
+    for idx, (u, v) in enumerate(non_loop_edges):
+        network.add_edge(source, ("e", idx), 1.0)
+        network.add_edge(("e", idx), ("v", u), 1.0)
+        network.add_edge(("e", idx), ("v", v), 1.0)
+    value = network.max_flow(source, sink)
+    if value < len(non_loop_edges) - 1e-9:
+        return None
+    owner_of: Dict[Tuple, Hashable] = {}
+    for idx, (u, v) in enumerate(non_loop_edges):
+        flow_u = network.flow_on(("e", idx), ("v", u))
+        owner = u if flow_u > 0.5 else v
+        owner_of[canonical_edge(u, v)] = owner
+    return owner_of
+
+
+def exact_orientation_unweighted(graph: Graph) -> Orientation:
+    """The exact optimum for unit-weight graphs (binary search + max-flow)."""
+    if graph.num_nodes == 0:
+        raise AlgorithmError("the orientation problem needs a non-empty graph")
+    if not graph.is_unit_weighted():
+        raise AlgorithmError("exact_orientation_unweighted requires unit edge weights")
+    max_loop = max((graph.self_loop_weight(v) for v in graph.nodes()), default=0.0)
+    lo, hi = 0, max(1, int(math.ceil(max(graph.degree(v) for v in graph.nodes()))))
+    best: Optional[Dict[Tuple, Hashable]] = None
+    while lo < hi:
+        mid = (lo + hi) // 2
+        candidate = _feasible_orientation_unweighted(graph, mid)
+        if candidate is not None:
+            best = candidate
+            hi = mid
+        else:
+            lo = mid + 1
+    if best is None:
+        best = _feasible_orientation_unweighted(graph, lo)
+        if best is None:
+            raise AlgorithmError("failed to find any feasible orientation")  # pragma: no cover
+    orientation = _orientation_from_assignment(graph, best)
+    # Self-loops are forced onto their endpoint and may dominate the objective.
+    del max_loop
+    return orientation
+
+
+def exact_orientation_bruteforce(graph: Graph, *, max_edges: int = 18) -> Orientation:
+    """Exhaustive optimum over all orientations (weighted); only for tiny graphs."""
+    non_loop_edges = [(u, v, w) for u, v, w in graph.edges() if u != v]
+    if len(non_loop_edges) > max_edges:
+        raise AlgorithmError(
+            f"brute force limited to {max_edges} edges, got {len(non_loop_edges)}")
+    base_load = {v: graph.self_loop_weight(v) for v in graph.nodes()}
+    best_value = math.inf
+    best_owner: Optional[Dict[Tuple, Hashable]] = None
+    for choice in itertools.product((0, 1), repeat=len(non_loop_edges)):
+        load = dict(base_load)
+        owner_of: Dict[Tuple, Hashable] = {}
+        for bit, (u, v, w) in zip(choice, non_loop_edges):
+            owner = u if bit == 0 else v
+            owner_of[canonical_edge(u, v)] = owner
+            load[owner] += w
+        value = max(load.values(), default=0.0)
+        if value < best_value - 1e-15:
+            best_value = value
+            best_owner = owner_of
+    assert best_owner is not None or not non_loop_edges
+    if best_owner is None:
+        best_owner = {}
+    return _orientation_from_assignment(graph, best_owner)
+
+
+def optimal_minmax_value(graph: Graph) -> float:
+    """The exact optimal objective value, using the cheapest applicable method.
+
+    Unit-weight graphs use the flow-based exact algorithm; small weighted graphs use
+    brute force; anything else falls back to the LP lower bound (and the caller
+    should treat the value as a lower bound only).
+    """
+    non_loop = sum(1 for u, v, _ in graph.edges() if u != v)
+    if graph.is_unit_weighted():
+        return exact_orientation_unweighted(graph).max_in_weight
+    if non_loop <= 18:
+        return exact_orientation_bruteforce(graph).max_in_weight
+    return lp_lower_bound(graph)

@@ -1,0 +1,103 @@
+"""Frank–Wolfe approximation of the maximal densities (Danisch, Chan, Sozio; WWW'17).
+
+The maximal densities ``r(v)`` of the diminishingly-dense decomposition are the node
+loads of the (unique) optimal solution of the quadratic program
+
+    minimise  Σ_v load(v)²   subject to   α_{e,u} + α_{e,v} = w_e,  α >= 0,
+    where load(u) = Σ_{e ∋ u} α_{e,u},
+
+i.e. every edge splits its weight between its endpoints so as to make the load
+vector as balanced as possible.  The Frank–Wolfe method solves it with extremely
+simple iterations: in iteration ``k`` every edge sends its whole weight to its
+currently lighter endpoint (the linear-minimisation oracle), and the running
+solution takes a convex combination with step size ``2 / (k + 2)``.
+
+After ``K`` iterations the loads converge to ``r(v)`` at a ``O(1/K)`` rate; this is
+the scalable stand-in for the exact flow-based decomposition on graphs where the
+latter is too slow (it is also an interesting comparison point for E1, since the
+paper's surviving numbers approximate the same quantity from above).
+
+The implementation is fully vectorised over the edge list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Tuple
+
+import numpy as np
+
+from repro.errors import AlgorithmError
+from repro.graph.graph import Graph
+
+
+@dataclass(frozen=True)
+class FrankWolfeResult:
+    """Approximate maximal densities after a number of Frank–Wolfe iterations."""
+
+    loads: Dict[Hashable, float]   #: approximate ``r(v)`` per node
+    iterations: int                #: number of iterations performed
+    max_density_estimate: float    #: max load = estimate of ρ*
+
+    def value_of(self, node: Hashable) -> float:
+        """Approximate maximal density of ``node``."""
+        return self.loads[node]
+
+
+def frank_wolfe_densities(graph: Graph, iterations: int = 100) -> FrankWolfeResult:
+    """Run ``iterations`` Frank–Wolfe steps and return the approximate ``r(v)``.
+
+    Self-loops are handled by permanently charging their weight to their endpoint
+    (they have no freedom in the program).
+    """
+    if graph.num_nodes == 0:
+        raise AlgorithmError("maximal densities of the empty graph are undefined")
+    if iterations < 1:
+        raise AlgorithmError(f"iterations must be >= 1, got {iterations}")
+
+    nodes = list(graph.nodes())
+    index = {v: i for i, v in enumerate(nodes)}
+    n = len(nodes)
+
+    endpoints_u = []
+    endpoints_v = []
+    weights = []
+    loop_load = np.zeros(n, dtype=np.float64)
+    for u, v, w in graph.edges():
+        if u == v:
+            loop_load[index[u]] += w
+            continue
+        endpoints_u.append(index[u])
+        endpoints_v.append(index[v])
+        weights.append(w)
+    eu = np.asarray(endpoints_u, dtype=np.int64)
+    ev = np.asarray(endpoints_v, dtype=np.int64)
+    w_arr = np.asarray(weights, dtype=np.float64)
+    m = len(w_arr)
+
+    # alpha[i] = fraction of edge i's weight currently assigned to endpoint ``u``.
+    alpha = np.full(m, 0.5, dtype=np.float64)
+
+    def loads_from(alpha_vec: np.ndarray) -> np.ndarray:
+        loads = loop_load.copy()
+        if m:
+            np.add.at(loads, eu, alpha_vec * w_arr)
+            np.add.at(loads, ev, (1.0 - alpha_vec) * w_arr)
+        return loads
+
+    for k in range(iterations):
+        loads = loads_from(alpha)
+        if m == 0:
+            break
+        # Linear-minimisation oracle: each edge sends everything to its lighter endpoint
+        # (ties split evenly, which keeps the iteration deterministic and symmetric).
+        lighter_u = loads[eu] < loads[ev]
+        heavier_u = loads[eu] > loads[ev]
+        direction = np.where(lighter_u, 1.0, np.where(heavier_u, 0.0, 0.5))
+        step = 2.0 / (k + 3.0)
+        alpha = (1.0 - step) * alpha + step * direction
+
+    final_loads = loads_from(alpha)
+    loads_map = {nodes[i]: float(final_loads[i]) for i in range(n)}
+    return FrankWolfeResult(loads=loads_map, iterations=iterations,
+                            max_density_estimate=float(final_loads.max(initial=0.0)))

@@ -1,0 +1,129 @@
+"""The primal/dual linear programs of Section II, solved with :mod:`scipy.optimize`.
+
+The min-max orientation LP (primal) and the densest-subset LP (dual) are:
+
+    min ρ                                   max Σ_e w_e x_e
+    s.t. ρ >= Σ_{e ∋ u} α_{e,u}   ∀u        s.t. x_e <= y_u        ∀u ∈ e
+         Σ_{u ∈ e} α_{e,u} >= w_e ∀e             Σ_u y_u  = 1
+         α >= 0                                   x, y >= 0
+
+Strong duality makes both optima equal to the maximum subset density ``ρ*``
+(Charikar's LP).  These solvers exist to *cross-check* the combinatorial baselines
+(flow-based densest subset, Frank–Wolfe loads) on small and medium graphs, and to
+demonstrate the primal-dual relationship the paper's algorithm exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.errors import AlgorithmError
+from repro.graph.graph import Graph
+
+
+@dataclass(frozen=True)
+class LPResult:
+    """Optimum value and (primal) variable values of one of the Section-II LPs."""
+
+    value: float
+    variables: Dict[str, np.ndarray]
+
+
+def _edge_list(graph: Graph) -> Tuple[List[Tuple[Hashable, Hashable, float]], List[Hashable]]:
+    edges = [(u, v, w) for u, v, w in graph.edges()]
+    nodes = list(graph.nodes())
+    return edges, nodes
+
+
+def solve_orientation_lp(graph: Graph) -> LPResult:
+    """Solve the fractional min-max orientation LP (the primal).
+
+    Variables: ``α_{e,u}`` for each incidence (self-loops have a single incidence)
+    plus the objective variable ``ρ``.
+    """
+    if graph.num_nodes == 0:
+        raise AlgorithmError("LP needs a non-empty graph")
+    edges, nodes = _edge_list(graph)
+    node_index = {v: i for i, v in enumerate(nodes)}
+    incidences: List[Tuple[int, int]] = []   # (edge index, node index)
+    for e_idx, (u, v, _) in enumerate(edges):
+        incidences.append((e_idx, node_index[u]))
+        if v != u:
+            incidences.append((e_idx, node_index[v]))
+    num_alpha = len(incidences)
+    num_vars = num_alpha + 1   # α's then ρ
+    rho_col = num_alpha
+
+    # Objective: minimise ρ.
+    c = np.zeros(num_vars)
+    c[rho_col] = 1.0
+
+    # Constraint 1 (per node): Σ_{e ∋ u} α_{e,u} - ρ <= 0.
+    a_ub = np.zeros((len(nodes), num_vars))
+    for col, (_, n_idx) in enumerate(incidences):
+        a_ub[n_idx, col] = 1.0
+    a_ub[:, rho_col] = -1.0
+    b_ub = np.zeros(len(nodes))
+
+    # Constraint 2 (per edge): Σ_{u ∈ e} α_{e,u} >= w_e  →  -Σ α <= -w_e.
+    a_edge = np.zeros((len(edges), num_vars))
+    for col, (e_idx, _) in enumerate(incidences):
+        a_edge[e_idx, col] = -1.0
+    b_edge = -np.array([w for _, _, w in edges])
+
+    result = linprog(c, A_ub=np.vstack([a_ub, a_edge]), b_ub=np.concatenate([b_ub, b_edge]),
+                     bounds=[(0, None)] * num_vars, method="highs")
+    if not result.success:
+        raise AlgorithmError(f"orientation LP failed: {result.message}")
+    return LPResult(value=float(result.fun),
+                    variables={"alpha": result.x[:num_alpha], "rho": result.x[rho_col:]})
+
+
+def solve_densest_lp(graph: Graph) -> LPResult:
+    """Solve Charikar's densest-subset LP (the dual)."""
+    if graph.num_nodes == 0:
+        raise AlgorithmError("LP needs a non-empty graph")
+    edges, nodes = _edge_list(graph)
+    node_index = {v: i for i, v in enumerate(nodes)}
+    num_edges, num_nodes = len(edges), len(nodes)
+    num_vars = num_edges + num_nodes   # x_e then y_u
+
+    # Objective: maximise Σ w_e x_e  →  minimise -Σ w_e x_e.
+    c = np.zeros(num_vars)
+    for e_idx, (_, _, w) in enumerate(edges):
+        c[e_idx] = -w
+
+    # x_e <= y_u for each incidence.
+    rows: List[np.ndarray] = []
+    for e_idx, (u, v, _) in enumerate(edges):
+        for endpoint in {u, v}:
+            row = np.zeros(num_vars)
+            row[e_idx] = 1.0
+            row[num_edges + node_index[endpoint]] = -1.0
+            rows.append(row)
+    a_ub = np.vstack(rows) if rows else np.zeros((0, num_vars))
+    b_ub = np.zeros(len(rows))
+
+    # Σ y_u = 1.
+    a_eq = np.zeros((1, num_vars))
+    a_eq[0, num_edges:] = 1.0
+    b_eq = np.array([1.0])
+
+    result = linprog(c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq,
+                     bounds=[(0, None)] * num_vars, method="highs")
+    if not result.success:
+        raise AlgorithmError(f"densest-subset LP failed: {result.message}")
+    return LPResult(value=float(-result.fun),
+                    variables={"x": result.x[:num_edges], "y": result.x[num_edges:]})
+
+
+def verify_strong_duality(graph: Graph, *, tol: float = 1e-6) -> bool:
+    """Whether the two LPs have (numerically) equal optima on ``graph``."""
+    primal = solve_orientation_lp(graph)
+    dual = solve_densest_lp(graph)
+    scale = max(1.0, abs(primal.value), abs(dual.value))
+    return abs(primal.value - dual.value) <= tol * scale

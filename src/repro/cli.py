@@ -1,0 +1,172 @@
+"""Command-line interface.
+
+Lets a user run the paper's algorithms on an edge-list file (or a bundled synthetic
+dataset) without writing Python::
+
+    python -m repro coreness --dataset collab-small --epsilon 0.5 --top 10
+    python -m repro coreness --input graph.edges --rounds 8 --output values.tsv
+    python -m repro orientation --dataset caveman --weighted --epsilon 0.5
+    python -m repro densest --input graph.edges --epsilon 1.0
+    python -m repro datasets
+
+Edge-list files use the same format as :mod:`repro.graph.io` (``u v [w]`` per line,
+``#`` comments allowed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro._version import __version__
+from repro.analysis.tables import format_table
+from repro.core.api import approximate_coreness, approximate_densest_subsets, approximate_orientation
+from repro.errors import ReproError
+from repro.graph.datasets import dataset_info, list_datasets, load_dataset
+from repro.graph.graph import Graph
+from repro.graph.io import read_edge_list
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed approximate k-core decomposition, min-max edge "
+                    "orientation and weak densest subsets (Chan, Sozio, Sun; IPDPS 2019).")
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_graph_arguments(sub: argparse.ArgumentParser) -> None:
+        source = sub.add_mutually_exclusive_group(required=True)
+        source.add_argument("--input", type=Path, help="edge-list file (u v [w] per line)")
+        source.add_argument("--dataset", choices=list_datasets(),
+                            help="bundled synthetic stand-in dataset")
+        sub.add_argument("--weighted", action="store_true",
+                         help="layer integer weights onto a bundled dataset")
+        budget = sub.add_mutually_exclusive_group(required=True)
+        budget.add_argument("--epsilon", type=float, help="target ratio 2(1+epsilon)")
+        budget.add_argument("--rounds", type=int, help="explicit round budget T")
+        sub.add_argument("--output", type=Path, default=None,
+                         help="write per-node results as TSV instead of a table")
+
+    coreness_parser = subparsers.add_parser(
+        "coreness", help="approximate coreness / maximal density per node (Theorem I.1)")
+    add_graph_arguments(coreness_parser)
+    coreness_parser.add_argument("--top", type=int, default=10,
+                                 help="number of top nodes to print (default 10)")
+    coreness_parser.add_argument("--lam", type=float, default=0.0,
+                                 help="Lambda-grid parameter for message-size reduction")
+
+    orientation_parser = subparsers.add_parser(
+        "orientation", help="approximate min-max edge orientation (Theorem I.2)")
+    add_graph_arguments(orientation_parser)
+
+    densest_parser = subparsers.add_parser(
+        "densest", help="weak densest subset collection (Theorem I.3)")
+    add_graph_arguments(densest_parser)
+
+    subparsers.add_parser("datasets", help="list the bundled synthetic datasets")
+    return parser
+
+
+def _load_graph(args: argparse.Namespace) -> Graph:
+    if args.input is not None:
+        return read_edge_list(args.input)
+    return load_dataset(args.dataset, weighted=args.weighted)
+
+
+def _budget_kwargs(args: argparse.Namespace) -> dict:
+    if args.epsilon is not None:
+        return {"epsilon": args.epsilon}
+    return {"rounds": args.rounds}
+
+
+def _command_datasets(out) -> int:
+    rows = []
+    for name in list_datasets():
+        spec = dataset_info(name)
+        graph = load_dataset(name)
+        rows.append([name, spec.category, graph.num_nodes, graph.num_edges, spec.description])
+    print(format_table(["name", "category", "n", "m", "description"], rows), file=out)
+    return 0
+
+
+def _command_coreness(args: argparse.Namespace, out) -> int:
+    graph = _load_graph(args)
+    result = approximate_coreness(graph, lam=args.lam, **_budget_kwargs(args))
+    print(f"# n={graph.num_nodes} m={graph.num_edges} rounds={result.rounds} "
+          f"guarantee={result.guarantee:.4g}", file=out)
+    if args.output is not None:
+        lines = [f"{v}\t{result.values[v]:.10g}" for v in graph.nodes()]
+        args.output.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        print(f"# per-node values written to {args.output}", file=out)
+        return 0
+    rows = [[v, f"{result.values[v]:.6g}"] for v in result.top_nodes(args.top)]
+    print(format_table(["node", "approx coreness"], rows), file=out)
+    return 0
+
+
+def _command_orientation(args: argparse.Namespace, out) -> int:
+    graph = _load_graph(args)
+    result = approximate_orientation(graph, **_budget_kwargs(args))
+    print(f"# n={graph.num_nodes} m={graph.num_edges} rounds={result.rounds} "
+          f"guarantee={result.guarantee:.4g}", file=out)
+    print(f"max weighted in-degree: {result.max_in_weight:.6g}", file=out)
+    print(f"conflicts resolved: {result.orientation.conflicts}; "
+          f"uncovered edges: {result.orientation.violations}", file=out)
+    if args.output is not None:
+        lines = [f"{u}\t{v}\t{owner}" for (u, v), owner in sorted(
+            result.orientation.assignment.items(), key=lambda kv: repr(kv[0]))]
+        args.output.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        print(f"# edge assignment written to {args.output}", file=out)
+    return 0
+
+
+def _command_densest(args: argparse.Namespace, out) -> int:
+    graph = _load_graph(args)
+    result = approximate_densest_subsets(graph, **_budget_kwargs(args))
+    print(f"# n={graph.num_nodes} m={graph.num_edges} rounds_total={result.rounds_total} "
+          f"gamma={result.gamma:.4g}", file=out)
+    rows = [[str(leader), len(members),
+             f"{result.reported_densities.get(leader, float('nan')):.6g}",
+             f"{result.actual_densities[leader]:.6g}"]
+            for leader, members in sorted(result.subsets.items(), key=lambda kv: -len(kv[1]))]
+    if rows:
+        print(format_table(["leader", "size", "announced density", "true density"], rows),
+              file=out)
+    else:
+        print("(no subset was announced)", file=out)
+    if args.output is not None:
+        lines = [f"{v}\t{leader if leader is not None else '-'}"
+                 for v, leader in result.node_assignment.items()]
+        args.output.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        print(f"# per-node subset assignment written to {args.output}", file=out)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "datasets":
+            return _command_datasets(out)
+        if args.command == "coreness":
+            return _command_coreness(args, out)
+        if args.command == "orientation":
+            return _command_orientation(args, out)
+        if args.command == "densest":
+            return _command_densest(args, out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 1  # pragma: no cover - unreachable with required subparsers
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

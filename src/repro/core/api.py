@@ -1,0 +1,131 @@
+"""High-level public API for the paper's three problems.
+
+These functions are what the examples and benchmarks use; they wrap the lower-level
+protocol/engine machinery with the paper's parametrisation (ε or γ or an explicit
+round budget ``T``) and return self-describing result objects.
+
+* :func:`approximate_coreness` — Theorem I.1: per-node ``2(1+ε)``-approximate
+  coreness values / maximal densities;
+* :func:`approximate_orientation` — Theorem I.2: a feasible edge orientation with
+  ``2(1+ε)``-approximate maximum weighted in-degree;
+* :func:`approximate_densest_subsets` — Theorem I.3: the weak densest subset
+  collection of Definition IV.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.core.densest import WeakDensestResult, weak_densest_subsets
+from repro.core.orientation import Orientation, orientation_from_kept
+from repro.core.rounds import guarantee_after_rounds, rounds_for_epsilon, rounds_for_gamma
+from repro.core.surviving import SurvivingNumbers, compact_elimination
+from repro.errors import AlgorithmError
+from repro.graph.graph import Graph
+
+
+def _resolve_rounds(num_nodes: int, epsilon: Optional[float], gamma: Optional[float],
+                    rounds: Optional[int]) -> int:
+    provided = [p is not None for p in (epsilon, gamma, rounds)]
+    if sum(provided) != 1:
+        raise AlgorithmError("provide exactly one of epsilon, gamma or rounds")
+    if epsilon is not None:
+        return rounds_for_epsilon(num_nodes, epsilon)
+    if gamma is not None:
+        return rounds_for_gamma(num_nodes, gamma)
+    assert rounds is not None
+    if rounds < 1:
+        raise AlgorithmError(f"rounds must be >= 1, got {rounds}")
+    return int(rounds)
+
+
+@dataclass
+class CorenessResult:
+    """Approximate coreness / maximal-density values for every node."""
+
+    values: Dict[Hashable, float]   #: the surviving numbers ``b_v``
+    rounds: int                     #: rounds executed
+    guarantee: float                #: proven factor ``2·n^(1/T)`` (modulo the 1+λ slack)
+    lam: float                      #: the Λ-grid parameter used
+    surviving: SurvivingNumbers     #: full lower-level result (trajectory, kept sets...)
+
+    def value_of(self, node: Hashable) -> float:
+        """Approximate coreness of ``node`` (an upper bound on the true coreness)."""
+        return self.values[node]
+
+    def top_nodes(self, k: int) -> Tuple[Hashable, ...]:
+        """The ``k`` nodes with the largest approximate coreness (descending)."""
+        ranked = sorted(self.values, key=lambda v: (-self.values[v], repr(v)))
+        return tuple(ranked[:k])
+
+
+def approximate_coreness(graph: Graph, *, epsilon: Optional[float] = None,
+                         gamma: Optional[float] = None, rounds: Optional[int] = None,
+                         lam: float = 0.0, engine: str = "vectorized") -> CorenessResult:
+    """Theorem I.1: approximate every node's coreness (and maximal density).
+
+    Exactly one of ``epsilon`` (γ = 2(1+ε)), ``gamma`` (γ > 2) or ``rounds`` must be
+    given.  The returned values satisfy
+    ``c(v)/(1+λ) <= b_v <= 2·n^(1/T)·(coreness or maximal density of v)``.
+
+    Parameters
+    ----------
+    lam:
+        Λ-grid parameter for message-size reduction (0 = exact values).
+    engine:
+        ``"vectorized"`` (NumPy, fast) or ``"simulation"`` (faithful per-node
+        protocol with message statistics).
+    """
+    if graph.num_nodes == 0:
+        raise AlgorithmError("approximate_coreness needs a non-empty graph")
+    T = _resolve_rounds(graph.num_nodes, epsilon, gamma, rounds)
+    surv = compact_elimination(graph, T, lam=lam, engine=engine, track_kept=False)
+    return CorenessResult(values=dict(surv.values), rounds=T,
+                          guarantee=guarantee_after_rounds(graph.num_nodes, T),
+                          lam=lam, surviving=surv)
+
+
+@dataclass
+class OrientationResult:
+    """Approximate min-max edge orientation."""
+
+    orientation: Orientation        #: the explicit edge assignment
+    values: Dict[Hashable, float]   #: the surviving numbers that produced it
+    rounds: int                     #: rounds executed
+    guarantee: float                #: proven factor ``2·n^(1/T)``
+
+    @property
+    def max_in_weight(self) -> float:
+        """The achieved objective (maximum weighted in-degree)."""
+        return self.orientation.max_in_weight
+
+
+def approximate_orientation(graph: Graph, *, epsilon: Optional[float] = None,
+                            gamma: Optional[float] = None, rounds: Optional[int] = None,
+                            engine: str = "vectorized",
+                            tie_break: str = "history") -> OrientationResult:
+    """Theorem I.2: compute a ``2·n^(1/T)``-approximate min-max edge orientation.
+
+    Runs Algorithm 2 with ``Λ = R`` (required by Lemma III.11), collects the
+    auxiliary subsets ``N_v`` and materialises the orientation, resolving the rare
+    both-endpoints conflicts deterministically.
+    """
+    if graph.num_nodes == 0:
+        raise AlgorithmError("approximate_orientation needs a non-empty graph")
+    T = _resolve_rounds(graph.num_nodes, epsilon, gamma, rounds)
+    surv = compact_elimination(graph, T, lam=0.0, engine=engine, track_kept=True,
+                               tie_break=tie_break)
+    orientation = orientation_from_kept(graph, surv.kept, values=surv.values)
+    return OrientationResult(orientation=orientation, values=dict(surv.values), rounds=T,
+                             guarantee=guarantee_after_rounds(graph.num_nodes, T))
+
+
+def approximate_densest_subsets(graph: Graph, *, epsilon: Optional[float] = None,
+                                gamma: Optional[float] = None,
+                                rounds: Optional[int] = None) -> WeakDensestResult:
+    """Theorem I.3: the weak densest subset collection (Definition IV.1).
+
+    Thin wrapper over :func:`repro.core.densest.weak_densest_subsets`.
+    """
+    return weak_densest_subsets(graph, epsilon=epsilon, gamma=gamma, rounds=rounds)

@@ -1,0 +1,164 @@
+"""Theorem I.3 — the full weak-densest-subset pipeline (Definition IV.1).
+
+The pipeline chains the four phases of Section IV on the faithful simulator:
+
+1. **Phase 1** — Algorithm 2 for ``T`` rounds: every node learns a surviving number
+   ``b_v`` (a γ-approximation of its maximal density);
+2. **Phase 2** — Algorithm 4 for ``T + 2`` rounds: bounded-depth BFS trees rooted at
+   local leaders (the node with the largest ``b`` within ``T`` hops);
+3. **Phase 3** — Algorithm 5 for ``T`` rounds: single-threshold elimination with the
+   leader's ``b`` restricted to each tree, recording per-round survival/degrees;
+4. **Phase 4** — Algorithm 6 for ``≤ 2T + 4`` rounds: aggregation up each tree,
+   selection of the densest round ``t*`` and a downstream flood so that every member
+   of the reported subset knows it (and the subset's density).
+
+The result satisfies Definition IV.1: the reported subsets are disjoint (one per
+leader), every member knows its leader and the announced density, and — provided the
+acceptance threshold of Algorithm 6 is the analysis-supported ``b_v / γ`` — the
+subset of the globally best leader has density at least ``ρ* / γ`` (Lemma IV.4,
+Corollary IV.5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.core.aggregation import (
+    AggregationOutput,
+    run_aggregation,
+    total_aggregation_rounds,
+)
+from repro.core.bfs import BFSOutput, run_bfs_construction, total_bfs_rounds
+from repro.core.local_elimination import LocalEliminationOutput, run_local_elimination
+from repro.core.rounds import guarantee_after_rounds, rounds_for_epsilon, rounds_for_gamma
+from repro.core.surviving import SurvivingNumbers, run_compact_elimination
+from repro.errors import AlgorithmError
+from repro.graph.graph import Graph
+
+
+@dataclass
+class WeakDensestResult:
+    """Output of the weak-densest-subset pipeline."""
+
+    subsets: Dict[Hashable, frozenset]          #: leader id -> reported subset members
+    reported_densities: Dict[Hashable, float]   #: leader id -> density announced by the root
+    actual_densities: Dict[Hashable, float]     #: leader id -> density recomputed on the graph
+    node_assignment: Dict[Hashable, Optional[Hashable]]  #: node -> leader id (None if unassigned)
+    surviving: SurvivingNumbers                 #: the Phase-1 result
+    rounds_total: int                           #: total synchronous rounds over all phases
+    rounds_per_phase: Dict[str, int]            #: breakdown of the round budget
+    messages_total: int                         #: total point-to-point messages
+    gamma: float                                #: the approximation factor targeted
+
+    @property
+    def best_leader(self) -> Optional[Hashable]:
+        """Leader of the subset with the largest *recomputed* density."""
+        if not self.actual_densities:
+            return None
+        return max(self.actual_densities, key=lambda k: self.actual_densities[k])
+
+    @property
+    def best_density(self) -> float:
+        """Largest recomputed density over the reported subsets (0.0 if none)."""
+        if not self.actual_densities:
+            return 0.0
+        return max(self.actual_densities.values())
+
+    def subsets_are_disjoint(self) -> bool:
+        """Definition IV.1 sanity check: the reported subsets are pairwise disjoint."""
+        seen: set = set()
+        for members in self.subsets.values():
+            if seen & members:
+                return False
+            seen |= members
+        return True
+
+
+def weak_densest_subsets(graph: Graph, *, epsilon: Optional[float] = None,
+                         gamma: Optional[float] = None, rounds: Optional[int] = None,
+                         acceptance_factor: Optional[float] = None,
+                         ) -> WeakDensestResult:
+    """Run the Theorem I.3 pipeline.
+
+    Exactly one of ``epsilon`` (targets ``γ = 2(1+ε)``), ``gamma`` (``γ > 2``) or
+    ``rounds`` (explicit ``T``) must be provided; the others are derived.
+
+    Parameters
+    ----------
+    acceptance_factor:
+        The divisor in Algorithm 6's acceptance test ``b_max >= b_v / acceptance_factor``.
+        Defaults to the derived γ (the analysis-supported choice — see
+        :mod:`repro.core.aggregation` for why the literal paper condition is not used).
+    """
+    if graph.num_nodes == 0:
+        raise AlgorithmError("the weak densest subset problem needs a non-empty graph")
+    n = graph.num_nodes
+    provided = [p is not None for p in (epsilon, gamma, rounds)]
+    if sum(provided) != 1:
+        raise AlgorithmError("provide exactly one of epsilon, gamma or rounds")
+    if epsilon is not None:
+        T = rounds_for_epsilon(n, epsilon)
+    elif gamma is not None:
+        T = rounds_for_gamma(n, gamma)
+    else:
+        T = int(rounds)  # type: ignore[arg-type]
+        if T < 1:
+            raise AlgorithmError(f"rounds must be >= 1, got {rounds}")
+    derived_gamma = guarantee_after_rounds(n, T)
+    factor = acceptance_factor if acceptance_factor is not None else derived_gamma
+
+    # Phase 1: surviving numbers.
+    surviving, run1 = run_compact_elimination(graph, T, lam=0.0, track_kept=False)
+    # Phase 2: BFS forest.
+    bfs_outputs, run2 = run_bfs_construction(graph, surviving.values, T)
+    # Phase 3: per-tree elimination.
+    local_outputs, run3 = run_local_elimination(graph, bfs_outputs, T)
+    # Phase 4: aggregation + decision.
+    agg_outputs, run4 = run_aggregation(graph, bfs_outputs, local_outputs, factor, T)
+
+    subsets: Dict[Hashable, set] = {}
+    reported: Dict[Hashable, float] = {}
+    node_assignment: Dict[Hashable, Optional[Hashable]] = {}
+    for v, out in agg_outputs.items():
+        if out.sigma == 1:
+            subsets.setdefault(out.leader_id, set()).add(v)
+            node_assignment[v] = out.leader_id
+            if out.density is not None:
+                reported[out.leader_id] = out.density
+        else:
+            node_assignment[v] = None
+
+    actual = {leader: graph.subset_density(members)
+              for leader, members in subsets.items() if members}
+
+    rounds_per_phase = {
+        "phase1_surviving": run1.stats.num_rounds,
+        "phase2_bfs": run2.stats.num_rounds,
+        "phase3_local_elimination": run3.stats.num_rounds,
+        "phase4_aggregation": run4.stats.num_rounds,
+    }
+    messages_total = sum(run.stats.total_messages for run in (run1, run2, run3, run4))
+
+    return WeakDensestResult(
+        subsets={k: frozenset(v) for k, v in subsets.items()},
+        reported_densities=reported,
+        actual_densities=actual,
+        node_assignment=node_assignment,
+        surviving=surviving,
+        rounds_total=sum(rounds_per_phase.values()),
+        rounds_per_phase=rounds_per_phase,
+        messages_total=messages_total,
+        gamma=derived_gamma,
+    )
+
+
+def expected_total_rounds(num_nodes: int, epsilon: float) -> int:
+    """Upper bound on the total round budget of the pipeline for given ``n`` and ``ε``.
+
+    Useful for experiment tables: ``T`` (Phase 1) + ``T + 2`` (Phase 2) + ``T``
+    (Phase 3) + ``2T + 4`` (Phase 4) = ``5T + 6`` rounds, i.e. ``O(log_{1+ε} n)``.
+    """
+    T = rounds_for_epsilon(num_nodes, epsilon)
+    return T + total_bfs_rounds(T) + T + total_aggregation_rounds(T)

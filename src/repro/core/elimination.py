@@ -1,0 +1,158 @@
+"""Algorithm 1 — the elimination procedure for a single threshold.
+
+Given a universal threshold ``b``, every node starts present (state 1); in each
+synchronous round every node broadcasts its state and then removes itself (state 0)
+if its weighted degree *restricted to surviving neighbours* is below ``b``.  After
+``n`` rounds the surviving nodes are exactly the (weighted) ``b``-core.
+
+Two implementations are provided:
+
+* :class:`SingleThresholdProtocol` — the faithful per-node protocol executed on the
+  :class:`~repro.distsim.network.SyncNetwork` simulator;
+* :func:`eliminate_vectorized` — a NumPy engine producing the same per-round
+  survival masks on a CSR view (used by large-scale experiments and by Phase 3 of
+  the weak-densest-subset pipeline analysis).
+
+Both also expose the *per-round history* of survivors because the densest-subset
+analysis (Lemma IV.4) needs the surviving sets ``A_0 ⊇ A_1 ⊇ ... ⊇ A_T``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.distsim.message import Message
+from repro.distsim.node import NodeContext, NodeProtocol, Outgoing
+from repro.distsim.runner import ProtocolRun, run_protocol
+from repro.errors import AlgorithmError
+from repro.graph.csr import CSRAdjacency, graph_to_csr
+from repro.graph.graph import Graph
+
+
+class SingleThresholdProtocol(NodeProtocol):
+    """Per-node logic of Algorithm 1.
+
+    The node broadcasts its current state every round (also after removal — removed
+    nodes keep participating so that neighbours can update their view; this matches
+    Algorithm 1, where the state is broadcast unconditionally).
+    """
+
+    def __init__(self, context: NodeContext, threshold: float) -> None:
+        super().__init__(context)
+        self.threshold = float(threshold)
+        self.state = 1
+        #: last known state of each neighbour (everyone starts present).
+        self.neighbor_states: Dict[Hashable, int] = {u: 1 for u in context.neighbor_weights}
+
+    def compose_message(self, round_index: int) -> Outgoing:
+        return self.broadcast(self.state)
+
+    def receive(self, round_index: int, messages: Dict[Hashable, Message]) -> None:
+        for sender, message in messages.items():
+            self.neighbor_states[sender] = int(message.payload)
+        if self.state == 0:
+            return
+        surviving_weight = sum(
+            w for u, w in self.context.neighbor_weights.items()
+            if self.neighbor_states.get(u, 1) == 1)
+        surviving_weight += self.context.self_loop_weight
+        if surviving_weight < self.threshold:
+            self.state = 0
+
+    def output(self) -> int:
+        return self.state
+
+
+@dataclass(frozen=True)
+class EliminationResult:
+    """Survivors of the single-threshold elimination procedure."""
+
+    threshold: float
+    rounds: int
+    survivors: frozenset            #: nodes with state 1 after the last round
+    history: Tuple[frozenset, ...]  #: survivors after round 0 (= all nodes), 1, ..., T
+
+    def survived(self, node: Hashable) -> bool:
+        """Whether ``node`` survived all rounds."""
+        return node in self.survivors
+
+
+def run_single_threshold(graph: Graph, threshold: float, rounds: int,
+                         ) -> Tuple[EliminationResult, ProtocolRun]:
+    """Run Algorithm 1 on the faithful simulator.
+
+    Returns the :class:`EliminationResult` together with the raw
+    :class:`~repro.distsim.runner.ProtocolRun` (message statistics etc.).
+    """
+    if rounds < 0:
+        raise AlgorithmError(f"rounds must be non-negative, got {rounds}")
+    history: List[frozenset] = [frozenset(graph.nodes())]
+
+    run = _run_with_history(graph, threshold, rounds, history)
+    survivors = frozenset(v for v, state in run.outputs.items() if state == 1)
+    result = EliminationResult(threshold=float(threshold), rounds=rounds,
+                               survivors=survivors, history=tuple(history))
+    return result, run
+
+
+def _run_with_history(graph: Graph, threshold: float, rounds: int,
+                      history: List[frozenset]) -> ProtocolRun:
+    from repro.distsim.network import SyncNetwork
+
+    network = SyncNetwork(graph, lambda ctx: SingleThresholdProtocol(ctx, threshold))
+    for _ in range(rounds):
+        network.run_round()
+        history.append(frozenset(v for v, p in network.protocols.items() if p.output() == 1))
+    return ProtocolRun(outputs=network.outputs(), stats=network.stats, network=network)
+
+
+def eliminate_vectorized(csr: CSRAdjacency, threshold: float, rounds: int) -> np.ndarray:
+    """Vectorised Algorithm 1 on a CSR view.
+
+    Returns a boolean array of shape ``(rounds + 1, n)``: row ``t`` is the survival
+    mask after ``t`` rounds (row 0 is all-True).  Stops early (repeating the last
+    row) once the mask stops changing, since the process is monotone.
+    """
+    if rounds < 0:
+        raise AlgorithmError(f"rounds must be non-negative, got {rounds}")
+    n = csr.num_nodes
+    masks = np.ones((rounds + 1, n), dtype=bool)
+    rows = np.repeat(np.arange(n), np.diff(csr.indptr))
+    current = masks[0].copy()
+    for t in range(1, rounds + 1):
+        # Weighted degree towards surviving neighbours + own self-loop.
+        contrib = np.where(current[csr.indices], csr.weights, 0.0)
+        deg = np.zeros(n, dtype=np.float64)
+        np.add.at(deg, rows, contrib)
+        deg += csr.loops
+        new = current & (deg >= threshold)
+        masks[t] = new
+        if np.array_equal(new, current):
+            masks[t:] = new
+            break
+        current = new
+    return masks
+
+
+def eliminate_on_graph(graph: Graph, threshold: float, rounds: int) -> EliminationResult:
+    """Vectorised Algorithm 1 returning node-labelled results (no simulator)."""
+    csr = graph_to_csr(graph)
+    masks = eliminate_vectorized(csr, threshold, rounds)
+    labels = csr.labels()
+    history = tuple(frozenset(labels[i] for i in np.flatnonzero(masks[t]))
+                    for t in range(rounds + 1))
+    return EliminationResult(threshold=float(threshold), rounds=rounds,
+                             survivors=history[-1], history=history)
+
+
+def b_core(graph: Graph, threshold: float) -> Set[Hashable]:
+    """The exact (weighted) ``b``-core: run the elimination until it stabilises.
+
+    Running Algorithm 1 for ``n`` rounds is always enough (each round either removes
+    a node or the process has converged).
+    """
+    result = eliminate_on_graph(graph, threshold, max(1, graph.num_nodes))
+    return set(result.survivors)

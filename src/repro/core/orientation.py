@@ -1,0 +1,224 @@
+"""Min-max edge orientation from the auxiliary subsets ``N_v`` (Theorem I.2).
+
+After the compact elimination procedure (Algorithm 2 with ``Λ = R``) every node ``v``
+holds a subset ``N_v`` of its neighbours.  The paper's invariants (Definition III.7,
+proved in Lemma III.11) are:
+
+1. ``Σ_{u ∈ N_v} w(u, v) <= b_v`` — the load a node accepts never exceeds its
+   surviving number;
+2. for every edge ``{u, v}``: ``u ∈ N_v`` or ``v ∈ N_u`` — every edge has at least
+   one endpoint willing to take it.
+
+Orienting every edge towards an endpoint whose auxiliary subset contains the other
+endpoint therefore yields a feasible orientation whose maximum weighted in-degree is
+at most ``max_v b_v``-bounded *per node*, hence (Lemma III.3 + weak LP duality) a
+``2·n^(1/T)``-approximation of the optimum.  Conflicts — edges claimed by both
+endpoints — are resolved with one extra conceptual round, as the paper notes; any
+resolution preserves the guarantee because dropping load only helps.
+
+This module turns the ``N_v`` sets (or a surviving-number trajectory from the
+vectorised engine) into an explicit :class:`Orientation` and evaluates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.update import update_sorted, update_stable
+from repro.errors import AlgorithmError
+from repro.graph.csr import CSRAdjacency
+from repro.graph.graph import Graph
+
+EdgeKey = Tuple[Hashable, Hashable]
+
+
+def canonical_edge(u: Hashable, v: Hashable) -> EdgeKey:
+    """A canonical (order-independent) key for the undirected edge ``{u, v}``."""
+    return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+@dataclass
+class Orientation:
+    """An assignment of every (non-loop) edge to one of its endpoints.
+
+    ``assignment[e] = v`` means edge ``e`` is oriented *towards* ``v`` (``v`` pays
+    its weight in the min-max objective).  Self-loops are charged to their single
+    endpoint and recorded in ``loop_weight``.
+    """
+
+    assignment: Dict[EdgeKey, Hashable]
+    in_weight: Dict[Hashable, float]
+    conflicts: int = 0        #: edges claimed by both endpoints (resolved arbitrarily)
+    violations: int = 0       #: edges claimed by neither endpoint (invariant 2 failures)
+    loop_weight: Dict[Hashable, float] = field(default_factory=dict)
+
+    @property
+    def max_in_weight(self) -> float:
+        """The objective value: the maximum weighted in-degree over all nodes."""
+        if not self.in_weight:
+            return 0.0
+        return max(self.in_weight.values())
+
+    def owner(self, u: Hashable, v: Hashable) -> Hashable:
+        """The endpoint that edge ``{u, v}`` is assigned to."""
+        return self.assignment[canonical_edge(u, v)]
+
+
+def orientation_from_kept(graph: Graph, kept: Dict[Hashable, Sequence[Hashable]],
+                          values: Optional[Dict[Hashable, float]] = None) -> Orientation:
+    """Build an :class:`Orientation` from the per-node auxiliary subsets.
+
+    Parameters
+    ----------
+    graph:
+        The input graph.
+    kept:
+        ``N_v`` per node, as produced by Algorithm 2 with ``Λ = R``.
+    values:
+        Optional surviving numbers; used only to resolve pathological edges claimed
+        by *neither* endpoint (which Lemma III.11 rules out for the faithful
+        protocol, but which can occur in the A1/E5 ablations): such an edge is
+        assigned to the endpoint with the larger surviving number, falling back to a
+        deterministic identity-based choice.
+
+    Notes
+    -----
+    Conflicts (both endpoints claim the edge) are resolved towards the endpoint with
+    the currently *smaller* accumulated in-weight — a deterministic stand-in for the
+    paper's "one more round of communication"; either choice preserves the
+    approximation guarantee.
+    """
+    kept_sets = {v: set(neighbors) for v, neighbors in kept.items()}
+    in_weight: Dict[Hashable, float] = {v: 0.0 for v in graph.nodes()}
+    loop_weight: Dict[Hashable, float] = {}
+    assignment: Dict[EdgeKey, Hashable] = {}
+    conflicts = 0
+    violations = 0
+
+    for u, v, w in graph.edges():
+        if u == v:
+            loop_weight[u] = loop_weight.get(u, 0.0) + w
+            in_weight[u] += w
+            continue
+        u_claims = v in kept_sets.get(u, ())   # u accepts the edge (v ∈ N_u)
+        v_claims = u in kept_sets.get(v, ())   # v accepts the edge (u ∈ N_v)
+        if u_claims and v_claims:
+            conflicts += 1
+            owner = u if in_weight[u] <= in_weight[v] else v
+        elif u_claims:
+            owner = u
+        elif v_claims:
+            owner = v
+        else:
+            violations += 1
+            if values is not None:
+                owner = u if values.get(u, 0.0) >= values.get(v, 0.0) else v
+            else:
+                owner = canonical_edge(u, v)[0]
+        assignment[canonical_edge(u, v)] = owner
+        in_weight[owner] += w
+
+    return Orientation(assignment=assignment, in_weight=in_weight, conflicts=conflicts,
+                       violations=violations, loop_weight=loop_weight)
+
+
+def kept_sets_from_trajectory(csr: CSRAdjacency, trajectory: np.ndarray, *,
+                              tie_break: str = "history",
+                              ) -> Dict[Hashable, Tuple[Hashable, ...]]:
+    """Recover the final-round auxiliary subsets from a surviving-number trajectory.
+
+    The vectorised engine only tracks surviving numbers; since ``N_v`` is a pure
+    function of the values the node has received over the rounds (Algorithm 3), it
+    can be recomputed locally per node from the trajectory.  The result is identical
+    to what the faithful protocol maintains — this equivalence is asserted by the
+    test-suite.
+
+    Parameters
+    ----------
+    csr:
+        CSR view of the graph (defines the integer node ids of ``trajectory``).
+    trajectory:
+        Array of shape ``(T+1, n)`` from
+        :func:`repro.core.surviving.surviving_numbers_vectorized`.
+    tie_break:
+        ``"history"`` (paper's rule), ``"stable"`` or ``"naive"``.
+    """
+    if trajectory.ndim != 2 or trajectory.shape[1] != csr.num_nodes:
+        raise AlgorithmError("trajectory shape does not match the CSR view")
+    total_rounds = trajectory.shape[0] - 1
+    if total_rounds < 1:
+        raise AlgorithmError("the trajectory must contain at least one executed round")
+    labels = csr.labels()
+    kept: Dict[Hashable, Tuple[Hashable, ...]] = {}
+    for v in range(csr.num_nodes):
+        nbrs = csr.neighbors(v)
+        weights = csr.neighbor_weights(v)
+        label_v = labels[v]
+        if len(nbrs) == 0:
+            kept[label_v] = ()
+            continue
+        entries = [(labels[int(u)], float(trajectory[total_rounds - 1, int(u)]), float(w))
+                   for u, w in zip(nbrs, weights)]
+        if tie_break == "stable":
+            # Reconstruct the neighbour ordering the protocol would have evolved:
+            # start from the adjacency order and stable-sort it by the values the
+            # node received in every earlier round (see CompactEliminationProtocol).
+            order = [int(u) for u in nbrs]
+            for past_round in range(1, total_rounds):
+                received = trajectory[past_round - 1]
+                position = {u: i for i, u in enumerate(order)}
+                order.sort(key=lambda u: (float(received[u]), position[u]))
+            result = update_stable(entries, [labels[u] for u in order],
+                                   self_loop=float(csr.loops[v]))
+        else:
+            histories = None
+            if tie_break == "history":
+                histories = {labels[int(u)]: trajectory[:total_rounds - 1, int(u)].tolist()
+                             for u in nbrs}
+            result = update_sorted(entries, histories=histories,
+                                   self_loop=float(csr.loops[v]))
+        kept[label_v] = result.kept
+    return kept
+
+
+def orientation_from_values_greedy(graph: Graph, values: Dict[Hashable, float]) -> Orientation:
+    """A value-guided heuristic orientation (not the paper's algorithm).
+
+    Every edge is oriented towards the endpoint with the *larger* surviving number
+    (ties broken by identity).  Used as an ablation to show that the auxiliary-subset
+    mechanism of Algorithm 3 — not just the values — is what carries the guarantee.
+    """
+    in_weight: Dict[Hashable, float] = {v: 0.0 for v in graph.nodes()}
+    loop_weight: Dict[Hashable, float] = {}
+    assignment: Dict[EdgeKey, Hashable] = {}
+    for u, v, w in graph.edges():
+        if u == v:
+            loop_weight[u] = loop_weight.get(u, 0.0) + w
+            in_weight[u] += w
+            continue
+        bu, bv = values.get(u, 0.0), values.get(v, 0.0)
+        if bu > bv:
+            owner = u
+        elif bv > bu:
+            owner = v
+        else:
+            owner = canonical_edge(u, v)[0]
+        assignment[canonical_edge(u, v)] = owner
+        in_weight[owner] += w
+    return Orientation(assignment=assignment, in_weight=in_weight, loop_weight=loop_weight)
+
+
+def check_feasible(graph: Graph, orientation: Orientation) -> bool:
+    """Whether every non-loop edge of ``graph`` is assigned to one of its endpoints."""
+    for u, v, _ in graph.edges():
+        if u == v:
+            continue
+        key = canonical_edge(u, v)
+        if key not in orientation.assignment:
+            return False
+        if orientation.assignment[key] not in (u, v):
+            return False
+    return True

@@ -1,0 +1,77 @@
+"""Round-budget helpers (Theorem I.1 / Lemma III.3 arithmetic).
+
+The paper's guarantees are parameterised by the number of synchronous rounds ``T``:
+
+* after ``T`` rounds the surviving numbers are a ``2 · n^(1/T)``-approximation
+  (:func:`guarantee_after_rounds`);
+* to achieve a target ratio ``γ > 2`` it suffices to run
+  ``T = ⌈log n / log(γ/2)⌉`` rounds (:func:`rounds_for_gamma`);
+* the common parametrisation ``γ = 2(1+ε)`` gives ``T = ⌈log_{1+ε} n⌉``
+  (:func:`rounds_for_epsilon`).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import AlgorithmError
+
+
+def rounds_for_epsilon(num_nodes: int, epsilon: float) -> int:
+    """``T = ⌈log_{1+ε} n⌉`` — rounds needed for a ``2(1+ε)``-approximation.
+
+    ``num_nodes`` may be an upper bound on ``n`` (the paper only assumes each node
+    knows such a bound).  For ``n <= 1`` a single round suffices.
+    """
+    if epsilon <= 0:
+        raise AlgorithmError(f"epsilon must be positive, got {epsilon}")
+    if num_nodes < 1:
+        raise AlgorithmError(f"num_nodes must be >= 1, got {num_nodes}")
+    if num_nodes == 1:
+        return 1
+    return max(1, math.ceil(math.log(num_nodes) / math.log(1.0 + epsilon)))
+
+
+def rounds_for_gamma(num_nodes: int, gamma: float) -> int:
+    """``T = ⌈log n / log(γ/2)⌉`` — rounds needed for a ``γ``-approximation (γ > 2)."""
+    if gamma <= 2:
+        raise AlgorithmError(
+            f"the guarantee requires gamma > 2 (Lemma III.13 forbids gamma < 2 in o(n) "
+            f"rounds); got {gamma}")
+    if num_nodes < 1:
+        raise AlgorithmError(f"num_nodes must be >= 1, got {num_nodes}")
+    if num_nodes == 1:
+        return 1
+    return max(1, math.ceil(math.log(num_nodes) / math.log(gamma / 2.0)))
+
+
+def guarantee_after_rounds(num_nodes: int, rounds: int) -> float:
+    """The approximation factor ``2 · n^(1/T)`` guaranteed after ``rounds`` rounds."""
+    if rounds < 1:
+        raise AlgorithmError(f"rounds must be >= 1, got {rounds}")
+    if num_nodes < 1:
+        raise AlgorithmError(f"num_nodes must be >= 1, got {num_nodes}")
+    return 2.0 * (num_nodes ** (1.0 / rounds))
+
+
+def epsilon_for_rounds(num_nodes: int, rounds: int) -> float:
+    """The ε such that ``rounds`` rounds give a ``2(1+ε)``-approximation.
+
+    Inverse of :func:`rounds_for_epsilon` up to ceiling effects:
+    ``ε = n^(1/T) - 1``.
+    """
+    return guarantee_after_rounds(num_nodes, rounds) / 2.0 - 1.0
+
+
+def lower_bound_rounds(num_nodes: int, gamma: float) -> float:
+    """The ``Ω(log n / log γ)`` lower bound of Lemma III.13 (returned as a float).
+
+    This is the *asymptotic* bound; the constant realised by the explicit
+    construction in :mod:`repro.graph.generators.lowerbound` is the depth of the
+    γ-ary tree.
+    """
+    if gamma < 2:
+        raise AlgorithmError(f"the lower bound is stated for gamma >= 2, got {gamma}")
+    if num_nodes < 2:
+        return 0.0
+    return math.log(num_nodes) / math.log(max(gamma, 2.0))

@@ -1,0 +1,27 @@
+"""Synchronous LOCAL/CONGEST-model message-passing simulator."""
+
+from repro.distsim.congest import CongestBudget, MessageSizeModel
+from repro.distsim.faults import FaultModel, no_faults
+from repro.distsim.message import BROADCAST, Message
+from repro.distsim.network import ProtocolFactory, SyncNetwork
+from repro.distsim.node import NodeContext, NodeProtocol, Outgoing
+from repro.distsim.runner import ProtocolRun, run_protocol
+from repro.distsim.stats import RoundStats, RunStats
+
+__all__ = [
+    "CongestBudget",
+    "MessageSizeModel",
+    "FaultModel",
+    "no_faults",
+    "BROADCAST",
+    "Message",
+    "ProtocolFactory",
+    "SyncNetwork",
+    "NodeContext",
+    "NodeProtocol",
+    "Outgoing",
+    "ProtocolRun",
+    "run_protocol",
+    "RoundStats",
+    "RunStats",
+]

@@ -1,0 +1,68 @@
+"""Optional fault injection for robustness experiments.
+
+The paper's model is synchronous and fault-free; the related work it cites (Gillet &
+Hanusse 2017) studies the asynchronous faulty setting.  To let users probe how the
+elimination procedure degrades under unreliable links, the simulator accepts a
+:class:`FaultModel` that can drop individual messages or crash nodes at a given
+round.  Faults are applied *after* a message is charged to the sender's statistics
+(the sender does not know the message was lost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Optional, Set
+
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+@dataclass
+class FaultModel:
+    """Randomised message drops and scheduled node crashes.
+
+    Parameters
+    ----------
+    drop_probability:
+        Probability that any individual point-to-point delivery is lost.
+    crash_schedule:
+        Mapping ``node -> round`` after which the node stops sending and receiving.
+    seed:
+        Seed for the drop decisions.
+    """
+
+    drop_probability: float = 0.0
+    crash_schedule: Dict[Hashable, int] = field(default_factory=dict)
+    seed: SeedLike = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_probability <= 1.0:
+            raise ValueError(f"drop_probability must be in [0, 1], got {self.drop_probability}")
+        self._rng = ensure_rng(self.seed)
+        self._crashed: Set[Hashable] = set()
+
+    def begin_round(self, round_index: int) -> None:
+        """Activate crashes scheduled at or before ``round_index``."""
+        for node, crash_round in self.crash_schedule.items():
+            if round_index >= crash_round:
+                self._crashed.add(node)
+
+    def is_crashed(self, node: Hashable) -> bool:
+        """Whether ``node`` has crashed."""
+        return node in self._crashed
+
+    def drops_message(self) -> bool:
+        """Sample whether the next delivery is dropped."""
+        if self.drop_probability <= 0.0:
+            return False
+        return bool(self._rng.random() < self.drop_probability)
+
+    @property
+    def crashed_nodes(self) -> Set[Hashable]:
+        """The set of currently crashed nodes."""
+        return set(self._crashed)
+
+
+#: A fault model that never interferes (used as the default).
+def no_faults() -> Optional[FaultModel]:
+    """Return ``None``, the simulator's fault-free default (kept for readability)."""
+    return None

@@ -1,0 +1,38 @@
+"""Message objects exchanged by the synchronous simulator.
+
+The paper's model (Section II, "Distributed Model") assumes that each message
+carries the identity of the sender plus a constant number of real numbers.  The
+simulator keeps the payload as an arbitrary Python object but records, for each
+message, an *estimated encoded size in bits* via the pluggable size model in
+:mod:`repro.distsim.congest` so that CONGEST-model claims can be measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single point-to-point message delivered at the end of a round.
+
+    Attributes
+    ----------
+    sender:
+        Identity of the sending node (always included, per the paper's model).
+    payload:
+        Arbitrary Python object; protocols in this library send numbers, tuples of
+        numbers or small tagged tuples.
+    size_bits:
+        Estimated encoded size of the payload under the active
+        :class:`~repro.distsim.congest.MessageSizeModel` (0 when accounting is off).
+    """
+
+    sender: Hashable
+    payload: Any
+    size_bits: int = 0
+
+
+#: Sentinel recipients value meaning "broadcast to every neighbour".
+BROADCAST = None

@@ -1,0 +1,174 @@
+"""The synchronous message-passing simulator (LOCAL / CONGEST model).
+
+:class:`SyncNetwork` owns one :class:`~repro.distsim.node.NodeProtocol` instance per
+graph node and executes synchronous rounds: all nodes compose their outgoing
+messages against the *previous* round's state, then all messages are delivered, then
+all nodes process their inboxes.  This matches the paper's model in Section II
+("Synchronous Rounds and Polynomial-Time Computation", "Broadcast Model").
+
+The simulator is single-process and deterministic; it is the **reference
+implementation** against which the vectorised NumPy engines of :mod:`repro.core` are
+tested for bit-identical outputs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, Optional
+
+from repro.distsim.congest import CongestBudget, MessageSizeModel
+from repro.distsim.faults import FaultModel
+from repro.distsim.message import BROADCAST, Message
+from repro.distsim.node import NodeContext, NodeProtocol
+from repro.distsim.stats import RoundStats, RunStats
+from repro.errors import SimulationError
+from repro.graph.graph import Graph
+
+#: A protocol factory receives the node's static context and returns its protocol.
+ProtocolFactory = Callable[[NodeContext], NodeProtocol]
+
+
+class SyncNetwork:
+    """Synchronous-round executor for a protocol on a graph.
+
+    Parameters
+    ----------
+    graph:
+        The communication graph; an edge means the two endpoints can exchange
+        messages in a round.  Edge weights are exposed to the endpoints (they are
+        part of a node's initial knowledge), self-loops only contribute to degrees.
+    protocol_factory:
+        Callable building the per-node protocol from its :class:`NodeContext`.
+    size_model:
+        Optional :class:`MessageSizeModel` used to charge message sizes; when
+        omitted a default model (64-bit floats) is used.
+    congest_budget:
+        Optional :class:`CongestBudget`; when provided every delivered message is
+        checked against the ``O(log n)``-bit budget and violations are counted.
+    fault_model:
+        Optional :class:`FaultModel` for message drops / node crashes.
+    """
+
+    def __init__(self, graph: Graph, protocol_factory: ProtocolFactory, *,
+                 size_model: Optional[MessageSizeModel] = None,
+                 congest_budget: Optional[CongestBudget] = None,
+                 fault_model: Optional[FaultModel] = None) -> None:
+        if graph.num_nodes == 0:
+            raise SimulationError("cannot simulate a protocol on the empty graph")
+        self.graph = graph
+        self.size_model = size_model or MessageSizeModel()
+        self.congest_budget = congest_budget
+        self.fault_model = fault_model
+        self.stats = RunStats()
+        self._round_index = 0
+
+        self.protocols: Dict[Hashable, NodeProtocol] = {}
+        for v in graph.nodes():
+            context = NodeContext(
+                node_id=v,
+                neighbor_weights=dict(graph.neighbor_weights(v)),
+                self_loop_weight=graph.self_loop_weight(v),
+                num_nodes=graph.num_nodes,
+            )
+            protocol = protocol_factory(context)
+            if not isinstance(protocol, NodeProtocol):
+                raise SimulationError(
+                    f"protocol_factory must return a NodeProtocol, got {type(protocol).__name__}")
+            self.protocols[v] = protocol
+        for protocol in self.protocols.values():
+            protocol.setup()
+
+    # ------------------------------------------------------------------ rounds
+    @property
+    def rounds_executed(self) -> int:
+        """Number of completed synchronous rounds."""
+        return self._round_index
+
+    def run_round(self) -> RoundStats:
+        """Execute one synchronous round and return its statistics."""
+        self._round_index += 1
+        round_index = self._round_index
+        round_stats = RoundStats(round_index=round_index)
+        if self.fault_model is not None:
+            self.fault_model.begin_round(round_index)
+
+        # Phase 1: every live node composes its message against the previous state.
+        outgoing: Dict[Hashable, tuple] = {}
+        for v, protocol in self.protocols.items():
+            if protocol.halted:
+                continue
+            if self.fault_model is not None and self.fault_model.is_crashed(v):
+                continue
+            instruction = protocol.compose_message(round_index)
+            if instruction is None:
+                continue
+            payload, recipients = instruction
+            outgoing[v] = (payload, recipients)
+
+        # Phase 2: deliver all messages simultaneously.
+        inboxes: Dict[Hashable, Dict[Hashable, Message]] = {v: {} for v in self.protocols}
+        for sender, (payload, recipients) in outgoing.items():
+            if recipients is BROADCAST:
+                targets = list(self.graph.neighbors(sender))
+            else:
+                targets = list(recipients)
+                for t in targets:
+                    if not self.graph.has_edge(sender, t):
+                        raise SimulationError(
+                            f"node {sender!r} attempted to message non-neighbour {t!r}")
+            if not targets:
+                continue
+            size_bits = self.size_model.payload_bits(payload)
+            round_stats.active_nodes += 1
+            for target in targets:
+                round_stats.messages_sent += 1
+                round_stats.total_bits += size_bits
+                round_stats.max_message_bits = max(round_stats.max_message_bits, size_bits)
+                if self.congest_budget is not None:
+                    self.congest_budget.observe(size_bits)
+                if self.fault_model is not None and (
+                        self.fault_model.is_crashed(target) or self.fault_model.drops_message()):
+                    round_stats.dropped_messages += 1
+                    continue
+                inboxes[target][sender] = Message(sender=sender, payload=payload,
+                                                  size_bits=size_bits)
+
+        # Phase 3: every live node processes its inbox.
+        for v, protocol in self.protocols.items():
+            if protocol.halted:
+                continue
+            if self.fault_model is not None and self.fault_model.is_crashed(v):
+                continue
+            protocol.receive(round_index, inboxes[v])
+
+        self.stats.add_round(round_stats)
+        return round_stats
+
+    def run(self, rounds: int) -> RunStats:
+        """Execute ``rounds`` synchronous rounds (stops early if all nodes halt)."""
+        if rounds < 0:
+            raise SimulationError(f"rounds must be non-negative, got {rounds}")
+        for _ in range(rounds):
+            if all(p.halted for p in self.protocols.values()):
+                break
+            self.run_round()
+        return self.stats
+
+    def run_until(self, predicate: Callable[["SyncNetwork"], bool], max_rounds: int) -> RunStats:
+        """Run rounds until ``predicate(self)`` is true or ``max_rounds`` is reached."""
+        for _ in range(max_rounds):
+            if predicate(self) or all(p.halted for p in self.protocols.values()):
+                break
+            self.run_round()
+        return self.stats
+
+    # ------------------------------------------------------------------ outputs
+    def outputs(self) -> Dict[Hashable, Any]:
+        """The current output of every node."""
+        return {v: p.output() for v, p in self.protocols.items()}
+
+    def protocol(self, node: Hashable) -> NodeProtocol:
+        """The protocol instance of ``node`` (for white-box inspection in tests)."""
+        try:
+            return self.protocols[node]
+        except KeyError as exc:
+            raise SimulationError(f"unknown node {node!r}") from exc

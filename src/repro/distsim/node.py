@@ -1,0 +1,113 @@
+"""Per-node protocol interface for the synchronous LOCAL-model simulator.
+
+A distributed algorithm is expressed as a subclass of :class:`NodeProtocol`.  The
+simulator instantiates one protocol object per node and, in every synchronous round,
+
+1. calls :meth:`NodeProtocol.compose_message` on every (non-halted) node — the node
+   may broadcast one payload to all (or a subset of) its neighbours, matching the
+   paper's *Broadcast Model* assumption;
+2. delivers all messages simultaneously;
+3. calls :meth:`NodeProtocol.receive` on every node with the messages received this
+   round.
+
+Nodes only ever see: their own identifier, the identifiers and edge weights of their
+incident edges, the number of nodes ``n`` (or an upper bound) and whatever arrives in
+messages — exactly the knowledge allowed by the LOCAL model of Section II.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Iterable, Mapping, Optional, Tuple
+
+from repro.distsim.message import BROADCAST, Message
+
+
+@dataclass(frozen=True)
+class NodeContext:
+    """Static knowledge available to a node before any communication.
+
+    Attributes
+    ----------
+    node_id:
+        The node's unique identifier.
+    neighbor_weights:
+        Mapping ``u -> w({node_id, u})`` over the node's neighbours (excludes the
+        node itself; any self-loop weight is provided separately).
+    self_loop_weight:
+        Total weight of the node's self-loop (0.0 if none).  Self-loops contribute
+        to the weighted degree but never carry messages.
+    num_nodes:
+        The number of nodes ``n`` of the graph (or an upper bound); the paper assumes
+        every node knows this.
+    """
+
+    node_id: Hashable
+    neighbor_weights: Mapping[Hashable, float]
+    self_loop_weight: float
+    num_nodes: int
+
+    @property
+    def weighted_degree(self) -> float:
+        """The node's weighted degree (self-loop counted once)."""
+        return sum(self.neighbor_weights.values()) + self.self_loop_weight
+
+    @property
+    def degree(self) -> int:
+        """The node's number of neighbours (self-loop not counted)."""
+        return len(self.neighbor_weights)
+
+
+#: What a node returns from ``compose_message``:
+#: ``None``                           → send nothing this round;
+#: ``(payload, BROADCAST)``           → send ``payload`` to every neighbour;
+#: ``(payload, iterable_of_neighbors)`` → send ``payload`` to the listed neighbours.
+Outgoing = Optional[Tuple[Any, Optional[Iterable[Hashable]]]]
+
+
+class NodeProtocol(abc.ABC):
+    """Base class for the per-node logic of a distributed algorithm."""
+
+    def __init__(self, context: NodeContext) -> None:
+        self.context = context
+        self._halted = False
+
+    # -------------------------------------------------------------- lifecycle
+    def setup(self) -> None:
+        """Hook called once before round 1 (default: no-op)."""
+
+    @abc.abstractmethod
+    def compose_message(self, round_index: int) -> Outgoing:
+        """Payload (and recipients) to send in round ``round_index`` (1-based)."""
+
+    @abc.abstractmethod
+    def receive(self, round_index: int, messages: Dict[Hashable, Message]) -> None:
+        """Process the messages received in round ``round_index``.
+
+        ``messages`` maps sender id to the delivered :class:`Message`; neighbours
+        that sent nothing (or whose message was dropped) are absent.
+        """
+
+    @abc.abstractmethod
+    def output(self) -> Any:
+        """The node's final output (may be read at any time after a round)."""
+
+    # ------------------------------------------------------------------ halting
+    def halt(self) -> None:
+        """Mark this node as finished; the simulator stops invoking it."""
+        self._halted = True
+
+    @property
+    def halted(self) -> bool:
+        """Whether the node has halted."""
+        return self._halted
+
+    # ------------------------------------------------------------- conveniences
+    def broadcast(self, payload: Any) -> Outgoing:
+        """Helper returning a broadcast instruction for ``payload``."""
+        return (payload, BROADCAST)
+
+    def unicast(self, payload: Any, recipients: Iterable[Hashable]) -> Outgoing:
+        """Helper returning a restricted-recipient instruction for ``payload``."""
+        return (payload, list(recipients))

@@ -1,0 +1,36 @@
+"""Convenience wrappers around :class:`~repro.distsim.network.SyncNetwork`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Optional
+
+from repro.distsim.congest import CongestBudget, MessageSizeModel
+from repro.distsim.faults import FaultModel
+from repro.distsim.network import ProtocolFactory, SyncNetwork
+from repro.distsim.stats import RunStats
+from repro.graph.graph import Graph
+
+
+@dataclass
+class ProtocolRun:
+    """Result of a complete protocol execution."""
+
+    outputs: Dict[Hashable, Any]   #: final output of every node
+    stats: RunStats                #: message/round statistics
+    network: SyncNetwork           #: the simulator (for white-box inspection)
+
+
+def run_protocol(graph: Graph, protocol_factory: ProtocolFactory, rounds: int, *,
+                 size_model: Optional[MessageSizeModel] = None,
+                 congest_budget: Optional[CongestBudget] = None,
+                 fault_model: Optional[FaultModel] = None) -> ProtocolRun:
+    """Instantiate a :class:`SyncNetwork`, run it for ``rounds`` rounds, return results.
+
+    This is the one-stop entry point used by the high-level API in
+    :mod:`repro.core.api` and by most tests.
+    """
+    network = SyncNetwork(graph, protocol_factory, size_model=size_model,
+                          congest_budget=congest_budget, fault_model=fault_model)
+    stats = network.run(rounds)
+    return ProtocolRun(outputs=network.outputs(), stats=stats, network=network)

@@ -1,0 +1,59 @@
+"""Round- and run-level statistics collected by the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class RoundStats:
+    """Statistics of a single synchronous round."""
+
+    round_index: int            #: 1-based round number
+    messages_sent: int = 0      #: number of point-to-point deliveries
+    total_bits: int = 0         #: sum of payload sizes (under the active size model)
+    max_message_bits: int = 0   #: largest single payload
+    active_nodes: int = 0       #: nodes that sent at least one message this round
+    dropped_messages: int = 0   #: messages removed by the fault model
+
+
+@dataclass
+class RunStats:
+    """Aggregated statistics over a full protocol execution."""
+
+    rounds: List[RoundStats] = field(default_factory=list)
+
+    @property
+    def num_rounds(self) -> int:
+        """Number of executed rounds."""
+        return len(self.rounds)
+
+    @property
+    def total_messages(self) -> int:
+        """Total point-to-point deliveries over the run."""
+        return sum(r.messages_sent for r in self.rounds)
+
+    @property
+    def total_bits(self) -> int:
+        """Total payload bits over the run."""
+        return sum(r.total_bits for r in self.rounds)
+
+    @property
+    def max_message_bits(self) -> int:
+        """Largest single payload observed over the run."""
+        return max((r.max_message_bits for r in self.rounds), default=0)
+
+    @property
+    def total_dropped(self) -> int:
+        """Total messages dropped by the fault model."""
+        return sum(r.dropped_messages for r in self.rounds)
+
+    def add_round(self, stats: RoundStats) -> None:
+        """Append the statistics of a completed round."""
+        self.rounds.append(stats)
+
+    def summary(self) -> str:
+        """One-line, human-readable summary."""
+        return (f"rounds={self.num_rounds} messages={self.total_messages} "
+                f"bits={self.total_bits} max_msg_bits={self.max_message_bits}")

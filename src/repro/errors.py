@@ -1,0 +1,39 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so that callers can
+catch library failures without catching unrelated built-ins.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` package."""
+
+
+class GraphError(ReproError):
+    """Raised on invalid graph construction or queries (unknown node, bad weight...)."""
+
+
+class ProtocolError(ReproError):
+    """Raised when a distributed protocol is driven incorrectly.
+
+    Examples: reading a protocol output before the required number of rounds has
+    been executed, or sending a message to a node that is not a neighbour.
+    """
+
+
+class SimulationError(ReproError):
+    """Raised by the synchronous network simulator on inconsistent configuration."""
+
+
+class AlgorithmError(ReproError):
+    """Raised when an algorithm receives parameters outside its domain.
+
+    Examples: a non-positive approximation parameter ``epsilon``, a round budget
+    ``T < 1`` or an empty graph where a non-empty one is required.
+    """
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative baseline (e.g. Frank-Wolfe) fails to converge."""

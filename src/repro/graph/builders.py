@@ -1,0 +1,89 @@
+"""Constructors bridging :class:`~repro.graph.graph.Graph` with other representations.
+
+Includes conversion from/to ``networkx`` (optional — only used by tests that
+cross-check against the reference implementations shipped with networkx) and a few
+convenience constructors used throughout examples and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph, Node
+
+
+def graph_from_edges(edges: Iterable[Sequence], *, nodes: Iterable[Node] = ()) -> Graph:
+    """Build a graph from ``(u, v)`` or ``(u, v, w)`` tuples (thin alias of ``Graph``)."""
+    return Graph(edges=edges, nodes=nodes)
+
+
+def graph_from_adjacency_matrix(matrix: np.ndarray, *, tol: float = 0.0) -> Graph:
+    """Build a graph from a symmetric weighted adjacency matrix.
+
+    Entry ``matrix[i, j]`` (for ``i < j``) is the weight of edge ``{i, j}``; the
+    diagonal holds self-loop weights.  Entries with absolute value ``<= tol`` are
+    treated as absent.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise GraphError(f"adjacency matrix must be square, got shape {matrix.shape}")
+    if not np.allclose(matrix, matrix.T):
+        raise GraphError("adjacency matrix must be symmetric for an undirected graph")
+    n = matrix.shape[0]
+    graph = Graph(nodes=range(n))
+    for i in range(n):
+        if matrix[i, i] > tol:
+            graph.add_edge(i, i, float(matrix[i, i]))
+        for j in range(i + 1, n):
+            if matrix[i, j] > tol:
+                graph.add_edge(i, j, float(matrix[i, j]))
+    return graph
+
+
+def graph_to_adjacency_matrix(graph: Graph) -> Tuple[np.ndarray, Dict[Node, int]]:
+    """Dense symmetric adjacency matrix plus the node→row index map."""
+    index = {v: i for i, v in enumerate(graph.nodes())}
+    n = len(index)
+    matrix = np.zeros((n, n), dtype=float)
+    for u, v, w in graph.edges():
+        if u == v:
+            matrix[index[u], index[u]] += w
+        else:
+            matrix[index[u], index[v]] += w
+            matrix[index[v], index[u]] += w
+    return matrix, index
+
+
+def graph_from_networkx(nx_graph) -> Graph:
+    """Convert a ``networkx.Graph`` (weights read from the ``weight`` attribute)."""
+    graph = Graph(nodes=nx_graph.nodes())
+    for u, v, data in nx_graph.edges(data=True):
+        graph.add_edge(u, v, float(data.get("weight", 1.0)))
+    return graph
+
+
+def graph_to_networkx(graph: Graph):
+    """Convert to a ``networkx.Graph`` with ``weight`` edge attributes."""
+    import networkx as nx
+
+    nx_graph = nx.Graph()
+    nx_graph.add_nodes_from(graph.nodes())
+    for u, v, w in graph.edges():
+        nx_graph.add_edge(u, v, weight=w)
+    return nx_graph
+
+
+def with_weights(graph: Graph, weights: Mapping[Tuple[Node, Node], float]) -> Graph:
+    """Copy ``graph`` replacing edge weights from the given ``{(u, v): w}`` mapping.
+
+    Missing edges keep their original weight; the mapping may use either endpoint
+    order.
+    """
+    result = Graph(nodes=graph.nodes())
+    for u, v, w in graph.edges():
+        new_w = weights.get((u, v), weights.get((v, u), w))
+        result.add_edge(u, v, float(new_w))
+    return result

@@ -1,0 +1,139 @@
+"""Compressed-sparse-row view of a :class:`~repro.graph.graph.Graph`.
+
+The faithful per-node simulator (:mod:`repro.distsim`) exchanges Python objects and
+is the reference implementation of the paper's protocols.  For larger graphs the
+library also ships *vectorised engines* that execute exactly the same synchronous
+rounds with NumPy array operations; those engines consume this CSR view.
+
+The CSR view stores, for a graph relabelled to ``0..n-1``:
+
+* ``indptr`` / ``indices`` / ``weights`` — the usual CSR arrays of the (loop-free)
+  adjacency, symmetric (each non-loop edge appears in both rows);
+* ``loops``   — per-node total self-loop weight;
+* ``degrees`` — per-node weighted degree (loops counted once), precomputed because
+  every protocol starts from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+
+
+@dataclass(frozen=True)
+class CSRAdjacency:
+    """Immutable CSR arrays for a weighted undirected graph on ``0..n-1``."""
+
+    indptr: np.ndarray      #: int64, shape (n + 1,)
+    indices: np.ndarray     #: int64, shape (2m',) where m' = number of non-loop edges
+    weights: np.ndarray     #: float64, aligned with ``indices``
+    loops: np.ndarray       #: float64, shape (n,), self-loop weight per node
+    node_order: Tuple[Hashable, ...]  #: original node label for each integer id
+
+    # --------------------------------------------------------------- properties
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self.indptr) - 1
+
+    @property
+    def num_directed_entries(self) -> int:
+        """Number of stored (directed) adjacency entries, i.e. ``2 * #non-loop edges``."""
+        return len(self.indices)
+
+    def degrees(self) -> np.ndarray:
+        """Weighted degrees (self-loops counted once) as a float64 array."""
+        n = self.num_nodes
+        deg = np.zeros(n, dtype=np.float64)
+        np.add.at(deg, np.repeat(np.arange(n), np.diff(self.indptr)), self.weights)
+        return deg + self.loops
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Integer ids of the neighbours of ``v`` (excluding ``v``)."""
+        return self.indices[self.indptr[v]:self.indptr[v + 1]]
+
+    def neighbor_weights(self, v: int) -> np.ndarray:
+        """Weights aligned with :meth:`neighbors`."""
+        return self.weights[self.indptr[v]:self.indptr[v + 1]]
+
+    def label_of(self, v: int) -> Hashable:
+        """Original node label of integer id ``v``."""
+        return self.node_order[v]
+
+    def labels(self) -> Tuple[Hashable, ...]:
+        """Original node labels indexed by integer id."""
+        return self.node_order
+
+    def to_graph(self) -> Graph:
+        """Rebuild a :class:`Graph` (with original labels) from the CSR arrays."""
+        g = Graph(nodes=self.node_order)
+        n = self.num_nodes
+        for u in range(n):
+            lu = self.node_order[u]
+            start, stop = self.indptr[u], self.indptr[u + 1]
+            for idx in range(start, stop):
+                v = int(self.indices[idx])
+                if u < v:
+                    g.add_edge(lu, self.node_order[v], float(self.weights[idx]))
+            if self.loops[u] > 0.0:
+                g.add_edge(lu, lu, float(self.loops[u]))
+        return g
+
+
+def graph_to_csr(graph: Graph) -> CSRAdjacency:
+    """Convert ``graph`` to a :class:`CSRAdjacency`, relabelling nodes to ``0..n-1``.
+
+    The integer id of a node is its insertion-order index, so the conversion is
+    deterministic; the original labels are retained in ``node_order``.
+    """
+    nodes: List[Hashable] = list(graph.nodes())
+    index: Dict[Hashable, int] = {v: i for i, v in enumerate(nodes)}
+    n = len(nodes)
+
+    counts = np.zeros(n, dtype=np.int64)
+    for v in nodes:
+        counts[index[v]] = sum(1 for _ in graph.neighbors(v))
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+
+    indices = np.zeros(int(indptr[-1]), dtype=np.int64)
+    weights = np.zeros(int(indptr[-1]), dtype=np.float64)
+    cursor = indptr[:-1].copy()
+    for v in nodes:
+        vi = index[v]
+        for u, w in graph.neighbor_weights(v).items():
+            pos = cursor[vi]
+            indices[pos] = index[u]
+            weights[pos] = w
+            cursor[vi] += 1
+
+    loops = np.zeros(n, dtype=np.float64)
+    for v in nodes:
+        loop_w = graph.self_loop_weight(v)
+        if loop_w:
+            loops[index[v]] = loop_w
+
+    return CSRAdjacency(indptr=indptr, indices=indices, weights=weights,
+                        loops=loops, node_order=tuple(nodes))
+
+
+def csr_subset_density(csr: CSRAdjacency, mask: np.ndarray) -> float:
+    """Density of the node subset selected by the boolean ``mask``.
+
+    Vectorised counterpart of :meth:`Graph.subset_density`, used by the vectorised
+    engines and the analysis code.
+    """
+    if mask.dtype != np.bool_ or mask.shape != (csr.num_nodes,):
+        raise GraphError("mask must be a boolean array of shape (num_nodes,)")
+    size = int(mask.sum())
+    if size == 0:
+        raise GraphError("density of the empty subset is undefined")
+    rows = np.repeat(np.arange(csr.num_nodes), np.diff(csr.indptr))
+    internal = mask[rows] & mask[csr.indices]
+    weight = float(csr.weights[internal].sum()) / 2.0 + float(csr.loops[mask].sum())
+    return weight / size

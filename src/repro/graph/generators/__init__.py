@@ -1,0 +1,82 @@
+"""Graph generators: random models, structured graphs, community models, R-MAT,
+the paper's lower-bound constructions and edge-weight assignment schemes."""
+
+from repro.graph.generators.community import (
+    block_membership,
+    community_labels_caveman,
+    core_periphery,
+    planted_partition,
+    relaxed_caveman,
+)
+from repro.graph.generators.lowerbound import (
+    FIGURE1_SPECIAL_NODE,
+    LowerBoundPair,
+    figure1_broken_cycle,
+    figure1_cycle,
+    figure1_triple,
+    lemma313_pair,
+)
+from repro.graph.generators.random_graphs import (
+    barabasi_albert,
+    configuration_model_simple,
+    erdos_renyi_gnm,
+    erdos_renyi_gnp,
+    powerlaw_cluster,
+    powerlaw_degree_sequence,
+    random_regular,
+)
+from repro.graph.generators.rmat import rmat_graph
+from repro.graph.generators.structured import (
+    balanced_tree,
+    barbell_graph,
+    clique_plus_pendant_path,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+    tree_leaves,
+)
+from repro.graph.generators.weights import (
+    with_exponential_weights,
+    with_two_level_weights,
+    with_uniform_integer_weights,
+    with_uniform_real_weights,
+    with_unit_weights,
+)
+
+__all__ = [
+    "block_membership",
+    "community_labels_caveman",
+    "core_periphery",
+    "planted_partition",
+    "relaxed_caveman",
+    "FIGURE1_SPECIAL_NODE",
+    "LowerBoundPair",
+    "figure1_broken_cycle",
+    "figure1_cycle",
+    "figure1_triple",
+    "lemma313_pair",
+    "barabasi_albert",
+    "configuration_model_simple",
+    "erdos_renyi_gnm",
+    "erdos_renyi_gnp",
+    "powerlaw_cluster",
+    "powerlaw_degree_sequence",
+    "random_regular",
+    "rmat_graph",
+    "balanced_tree",
+    "barbell_graph",
+    "clique_plus_pendant_path",
+    "complete_graph",
+    "cycle_graph",
+    "grid_graph",
+    "path_graph",
+    "star_graph",
+    "tree_leaves",
+    "with_exponential_weights",
+    "with_two_level_weights",
+    "with_uniform_integer_weights",
+    "with_uniform_real_weights",
+    "with_unit_weights",
+]

@@ -1,0 +1,109 @@
+"""Community-structured random graphs.
+
+The paper's motivating applications (Section I) are social-network communities, so
+the workload suite includes graphs with planted community structure:
+
+* :func:`planted_partition` — the classic stochastic block model with equal-size
+  blocks, intra-block probability ``p_in`` and inter-block probability ``p_out``;
+* :func:`relaxed_caveman` — disjoint cliques whose edges are rewired with some
+  probability (Watts' relaxed caveman model);
+* :func:`core_periphery` — a dense core (clique or near-clique) surrounded by a
+  sparse periphery, the canonical workload where coreness separates the two groups.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def planted_partition(blocks: int, block_size: int, p_in: float, p_out: float,
+                      *, seed: SeedLike = None) -> Graph:
+    """Stochastic block model with ``blocks`` equal blocks of ``block_size`` nodes.
+
+    Node ``v`` belongs to block ``v // block_size``.
+    """
+    if blocks < 1 or block_size < 1:
+        raise GraphError("blocks and block_size must be positive")
+    for name, p in (("p_in", p_in), ("p_out", p_out)):
+        if not 0.0 <= p <= 1.0:
+            raise GraphError(f"{name} must be in [0, 1], got {p}")
+    rng = ensure_rng(seed)
+    n = blocks * block_size
+    graph = Graph(nodes=range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            same = (u // block_size) == (v // block_size)
+            p = p_in if same else p_out
+            if p > 0.0 and rng.random() < p:
+                graph.add_edge(u, v, 1.0)
+    return graph
+
+
+def block_membership(blocks: int, block_size: int) -> Dict[int, int]:
+    """Ground-truth block id for each node of :func:`planted_partition`."""
+    return {v: v // block_size for v in range(blocks * block_size)}
+
+
+def relaxed_caveman(cliques: int, clique_size: int, rewire_probability: float,
+                    *, seed: SeedLike = None) -> Graph:
+    """Relaxed caveman graph: ``cliques`` disjoint cliques with random rewiring.
+
+    Each intra-clique edge is, independently with probability
+    ``rewire_probability``, replaced by an edge to a uniformly random node outside
+    the endpoints (duplicates are skipped, keeping the graph simple).
+    """
+    if cliques < 1 or clique_size < 2:
+        raise GraphError("need at least one clique of size >= 2")
+    if not 0.0 <= rewire_probability <= 1.0:
+        raise GraphError(f"rewire_probability must be in [0, 1], got {rewire_probability}")
+    rng = ensure_rng(seed)
+    n = cliques * clique_size
+    graph = Graph(nodes=range(n))
+    for c in range(cliques):
+        base = c * clique_size
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                u, v = base + i, base + j
+                if rewire_probability > 0.0 and rng.random() < rewire_probability:
+                    w = int(rng.integers(0, n))
+                    if w != u and not graph.has_edge(u, w):
+                        graph.add_edge(u, w, 1.0)
+                        continue
+                if not graph.has_edge(u, v):
+                    graph.add_edge(u, v, 1.0)
+    return graph
+
+
+def core_periphery(core_size: int, periphery_size: int, attach_degree: int = 2,
+                   *, core_probability: float = 1.0, seed: SeedLike = None) -> Graph:
+    """A dense core with a sparse periphery attached to it.
+
+    The core is an Erdős–Rényi graph G(core_size, core_probability) (a clique when
+    ``core_probability == 1``).  Each periphery node attaches to ``attach_degree``
+    uniformly random core nodes, giving it low coreness while core nodes keep high
+    coreness — the textbook picture behind "influential spreaders" applications.
+    """
+    if core_size < 2 or periphery_size < 0 or attach_degree < 1:
+        raise GraphError("invalid core-periphery parameters")
+    if attach_degree > core_size:
+        raise GraphError("attach_degree cannot exceed core_size")
+    rng = ensure_rng(seed)
+    graph = Graph(nodes=range(core_size + periphery_size))
+    for u in range(core_size):
+        for v in range(u + 1, core_size):
+            if core_probability >= 1.0 or rng.random() < core_probability:
+                graph.add_edge(u, v, 1.0)
+    for p in range(core_size, core_size + periphery_size):
+        targets = rng.choice(core_size, size=attach_degree, replace=False)
+        for t in targets:
+            graph.add_edge(p, int(t), 1.0)
+    return graph
+
+
+def community_labels_caveman(cliques: int, clique_size: int) -> List[int]:
+    """Ground-truth community id per node for :func:`relaxed_caveman`."""
+    return [v // clique_size for v in range(cliques * clique_size)]

@@ -1,0 +1,125 @@
+"""The paper's lower-bound constructions (Figure I.1 and Lemma III.13).
+
+Two families are provided:
+
+* **Figure I.1 gadgets** — three unit-weight graphs around a distinguished node
+  ``v``: (a) a long cycle through ``v`` (coreness of ``v`` is 2), and (b)/(c) the
+  same picture with one far-away edge removed so that the cycle becomes a path
+  (coreness of ``v`` drops to 1, and the optimal orientation around ``v`` changes).
+  Any algorithm computing a ``< 2``-approximation of the coreness of ``v`` — or an
+  orientation with maximum in-degree ``< 2`` — must distinguish the variants, which
+  requires ``Ω(n)`` rounds because they only differ ``n/2`` hops away from ``v``.
+
+* **Lemma III.13 construction** — a complete γ-ary tree ``G`` (coreness of the root
+  is 1) and the graph ``G'`` obtained by planting a clique on its leaves (coreness
+  of the root becomes ``≥ γ``).  Distinguishing the two requires a number of rounds
+  equal to the tree depth ``Θ(log n / log γ)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+from repro.graph.generators.structured import balanced_tree, tree_leaves
+
+
+#: Node label used for the distinguished node ``v`` of Figure I.1.
+FIGURE1_SPECIAL_NODE = 0
+
+
+def figure1_cycle(num_nodes: int) -> Graph:
+    """Figure I.1(a): a cycle of ``num_nodes`` unit-weight edges through node 0.
+
+    Every node of a cycle has coreness 2, and any orientation must give some node
+    in-degree >= 1 while the worst node of an all-one-direction orientation has
+    in-degree exactly 1.
+    """
+    if num_nodes < 3:
+        raise GraphError(f"the cycle gadget needs at least 3 nodes, got {num_nodes}")
+    graph = Graph(nodes=range(num_nodes))
+    for i in range(num_nodes):
+        graph.add_edge(i, (i + 1) % num_nodes, 1.0)
+    return graph
+
+
+def figure1_broken_cycle(num_nodes: int, break_offset: int | None = None) -> Graph:
+    """Figure I.1(b)/(c): the cycle of :func:`figure1_cycle` with one far edge removed.
+
+    ``break_offset`` selects which edge (counted from node 0 along the cycle) is
+    removed; by default the edge diametrically opposite node 0 is removed, i.e. about
+    ``num_nodes / 2`` hops away, which is what forces the Ω(n) round lower bound.
+    The resulting graph is a path, so every node has coreness 1 and an orientation
+    with maximum in-degree 1 exists.
+    """
+    graph = figure1_cycle(num_nodes)
+    if break_offset is None:
+        break_offset = num_nodes // 2
+    if not 0 <= break_offset < num_nodes:
+        raise GraphError(f"break_offset must be in [0, {num_nodes}), got {break_offset}")
+    u = break_offset
+    v = (break_offset + 1) % num_nodes
+    graph.remove_edge(u, v)
+    return graph
+
+
+@dataclass(frozen=True)
+class LowerBoundPair:
+    """The (G, G') pair of Lemma III.13 plus its bookkeeping."""
+
+    tree: Graph          #: G  — the bare γ-ary tree
+    tree_with_clique: Graph  #: G' — the tree with a clique planted on the leaves
+    root: int            #: the root node v whose coreness differs between G and G'
+    leaves: List[int]    #: leaf labels (the clique of G' lives on these)
+    depth: int           #: tree depth = Θ(log n / log γ) — the round lower bound
+    gamma: int           #: the branching factor / target approximation ratio
+
+
+def lemma313_pair(gamma: int, depth: int) -> LowerBoundPair:
+    """Build the Lemma III.13 instance for approximation ratio ``gamma``.
+
+    Parameters
+    ----------
+    gamma:
+        Branching factor of the tree (the paper assumes an integer γ >= 2).
+    depth:
+        Depth of the tree; the paper requires at least ``2γ + 1`` leaves, i.e.
+        ``gamma ** depth >= 2 * gamma + 1``.
+
+    Returns
+    -------
+    LowerBoundPair
+        ``G`` (tree: coreness of the root is 1), ``G'`` (tree + leaf clique:
+        coreness of the root is >= γ because every node of ``G'`` has degree >= γ),
+        and the parameters needed by the experiment harness.
+    """
+    if gamma < 2:
+        raise GraphError(f"gamma must be >= 2, got {gamma}")
+    if depth < 1:
+        raise GraphError(f"depth must be >= 1, got {depth}")
+    if gamma ** depth < 2 * gamma + 1:
+        raise GraphError(
+            f"gamma**depth = {gamma ** depth} leaves is fewer than the 2*gamma+1 = "
+            f"{2 * gamma + 1} required by the construction")
+    tree = balanced_tree(gamma, depth)
+    leaves = tree_leaves(gamma, depth)
+    with_clique = tree.copy()
+    for i, u in enumerate(leaves):
+        for v in leaves[i + 1:]:
+            with_clique.add_edge(u, v, 1.0)
+    return LowerBoundPair(tree=tree, tree_with_clique=with_clique, root=0,
+                          leaves=leaves, depth=depth, gamma=gamma)
+
+
+def figure1_triple(num_nodes: int) -> Tuple[Graph, Graph, Graph]:
+    """The three Figure I.1 graphs (a), (b), (c) on ``num_nodes`` nodes.
+
+    (b) and (c) break the cycle at two different far-away positions; from node 0's
+    ``T``-hop view (for ``T < num_nodes // 2 - 1``) all three are indistinguishable.
+    """
+    a = figure1_cycle(num_nodes)
+    b = figure1_broken_cycle(num_nodes, num_nodes // 2)
+    c = figure1_broken_cycle(num_nodes, num_nodes // 2 - 1)
+    return a, b, c

@@ -1,0 +1,220 @@
+"""Classic random-graph models implemented from scratch on :class:`Graph`.
+
+Implemented models:
+
+* :func:`erdos_renyi_gnp` — the G(n, p) model,
+* :func:`erdos_renyi_gnm` — the G(n, m) model (exactly ``m`` distinct edges),
+* :func:`barabasi_albert` — preferential attachment with ``m`` edges per new node,
+* :func:`powerlaw_cluster` — Holme–Kim preferential attachment with triad closure,
+* :func:`random_regular` — a d-regular graph via the pairing model with retries,
+* :func:`configuration_model_simple` — a simple graph approximating a prescribed
+  degree sequence (multi-edges and loops dropped).
+
+All generators take a ``seed`` compatible with :func:`repro.utils.rng.ensure_rng`
+and produce unit-weight graphs; weights can be layered on with
+:mod:`repro.graph.generators.weights`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def erdos_renyi_gnp(n: int, p: float, *, seed: SeedLike = None) -> Graph:
+    """Erdős–Rényi G(n, p): every pair is an edge independently with probability p."""
+    if n < 0:
+        raise GraphError(f"n must be non-negative, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise GraphError(f"p must lie in [0, 1], got {p}")
+    rng = ensure_rng(seed)
+    graph = Graph(nodes=range(n))
+    if p == 0.0 or n < 2:
+        return graph
+    # Geometric skipping (Batagelj–Brandes) keeps this O(n + m) rather than O(n^2).
+    if p == 1.0:
+        for u in range(n):
+            for v in range(u + 1, n):
+                graph.add_edge(u, v, 1.0)
+        return graph
+    log_q = np.log1p(-p)
+    v, w = 1, -1
+    while v < n:
+        r = rng.random()
+        w = w + 1 + int(np.floor(np.log1p(-r) / log_q))
+        while w >= v and v < n:
+            w -= v
+            v += 1
+        if v < n:
+            graph.add_edge(v, w, 1.0)
+    return graph
+
+
+def erdos_renyi_gnm(n: int, m: int, *, seed: SeedLike = None) -> Graph:
+    """Erdős–Rényi G(n, m): exactly ``m`` distinct edges chosen uniformly at random."""
+    if n < 0 or m < 0:
+        raise GraphError("n and m must be non-negative")
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise GraphError(f"m={m} exceeds the maximum of {max_edges} for n={n}")
+    rng = ensure_rng(seed)
+    graph = Graph(nodes=range(n))
+    chosen: set = set()
+    while len(chosen) < m:
+        u = int(rng.integers(0, n))
+        v = int(rng.integers(0, n))
+        if u == v:
+            continue
+        key = (u, v) if u < v else (v, u)
+        if key in chosen:
+            continue
+        chosen.add(key)
+        graph.add_edge(u, v, 1.0)
+    return graph
+
+
+def barabasi_albert(n: int, m: int, *, seed: SeedLike = None) -> Graph:
+    """Barabási–Albert preferential attachment graph.
+
+    Starts from a star on ``m + 1`` nodes; every subsequent node attaches to ``m``
+    distinct existing nodes chosen proportionally to their degree.
+    """
+    if m < 1:
+        raise GraphError(f"m must be >= 1, got {m}")
+    if n < m + 1:
+        raise GraphError(f"n must be at least m + 1 = {m + 1}, got {n}")
+    rng = ensure_rng(seed)
+    graph = Graph(nodes=range(n))
+    # repeated_nodes holds one copy of every edge endpoint => degree-proportional sampling.
+    repeated_nodes: list[int] = []
+    for v in range(1, m + 1):
+        graph.add_edge(0, v, 1.0)
+        repeated_nodes.extend((0, v))
+    for new in range(m + 1, n):
+        targets: set = set()
+        while len(targets) < m:
+            pick = repeated_nodes[int(rng.integers(0, len(repeated_nodes)))]
+            targets.add(pick)
+        for t in targets:
+            graph.add_edge(new, t, 1.0)
+            repeated_nodes.extend((new, t))
+    return graph
+
+
+def powerlaw_cluster(n: int, m: int, p_triangle: float, *, seed: SeedLike = None) -> Graph:
+    """Holme–Kim power-law graph with tunable clustering.
+
+    Like Barabási–Albert but, after each preferential attachment step, with
+    probability ``p_triangle`` the next edge closes a triangle with a random
+    neighbour of the previously chosen target.
+    """
+    if not 0.0 <= p_triangle <= 1.0:
+        raise GraphError(f"p_triangle must be in [0, 1], got {p_triangle}")
+    if m < 1:
+        raise GraphError(f"m must be >= 1, got {m}")
+    if n < m + 1:
+        raise GraphError(f"n must be at least m + 1 = {m + 1}, got {n}")
+    rng = ensure_rng(seed)
+    graph = Graph(nodes=range(n))
+    repeated_nodes: list[int] = []
+    for v in range(1, m + 1):
+        graph.add_edge(0, v, 1.0)
+        repeated_nodes.extend((0, v))
+    for new in range(m + 1, n):
+        added = 0
+        last_target: int | None = None
+        while added < m:
+            if (last_target is not None and rng.random() < p_triangle):
+                nbrs = [u for u in graph.neighbors(last_target)
+                        if u != new and not graph.has_edge(new, u)]
+                if nbrs:
+                    target = nbrs[int(rng.integers(0, len(nbrs)))]
+                else:
+                    target = repeated_nodes[int(rng.integers(0, len(repeated_nodes)))]
+            else:
+                target = repeated_nodes[int(rng.integers(0, len(repeated_nodes)))]
+            if target == new or graph.has_edge(new, target):
+                last_target = None
+                continue
+            graph.add_edge(new, target, 1.0)
+            repeated_nodes.extend((new, target))
+            last_target = target
+            added += 1
+    return graph
+
+
+def random_regular(n: int, d: int, *, seed: SeedLike = None, max_retries: int = 200) -> Graph:
+    """A simple d-regular graph via the pairing model (rejection sampling)."""
+    if d < 0 or n <= d:
+        raise GraphError(f"need 0 <= d < n, got d={d}, n={n}")
+    if (n * d) % 2 != 0:
+        raise GraphError(f"n*d must be even for a d-regular graph (n={n}, d={d})")
+    rng = ensure_rng(seed)
+    if d == 0:
+        return Graph(nodes=range(n))
+    for _ in range(max_retries):
+        stubs = np.repeat(np.arange(n), d)
+        rng.shuffle(stubs)
+        edges = set()
+        ok = True
+        for i in range(0, len(stubs), 2):
+            u, v = int(stubs[i]), int(stubs[i + 1])
+            if u == v:
+                ok = False
+                break
+            key = (u, v) if u < v else (v, u)
+            if key in edges:
+                ok = False
+                break
+            edges.add(key)
+        if ok:
+            graph = Graph(nodes=range(n))
+            for u, v in edges:
+                graph.add_edge(u, v, 1.0)
+            return graph
+    raise GraphError(f"failed to sample a simple {d}-regular graph after {max_retries} retries")
+
+
+def configuration_model_simple(degree_sequence: Sequence[int], *, seed: SeedLike = None) -> Graph:
+    """A simple graph whose degrees approximate ``degree_sequence``.
+
+    The pairing model is run once; self-loops and multi-edges are silently dropped,
+    so actual degrees may fall slightly short of the prescribed values (the standard
+    "erased configuration model").
+    """
+    degree_sequence = [int(d) for d in degree_sequence]
+    if any(d < 0 for d in degree_sequence):
+        raise GraphError("degrees must be non-negative")
+    if sum(degree_sequence) % 2 != 0:
+        raise GraphError("the degree sequence must have even sum")
+    rng = ensure_rng(seed)
+    n = len(degree_sequence)
+    stubs = np.repeat(np.arange(n), degree_sequence)
+    rng.shuffle(stubs)
+    graph = Graph(nodes=range(n))
+    for i in range(0, len(stubs) - 1, 2):
+        u, v = int(stubs[i]), int(stubs[i + 1])
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v, 1.0)
+    return graph
+
+
+def powerlaw_degree_sequence(n: int, exponent: float = 2.5, d_min: int = 1,
+                             d_max: int | None = None, *, seed: SeedLike = None) -> list[int]:
+    """Sample a degree sequence from a bounded discrete power law (even sum ensured)."""
+    if exponent <= 1.0:
+        raise GraphError(f"power-law exponent must exceed 1, got {exponent}")
+    rng = ensure_rng(seed)
+    d_max = d_max or max(d_min + 1, int(np.sqrt(n)))
+    values = np.arange(d_min, d_max + 1, dtype=float)
+    probs = values ** (-exponent)
+    probs /= probs.sum()
+    seq = rng.choice(values, size=n, p=probs).astype(int).tolist()
+    if sum(seq) % 2 == 1:
+        seq[0] += 1
+    return seq

@@ -1,0 +1,65 @@
+"""R-MAT (recursive matrix) generator.
+
+R-MAT graphs reproduce the skewed degree distributions and community-within-
+community structure of large web/social graphs, which is why they are the standard
+synthetic stand-in for SNAP-style datasets (e.g. the Graph500 generator is an R-MAT
+with (a, b, c, d) = (0.57, 0.19, 0.19, 0.05)).
+"""
+
+from __future__ import annotations
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def rmat_graph(scale: int, edge_factor: int = 8,
+               a: float = 0.57, b: float = 0.19, c: float = 0.19, d: float = 0.05,
+               *, seed: SeedLike = None, include_all_nodes: bool = True) -> Graph:
+    """Generate an undirected simple R-MAT graph with ``2**scale`` nodes.
+
+    Parameters
+    ----------
+    scale:
+        ``log2`` of the number of nodes.
+    edge_factor:
+        Target number of edges per node; ``edge_factor * 2**scale`` edge insertions
+        are attempted (duplicates and self-loops dropped, so the realised edge count
+        is slightly smaller — as in the Graph500 specification).
+    a, b, c, d:
+        Quadrant probabilities, must be non-negative and sum to 1.
+    include_all_nodes:
+        Keep isolated node ids in the node set (default) so that ``n`` is exactly
+        ``2**scale``.
+    """
+    if scale < 1:
+        raise GraphError(f"scale must be >= 1, got {scale}")
+    total = a + b + c + d
+    if any(x < 0 for x in (a, b, c, d)) or abs(total - 1.0) > 1e-9:
+        raise GraphError("R-MAT quadrant probabilities must be non-negative and sum to 1")
+    rng = ensure_rng(seed)
+    n = 1 << scale
+    target_insertions = edge_factor * n
+    graph = Graph(nodes=range(n) if include_all_nodes else None)
+    # One uniform draw per recursion level per edge insertion.
+    draws = rng.random(size=(target_insertions, scale))
+    thresholds = (a, a + b, a + b + c)
+    for row in range(target_insertions):
+        u = v = 0
+        for level in range(scale):
+            r = draws[row, level]
+            if r < thresholds[0]:
+                qu, qv = 0, 0
+            elif r < thresholds[1]:
+                qu, qv = 0, 1
+            elif r < thresholds[2]:
+                qu, qv = 1, 0
+            else:
+                qu, qv = 1, 1
+            u = (u << 1) | qu
+            v = (v << 1) | qv
+        if u == v:
+            continue
+        if not graph.has_edge(u, v):
+            graph.add_edge(u, v, 1.0)
+    return graph

@@ -1,0 +1,136 @@
+"""Deterministic structured graphs: paths, rings, grids, trees, cliques, stars.
+
+These serve two purposes: (i) unit tests with hand-checkable coreness / density /
+orientation values, and (ii) building blocks of the paper's lower-bound
+constructions (γ-ary trees with cliques planted on the leaves — see
+:mod:`repro.graph.generators.lowerbound`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+
+
+def path_graph(n: int) -> Graph:
+    """Path on ``n`` nodes ``0 - 1 - ... - (n-1)``."""
+    if n < 0:
+        raise GraphError(f"n must be non-negative, got {n}")
+    graph = Graph(nodes=range(n))
+    for v in range(n - 1):
+        graph.add_edge(v, v + 1, 1.0)
+    return graph
+
+
+def cycle_graph(n: int) -> Graph:
+    """Cycle on ``n >= 3`` nodes."""
+    if n < 3:
+        raise GraphError(f"a cycle needs at least 3 nodes, got {n}")
+    graph = path_graph(n)
+    graph.add_edge(n - 1, 0, 1.0)
+    return graph
+
+
+def star_graph(leaves: int) -> Graph:
+    """Star with centre ``0`` and ``leaves`` leaves ``1..leaves``."""
+    if leaves < 0:
+        raise GraphError(f"leaves must be non-negative, got {leaves}")
+    graph = Graph(nodes=range(leaves + 1))
+    for v in range(1, leaves + 1):
+        graph.add_edge(0, v, 1.0)
+    return graph
+
+
+def complete_graph(n: int, weight: float = 1.0) -> Graph:
+    """Complete graph K_n with uniform edge weight."""
+    if n < 0:
+        raise GraphError(f"n must be non-negative, got {n}")
+    graph = Graph(nodes=range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            graph.add_edge(u, v, weight)
+    return graph
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """4-neighbour grid with nodes labelled ``r * cols + c``."""
+    if rows < 1 or cols < 1:
+        raise GraphError("grid dimensions must be positive")
+    graph = Graph(nodes=range(rows * cols))
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                graph.add_edge(v, v + 1, 1.0)
+            if r + 1 < rows:
+                graph.add_edge(v, v + cols, 1.0)
+    return graph
+
+
+def balanced_tree(branching: int, depth: int) -> Graph:
+    """Complete ``branching``-ary tree of the given depth (root = node 0).
+
+    Depth 0 is a single node; depth ``d`` has ``(b^(d+1) - 1) / (b - 1)`` nodes.
+    """
+    if branching < 1 or depth < 0:
+        raise GraphError("branching must be >= 1 and depth >= 0")
+    graph = Graph(nodes=[0])
+    frontier = [0]
+    next_id = 1
+    for _ in range(depth):
+        new_frontier: List[int] = []
+        for parent in frontier:
+            for _ in range(branching):
+                graph.add_edge(parent, next_id, 1.0)
+                new_frontier.append(next_id)
+                next_id += 1
+        frontier = new_frontier
+    return graph
+
+
+def tree_leaves(branching: int, depth: int) -> List[int]:
+    """Node labels of the leaves of :func:`balanced_tree` with the same parameters."""
+    if depth == 0:
+        return [0]
+    total_internal = sum(branching ** level for level in range(depth))
+    total = sum(branching ** level for level in range(depth + 1))
+    return list(range(total_internal, total))
+
+
+def barbell_graph(clique_size: int, path_length: int) -> Graph:
+    """Two K_{clique_size} cliques joined by a path of ``path_length`` extra nodes.
+
+    A classic high-diameter workload: the densest subsets sit at the two ends, so
+    diameter-dependent algorithms pay the full path length while the paper's
+    algorithms do not.
+    """
+    if clique_size < 2:
+        raise GraphError("clique_size must be at least 2")
+    left = complete_graph(clique_size)
+    graph = Graph(nodes=range(2 * clique_size + path_length))
+    for u, v, w in left.edges():
+        graph.add_edge(u, v, w)
+        graph.add_edge(u + clique_size + path_length, v + clique_size + path_length, w)
+    chain = [clique_size - 1] + list(range(clique_size, clique_size + path_length)) + \
+            [clique_size + path_length]
+    for a, b in zip(chain, chain[1:]):
+        graph.add_edge(a, b, 1.0)
+    return graph
+
+
+def clique_plus_pendant_path(clique_size: int, path_length: int) -> Tuple[Graph, int]:
+    """A K_{clique_size} with a pendant path of ``path_length`` nodes.
+
+    Returns the graph and the label of the far endpoint of the path.  Useful to
+    test that far-away nodes still approximate their (low) coreness correctly.
+    """
+    graph = complete_graph(clique_size)
+    prev = 0
+    label = clique_size
+    for _ in range(path_length):
+        graph.add_edge(prev, label, 1.0)
+        prev = label
+        label += 1
+    return graph, prev

@@ -1,0 +1,78 @@
+"""Edge-weight assignment schemes.
+
+All topology generators produce unit weights; the functions here layer weights on
+top, covering the regimes discussed by the paper:
+
+* integers polynomial in ``n`` (the CONGEST-friendly case, Section II),
+* the NP-hard ``{1, k}`` weight regime of the min-max orientation problem,
+* arbitrary positive reals (the ``Λ = R`` case).
+"""
+
+from __future__ import annotations
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def with_unit_weights(graph: Graph) -> Graph:
+    """Copy of ``graph`` with every edge weight reset to 1."""
+    result = Graph(nodes=graph.nodes())
+    for u, v, _ in graph.edges():
+        result.add_edge(u, v, 1.0)
+    return result
+
+
+def with_uniform_integer_weights(graph: Graph, low: int = 1, high: int = 10,
+                                 *, seed: SeedLike = None) -> Graph:
+    """Copy of ``graph`` with integer weights drawn uniformly from ``[low, high]``."""
+    if low < 0 or high < low:
+        raise GraphError(f"need 0 <= low <= high, got low={low}, high={high}")
+    rng = ensure_rng(seed)
+    result = Graph(nodes=graph.nodes())
+    for u, v, _ in graph.edges():
+        result.add_edge(u, v, float(rng.integers(low, high + 1)))
+    return result
+
+
+def with_two_level_weights(graph: Graph, heavy_weight: float = 5.0,
+                           heavy_fraction: float = 0.2, *, seed: SeedLike = None) -> Graph:
+    """Copy of ``graph`` with weights in ``{1, heavy_weight}``.
+
+    This is the weight regime for which the centralized min-max orientation problem
+    is already NP-hard (Section I.B, Asahiro et al.), making it the natural stress
+    test for the distributed approximation.
+    """
+    if heavy_weight <= 0:
+        raise GraphError(f"heavy_weight must be positive, got {heavy_weight}")
+    if not 0.0 <= heavy_fraction <= 1.0:
+        raise GraphError(f"heavy_fraction must be in [0, 1], got {heavy_fraction}")
+    rng = ensure_rng(seed)
+    result = Graph(nodes=graph.nodes())
+    for u, v, _ in graph.edges():
+        w = heavy_weight if rng.random() < heavy_fraction else 1.0
+        result.add_edge(u, v, w)
+    return result
+
+
+def with_uniform_real_weights(graph: Graph, low: float = 0.5, high: float = 2.0,
+                              *, seed: SeedLike = None) -> Graph:
+    """Copy of ``graph`` with real weights drawn uniformly from ``[low, high]``."""
+    if low < 0 or high < low:
+        raise GraphError(f"need 0 <= low <= high, got low={low}, high={high}")
+    rng = ensure_rng(seed)
+    result = Graph(nodes=graph.nodes())
+    for u, v, _ in graph.edges():
+        result.add_edge(u, v, float(rng.uniform(low, high)))
+    return result
+
+
+def with_exponential_weights(graph: Graph, mean: float = 1.0, *, seed: SeedLike = None) -> Graph:
+    """Copy of ``graph`` with exponentially distributed weights (heavy-ish tail)."""
+    if mean <= 0:
+        raise GraphError(f"mean must be positive, got {mean}")
+    rng = ensure_rng(seed)
+    result = Graph(nodes=graph.nodes())
+    for u, v, _ in graph.edges():
+        result.add_edge(u, v, float(rng.exponential(mean)) + 1e-9)
+    return result

@@ -1,0 +1,167 @@
+"""Structural graph properties used across the library.
+
+Connected components, BFS distances, (hop-)diameter estimation, degeneracy ordering
+and a couple of degree statistics.  These are all centralized helpers: the
+*distributed* algorithms never call them — they exist for workload characterisation,
+for the baselines and for the analysis of experiment results (e.g. "round complexity
+independent of the diameter" requires knowing the diameter of the workload graphs).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph, Node
+
+
+def connected_components(graph: Graph) -> List[List[Node]]:
+    """Connected components as lists of nodes, in order of discovery."""
+    seen: set = set()
+    components: List[List[Node]] = []
+    for start in graph.nodes():
+        if start in seen:
+            continue
+        component: List[Node] = []
+        queue = deque([start])
+        seen.add(start)
+        while queue:
+            v = queue.popleft()
+            component.append(v)
+            for u in graph.neighbors(v):
+                if u not in seen:
+                    seen.add(u)
+                    queue.append(u)
+        components.append(component)
+    return components
+
+
+def bfs_distances(graph: Graph, source: Node) -> Dict[Node, int]:
+    """Hop distances from ``source`` to every reachable node (source included, 0)."""
+    if not graph.has_node(source):
+        raise GraphError(f"unknown source node {source!r}")
+    dist: Dict[Node, int] = {source: 0}
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for u in graph.neighbors(v):
+            if u not in dist:
+                dist[u] = dist[v] + 1
+                queue.append(u)
+    return dist
+
+
+def eccentricity(graph: Graph, source: Node) -> int:
+    """Largest hop distance from ``source`` within its connected component."""
+    return max(bfs_distances(graph, source).values())
+
+
+def hop_diameter(graph: Graph, exact: bool = True, sample_size: int = 16,
+                 seed: Optional[int] = 0) -> int:
+    """Hop diameter of the graph (largest eccentricity over its components).
+
+    Parameters
+    ----------
+    exact:
+        When ``True`` (default) run a BFS from every node — O(n·m), fine for the
+        workload sizes used in tests and benchmarks.  When ``False`` use the classic
+        double-sweep lower bound from a few sampled sources, which is much faster and
+        typically exact on the power-law graphs used here.
+    sample_size:
+        Number of BFS sources when ``exact=False``.
+    seed:
+        Seed for the sampling in the approximate mode.
+    """
+    import numpy as np
+
+    nodes = list(graph.nodes())
+    if not nodes:
+        raise GraphError("diameter of the empty graph is undefined")
+    if exact:
+        return max(eccentricity(graph, v) for v in nodes)
+    rng = np.random.default_rng(seed)
+    best = 0
+    sources = [nodes[int(i)] for i in rng.integers(0, len(nodes), size=min(sample_size, len(nodes)))]
+    for src in sources:
+        dist = bfs_distances(graph, src)
+        far = max(dist, key=dist.get)
+        best = max(best, max(bfs_distances(graph, far).values()))
+    return best
+
+
+def degeneracy_ordering(graph: Graph) -> Tuple[List[Node], int]:
+    """Unweighted degeneracy ordering and the degeneracy (max core number).
+
+    Repeatedly removes a node of minimum *unweighted* degree.  Returned order is the
+    removal order; the degeneracy is the maximum, over removals, of the degree at
+    removal time.  Self-loops are ignored here (they do not affect unweighted
+    degeneracy in the usual convention).
+    """
+    degrees = {v: sum(1 for _ in graph.neighbors(v)) for v in graph.nodes()}
+    remaining = dict(degrees)
+    # Bucket queue over integer degrees.
+    max_deg = max(remaining.values(), default=0)
+    buckets: List[set] = [set() for _ in range(max_deg + 1)]
+    for v, d in remaining.items():
+        buckets[d].add(v)
+    order: List[Node] = []
+    degeneracy = 0
+    removed: set = set()
+    pointer = 0
+    n = graph.num_nodes
+    while len(order) < n:
+        while pointer <= max_deg and not buckets[pointer]:
+            pointer += 1
+        if pointer > max_deg:
+            break
+        v = buckets[pointer].pop()
+        order.append(v)
+        removed.add(v)
+        degeneracy = max(degeneracy, pointer)
+        for u in graph.neighbors(v):
+            if u in removed:
+                continue
+            d = remaining[u]
+            buckets[d].discard(u)
+            remaining[u] = d - 1
+            buckets[d - 1].add(u)
+        pointer = max(pointer - 1, 0)
+    return order, degeneracy
+
+
+def degree_statistics(graph: Graph) -> Dict[str, float]:
+    """Summary statistics of the weighted degree distribution."""
+    degs = [graph.degree(v) for v in graph.nodes()]
+    if not degs:
+        raise GraphError("degree statistics of the empty graph are undefined")
+    degs_sorted = sorted(degs)
+    n = len(degs_sorted)
+    return {
+        "min": degs_sorted[0],
+        "max": degs_sorted[-1],
+        "mean": sum(degs_sorted) / n,
+        "median": degs_sorted[n // 2] if n % 2 == 1 else
+                  0.5 * (degs_sorted[n // 2 - 1] + degs_sorted[n // 2]),
+    }
+
+
+def is_connected(graph: Graph) -> bool:
+    """Whether the graph is connected (the empty graph counts as connected)."""
+    if graph.num_nodes == 0:
+        return True
+    return len(connected_components(graph)) == 1
+
+
+def count_triangles(graph: Graph) -> int:
+    """Number of triangles (used only for workload characterisation)."""
+    index = {v: i for i, v in enumerate(graph.nodes())}
+    count = 0
+    for v in graph.nodes():
+        nbrs_v = [u for u in graph.neighbors(v) if index[u] > index[v]]
+        nbr_set = set(nbrs_v)
+        for u in nbrs_v:
+            for w in graph.neighbors(u):
+                if index[w] > index[u] and w in nbr_set:
+                    count += 1
+    return count

@@ -1,0 +1,24 @@
+"""Small shared utilities: numeric grids, orderings, RNG handling and timers."""
+
+from repro.utils.numeric import (
+    POS_INFINITY,
+    geometric_grid,
+    is_close,
+    next_power_below,
+    round_down_to_grid,
+)
+from repro.utils.ordering import lexicographic_history_key, total_order_key
+from repro.utils.rng import ensure_rng
+from repro.utils.timers import Timer
+
+__all__ = [
+    "POS_INFINITY",
+    "geometric_grid",
+    "is_close",
+    "next_power_below",
+    "round_down_to_grid",
+    "lexicographic_history_key",
+    "total_order_key",
+    "ensure_rng",
+    "Timer",
+]

@@ -1,0 +1,137 @@
+"""Numeric helpers shared by the core algorithms.
+
+The paper (Section III-C, "Message Size") restricts the numbers sent in messages to a
+set ``Lambda`` of *powers of (1 + lambda)* in order to bound message size in the
+CONGEST model.  This module provides the corresponding grid construction and
+rounding-down operation, together with a handful of small floating point helpers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import AlgorithmError
+
+#: Convenience alias used to initialise surviving numbers (Algorithm 2, line 1).
+POS_INFINITY: float = math.inf
+
+#: Default relative tolerance for floating point comparisons within the library.
+DEFAULT_REL_TOL: float = 1e-9
+
+#: Default absolute tolerance for floating point comparisons within the library.
+DEFAULT_ABS_TOL: float = 1e-12
+
+
+def is_close(a: float, b: float, *, rel_tol: float = DEFAULT_REL_TOL,
+             abs_tol: float = DEFAULT_ABS_TOL) -> bool:
+    """Return ``True`` when ``a`` and ``b`` are equal up to library tolerances.
+
+    A thin wrapper over :func:`math.isclose` with the package-wide defaults; used by
+    analysis code that compares densities/coreness values produced by different
+    algorithms.
+    """
+    return math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
+
+
+def next_power_below(value: float, base: float) -> float:
+    """Largest power of ``base`` that is ``<= value``.
+
+    Parameters
+    ----------
+    value:
+        A strictly positive number.
+    base:
+        The grid base, strictly greater than 1 (i.e. ``1 + lambda`` for λ > 0).
+
+    Returns
+    -------
+    float
+        ``base ** floor(log_base(value))``.  ``0.0`` is returned for ``value == 0``
+        and ``inf`` for ``value == inf`` so that the function can be applied directly
+        to surviving numbers at any point of Algorithm 2.
+
+    Raises
+    ------
+    AlgorithmError
+        If ``value`` is negative or ``base <= 1``.
+    """
+    if base <= 1.0:
+        raise AlgorithmError(f"grid base must be > 1, got {base!r}")
+    if value < 0:
+        raise AlgorithmError(f"cannot round a negative value ({value!r}) onto a geometric grid")
+    if value == 0.0:
+        return 0.0
+    if math.isinf(value):
+        return value
+    exponent = math.floor(math.log(value, base))
+    power = base ** exponent
+    # Guard against floating point log inaccuracies at grid boundaries.
+    while power > value:
+        exponent -= 1
+        power = base ** exponent
+    while power * base <= value:
+        exponent += 1
+        power = base ** exponent
+    return power
+
+
+def round_down_to_grid(value: float, lam: float) -> float:
+    """Round ``value`` down to the next element of ``Lambda = {(1+lam)^k : k ∈ Z}``.
+
+    ``lam == 0`` denotes the paper's convention ``Lambda = R`` (no rounding); the
+    value is returned unchanged.  ``0`` and ``+inf`` are fixed points.
+    """
+    if lam < 0:
+        raise AlgorithmError(f"lambda must be non-negative, got {lam!r}")
+    if lam == 0.0:
+        return value
+    return next_power_below(value, 1.0 + lam)
+
+
+def geometric_grid(lo: float, hi: float, base: float) -> list[float]:
+    """All powers of ``base`` in the closed interval ``[lo, hi]``, ascending.
+
+    Useful for enumerating the candidate thresholds of the single-threshold
+    elimination procedure (Algorithm 1) when sweeping over a bounded range.
+    """
+    if base <= 1.0:
+        raise AlgorithmError(f"grid base must be > 1, got {base!r}")
+    if lo <= 0:
+        raise AlgorithmError(f"grid lower bound must be positive, got {lo!r}")
+    if hi < lo:
+        return []
+    grid: list[float] = []
+    k = math.ceil(math.log(lo, base) - 1e-12)
+    power = base ** k
+    while power <= hi * (1 + 1e-12):
+        if power >= lo * (1 - 1e-12):
+            grid.append(power)
+        k += 1
+        power = base ** k
+    return grid
+
+
+def harmonic_mean(values: Sequence[float]) -> float:
+    """Harmonic mean of strictly positive values (used by analysis summaries)."""
+    vals = list(values)
+    if not vals:
+        raise AlgorithmError("harmonic_mean of an empty sequence is undefined")
+    if any(v <= 0 for v in vals):
+        raise AlgorithmError("harmonic_mean requires strictly positive values")
+    return len(vals) / sum(1.0 / v for v in vals)
+
+
+def safe_ratio(numerator: float, denominator: float) -> float:
+    """``numerator / denominator`` with the convention ``0 / 0 == 1``.
+
+    Approximation ratios in the paper's Definition II.5 compare a non-negative
+    estimate against a non-negative true value; for isolated nodes both the coreness
+    and the surviving number are ``0`` and the ratio is taken to be 1 (a perfect
+    approximation).
+    """
+    if denominator == 0.0:
+        if numerator == 0.0:
+            return 1.0
+        return math.inf
+    return numerator / denominator

@@ -1,0 +1,66 @@
+"""Total orders and tie-breaking keys used by the paper's algorithms.
+
+Two places in the paper need a deterministic total order:
+
+* **Algorithm 3 (Update)** sorts neighbours by their current surviving numbers and
+  breaks ties by the *lexicographic order on the surviving numbers from all past
+  iterations, where more recent iterations have higher priority*, with any remaining
+  tie resolved by node identity.  :func:`lexicographic_history_key` builds exactly
+  that key.
+* **Algorithm 4 (BFS construction)** orders candidate leaders by ``(b_v, v)`` under a
+  globally known total order; :func:`total_order_key` builds the corresponding key so
+  that ``max()`` over keys picks the paper's leader.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence, Tuple
+
+
+def lexicographic_history_key(history: Sequence[float], node_id: Hashable,
+                              ) -> Tuple[Tuple[float, ...], Hashable]:
+    """Tie-breaking key for Algorithm 3's stateful sort.
+
+    Parameters
+    ----------
+    history:
+        The neighbour's surviving numbers observed in past iterations, oldest first.
+        The most recent iteration has the highest priority, hence the reversal.
+    node_id:
+        The neighbour's identity, used as the final tie-breaker.  Node identifiers
+        are assumed mutually comparable (the library relabels graphs to integers
+        before running protocols, so this always holds in practice).
+
+    Returns
+    -------
+    tuple
+        A key suitable for :func:`sorted`; comparing keys compares the most recent
+        surviving numbers first and falls back to the node identity.
+    """
+    return (tuple(reversed(tuple(history))), node_id)
+
+
+def total_order_key(b_value: float, node_id: Hashable) -> Tuple[float, Hashable]:
+    """Key realising the paper's total order ``⪰`` on pairs ``(v, b_v)``.
+
+    ``(u, b_u) ⪰ (v, b_v)`` iff ``b_u > b_v``, or ``b_u == b_v`` and ``u ⪰ v`` under
+    the globally known order on node identities.  With integer node labels the
+    natural ``>`` order is used, so the *maximum* key corresponds to the paper's
+    maximum element.
+    """
+    return (b_value, node_id)
+
+
+def argmax_total_order(pairs: Sequence[Tuple[Hashable, float]]) -> Tuple[Hashable, float]:
+    """Return the pair ``(v, b_v)`` that is maximal under the total order ``⪰``.
+
+    Used by the BFS-construction protocol to pick the winning leader among the
+    candidates heard from neighbours.
+    """
+    if not pairs:
+        raise ValueError("argmax_total_order of an empty sequence is undefined")
+    best = pairs[0]
+    for node, value in pairs[1:]:
+        if (value, node) > (best[1], best[0]):
+            best = (node, value)
+    return best

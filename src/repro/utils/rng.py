@@ -1,0 +1,36 @@
+"""Random-number-generator plumbing.
+
+Every stochastic entry point of the library (graph generators, weight assignment,
+fault injection) accepts a ``seed`` argument that may be ``None``, an integer or an
+existing :class:`numpy.random.Generator`.  :func:`ensure_rng` normalises all three
+into a Generator so that experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    * ``None``      → a fresh, OS-seeded generator,
+    * ``int``       → ``np.random.default_rng(seed)``,
+    * ``Generator`` → returned unchanged (shared state).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rng(rng: np.random.Generator) -> np.random.Generator:
+    """Derive an independent child generator from ``rng``.
+
+    Used when a workload needs several statistically independent streams (e.g. one
+    for topology and one for edge weights) derived from a single user-facing seed.
+    """
+    return np.random.default_rng(rng.integers(0, 2**63 - 1))

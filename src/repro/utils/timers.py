@@ -1,0 +1,56 @@
+"""A tiny wall-clock timer used by the experiment harnesses.
+
+The benchmark harness relies on ``pytest-benchmark`` for statistically sound
+measurements; :class:`Timer` only provides coarse timings for progress reporting in
+examples and experiment scripts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+from contextlib import contextmanager
+
+
+@dataclass
+class Timer:
+    """Accumulates named wall-clock durations.
+
+    Example
+    -------
+    >>> timer = Timer()
+    >>> with timer.measure("peel"):
+    ...     _ = sum(range(10))
+    >>> timer.total("peel") >= 0.0
+    True
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        """Context manager accumulating the elapsed time under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        """Total accumulated seconds for ``name`` (0.0 if never measured)."""
+        return self.totals.get(name, 0.0)
+
+    def count(self, name: str) -> int:
+        """Number of completed measurements for ``name``."""
+        return self.counts.get(name, 0)
+
+    def summary(self) -> str:
+        """Human-readable one-line-per-timer summary."""
+        lines = []
+        for name in sorted(self.totals):
+            lines.append(f"{name}: {self.totals[name]:.4f}s over {self.counts[name]} call(s)")
+        return "\n".join(lines)

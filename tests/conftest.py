@@ -1,0 +1,114 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.generators.community import core_periphery, planted_partition
+from repro.graph.generators.random_graphs import barabasi_albert, erdos_renyi_gnp
+from repro.graph.generators.structured import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.generators.weights import with_uniform_integer_weights
+from repro.graph.graph import Graph
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """K3 with unit weights."""
+    return complete_graph(3)
+
+
+@pytest.fixture
+def k6() -> Graph:
+    """K6 with unit weights (coreness 5, density 2.5)."""
+    return complete_graph(6)
+
+
+@pytest.fixture
+def path5() -> Graph:
+    """Path on 5 nodes (coreness 1 everywhere)."""
+    return path_graph(5)
+
+
+@pytest.fixture
+def cycle8() -> Graph:
+    """Cycle on 8 nodes (coreness 2 everywhere, density 1)."""
+    return cycle_graph(8)
+
+
+@pytest.fixture
+def star10() -> Graph:
+    """Star with 10 leaves (coreness 1, density 10/11)."""
+    return star_graph(10)
+
+
+@pytest.fixture
+def small_weighted() -> Graph:
+    """A small hand-built weighted graph used across algorithm tests.
+
+    A weighted triangle {0,1,2} (weights 3, 3, 3) with a pendant node 3 attached to
+    node 0 by an edge of weight 1:
+
+    * coreness: c(0)=c(1)=c(2)=6, c(3)=1;
+    * maximal densities: r(0)=r(1)=r(2)=3, r(3)=1 (layer 2 of the decomposition has
+      the pendant edge as a self-loop... actually r(3) = 1 because the quotient graph
+      has a self-loop of weight 1 at node 3).
+    """
+    g = Graph()
+    g.add_edge(0, 1, 3.0)
+    g.add_edge(1, 2, 3.0)
+    g.add_edge(0, 2, 3.0)
+    g.add_edge(0, 3, 1.0)
+    return g
+
+
+@pytest.fixture
+def clique_with_tail() -> Graph:
+    """K5 with a path of 4 extra nodes hanging off node 0."""
+    g = complete_graph(5)
+    prev = 0
+    for new in range(5, 9):
+        g.add_edge(prev, new, 1.0)
+        prev = new
+    return g
+
+
+@pytest.fixture
+def two_communities() -> Graph:
+    """Two dense blocks loosely connected (planted partition, deterministic seed)."""
+    return planted_partition(2, 20, 0.6, 0.02, seed=42)
+
+
+@pytest.fixture
+def ba_graph() -> Graph:
+    """A 150-node Barabási–Albert graph (deterministic)."""
+    return barabasi_albert(150, 3, seed=7)
+
+
+@pytest.fixture
+def ba_weighted(ba_graph) -> Graph:
+    """The BA graph with integer weights in [1, 5]."""
+    return with_uniform_integer_weights(ba_graph, 1, 5, seed=11)
+
+
+@pytest.fixture
+def sparse_er() -> Graph:
+    """A sparse Erdős–Rényi graph (may be disconnected)."""
+    return erdos_renyi_gnp(120, 0.03, seed=5)
+
+
+@pytest.fixture
+def grid6x6() -> Graph:
+    """A 6x6 grid (coreness 2 in the interior, high diameter)."""
+    return grid_graph(6, 6)
+
+
+@pytest.fixture
+def core_periphery_graph() -> Graph:
+    """Clique core of 12 with 40 periphery nodes of degree 2."""
+    return core_periphery(12, 40, attach_degree=2, seed=9)

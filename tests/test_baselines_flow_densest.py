@@ -1,0 +1,268 @@
+"""Tests for the flow substrate and the densest-subset baselines."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.baselines.bahmani import bahmani_densest_subset
+from repro.baselines.bruteforce import (
+    bruteforce_max_density,
+    bruteforce_maximal_densest_subset,
+    bruteforce_maximal_densities,
+)
+from repro.baselines.charikar import charikar_peeling
+from repro.baselines.density_decomposition import (
+    check_strictly_decreasing,
+    diminishingly_dense_decomposition,
+    maximal_densities,
+)
+from repro.baselines.frank_wolfe import frank_wolfe_densities
+from repro.baselines.goldberg import maximal_densest_subset, maximum_density
+from repro.baselines.maxflow import FlowNetwork
+from repro.baselines.sarma import sarma_densest_subset
+from repro.errors import AlgorithmError
+from repro.graph.generators.community import planted_partition
+from repro.graph.generators.random_graphs import barabasi_albert, erdos_renyi_gnp
+from repro.graph.generators.structured import (
+    barbell_graph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.graph import Graph
+
+
+class TestFlowNetwork:
+    def test_single_path_flow(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 3.0)
+        net.add_edge("a", "t", 2.0)
+        assert net.max_flow("s", "t") == pytest.approx(2.0)
+
+    def test_parallel_paths(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 2.0)
+        net.add_edge("s", "b", 3.0)
+        net.add_edge("a", "t", 2.0)
+        net.add_edge("b", "t", 1.0)
+        assert net.max_flow("s", "t") == pytest.approx(3.0)
+
+    def test_classic_augmenting_path_instance(self):
+        # The textbook 4-node instance whose greedy solution needs a residual push.
+        net = FlowNetwork()
+        net.add_edge("s", "a", 10.0)
+        net.add_edge("s", "b", 10.0)
+        net.add_edge("a", "b", 1.0)
+        net.add_edge("a", "t", 10.0)
+        net.add_edge("b", "t", 10.0)
+        assert net.max_flow("s", "t") == pytest.approx(20.0)
+
+    def test_min_cut_sides(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 1.0)
+        net.add_edge("a", "b", 5.0)
+        net.add_edge("b", "t", 1.0)
+        net.max_flow("s", "t")
+        assert net.min_cut_source_side("s") == {"s"}
+        assert net.max_cut_source_side("t") == {"s", "a", "b"}
+
+    def test_infinite_capacity_edges(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 4.0)
+        net.add_edge("a", "t", math.inf)
+        assert net.max_flow("s", "t") == pytest.approx(4.0)
+
+    def test_flow_on_reports_routed_flow(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 2.0)
+        net.add_edge("a", "t", 2.0)
+        net.max_flow("s", "t")
+        assert net.flow_on("s", "a") == pytest.approx(2.0)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(AlgorithmError):
+            FlowNetwork().add_edge("a", "b", -1.0)
+
+    def test_source_equals_sink_rejected(self):
+        net = FlowNetwork()
+        net.add_edge("a", "b", 1.0)
+        with pytest.raises(AlgorithmError):
+            net.max_flow("a", "a")
+
+    def test_unknown_terminal_rejected(self):
+        net = FlowNetwork()
+        net.add_edge("a", "b", 1.0)
+        with pytest.raises(AlgorithmError):
+            net.max_flow("a", "zz")
+
+
+class TestGoldbergDensest:
+    def test_clique_density(self, k6):
+        assert maximum_density(k6) == pytest.approx(2.5)
+        result = maximal_densest_subset(k6)
+        assert result.subset == frozenset(range(6))
+
+    def test_clique_with_tail(self, clique_with_tail):
+        result = maximal_densest_subset(clique_with_tail)
+        assert result.subset == frozenset(range(5))
+        assert result.density == pytest.approx(2.0)
+
+    def test_weighted_graph(self, small_weighted):
+        result = maximal_densest_subset(small_weighted)
+        assert result.subset == frozenset({0, 1, 2})
+        assert result.density == pytest.approx(3.0)
+
+    def test_path_density(self):
+        g = path_graph(6)
+        assert maximum_density(g) == pytest.approx(5 / 6)
+
+    def test_maximality_with_ties(self):
+        # Two disjoint triangles: both have density 1; the maximal densest subset is
+        # their union (Fact II.1).
+        g = Graph(edges=[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+        result = maximal_densest_subset(g)
+        assert result.subset == frozenset(range(6))
+        assert result.density == pytest.approx(1.0)
+
+    def test_zero_weight_graph(self):
+        g = Graph(nodes=[0, 1, 2])
+        result = maximal_densest_subset(g)
+        assert result.density == 0.0
+        assert result.subset == frozenset({0, 1, 2})
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(AlgorithmError):
+            maximal_densest_subset(Graph())
+
+    def test_self_loops_count(self):
+        g = Graph(edges=[(0, 0, 5.0), (0, 1, 1.0), (1, 2, 1.0)])
+        result = maximal_densest_subset(g)
+        assert result.subset == frozenset({0})
+        assert result.density == pytest.approx(5.0)
+
+    @given(st.data())
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_matches_bruteforce_on_random_graphs(self, data):
+        n = data.draw(st.integers(min_value=2, max_value=8))
+        pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        mask = data.draw(st.lists(st.booleans(), min_size=len(pairs), max_size=len(pairs)))
+        weights = data.draw(st.lists(st.integers(min_value=1, max_value=5),
+                                     min_size=len(pairs), max_size=len(pairs)))
+        g = Graph(nodes=range(n))
+        for keep, (u, v), w in zip(mask, pairs, weights):
+            if keep:
+                g.add_edge(u, v, float(w))
+        assert maximum_density(g) == pytest.approx(bruteforce_max_density(g), abs=1e-6)
+
+
+class TestDensityDecomposition:
+    def test_layers_on_clique_with_tail(self, clique_with_tail):
+        decomposition = diminishingly_dense_decomposition(clique_with_tail)
+        assert decomposition.layers[0].members == frozenset(range(5))
+        assert decomposition.layers[0].density == pytest.approx(2.0)
+        assert check_strictly_decreasing(decomposition)
+        assert decomposition.num_layers >= 2
+
+    def test_maximal_densities_match_bruteforce(self, small_weighted):
+        exact = maximal_densities(small_weighted)
+        brute = bruteforce_maximal_densities(small_weighted)
+        for v in small_weighted.nodes():
+            assert exact[v] == pytest.approx(brute[v], abs=1e-6)
+
+    def test_every_node_assigned(self, two_communities):
+        decomposition = diminishingly_dense_decomposition(two_communities)
+        assert set(decomposition.maximal_density) == set(two_communities.nodes())
+        covered = set()
+        for layer in decomposition.layers:
+            covered |= set(layer.members)
+        assert covered == set(two_communities.nodes())
+
+    def test_layer_of_accessor(self, clique_with_tail):
+        decomposition = diminishingly_dense_decomposition(clique_with_tail)
+        assert decomposition.layer_of(0).index == 1
+        with pytest.raises(AlgorithmError):
+            decomposition.layer_of("missing")
+
+    def test_max_equals_rho_star(self, two_communities):
+        r = maximal_densities(two_communities)
+        assert max(r.values()) == pytest.approx(maximum_density(two_communities), abs=1e-6)
+
+
+class TestCharikarAndBahmani:
+    def test_charikar_exact_on_clique(self, k6):
+        result = charikar_peeling(k6)
+        assert result.density == pytest.approx(2.5)
+        assert result.subset == frozenset(range(6))
+
+    def test_charikar_two_approximation(self, ba_graph):
+        rho_star = maximum_density(ba_graph)
+        result = charikar_peeling(ba_graph)
+        assert result.density >= rho_star / 2.0 - 1e-9
+        assert result.density <= rho_star + 1e-9
+
+    def test_charikar_weighted(self, small_weighted):
+        assert charikar_peeling(small_weighted).density == pytest.approx(3.0)
+
+    def test_charikar_rejects_empty(self):
+        with pytest.raises(AlgorithmError):
+            charikar_peeling(Graph())
+
+    def test_bahmani_guarantee(self, ba_graph):
+        epsilon = 0.5
+        rho_star = maximum_density(ba_graph)
+        result = bahmani_densest_subset(ba_graph, epsilon)
+        assert result.density >= rho_star / (2 * (1 + epsilon)) - 1e-9
+        assert result.density <= rho_star + 1e-9
+
+    def test_bahmani_pass_count_is_logarithmic(self):
+        g = barabasi_albert(500, 3, seed=2)
+        result = bahmani_densest_subset(g, 0.5)
+        assert result.passes <= math.ceil(math.log(500) / math.log(1.5)) + 2
+
+    def test_bahmani_rejects_bad_epsilon(self, k6):
+        with pytest.raises(AlgorithmError):
+            bahmani_densest_subset(k6, 0.0)
+
+    def test_sarma_rounds_scale_with_diameter(self):
+        g = barbell_graph(5, 20)   # long path between the cliques
+        result = sarma_densest_subset(g, epsilon=0.5)
+        assert result.diameter >= 20
+        assert result.rounds >= result.passes * (2 * result.diameter)
+        assert result.density >= maximum_density(g) / 3.0 - 1e-9
+
+
+class TestFrankWolfe:
+    def test_converges_on_clique(self, k6):
+        result = frank_wolfe_densities(k6, iterations=300)
+        for v in k6.nodes():
+            assert result.loads[v] == pytest.approx(2.5, abs=0.05)
+
+    def test_max_load_estimates_rho_star(self, two_communities):
+        result = frank_wolfe_densities(two_communities, iterations=300)
+        assert result.max_density_estimate == pytest.approx(
+            maximum_density(two_communities), rel=0.1)
+
+    def test_approximates_maximal_densities(self, small_weighted):
+        result = frank_wolfe_densities(small_weighted, iterations=500)
+        exact = maximal_densities(small_weighted)
+        for v in small_weighted.nodes():
+            assert result.loads[v] == pytest.approx(exact[v], rel=0.15, abs=0.15)
+
+    def test_handles_self_loops(self):
+        g = Graph(edges=[(0, 0, 4.0), (0, 1, 2.0)])
+        result = frank_wolfe_densities(g, iterations=100)
+        assert result.loads[0] >= 4.0
+
+    def test_total_load_is_conserved(self, ba_graph):
+        result = frank_wolfe_densities(ba_graph, iterations=50)
+        assert sum(result.loads.values()) == pytest.approx(ba_graph.total_weight)
+
+    def test_parameter_validation(self, k6):
+        with pytest.raises(AlgorithmError):
+            frank_wolfe_densities(k6, iterations=0)
+        with pytest.raises(AlgorithmError):
+            frank_wolfe_densities(Graph())

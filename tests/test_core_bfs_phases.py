@@ -1,0 +1,191 @@
+"""Tests for Phases 2-4 of the densest-subset pipeline (Algorithms 4, 5, 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregation import run_aggregation, total_aggregation_rounds
+from repro.core.bfs import BFSOutput, leader_key, run_bfs_construction, total_bfs_rounds
+from repro.core.local_elimination import run_local_elimination, surviving_sets_per_round
+from repro.core.surviving import run_compact_elimination
+from repro.errors import AlgorithmError
+from repro.graph.generators.structured import (
+    balanced_tree,
+    barbell_graph,
+    complete_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.graph import Graph
+
+
+class TestLeaderOrdering:
+    def test_leader_key_prefers_larger_value(self):
+        assert leader_key((1, 5.0)) > leader_key((9, 3.0))
+
+    def test_leader_key_breaks_ties_by_identity(self):
+        assert leader_key((7, 5.0)) > leader_key((2, 5.0))
+
+
+class TestBFSConstruction:
+    def test_star_elects_single_leader(self):
+        g = star_graph(5)
+        values = {v: g.degree(v) for v in g.nodes()}   # centre has the largest value
+        outputs, _ = run_bfs_construction(g, values, propagation_rounds=2)
+        assert all(out.leader_id == 0 for out in outputs.values())
+        assert outputs[0].is_root
+        assert set(outputs[0].children) == {1, 2, 3, 4, 5}
+        for leaf in range(1, 6):
+            assert outputs[leaf].parent == 0
+            assert outputs[leaf].children == ()
+
+    def test_leader_reaches_t_hops_only(self):
+        g = path_graph(7)
+        values = {v: 0.0 for v in g.nodes()}
+        values[0] = 10.0   # node 0 is the global maximum
+        outputs, _ = run_bfs_construction(g, values, propagation_rounds=2)
+        # Nodes within 2 hops adopt node 0; farther nodes keep other leaders.
+        assert outputs[1].leader_id == 0
+        assert outputs[2].leader_id == 0
+        assert outputs[3].leader_id != 0
+
+    def test_fact_iv2_top_leader_tree_spans_ball(self):
+        g = barbell_graph(5, 4)
+        values, _ = run_compact_elimination(g, 3, track_kept=False)
+        T = 3
+        outputs, _ = run_bfs_construction(g, values.values, T)
+        top = max(((v, values.values[v]) for v in g.nodes()), key=leader_key)
+        top_id = top[0]
+        # Every node within T hops of the top leader must be in its tree.
+        from repro.graph.properties import bfs_distances
+
+        dist = bfs_distances(g, top_id)
+        for v, d in dist.items():
+            if d <= T:
+                assert outputs[v].leader_id == top_id
+
+    def test_parent_child_consistency(self, two_communities):
+        values, _ = run_compact_elimination(two_communities, 3, track_kept=False)
+        outputs, _ = run_bfs_construction(two_communities, values.values, 3)
+        for v, out in outputs.items():
+            if out.parent is not None and out.parent != v:
+                assert v in outputs[out.parent].children
+            for child in out.children:
+                assert outputs[child].parent == v
+
+    def test_roots_are_their_own_leaders(self, two_communities):
+        values, _ = run_compact_elimination(two_communities, 3, track_kept=False)
+        outputs, _ = run_bfs_construction(two_communities, values.values, 3)
+        for v, out in outputs.items():
+            if out.is_root:
+                assert out.leader_id == v
+
+    def test_total_rounds_helper(self):
+        assert total_bfs_rounds(5) == 7
+
+    def test_missing_values_rejected(self, k6):
+        with pytest.raises(AlgorithmError):
+            run_bfs_construction(k6, {0: 1.0}, 2)
+
+    def test_invalid_propagation_rounds(self, k6):
+        from repro.core.bfs import BFSConstructionProtocol
+        from repro.distsim.node import NodeContext
+
+        ctx = NodeContext(node_id=0, neighbor_weights={}, self_loop_weight=0.0, num_nodes=1)
+        with pytest.raises(AlgorithmError):
+            BFSConstructionProtocol(ctx, 1.0, 0)
+
+
+class TestLocalElimination:
+    def _bfs(self, graph, rounds):
+        values, _ = run_compact_elimination(graph, rounds, track_kept=False)
+        outputs, _ = run_bfs_construction(graph, values.values, rounds)
+        return values, outputs
+
+    def test_clique_tree_survives_with_own_threshold(self, k6):
+        T = 3
+        values, bfs_outputs = self._bfs(k6, T)
+        local, _ = run_local_elimination(k6, bfs_outputs, T)
+        # The leader's threshold is 5 and every node keeps degree 5 -> all survive.
+        for out in local.values():
+            assert out.num == (1,) * T
+            assert all(d == pytest.approx(5.0) for d in out.deg)
+
+    def test_leader_always_survives_its_own_tree(self, two_communities):
+        T = 4
+        values, bfs_outputs = self._bfs(two_communities, T)
+        local, _ = run_local_elimination(two_communities, bfs_outputs, T)
+        top = max(((v, values.values[v]) for v in two_communities.nodes()), key=leader_key)[0]
+        assert local[top].num[T - 1] == 1, "the top leader must survive all rounds (Lemma IV.4)"
+
+    def test_surviving_sets_are_nested(self, two_communities):
+        T = 4
+        values, bfs_outputs = self._bfs(two_communities, T)
+        local, _ = run_local_elimination(two_communities, bfs_outputs, T)
+        leaders = {out.leader_id for out in bfs_outputs.values()}
+        for leader in leaders:
+            sets = surviving_sets_per_round(local, leader, T)
+            for earlier, later in zip(sets, sets[1:]):
+                assert later <= earlier
+
+    def test_degrees_restricted_to_same_tree(self):
+        # Two triangles joined by one edge; with T=1 each triangle may elect its own
+        # leader, and the recorded degrees must not count the crossing edge when the
+        # endpoints are in different trees.
+        g = Graph(edges=[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3)])
+        values = {v: 10.0 if v in (0, 3) else 1.0 for v in g.nodes()}
+        outputs, _ = run_bfs_construction(g, values, 1)
+        local, _ = run_local_elimination(g, outputs, 1)
+        if outputs[0].leader_id != outputs[3].leader_id:
+            assert local[0].deg[0] <= 2.0 + 1e-9
+            assert local[3].deg[0] <= 2.0 + 1e-9
+
+    def test_orphans_do_not_participate(self, k6):
+        T = 2
+        values, bfs_outputs = self._bfs(k6, T)
+        # Forge an orphan: replace node 5's output with a parent-less record.
+        forged = dict(bfs_outputs)
+        forged[5] = BFSOutput(leader=bfs_outputs[5].leader, parent=None, children=(),
+                              is_root=False)
+        local, _ = run_local_elimination(k6, forged, T)
+        assert local[5].participated is False
+        assert local[5].num == (0, 0)
+
+
+class TestAggregation:
+    def _pipeline(self, graph, T, factor):
+        values, _ = run_compact_elimination(graph, T, track_kept=False)
+        bfs_outputs, _ = run_bfs_construction(graph, values.values, T)
+        local, _ = run_local_elimination(graph, bfs_outputs, T)
+        agg, _ = run_aggregation(graph, bfs_outputs, local, factor, T)
+        return values, bfs_outputs, local, agg
+
+    def test_clique_reports_itself(self, k6):
+        values, bfs_outputs, local, agg = self._pipeline(k6, 3, factor=3.0)
+        members = {v for v, out in agg.items() if out.sigma == 1}
+        assert members == set(range(6))
+        densities = [out.density for out in agg.values() if out.density is not None]
+        assert densities
+        assert all(d == pytest.approx(2.5) for d in densities)
+
+    def test_members_share_the_root_announcement(self, two_communities):
+        values, bfs_outputs, local, agg = self._pipeline(two_communities, 4, factor=4.0)
+        for v, out in agg.items():
+            if out.sigma == 1:
+                assert out.t_star is not None
+                assert out.density is not None
+                assert local[v].num[out.t_star] == 1
+
+    def test_literal_acceptance_factor_one_reports_nothing_on_clique(self, k6):
+        # With the literal condition "b_max >= b_v" (factor 1), a clique's best
+        # density ~ b_v/2 never qualifies, demonstrating why the analysis-supported
+        # threshold b_v/gamma is used by default (see aggregation module docstring).
+        _, _, _, agg = self._pipeline(k6, 3, factor=1.0)
+        assert all(out.sigma == 0 for out in agg.values())
+
+    def test_round_budget_helper(self):
+        assert total_aggregation_rounds(4) == 12
+
+    def test_invalid_acceptance_factor(self, k6):
+        with pytest.raises(AlgorithmError):
+            self._pipeline(k6, 2, factor=0.0)

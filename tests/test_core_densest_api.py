@@ -1,0 +1,161 @@
+"""Tests for the weak-densest-subset pipeline (Theorem I.3) and the high-level API."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.invariants import check_weak_densest_definition
+from repro.baselines.exact_kcore import coreness
+from repro.baselines.goldberg import maximum_density
+from repro.core.api import (
+    approximate_coreness,
+    approximate_densest_subsets,
+    approximate_orientation,
+)
+from repro.core.densest import expected_total_rounds, weak_densest_subsets
+from repro.core.rounds import rounds_for_epsilon
+from repro.errors import AlgorithmError
+from repro.graph.generators.community import planted_partition
+from repro.graph.generators.structured import barbell_graph, complete_graph, path_graph
+from repro.graph.graph import Graph
+
+
+class TestWeakDensestPipeline:
+    def test_clique_is_recovered_exactly(self, k6):
+        result = weak_densest_subsets(k6, epsilon=1.0)
+        assert result.best_density == pytest.approx(2.5)
+        assert result.subsets_are_disjoint()
+        best_members = result.subsets[result.best_leader]
+        assert best_members == frozenset(range(6))
+
+    def test_definition_iv1_on_clique_with_tail(self, clique_with_tail):
+        result = weak_densest_subsets(clique_with_tail, epsilon=1.0)
+        rho_star = maximum_density(clique_with_tail)
+        report = check_weak_densest_definition(clique_with_tail, result.subsets,
+                                               rho_star / result.gamma)
+        assert report.holds, report.violations
+
+    def test_definition_iv1_on_planted_partition(self):
+        g = planted_partition(3, 12, 0.7, 0.02, seed=8)
+        result = weak_densest_subsets(g, epsilon=1.0)
+        rho_star = maximum_density(g)
+        assert result.best_density >= rho_star / result.gamma - 1e-9
+        assert result.subsets_are_disjoint()
+
+    def test_barbell_finds_a_dense_end_despite_diameter(self):
+        g = barbell_graph(6, 10)   # diameter ~12, dense ends
+        result = weak_densest_subsets(g, epsilon=1.0)
+        rho_star = maximum_density(g)
+        assert result.best_density >= rho_star / result.gamma - 1e-9
+        # The round budget is governed by log(n), not by the diameter.
+        assert result.rounds_total <= expected_total_rounds(g.num_nodes, 1.0)
+
+    def test_reported_densities_match_recomputed(self, two_communities):
+        result = weak_densest_subsets(two_communities, epsilon=1.0)
+        for leader, reported in result.reported_densities.items():
+            members = result.subsets[leader]
+            # Reported density is measured on same-tree restricted degrees, so it can
+            # only underestimate the true density of the member set.
+            assert reported <= two_communities.subset_density(members) + 1e-9
+
+    def test_node_assignment_consistency(self, two_communities):
+        result = weak_densest_subsets(two_communities, epsilon=1.0)
+        for v, leader in result.node_assignment.items():
+            if leader is None:
+                assert all(v not in members for members in result.subsets.values())
+            else:
+                assert v in result.subsets[leader]
+
+    def test_rounds_breakdown_sums_to_total(self, k6):
+        result = weak_densest_subsets(k6, epsilon=0.5)
+        assert sum(result.rounds_per_phase.values()) == result.rounds_total
+        assert result.messages_total > 0
+
+    def test_parameter_validation(self, k6):
+        with pytest.raises(AlgorithmError):
+            weak_densest_subsets(k6)
+        with pytest.raises(AlgorithmError):
+            weak_densest_subsets(k6, epsilon=1.0, gamma=3.0)
+        with pytest.raises(AlgorithmError):
+            weak_densest_subsets(k6, rounds=0)
+        with pytest.raises(AlgorithmError):
+            weak_densest_subsets(Graph(), epsilon=1.0)
+
+    def test_explicit_round_budget(self, k6):
+        result = weak_densest_subsets(k6, rounds=2)
+        assert result.rounds_per_phase["phase1_surviving"] == 2
+
+    def test_expected_total_rounds_formula(self):
+        T = rounds_for_epsilon(500, 1.0)
+        assert expected_total_rounds(500, 1.0) == 5 * T + 6
+
+
+class TestApproximateCorenessAPI:
+    def test_values_sandwich_exact_coreness(self, ba_graph):
+        result = approximate_coreness(ba_graph, epsilon=0.5)
+        exact = coreness(ba_graph)
+        for v in ba_graph.nodes():
+            assert exact[v] - 1e-9 <= result.values[v] <= result.guarantee * exact[v] + 1e-9
+
+    def test_top_nodes_ordering(self, core_periphery_graph):
+        result = approximate_coreness(core_periphery_graph, epsilon=0.5)
+        top = result.top_nodes(12)
+        # The 12 core nodes have the highest approximate coreness.
+        assert set(top) == set(range(12))
+
+    def test_gamma_parametrisation(self, k6):
+        by_gamma = approximate_coreness(k6, gamma=4.0)
+        by_rounds = approximate_coreness(k6, rounds=by_gamma.rounds)
+        assert by_gamma.values == by_rounds.values
+
+    def test_requires_exactly_one_parameter(self, k6):
+        with pytest.raises(AlgorithmError):
+            approximate_coreness(k6)
+        with pytest.raises(AlgorithmError):
+            approximate_coreness(k6, epsilon=0.5, rounds=3)
+        with pytest.raises(AlgorithmError):
+            approximate_coreness(k6, rounds=0)
+        with pytest.raises(AlgorithmError):
+            approximate_coreness(Graph(), epsilon=0.5)
+
+    def test_simulation_engine_available(self, triangle):
+        result = approximate_coreness(triangle, rounds=2, engine="simulation")
+        assert all(v == pytest.approx(2.0) for v in result.values.values())
+
+    def test_lambda_parameter_threaded_through(self, ba_weighted):
+        exact = approximate_coreness(ba_weighted, rounds=4, lam=0.0)
+        rounded = approximate_coreness(ba_weighted, rounds=4, lam=0.5)
+        assert rounded.lam == 0.5
+        for v in ba_weighted.nodes():
+            assert rounded.values[v] <= exact.values[v] + 1e-12
+
+
+class TestApproximateOrientationAPI:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(AlgorithmError):
+            approximate_orientation(Graph(), epsilon=0.5)
+
+    def test_every_edge_is_assigned(self, two_communities):
+        result = approximate_orientation(two_communities, epsilon=0.5)
+        non_loop_edges = sum(1 for u, v, _ in two_communities.edges() if u != v)
+        assert len(result.orientation.assignment) == non_loop_edges
+
+    def test_max_in_weight_matches_dictionary(self, ba_weighted):
+        result = approximate_orientation(ba_weighted, epsilon=1.0)
+        assert result.max_in_weight == pytest.approx(max(result.orientation.in_weight.values()))
+
+
+class TestApproximateDensestAPI:
+    def test_wrapper_matches_pipeline(self, k6):
+        api_result = approximate_densest_subsets(k6, epsilon=1.0)
+        direct = weak_densest_subsets(k6, epsilon=1.0)
+        assert api_result.best_density == pytest.approx(direct.best_density)
+        assert set(api_result.subsets) == set(direct.subsets)
+
+    def test_path_graph_degenerate_density(self):
+        g = path_graph(12)
+        result = approximate_densest_subsets(g, epsilon=1.0)
+        rho_star = maximum_density(g)   # (n-1)/n for a path
+        assert result.best_density >= rho_star / result.gamma - 1e-9

@@ -1,0 +1,111 @@
+"""Tests for Algorithm 1 (single-threshold elimination) — repro.core.elimination."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.elimination import (
+    b_core,
+    eliminate_on_graph,
+    eliminate_vectorized,
+    run_single_threshold,
+)
+from repro.errors import AlgorithmError
+from repro.graph.csr import graph_to_csr
+from repro.graph.generators.structured import complete_graph, path_graph, star_graph
+from repro.graph.graph import Graph
+
+
+class TestSingleThresholdProtocol:
+    def test_complete_graph_survives_low_threshold(self, k6):
+        result, _ = run_single_threshold(k6, threshold=3.0, rounds=4)
+        assert result.survivors == frozenset(range(6))
+
+    def test_complete_graph_dies_above_degree(self, k6):
+        result, _ = run_single_threshold(k6, threshold=5.5, rounds=1)
+        assert result.survivors == frozenset()
+
+    def test_path_peels_from_the_ends(self):
+        g = path_graph(6)
+        result, _ = run_single_threshold(g, threshold=2.0, rounds=1)
+        # After one round only the endpoints (degree 1) die.
+        assert result.survivors == frozenset({1, 2, 3, 4})
+        result2, _ = run_single_threshold(g, threshold=2.0, rounds=3)
+        assert result2.survivors == frozenset()
+
+    def test_history_is_monotone_decreasing(self, clique_with_tail):
+        result, _ = run_single_threshold(clique_with_tail, threshold=2.0, rounds=5)
+        for earlier, later in zip(result.history, result.history[1:]):
+            assert later <= earlier
+
+    def test_zero_rounds_keeps_everyone(self, k6):
+        result, _ = run_single_threshold(k6, threshold=100.0, rounds=0)
+        assert result.survivors == frozenset(range(6))
+
+    def test_negative_rounds_rejected(self, k6):
+        with pytest.raises(AlgorithmError):
+            run_single_threshold(k6, 1.0, -1)
+
+    def test_weighted_degrees_respected(self, small_weighted):
+        # Threshold 2: node 3 (degree 1) dies, triangle (degrees >= 6) survives.
+        result, _ = run_single_threshold(small_weighted, threshold=2.0, rounds=3)
+        assert result.survivors == frozenset({0, 1, 2})
+
+    def test_self_loop_counts_towards_survival(self):
+        g = Graph(edges=[(0, 0, 5.0), (0, 1, 1.0)])
+        result, _ = run_single_threshold(g, threshold=3.0, rounds=3)
+        assert 0 in result.survivors
+        assert 1 not in result.survivors
+
+
+class TestVectorizedElimination:
+    def test_matches_protocol_on_star(self):
+        g = star_graph(6)
+        protocol_result, _ = run_single_threshold(g, threshold=2.0, rounds=3)
+        vector_result = eliminate_on_graph(g, threshold=2.0, rounds=3)
+        assert vector_result.survivors == protocol_result.survivors
+        assert vector_result.history == protocol_result.history
+
+    @pytest.mark.parametrize("threshold", [1.0, 2.0, 3.0, 4.5])
+    def test_matches_protocol_on_weighted_graph(self, small_weighted, threshold):
+        protocol_result, _ = run_single_threshold(small_weighted, threshold, rounds=4)
+        vector_result = eliminate_on_graph(small_weighted, threshold, rounds=4)
+        assert vector_result.survivors == protocol_result.survivors
+
+    def test_masks_shape_and_monotonicity(self, cycle8):
+        csr = graph_to_csr(cycle8)
+        masks = eliminate_vectorized(csr, threshold=3.0, rounds=4)
+        assert masks.shape == (5, 8)
+        assert masks[0].all()
+        for t in range(1, 5):
+            assert np.all(masks[t] <= masks[t - 1])
+
+    def test_early_stabilisation_fills_remaining_rows(self, k6):
+        csr = graph_to_csr(k6)
+        masks = eliminate_vectorized(csr, threshold=2.0, rounds=10)
+        assert masks[1].all()
+        assert masks[10].all()
+
+    def test_rejects_negative_rounds(self, k6):
+        with pytest.raises(AlgorithmError):
+            eliminate_vectorized(graph_to_csr(k6), 1.0, -2)
+
+
+class TestBCore:
+    def test_b_core_matches_coreness_threshold(self, clique_with_tail):
+        # The 4-core of K5-with-tail is exactly the K5.
+        assert b_core(clique_with_tail, 4.0) == set(range(5))
+        # The 1-core is everything.
+        assert b_core(clique_with_tail, 1.0) == set(clique_with_tail.nodes())
+        # Nothing has weighted degree >= 6 in a surviving subgraph.
+        assert b_core(clique_with_tail, 6.0) == set()
+
+    def test_b_core_of_star(self):
+        g = star_graph(5)
+        assert b_core(g, 2.0) == set()
+        assert b_core(g, 1.0) == set(g.nodes())
+
+    def test_b_core_with_weights(self, small_weighted):
+        assert b_core(small_weighted, 6.0) == {0, 1, 2}
+        assert b_core(small_weighted, 6.5) == set()

@@ -1,0 +1,203 @@
+"""Tests for the Update subroutine (Algorithm 3) — repro.core.update."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.update import (
+    update_counting,
+    update_naive,
+    update_sorted,
+    update_stable,
+    update_value_only,
+)
+from repro.errors import AlgorithmError
+
+
+def brute_force_value(entries, self_loop=0.0):
+    """Reference for Algorithm 3's value: max b with Σ_{i: b_i >= b} w_i + loop >= b.
+
+    The optimum is always either one of the b_i or one of the suffix masses
+    ``loop + Σ_{b_j >= b_i} w_j`` (it equals ``min`` of the two for the winning
+    interval), so sweeping that finite closure of candidates is exact.
+    """
+    candidates = {0.0, self_loop}
+    for _, b, _ in entries:
+        if math.isfinite(b):
+            candidates.add(b)
+    closure = set(candidates)
+    for x in candidates:
+        closure.add(self_loop + sum(w for _, b, w in entries if b >= x))
+    best = 0.0
+    for x in sorted(closure):
+        mass = self_loop + sum(w for _, b, w in entries if b >= x)
+        if mass >= x:
+            best = max(best, x)
+    return best
+
+
+class TestUpdateSortedBasics:
+    def test_empty_entries_returns_self_loop(self):
+        assert update_sorted([], self_loop=2.5).value == 2.5
+        assert update_sorted([]).kept == ()
+
+    def test_single_neighbor(self):
+        result = update_sorted([("u", 5.0, 2.0)])
+        # W(x) = 2 for x <= 5; max feasible x = 2.
+        assert result.value == pytest.approx(2.0)
+        assert result.kept == ("u",)
+
+    def test_first_round_all_infinite_gives_degree(self):
+        entries = [("a", math.inf, 1.0), ("b", math.inf, 2.0), ("c", math.inf, 3.0)]
+        result = update_sorted(entries)
+        assert result.value == pytest.approx(6.0)
+        assert set(result.kept) == {"a", "b", "c"}
+
+    def test_paper_style_example(self):
+        # Neighbours with values 1, 2, 3, 4 and unit weights: the h-index is 2.
+        entries = [(i, float(i), 1.0) for i in range(1, 5)]
+        assert update_sorted(entries).value == pytest.approx(2.0)
+
+    def test_weighted_example(self):
+        # Values 10 and 1 with weights 4 and 10: for x <= 1 mass is 14, for x in (1,10]
+        # mass is 4 -> best is 4.
+        entries = [("hi", 10.0, 4.0), ("lo", 1.0, 10.0)]
+        assert update_sorted(entries).value == pytest.approx(4.0)
+
+    def test_self_loop_contributes(self):
+        entries = [("u", 1.0, 1.0)]
+        assert update_sorted(entries, self_loop=5.0).value == pytest.approx(5.0)
+
+    def test_kept_subset_weight_bounded_by_value(self):
+        entries = [("a", 3.0, 2.0), ("b", 2.0, 2.0), ("c", 1.0, 2.0)]
+        result = update_sorted(entries)
+        kept_weight = sum(w for nid, _, w in entries if nid in result.kept)
+        assert kept_weight <= result.value + 1e-12
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(AlgorithmError):
+            update_sorted([("u", 1.0, -1.0)])
+
+    def test_nan_rejected(self):
+        with pytest.raises(AlgorithmError):
+            update_sorted([("u", float("nan"), 1.0)])
+
+    def test_negative_self_loop_rejected(self):
+        with pytest.raises(AlgorithmError):
+            update_sorted([], self_loop=-1.0)
+
+    def test_bad_entry_shape_rejected(self):
+        with pytest.raises(AlgorithmError):
+            update_sorted([("u", 1.0)])
+
+
+class TestTieBreakingVariants:
+    def test_history_tiebreak_orders_recently_higher_values_later(self):
+        # Both neighbours currently have value 2, but "a" had a higher value last
+        # round, so "a" sorts after "b" and is preferentially kept.
+        entries = [("a", 2.0, 1.5), ("b", 2.0, 1.5)]
+        histories = {"a": [5.0], "b": [2.0]}
+        result = update_sorted(entries, histories=histories)
+        assert result.value == pytest.approx(2.0)
+        assert result.kept == ("a",)
+
+    def test_stable_variant_respects_fixed_order(self):
+        entries = [("a", 2.0, 1.5), ("b", 2.0, 1.5)]
+        result_ab = update_stable(entries, ["a", "b"])
+        result_ba = update_stable(entries, ["b", "a"])
+        assert result_ab.value == result_ba.value == pytest.approx(2.0)
+        assert result_ab.kept == ("b",)
+        assert result_ba.kept == ("a",)
+
+    def test_stable_variant_requires_complete_order(self):
+        with pytest.raises(AlgorithmError):
+            update_stable([("a", 1.0, 1.0)], ["b"])
+
+    def test_all_variants_agree_on_the_value(self):
+        entries = [("a", 3.0, 1.0), ("b", 3.0, 2.0), ("c", 1.0, 4.0)]
+        v1 = update_sorted(entries, histories={"a": [4.0], "b": [3.0], "c": [9.0]}).value
+        v2 = update_stable(entries, ["c", "b", "a"]).value
+        v3 = update_naive(entries).value
+        v4 = update_value_only(entries)
+        assert v1 == v2 == v3 == pytest.approx(v4)
+
+
+class TestCountingVariant:
+    def test_matches_sorted_on_integers(self):
+        degrees = [3.0, 1.0, 4.0, 1.0, 5.0, 2.0]
+        entries = [(i, b, 1.0) for i, b in enumerate(degrees)]
+        assert update_counting(degrees) == pytest.approx(update_sorted(entries).value)
+
+    def test_h_index_semantics(self):
+        assert update_counting([5.0, 5.0, 5.0]) == 3.0
+        assert update_counting([1.0, 1.0, 1.0, 1.0]) == 1.0
+        assert update_counting([]) == 0.0
+
+    def test_handles_infinite_values(self):
+        assert update_counting([math.inf, math.inf]) == 2.0
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(AlgorithmError):
+            update_counting([1.0], self_loop=1.0)
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(AlgorithmError):
+            update_counting([1.5])
+
+    def test_rejects_negative(self):
+        with pytest.raises(AlgorithmError):
+            update_counting([-1.0])
+
+    @given(st.lists(st.integers(min_value=0, max_value=30), max_size=30))
+    def test_counting_equals_sorting_property(self, values):
+        degrees = [float(v) for v in values]
+        entries = [(i, b, 1.0) for i, b in enumerate(degrees)]
+        assert update_counting(degrees) == pytest.approx(update_sorted(entries).value)
+
+
+entry_strategy = st.tuples(
+    st.integers(min_value=0, max_value=50),
+    st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+)
+
+
+class TestUpdateProperties:
+    @given(st.lists(entry_strategy, max_size=15),
+           st.floats(min_value=0.0, max_value=5.0))
+    @settings(max_examples=150, deadline=None)
+    def test_value_matches_specification(self, raw_entries, self_loop):
+        entries = [(f"n{i}", b, w) for i, (_, b, w) in enumerate(raw_entries)]
+        value = update_sorted(entries, self_loop=self_loop).value
+        # Feasibility: total weight of entries with b_i >= value (+ loop) covers value.
+        mass = self_loop + sum(w for _, b, w in entries if b >= value - 1e-9)
+        assert mass >= value - 1e-9
+        # Optimality against the closure-sweep reference.
+        assert value == pytest.approx(brute_force_value(entries, self_loop), abs=1e-6)
+
+    @given(st.lists(entry_strategy, min_size=1, max_size=15))
+    @settings(max_examples=100, deadline=None)
+    def test_value_bounded_by_total_weight_and_max_b(self, raw_entries):
+        entries = [(f"n{i}", b, w) for i, (_, b, w) in enumerate(raw_entries)]
+        value = update_sorted(entries).value
+        assert value <= sum(w for _, _, w in entries) + 1e-9
+        assert value <= max(b for _, b, _ in entries) + 1e-9
+
+    @given(st.lists(entry_strategy, min_size=1, max_size=12))
+    @settings(max_examples=100, deadline=None)
+    def test_kept_subset_invariant_one(self, raw_entries):
+        entries = [(f"n{i}", b, w) for i, (_, b, w) in enumerate(raw_entries)]
+        result = update_sorted(entries)
+        kept_weight = sum(w for nid, _, w in entries if nid in result.kept)
+        assert kept_weight <= result.value + 1e-9
+
+    @given(st.lists(entry_strategy, min_size=1, max_size=12))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_neighbor_values(self, raw_entries):
+        """Decreasing any neighbour's value can never increase the result."""
+        entries = [(f"n{i}", b, w) for i, (_, b, w) in enumerate(raw_entries)]
+        lowered = [(nid, b * 0.5, w) for nid, b, w in entries]
+        assert update_sorted(lowered).value <= update_sorted(entries).value + 1e-9

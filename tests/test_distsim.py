@@ -1,0 +1,255 @@
+"""Tests for the synchronous LOCAL-model simulator (repro.distsim)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distsim.congest import CongestBudget, MessageSizeModel
+from repro.distsim.faults import FaultModel, no_faults
+from repro.distsim.message import BROADCAST, Message
+from repro.distsim.network import SyncNetwork
+from repro.distsim.node import NodeContext, NodeProtocol
+from repro.distsim.runner import run_protocol
+from repro.errors import SimulationError
+from repro.graph.generators.structured import complete_graph, cycle_graph, path_graph, star_graph
+from repro.graph.graph import Graph
+
+
+class EchoDegreeProtocol(NodeProtocol):
+    """Each node broadcasts 1 and counts how many messages it receives per round."""
+
+    def __init__(self, context):
+        super().__init__(context)
+        self.received_counts = []
+
+    def compose_message(self, round_index):
+        return self.broadcast(1)
+
+    def receive(self, round_index, messages):
+        self.received_counts.append(len(messages))
+
+    def output(self):
+        return self.received_counts
+
+
+class MaxIdFloodProtocol(NodeProtocol):
+    """Classic flood-max: after D rounds every node knows the maximum node id."""
+
+    def __init__(self, context):
+        super().__init__(context)
+        self.best = context.node_id
+
+    def compose_message(self, round_index):
+        return self.broadcast(self.best)
+
+    def receive(self, round_index, messages):
+        for message in messages.values():
+            self.best = max(self.best, message.payload)
+
+    def output(self):
+        return self.best
+
+
+class UnicastToSmallestProtocol(NodeProtocol):
+    """Sends its id only to its smallest-id neighbour; used to test recipient lists."""
+
+    def __init__(self, context):
+        super().__init__(context)
+        self.inbox = []
+
+    def compose_message(self, round_index):
+        if not self.context.neighbor_weights:
+            return None
+        target = min(self.context.neighbor_weights)
+        return self.unicast(self.context.node_id, [target])
+
+    def receive(self, round_index, messages):
+        self.inbox.extend(m.payload for m in messages.values())
+
+    def output(self):
+        return sorted(self.inbox)
+
+
+class HaltImmediatelyProtocol(NodeProtocol):
+    def compose_message(self, round_index):
+        self.halt()
+        return None
+
+    def receive(self, round_index, messages):
+        pass
+
+    def output(self):
+        return "halted"
+
+
+class TestSyncNetwork:
+    def test_every_node_hears_all_neighbors(self, k6):
+        run = run_protocol(k6, EchoDegreeProtocol, 3)
+        for counts in run.outputs.values():
+            assert counts == [5, 5, 5]
+
+    def test_flood_max_needs_diameter_rounds(self):
+        g = path_graph(6)   # diameter 5
+        network = SyncNetwork(g, MaxIdFloodProtocol)
+        network.run(2)
+        assert network.outputs()[0] == 2     # info travelled only 2 hops
+        network.run(3)
+        assert network.outputs()[0] == 5     # after 5 rounds the max has arrived
+
+    def test_unicast_restricted_recipients(self):
+        g = star_graph(4)   # centre 0, leaves 1..4
+        run = run_protocol(g, UnicastToSmallestProtocol, 1)
+        # Every leaf sends to the centre (its only neighbour); centre sends to leaf 1.
+        assert run.outputs[0] == [1, 2, 3, 4]
+        assert run.outputs[1] == [0]
+        assert run.outputs[2] == []
+
+    def test_messaging_non_neighbor_raises(self):
+        class BadProtocol(NodeProtocol):
+            def compose_message(self, round_index):
+                return self.unicast("x", ["not-a-neighbor"])
+
+            def receive(self, round_index, messages):
+                pass
+
+            def output(self):
+                return None
+
+        g = path_graph(3)
+        network = SyncNetwork(g, BadProtocol)
+        with pytest.raises(SimulationError):
+            network.run_round()
+
+    def test_halted_nodes_stop_participating(self, triangle):
+        network = SyncNetwork(triangle, HaltImmediatelyProtocol)
+        stats = network.run(5)
+        # All nodes halt during round 1, so only one round is ever executed.
+        assert stats.num_rounds == 1
+        assert all(p.halted for p in network.protocols.values())
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(SimulationError):
+            SyncNetwork(Graph(), EchoDegreeProtocol)
+
+    def test_negative_round_count_rejected(self, triangle):
+        network = SyncNetwork(triangle, EchoDegreeProtocol)
+        with pytest.raises(SimulationError):
+            network.run(-1)
+
+    def test_factory_must_return_protocol(self, triangle):
+        with pytest.raises(SimulationError):
+            SyncNetwork(triangle, lambda ctx: object())
+
+    def test_run_until_predicate(self):
+        g = path_graph(8)
+        network = SyncNetwork(g, MaxIdFloodProtocol)
+        network.run_until(lambda net: net.outputs()[0] == 7, max_rounds=20)
+        assert network.outputs()[0] == 7
+        assert network.rounds_executed <= 8
+
+    def test_protocol_accessor(self, triangle):
+        network = SyncNetwork(triangle, EchoDegreeProtocol)
+        assert isinstance(network.protocol(0), EchoDegreeProtocol)
+        with pytest.raises(SimulationError):
+            network.protocol(99)
+
+
+class TestMessageStats:
+    def test_message_counts(self, k6):
+        run = run_protocol(k6, EchoDegreeProtocol, 2)
+        # 6 nodes broadcasting to 5 neighbours for 2 rounds.
+        assert run.stats.total_messages == 6 * 5 * 2
+        assert run.stats.num_rounds == 2
+        assert run.stats.total_bits > 0
+
+    def test_stats_summary_string(self, triangle):
+        run = run_protocol(triangle, EchoDegreeProtocol, 1)
+        summary = run.stats.summary()
+        assert "rounds=1" in summary and "messages=6" in summary
+
+
+class TestNodeContext:
+    def test_context_exposes_degrees(self, small_weighted):
+        captured = {}
+
+        class CaptureProtocol(NodeProtocol):
+            def __init__(self, context):
+                super().__init__(context)
+                captured[context.node_id] = (context.weighted_degree, context.degree,
+                                             context.num_nodes)
+
+            def compose_message(self, round_index):
+                return None
+
+            def receive(self, round_index, messages):
+                pass
+
+            def output(self):
+                return None
+
+        SyncNetwork(small_weighted, CaptureProtocol)
+        assert captured[0] == (pytest.approx(7.0), 3, 4)
+        assert captured[3] == (pytest.approx(1.0), 1, 4)
+
+
+class TestMessageSizeModel:
+    def test_int_and_bool_sizes(self):
+        model = MessageSizeModel()
+        assert model.payload_bits(True) == 1
+        assert model.payload_bits(0) == 2
+        assert model.payload_bits(255) == 9
+
+    def test_float_default_and_grid_sizes(self):
+        assert MessageSizeModel().payload_bits(3.14) == 64
+        assert MessageSizeModel(grid_size=1024).payload_bits(3.14) == 10
+
+    def test_infinity_is_cheap(self):
+        assert MessageSizeModel().payload_bits(float("inf")) == 2
+
+    def test_container_sizes_are_additive(self):
+        model = MessageSizeModel()
+        assert model.payload_bits((1, 2)) == 2 + model.payload_bits(1) + model.payload_bits(2)
+        assert model.payload_bits(None) == 1
+        assert model.payload_bits("ab") == 16
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(SimulationError):
+            MessageSizeModel().payload_bits(object())
+
+
+class TestCongestBudget:
+    def test_budget_scales_with_log_n(self):
+        assert CongestBudget(num_nodes=1024, words=2).budget_bits == 20
+        assert CongestBudget(num_nodes=1, words=3).budget_bits == 3
+
+    def test_violations_are_counted(self):
+        budget = CongestBudget(num_nodes=16, words=1)   # 4 bits
+        assert budget.observe(3)
+        assert not budget.observe(100)
+        assert budget.violations == 1
+        assert budget.max_observed_bits == 100
+
+
+class TestFaults:
+    def test_no_faults_helper(self):
+        assert no_faults() is None
+
+    def test_crash_schedule_silences_node(self):
+        g = cycle_graph(4)
+        faults = FaultModel(crash_schedule={0: 1})
+        run = run_protocol(g, EchoDegreeProtocol, 2, fault_model=faults)
+        # Node 0's neighbours (1 and 3) only hear from their other neighbour.
+        assert run.outputs[1] == [1, 1]
+        assert run.outputs[3] == [1, 1]
+        assert run.outputs[2] == [2, 2]
+
+    def test_message_drops_reduce_received_counts(self):
+        g = complete_graph(8)
+        faults = FaultModel(drop_probability=1.0)
+        run = run_protocol(g, EchoDegreeProtocol, 1, fault_model=faults)
+        assert all(counts == [0] for counts in run.outputs.values())
+        assert run.stats.total_dropped == run.stats.total_messages
+
+    def test_invalid_drop_probability(self):
+        with pytest.raises(ValueError):
+            FaultModel(drop_probability=1.5)

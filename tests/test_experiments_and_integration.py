@@ -1,0 +1,120 @@
+"""Tests for the experiment runners and a handful of end-to-end integration checks."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.experiments import (
+    ablation_a1_tiebreak,
+    ablation_a2_update_variants,
+    experiment_e2_bound_tightness,
+    experiment_e5_message_size,
+    experiment_e6_lower_bound,
+    experiment_e8_scaling,
+)
+from repro.analysis.tables import format_records
+from repro.baselines.exact_kcore import coreness
+from repro.baselines.goldberg import maximum_density
+from repro.core.api import approximate_coreness, approximate_densest_subsets, approximate_orientation
+from repro.graph.datasets import load_dataset
+from repro.graph.generators.lowerbound import lemma313_pair
+from repro.graph.properties import hop_diameter
+
+
+class TestExperimentRunners:
+    """The heavy experiment runners are exercised on reduced workloads here; the
+    benchmarks run the full configurations."""
+
+    def test_e2_rows_respect_theorem(self):
+        rows = experiment_e2_bound_tightness(dataset_names=("caveman",), epsilon=1.0,
+                                             max_rounds=10)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["bound_respected"] is True
+        assert row["max_ratio_at_theory_rounds"] <= row["guarantee_at_theory_rounds"] + 1e-9
+        assert row["rounds_measured_to_target"] is None or \
+            row["rounds_measured_to_target"] <= row["rounds_theory"]
+
+    def test_e5_message_size_decreases_with_lambda(self):
+        rows = experiment_e5_message_size("caveman", lambdas=(0.0, 0.5), epsilon=1.0)
+        assert len(rows) == 2
+        exact_row, rounded_row = rows
+        assert exact_row["lambda"] == 0.0
+        assert rounded_row["max_message_bits"] <= exact_row["max_message_bits"]
+        # Accuracy can only degrade by at most the (1+lambda) slack on the lower side.
+        assert rounded_row["max_ratio_vs_coreness"] <= exact_row["max_ratio_vs_coreness"] + 1e-9
+
+    def test_e6_lower_bound_rows(self):
+        rows = experiment_e6_lower_bound(cycle_nodes=16, gamma_depth_pairs=((2, 3),))
+        fig_rows = [r for r in rows if r["construction"].startswith("figure1")]
+        lemma_rows = [r for r in rows if r["construction"].startswith("lemma313")]
+        # With few rounds the three Figure I.1 gadgets are indistinguishable from v.
+        assert any(not r["distinguishable"] for r in fig_rows if r["rounds"] <= 2)
+        # The Lemma III.13 pair only becomes distinguishable at depth rounds.
+        early = [r for r in lemma_rows if r["rounds"] < 3]
+        late = [r for r in lemma_rows if r["rounds"] >= 3]
+        assert all(not r["distinguishable"] for r in early)
+        assert any(r["distinguishable"] for r in late)
+
+    def test_e8_scaling_runs(self):
+        rows = experiment_e8_scaling(sizes=(100, 200), rounds=4, include_simulation=True)
+        assert len(rows) == 2
+        assert all(row["vectorized_seconds"] >= 0 for row in rows)
+        assert "messages" in rows[0]
+
+    def test_a1_tiebreak_rows(self):
+        rows = ablation_a1_tiebreak(dataset_names=("caveman",), epsilon=1.0)
+        rules = {row["tie_break"] for row in rows}
+        assert rules == {"history", "stable", "naive"}
+        history_row = next(r for r in rows if r["tie_break"] == "history")
+        assert history_row["invariants_hold"] is True
+        assert history_row["uncovered_edges"] == 0
+
+    def test_a2_update_variants_agree(self):
+        rows = ablation_a2_update_variants(sizes=(50, 500))
+        assert all(row["agree"] for row in rows)
+
+    def test_format_records_renders_experiment_output(self):
+        rows = ablation_a2_update_variants(sizes=(20,))
+        text = format_records(rows)
+        assert "degree_d" in text
+
+
+class TestEndToEndScenarios:
+    def test_influencer_detection_scenario(self):
+        """Coreness-based influencer detection on a core-periphery graph."""
+        from repro.graph.generators.community import core_periphery
+
+        graph = core_periphery(15, 60, attach_degree=2, seed=21)
+        result = approximate_coreness(graph, epsilon=0.5)
+        exact = coreness(graph)
+        top = set(result.top_nodes(15))
+        assert top == set(range(15))
+        for v in top:
+            assert result.values[v] >= exact[v]
+
+    def test_load_balancing_scenario(self):
+        """Orientation as makespan minimisation on a weighted dataset graph."""
+        graph = load_dataset("caveman", weighted=True)
+        result = approximate_orientation(graph, epsilon=0.5)
+        rho_star = maximum_density(graph)
+        assert result.max_in_weight <= result.guarantee * rho_star + 1e-6
+        assert result.orientation.violations == 0
+
+    def test_community_density_scenario(self):
+        """Weak densest subsets find a community at least gamma-close to rho*."""
+        graph = load_dataset("communities")
+        result = approximate_densest_subsets(graph, epsilon=1.0)
+        rho_star = maximum_density(graph)
+        assert result.best_density >= rho_star / result.gamma - 1e-9
+        assert result.subsets_are_disjoint()
+
+    def test_diameter_independence_on_lower_bound_graph(self):
+        """The round budget depends on log n even when the diameter is comparable."""
+        pair = lemma313_pair(gamma=2, depth=6)
+        graph = pair.tree   # diameter 12
+        result = approximate_coreness(graph, epsilon=1.0)
+        assert result.rounds <= math.ceil(math.log2(graph.num_nodes)) + 1
+        assert result.rounds < hop_diameter(graph)

@@ -1,0 +1,80 @@
+"""Tests for the CSR view (repro.graph.csr)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.csr import csr_subset_density, graph_to_csr
+from repro.graph.graph import Graph
+
+
+class TestGraphToCSR:
+    def test_roundtrip_preserves_graph(self, k6):
+        csr = graph_to_csr(k6)
+        assert csr.to_graph() == k6
+
+    def test_roundtrip_with_weights_and_loops(self):
+        g = Graph(edges=[(0, 1, 2.0), (1, 2, 3.5), (2, 2, 1.25)])
+        csr = graph_to_csr(g)
+        assert csr.to_graph() == g
+
+    def test_num_nodes_and_entries(self, cycle8):
+        csr = graph_to_csr(cycle8)
+        assert csr.num_nodes == 8
+        assert csr.num_directed_entries == 16  # each edge stored twice
+
+    def test_degrees_match_graph(self, small_weighted):
+        csr = graph_to_csr(small_weighted)
+        degs = csr.degrees()
+        for i, label in enumerate(csr.labels()):
+            assert degs[i] == pytest.approx(small_weighted.degree(label))
+
+    def test_degrees_include_self_loops(self):
+        g = Graph(edges=[(0, 1, 1.0), (0, 0, 2.0)])
+        csr = graph_to_csr(g)
+        assert csr.degrees()[0] == pytest.approx(3.0)
+
+    def test_neighbors_and_weights_alignment(self, small_weighted):
+        csr = graph_to_csr(small_weighted)
+        labels = csr.labels()
+        idx0 = labels.index(0)
+        nbr_labels = {labels[int(u)] for u in csr.neighbors(idx0)}
+        assert nbr_labels == {1, 2, 3}
+        assert csr.neighbor_weights(idx0).sum() == pytest.approx(7.0)
+
+    def test_isolated_nodes_have_empty_rows(self):
+        g = Graph(nodes=[0, 1, 2], edges=[(0, 1)])
+        csr = graph_to_csr(g)
+        assert len(csr.neighbors(2)) == 0
+
+    def test_label_of(self):
+        g = Graph(edges=[("a", "b")])
+        csr = graph_to_csr(g)
+        assert csr.label_of(0) == "a"
+        assert csr.label_of(1) == "b"
+
+
+class TestCSRSubsetDensity:
+    def test_matches_graph_subset_density(self, k6):
+        csr = graph_to_csr(k6)
+        mask = np.zeros(6, dtype=bool)
+        mask[:3] = True
+        assert csr_subset_density(csr, mask) == pytest.approx(k6.subset_density([0, 1, 2]))
+
+    def test_with_self_loops(self):
+        g = Graph(edges=[(0, 1, 1.0), (1, 1, 4.0), (1, 2, 1.0)])
+        csr = graph_to_csr(g)
+        mask = np.array([True, True, False])
+        assert csr_subset_density(csr, mask) == pytest.approx(g.subset_density([0, 1]))
+
+    def test_rejects_wrong_mask_shape(self, k6):
+        csr = graph_to_csr(k6)
+        with pytest.raises(GraphError):
+            csr_subset_density(csr, np.ones(3, dtype=bool))
+
+    def test_rejects_empty_selection(self, k6):
+        csr = graph_to_csr(k6)
+        with pytest.raises(GraphError):
+            csr_subset_density(csr, np.zeros(6, dtype=bool))

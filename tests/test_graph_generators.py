@@ -1,0 +1,265 @@
+"""Tests for the graph generators (random, structured, community, R-MAT, weights)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators.community import (
+    block_membership,
+    community_labels_caveman,
+    core_periphery,
+    planted_partition,
+    relaxed_caveman,
+)
+from repro.graph.generators.random_graphs import (
+    barabasi_albert,
+    configuration_model_simple,
+    erdos_renyi_gnm,
+    erdos_renyi_gnp,
+    powerlaw_cluster,
+    powerlaw_degree_sequence,
+    random_regular,
+)
+from repro.graph.generators.rmat import rmat_graph
+from repro.graph.generators.structured import (
+    balanced_tree,
+    barbell_graph,
+    clique_plus_pendant_path,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+    tree_leaves,
+)
+from repro.graph.generators.weights import (
+    with_exponential_weights,
+    with_two_level_weights,
+    with_uniform_integer_weights,
+    with_uniform_real_weights,
+    with_unit_weights,
+)
+from repro.graph.properties import is_connected
+
+
+class TestErdosRenyi:
+    def test_gnp_zero_probability_has_no_edges(self):
+        assert erdos_renyi_gnp(50, 0.0, seed=1).num_edges == 0
+
+    def test_gnp_probability_one_is_complete(self):
+        g = erdos_renyi_gnp(10, 1.0, seed=1)
+        assert g.num_edges == 45
+
+    def test_gnp_edge_count_near_expectation(self):
+        g = erdos_renyi_gnp(200, 0.05, seed=3)
+        expected = 0.05 * 200 * 199 / 2
+        assert 0.6 * expected <= g.num_edges <= 1.4 * expected
+
+    def test_gnp_deterministic_given_seed(self):
+        a = erdos_renyi_gnp(60, 0.1, seed=9)
+        b = erdos_renyi_gnp(60, 0.1, seed=9)
+        assert a == b
+
+    def test_gnp_rejects_bad_probability(self):
+        with pytest.raises(GraphError):
+            erdos_renyi_gnp(10, 1.5)
+
+    def test_gnm_exact_edge_count(self):
+        g = erdos_renyi_gnm(30, 50, seed=2)
+        assert g.num_edges == 50
+        assert g.num_nodes == 30
+
+    def test_gnm_rejects_too_many_edges(self):
+        with pytest.raises(GraphError):
+            erdos_renyi_gnm(5, 20)
+
+
+class TestPreferentialAttachment:
+    def test_ba_node_and_edge_counts(self):
+        g = barabasi_albert(100, 3, seed=0)
+        assert g.num_nodes == 100
+        # initial star of 3 edges + (100 - 3 - 1) later nodes with 3 edges each
+        assert g.num_edges == 3 + 96 * 3
+
+    def test_ba_no_self_loops(self):
+        g = barabasi_albert(80, 2, seed=1)
+        assert all(u != v for u, v, _ in g.edges())
+
+    def test_ba_rejects_small_n(self):
+        with pytest.raises(GraphError):
+            barabasi_albert(3, 3)
+
+    def test_powerlaw_cluster_counts(self):
+        g = powerlaw_cluster(100, 3, 0.4, seed=5)
+        assert g.num_nodes == 100
+        assert g.num_edges == 3 + 96 * 3
+
+    def test_powerlaw_cluster_rejects_bad_probability(self):
+        with pytest.raises(GraphError):
+            powerlaw_cluster(10, 2, 1.5)
+
+    def test_skewed_degree_distribution(self):
+        g = barabasi_albert(300, 2, seed=4)
+        degrees = sorted((g.degree(v) for v in g.nodes()), reverse=True)
+        assert degrees[0] >= 4 * degrees[len(degrees) // 2]
+
+
+class TestRegularAndConfiguration:
+    def test_random_regular_degrees(self):
+        g = random_regular(20, 4, seed=6)
+        assert all(g.unweighted_degree(v) == 4 for v in g.nodes())
+
+    def test_random_regular_zero_degree(self):
+        g = random_regular(5, 0, seed=0)
+        assert g.num_edges == 0
+
+    def test_random_regular_rejects_odd_product(self):
+        with pytest.raises(GraphError):
+            random_regular(5, 3)
+
+    def test_configuration_model_degrees_do_not_exceed_target(self):
+        seq = [3, 3, 2, 2, 2, 2]
+        g = configuration_model_simple(seq, seed=8)
+        for v, target in zip(g.nodes(), seq):
+            assert g.unweighted_degree(v) <= target
+
+    def test_configuration_model_rejects_odd_sum(self):
+        with pytest.raises(GraphError):
+            configuration_model_simple([1, 1, 1])
+
+    def test_powerlaw_degree_sequence_has_even_sum(self):
+        seq = powerlaw_degree_sequence(101, 2.5, seed=3)
+        assert sum(seq) % 2 == 0
+        assert len(seq) == 101
+        assert min(seq) >= 1
+
+
+class TestStructured:
+    def test_path_cycle_star_complete(self):
+        assert path_graph(5).num_edges == 4
+        assert cycle_graph(5).num_edges == 5
+        assert star_graph(7).num_edges == 7
+        assert complete_graph(5).num_edges == 10
+
+    def test_cycle_requires_three_nodes(self):
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_grid_structure(self):
+        g = grid_graph(3, 4)
+        assert g.num_nodes == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_balanced_tree_counts(self):
+        tree = balanced_tree(2, 3)
+        assert tree.num_nodes == 15
+        assert tree.num_edges == 14
+        assert is_connected(tree)
+
+    def test_tree_leaves_labels(self):
+        leaves = tree_leaves(2, 3)
+        assert len(leaves) == 8
+        assert leaves == list(range(7, 15))
+        assert tree_leaves(3, 0) == [0]
+
+    def test_barbell_graph(self):
+        g = barbell_graph(4, 2)
+        assert g.num_nodes == 10
+        assert is_connected(g)
+        # two cliques of 6 edges each + path of 3 edges
+        assert g.num_edges == 6 + 6 + 3
+
+    def test_clique_plus_pendant_path(self):
+        g, endpoint = clique_plus_pendant_path(4, 3)
+        assert endpoint == 6
+        assert g.num_nodes == 7
+        assert g.unweighted_degree(endpoint) == 1
+
+
+class TestCommunity:
+    def test_planted_partition_size(self):
+        g = planted_partition(3, 10, 0.5, 0.02, seed=1)
+        assert g.num_nodes == 30
+
+    def test_planted_partition_intra_denser_than_inter(self):
+        g = planted_partition(2, 25, 0.5, 0.02, seed=2)
+        membership = block_membership(2, 25)
+        intra = sum(1 for u, v, _ in g.edges() if membership[u] == membership[v])
+        inter = g.num_edges - intra
+        assert intra > inter
+
+    def test_relaxed_caveman_zero_rewire_is_disjoint_cliques(self):
+        g = relaxed_caveman(3, 4, 0.0, seed=1)
+        labels = community_labels_caveman(3, 4)
+        for u, v, _ in g.edges():
+            assert labels[u] == labels[v]
+        assert g.num_edges == 3 * 6
+
+    def test_relaxed_caveman_rejects_bad_probability(self):
+        with pytest.raises(GraphError):
+            relaxed_caveman(2, 3, 1.5)
+
+    def test_core_periphery_structure(self):
+        g = core_periphery(8, 20, attach_degree=2, seed=3)
+        assert g.num_nodes == 28
+        for p in range(8, 28):
+            assert g.unweighted_degree(p) == 2
+
+    def test_core_periphery_rejects_attach_degree_above_core(self):
+        with pytest.raises(GraphError):
+            core_periphery(3, 5, attach_degree=4)
+
+
+class TestRMAT:
+    def test_rmat_node_count_and_simplicity(self):
+        g = rmat_graph(6, 4, seed=11)
+        assert g.num_nodes == 64
+        assert all(u != v for u, v, _ in g.edges())
+        assert g.num_edges <= 4 * 64
+
+    def test_rmat_rejects_bad_probabilities(self):
+        with pytest.raises(GraphError):
+            rmat_graph(4, 4, a=0.5, b=0.5, c=0.5, d=0.5)
+
+    def test_rmat_deterministic(self):
+        assert rmat_graph(5, 4, seed=1) == rmat_graph(5, 4, seed=1)
+
+
+class TestWeightSchemes:
+    def test_unit_weights(self, ba_weighted):
+        g = with_unit_weights(ba_weighted)
+        assert g.is_unit_weighted()
+        assert g.num_edges == ba_weighted.num_edges
+
+    def test_uniform_integer_weights_in_range(self, triangle):
+        g = with_uniform_integer_weights(triangle, 2, 4, seed=1)
+        for _, _, w in g.edges():
+            assert 2 <= w <= 4 and float(w).is_integer()
+
+    def test_two_level_weights(self, k6):
+        g = with_two_level_weights(k6, heavy_weight=9.0, heavy_fraction=0.5, seed=2)
+        weights = {w for _, _, w in g.edges()}
+        assert weights <= {1.0, 9.0}
+
+    def test_uniform_real_weights_in_range(self, triangle):
+        g = with_uniform_real_weights(triangle, 0.5, 2.0, seed=3)
+        for _, _, w in g.edges():
+            assert 0.5 <= w <= 2.0
+
+    def test_exponential_weights_positive(self, triangle):
+        g = with_exponential_weights(triangle, 1.0, seed=4)
+        assert all(w > 0 for _, _, w in g.edges())
+
+    def test_weight_schemes_preserve_topology(self, cycle8):
+        g = with_uniform_integer_weights(cycle8, 1, 3, seed=5)
+        assert {frozenset((u, v)) for u, v, _ in g.edges()} == \
+               {frozenset((u, v)) for u, v, _ in cycle8.edges()}
+
+    def test_invalid_parameters_raise(self, triangle):
+        with pytest.raises(GraphError):
+            with_uniform_integer_weights(triangle, 5, 2)
+        with pytest.raises(GraphError):
+            with_two_level_weights(triangle, heavy_weight=-1.0)
+        with pytest.raises(GraphError):
+            with_exponential_weights(triangle, 0.0)

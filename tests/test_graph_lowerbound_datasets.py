@@ -1,0 +1,113 @@
+"""Tests for the lower-bound constructions and the dataset registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.exact_kcore import coreness
+from repro.errors import GraphError
+from repro.graph.datasets import dataset_info, list_datasets, load_dataset
+from repro.graph.generators.lowerbound import (
+    FIGURE1_SPECIAL_NODE,
+    figure1_broken_cycle,
+    figure1_cycle,
+    figure1_triple,
+    lemma313_pair,
+)
+from repro.graph.properties import is_connected
+
+
+class TestFigure1Gadgets:
+    def test_cycle_coreness_is_two_everywhere(self):
+        g = figure1_cycle(16)
+        assert set(coreness(g).values()) == {2.0}
+
+    def test_broken_cycle_coreness_is_one(self):
+        g = figure1_broken_cycle(16)
+        assert set(coreness(g).values()) == {1.0}
+
+    def test_break_happens_far_from_special_node(self):
+        g = figure1_broken_cycle(20)
+        # The special node's local neighbourhood is untouched.
+        assert g.unweighted_degree(FIGURE1_SPECIAL_NODE) == 2
+
+    def test_triple_variants_differ_only_far_away(self):
+        a, b, c = figure1_triple(24)
+        assert a.num_edges == 24
+        assert b.num_edges == 23
+        assert c.num_edges == 23
+        assert b != c
+
+    def test_break_offset_validation(self):
+        with pytest.raises(GraphError):
+            figure1_broken_cycle(10, break_offset=10)
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(GraphError):
+            figure1_cycle(2)
+
+
+class TestLemma313Construction:
+    def test_tree_and_clique_coreness_gap(self):
+        pair = lemma313_pair(gamma=3, depth=3)
+        tree_core = coreness(pair.tree)
+        clique_core = coreness(pair.tree_with_clique)
+        assert tree_core[pair.root] == 1.0
+        assert clique_core[pair.root] >= pair.gamma
+
+    def test_every_node_of_g_prime_has_degree_at_least_gamma(self):
+        pair = lemma313_pair(gamma=2, depth=4)
+        g = pair.tree_with_clique
+        assert all(g.unweighted_degree(v) >= pair.gamma for v in g.nodes())
+
+    def test_leaf_count_requirement(self):
+        with pytest.raises(GraphError):
+            lemma313_pair(gamma=2, depth=1)   # only 2 leaves < 2*2+1
+
+    def test_rejects_gamma_below_two(self):
+        with pytest.raises(GraphError):
+            lemma313_pair(gamma=1, depth=3)
+
+    def test_depth_equals_round_lower_bound(self):
+        pair = lemma313_pair(gamma=2, depth=5)
+        assert pair.depth == 5
+        assert len(pair.leaves) == 2 ** 5
+        assert is_connected(pair.tree_with_clique)
+
+
+class TestDatasetRegistry:
+    def test_list_datasets_nonempty(self):
+        names = list_datasets()
+        assert len(names) >= 6
+        assert "collab-small" in names
+
+    def test_list_by_category(self):
+        small = list_datasets("small")
+        medium = list_datasets("medium")
+        assert set(small).isdisjoint(medium)
+        assert set(small) | set(medium) == set(list_datasets())
+
+    def test_dataset_info_and_load(self):
+        spec = dataset_info("collab-small")
+        graph = load_dataset("collab-small")
+        assert spec.category == "small"
+        assert graph.num_nodes == 400
+        assert graph.num_edges > 400
+
+    def test_load_is_deterministic(self):
+        assert load_dataset("communities") == load_dataset("communities")
+
+    def test_weighted_variant(self):
+        g = load_dataset("collab-small", weighted=True, weight_high=5)
+        assert not g.is_unit_weighted()
+        assert all(1 <= w <= 5 for _, _, w in g.edges())
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(GraphError):
+            load_dataset("does-not-exist")
+
+    @pytest.mark.parametrize("name", ["collab-small", "communities", "caveman", "road-grid"])
+    def test_small_datasets_are_nontrivial(self, name):
+        g = load_dataset(name)
+        assert g.num_nodes >= 200
+        assert g.num_edges >= g.num_nodes * 0.8

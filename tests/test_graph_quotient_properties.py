@@ -1,0 +1,137 @@
+"""Tests for quotient graphs, induced subgraphs and structural properties."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators.structured import balanced_tree, complete_graph, cycle_graph, path_graph
+from repro.graph.graph import Graph
+from repro.graph.properties import (
+    bfs_distances,
+    connected_components,
+    count_triangles,
+    degeneracy_ordering,
+    degree_statistics,
+    eccentricity,
+    hop_diameter,
+    is_connected,
+)
+from repro.graph.quotient import induced_subgraph, quotient_graph
+
+
+class TestQuotientGraph:
+    def test_empty_block_copies_graph(self, k6):
+        assert quotient_graph(k6, []) == k6
+
+    def test_cross_edges_become_self_loops(self):
+        g = Graph(edges=[(0, 1, 2.0), (1, 2, 3.0)])
+        q = quotient_graph(g, [1])
+        assert set(q.nodes()) == {0, 2}
+        assert q.self_loop_weight(0) == pytest.approx(2.0)
+        assert q.self_loop_weight(2) == pytest.approx(3.0)
+        assert q.num_edges == 2  # two self-loops
+
+    def test_internal_edges_disappear(self, k6):
+        q = quotient_graph(k6, [0, 1, 2])
+        # Each remaining node had 3 edges to the removed block -> loop weight 3.
+        for v in (3, 4, 5):
+            assert q.self_loop_weight(v) == pytest.approx(3.0)
+        # Plus the triangle among the survivors remains.
+        assert q.has_edge(3, 4) and q.has_edge(4, 5) and q.has_edge(3, 5)
+
+    def test_definition_ii2_weight_conservation(self, k6):
+        """Edges not fully inside B keep their total weight in the quotient."""
+        q = quotient_graph(k6, [0, 1])
+        outside_weight = sum(w for u, v, w in k6.edges() if not {u, v} <= {0, 1})
+        assert q.total_weight == pytest.approx(outside_weight)
+
+    def test_unknown_node_in_block_raises(self, k6):
+        with pytest.raises(GraphError):
+            quotient_graph(k6, [99])
+
+    def test_quotient_of_everything_is_empty(self, triangle):
+        q = quotient_graph(triangle, [0, 1, 2])
+        assert q.num_nodes == 0
+        assert q.num_edges == 0
+
+
+class TestInducedSubgraph:
+    def test_keeps_only_internal_edges(self, k6):
+        sub = induced_subgraph(k6, [0, 1, 2])
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 3
+
+    def test_keeps_self_loops(self):
+        g = Graph(edges=[(0, 0, 2.0), (0, 1, 1.0)])
+        sub = induced_subgraph(g, [0])
+        assert sub.self_loop_weight(0) == 2.0
+        assert sub.num_edges == 1
+
+    def test_unknown_node_raises(self, k6):
+        with pytest.raises(GraphError):
+            induced_subgraph(k6, [0, 42])
+
+
+class TestProperties:
+    def test_connected_components_of_disconnected_graph(self):
+        g = Graph(edges=[(0, 1), (2, 3)], nodes=[4])
+        comps = connected_components(g)
+        assert sorted(sorted(c) for c in comps) == [[0, 1], [2, 3], [4]]
+
+    def test_is_connected(self, k6):
+        assert is_connected(k6)
+        assert is_connected(Graph())
+        assert not is_connected(Graph(nodes=[0, 1]))
+
+    def test_bfs_distances_on_path(self, path5):
+        dist = bfs_distances(path5, 0)
+        assert dist == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_bfs_unknown_source_raises(self, path5):
+        with pytest.raises(GraphError):
+            bfs_distances(path5, 99)
+
+    def test_eccentricity_and_diameter_of_path(self, path5):
+        assert eccentricity(path5, 0) == 4
+        assert eccentricity(path5, 2) == 2
+        assert hop_diameter(path5) == 4
+
+    def test_diameter_of_complete_graph(self, k6):
+        assert hop_diameter(k6) == 1
+
+    def test_approximate_diameter_lower_bounds_exact(self):
+        tree = balanced_tree(2, 5)
+        exact = hop_diameter(tree, exact=True)
+        approx = hop_diameter(tree, exact=False, sample_size=8, seed=1)
+        assert approx <= exact
+        assert approx >= exact // 2  # double sweep is at least half
+
+    def test_diameter_of_empty_graph_raises(self):
+        with pytest.raises(GraphError):
+            hop_diameter(Graph())
+
+    def test_degeneracy_of_complete_graph(self, k6):
+        order, degeneracy = degeneracy_ordering(k6)
+        assert degeneracy == 5
+        assert len(order) == 6
+
+    def test_degeneracy_of_tree_is_one(self):
+        tree = balanced_tree(3, 3)
+        _, degeneracy = degeneracy_ordering(tree)
+        assert degeneracy == 1
+
+    def test_degree_statistics(self, star10):
+        stats = degree_statistics(star10)
+        assert stats["max"] == 10
+        assert stats["min"] == 1
+        assert stats["mean"] == pytest.approx(20 / 11)
+
+    def test_degree_statistics_empty_raises(self):
+        with pytest.raises(GraphError):
+            degree_statistics(Graph())
+
+    def test_count_triangles(self):
+        assert count_triangles(complete_graph(4)) == 4
+        assert count_triangles(cycle_graph(5)) == 0
+        assert count_triangles(complete_graph(5)) == 10

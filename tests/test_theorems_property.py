@@ -1,0 +1,134 @@
+"""Property-based tests of the paper's theorems on random graphs (hypothesis).
+
+These are the end-to-end correctness properties of the reproduction:
+
+* Theorem I.1  — the surviving numbers sandwich the coreness / maximal density;
+* Corollary III.6 — r(v) <= c(v) <= 2 r(v);
+* Theorem I.2  — the orientation is feasible and within 2·n^(1/T) of the LP bound;
+* Lemma III.11 — the auxiliary subsets satisfy Definition III.7 on every input;
+* Theorem I.3  — the weak densest subset collection satisfies Definition IV.1.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis.invariants import (
+    check_coreness_density_relation,
+    check_orientation_invariants,
+    check_sandwich,
+    check_weak_densest_definition,
+)
+from repro.baselines.bruteforce import (
+    bruteforce_max_density,
+    bruteforce_maximal_densities,
+)
+from repro.baselines.exact_kcore import coreness
+from repro.core.api import approximate_coreness, approximate_orientation
+from repro.core.densest import weak_densest_subsets
+from repro.core.rounds import guarantee_after_rounds
+from repro.core.surviving import run_compact_elimination
+from repro.graph.graph import Graph
+
+
+@st.composite
+def small_weighted_graphs(draw, max_nodes=9, weighted=True):
+    """Random small graphs: node count, an edge mask over all pairs, and weights."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    mask = draw(st.lists(st.booleans(), min_size=len(pairs), max_size=len(pairs)))
+    if weighted:
+        weights = draw(st.lists(st.integers(min_value=1, max_value=9),
+                                min_size=len(pairs), max_size=len(pairs)))
+    else:
+        weights = [1] * len(pairs)
+    graph = Graph(nodes=range(n))
+    for keep, (u, v), w in zip(mask, pairs, weights):
+        if keep:
+            graph.add_edge(u, v, float(w))
+    return graph
+
+
+common_settings = settings(max_examples=40, deadline=None,
+                           suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestTheoremI1Properties:
+    @given(small_weighted_graphs(), st.integers(min_value=1, max_value=6))
+    @common_settings
+    def test_sandwich_holds(self, graph, rounds):
+        exact_core = coreness(graph)
+        r_values = bruteforce_maximal_densities(graph)
+        result, _ = run_compact_elimination(graph, rounds, track_kept=False)
+        guarantee = guarantee_after_rounds(graph.num_nodes, rounds)
+        report = check_sandwich(result.values, exact_core, r_values, guarantee)
+        assert report.holds, report.violations
+
+    @given(small_weighted_graphs())
+    @common_settings
+    def test_corollary_iii6(self, graph):
+        exact_core = coreness(graph)
+        r_values = bruteforce_maximal_densities(graph)
+        report = check_coreness_density_relation(exact_core, r_values)
+        assert report.holds, report.violations
+
+    @given(small_weighted_graphs(weighted=False), st.integers(min_value=1, max_value=5))
+    @common_settings
+    def test_values_never_below_coreness_unweighted(self, graph, rounds):
+        exact_core = coreness(graph)
+        result, _ = run_compact_elimination(graph, rounds, track_kept=False)
+        for v in graph.nodes():
+            assert result.values[v] >= exact_core[v] - 1e-9
+
+
+class TestLemmaIII11AndTheoremI2Properties:
+    @given(small_weighted_graphs(), st.integers(min_value=1, max_value=6))
+    @common_settings
+    def test_definition_iii7_invariants(self, graph, rounds):
+        result, _ = run_compact_elimination(graph, rounds, track_kept=True)
+        report = check_orientation_invariants(graph, result.values, result.kept)
+        assert report.holds, report.violations
+
+    @given(small_weighted_graphs(max_nodes=8), st.integers(min_value=1, max_value=5))
+    @common_settings
+    def test_orientation_objective_bounded(self, graph, rounds):
+        if graph.num_edges == 0:
+            return
+        result = approximate_orientation(graph, rounds=rounds)
+        rho_star = bruteforce_max_density(graph)
+        guarantee = guarantee_after_rounds(graph.num_nodes, rounds)
+        assert result.max_in_weight <= guarantee * rho_star + 1e-6
+        assert result.orientation.violations == 0
+
+
+class TestTheoremI3Properties:
+    @given(small_weighted_graphs(max_nodes=8))
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_weak_densest_definition(self, graph):
+        if graph.num_edges == 0:
+            return
+        result = weak_densest_subsets(graph, epsilon=1.0)
+        rho_star = bruteforce_max_density(graph)
+        report = check_weak_densest_definition(graph, result.subsets,
+                                               rho_star / result.gamma)
+        assert report.holds, report.violations
+        assert result.subsets_are_disjoint()
+
+
+class TestApproximateCorenessAgainstBruteforce:
+    @given(small_weighted_graphs(max_nodes=8), st.floats(min_value=0.2, max_value=2.0))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_epsilon_parametrisation_guarantee(self, graph, epsilon):
+        exact_core = coreness(graph)
+        result = approximate_coreness(graph, epsilon=epsilon)
+        target = 2.0 * (1.0 + epsilon)
+        for v in graph.nodes():
+            # The realised guarantee 2 n^(1/T) is <= 2(1+eps) by the choice of T.
+            assert result.values[v] <= target * max(exact_core[v], 0.0) + 1e-6 \
+                or exact_core[v] == 0.0
+            assert result.values[v] >= exact_core[v] - 1e-9
