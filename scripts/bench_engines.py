@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Micro-benchmark: sharded vs vectorized engine on one generated graph.
+
+Prints a one-line timing comparison (plus a values-identical check), e.g.::
+
+    $ python scripts/bench_engines.py --nodes 100000 --rounds 10 --shards 8
+    engines n=100000 m=299994 T=10 | vectorized 2.31s | sharded(8) 2.78s | ratio 1.20x | identical=True
+
+Used by ``scripts/check.sh`` with a small graph as a smoke check; run it with
+``--nodes 100000`` to reproduce the E8 acceptance measurement (sharded must
+stay within 2x of vectorized while touching one shard's frontier arrays at a
+time).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.engine import get_engine  # noqa: E402
+from repro.graph.csr import graph_to_csr  # noqa: E402
+from repro.graph.generators.random_graphs import barabasi_albert  # noqa: E402
+
+
+def best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=20000, help="graph size n")
+    parser.add_argument("--degree", type=int, default=3, help="BA attachment degree")
+    parser.add_argument("--rounds", type=int, default=10, help="round budget T")
+    parser.add_argument("--shards", type=int, default=8, help="shard count")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="thread-pool size for the sharded engine (default: sequential)")
+    parser.add_argument("--repeats", type=int, default=3, help="best-of repeats")
+    parser.add_argument("--seed", type=int, default=99)
+    args = parser.parse_args()
+
+    graph = barabasi_albert(args.nodes, args.degree, seed=args.seed)
+    csr = graph_to_csr(graph)  # shared view: time the engines, not the conversion
+
+    vectorized = get_engine("vectorized")
+    sharded = get_engine("sharded", num_shards=args.shards, max_workers=args.workers)
+
+    vec_seconds = best_of(
+        lambda: vectorized.run(graph, args.rounds, track_kept=False, csr=csr),
+        args.repeats)
+    sharded_seconds = best_of(
+        lambda: sharded.run(graph, args.rounds, track_kept=False, csr=csr),
+        args.repeats)
+
+    vec_result = vectorized.run(graph, args.rounds, track_kept=False, csr=csr)
+    sharded_result = sharded.run(graph, args.rounds, track_kept=False, csr=csr)
+    identical = bool(np.array_equal(vec_result.trajectory, sharded_result.trajectory))
+
+    ratio = sharded_seconds / vec_seconds if vec_seconds > 0 else float("inf")
+    shard_label = f"{args.shards}" + (f"x{args.workers}w" if args.workers else "")
+    print(f"engines n={graph.num_nodes} m={graph.num_edges} T={args.rounds} | "
+          f"vectorized {vec_seconds:.2f}s | sharded({shard_label}) {sharded_seconds:.2f}s | "
+          f"ratio {ratio:.2f}x | identical={identical}")
+    if not identical:
+        print("error: engines disagree on the surviving numbers", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

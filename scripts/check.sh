@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI / pre-merge check: tier-1 tests, a quickstart smoke run, and the
+# sharded-vs-vectorized engine micro-benchmark.
+#
+# Usage:  ./scripts/check.sh            (from anywhere; repo root is inferred)
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$REPO_ROOT"
+export PYTHONPATH="$REPO_ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo
+echo "== slow + bench tests =="
+python -m pytest -q -m "slow or bench"
+
+echo
+echo "== quickstart smoke run =="
+python examples/quickstart.py
+
+echo
+echo "== engine micro-benchmark (sharded vs vectorized) =="
+python scripts/bench_engines.py --nodes 20000 --rounds 10 --shards 8 --repeats 2
+
+echo
+echo "check.sh: all green"

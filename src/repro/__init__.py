@@ -28,6 +28,14 @@ from repro.core.api import (
     approximate_orientation,
 )
 from repro.core.densest import WeakDensestResult
+from repro.engine import (
+    BatchJob,
+    BatchRunner,
+    Engine,
+    available_engines,
+    get_engine,
+    register_engine,
+)
 from repro.errors import (
     AlgorithmError,
     ConvergenceError,
@@ -50,6 +58,12 @@ __all__ = [
     "CorenessResult",
     "OrientationResult",
     "WeakDensestResult",
+    "Engine",
+    "get_engine",
+    "register_engine",
+    "available_engines",
+    "BatchRunner",
+    "BatchJob",
     "ReproError",
     "GraphError",
     "ProtocolError",

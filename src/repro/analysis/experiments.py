@@ -277,20 +277,31 @@ def experiment_e7_baselines(dataset_names: Sequence[str] = SMALL_SUITE, *,
 # --------------------------------------------------------------------------- E8
 def experiment_e8_scaling(sizes: Sequence[int] = (200, 500, 1000, 2000), *,
                           average_degree: int = 6, rounds: int = 10,
-                          include_simulation: bool = True) -> List[dict]:
-    """E8 — engine scaling: wall-clock and message counts vs graph size."""
+                          include_simulation: bool = True,
+                          engines: Sequence[str] = ("vectorized", "sharded"),
+                          ) -> List[dict]:
+    """E8 — engine scaling: wall-clock and message counts vs graph size.
+
+    Every entry of ``engines`` is an engine spec resolved through the registry
+    (:func:`repro.engine.get_engine`) and timed on the same graphs; the faithful
+    simulator is timed separately (``include_simulation``) because it also
+    yields the message-traffic columns a real deployment would pay.
+    """
+    from repro.engine import get_engine
+
     rows: List[dict] = []
+    resolved = [(spec, get_engine(spec)) for spec in engines]
     for n in sizes:
         graph = barabasi_albert(n, max(1, average_degree // 2), seed=1000 + n)
-        start = time.perf_counter()
-        compact_elimination(graph, rounds, engine="vectorized", track_kept=False)
-        vectorized_seconds = time.perf_counter() - start
         record = {
             "n": n,
             "m": graph.num_edges,
             "rounds": rounds,
-            "vectorized_seconds": vectorized_seconds,
         }
+        for spec, eng in resolved:
+            start = time.perf_counter()
+            eng.run(graph, rounds, track_kept=False)
+            record[f"{spec}_seconds"] = time.perf_counter() - start
         if include_simulation and n <= 1000:
             start = time.perf_counter()
             _, run = run_compact_elimination(graph, rounds, track_kept=False)

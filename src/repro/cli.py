@@ -5,8 +5,11 @@ dataset) without writing Python::
 
     python -m repro coreness --dataset collab-small --epsilon 0.5 --top 10
     python -m repro coreness --input graph.edges --rounds 8 --output values.tsv
+    python -m repro coreness --dataset social-ba --epsilon 0.5 --engine sharded:4
     python -m repro orientation --dataset caveman --weighted --epsilon 0.5
     python -m repro densest --input graph.edges --epsilon 1.0
+    python -m repro batch --dataset caveman --dataset communities --epsilon 0.5 --rounds 4
+    python -m repro engines
     python -m repro datasets
 
 Edge-list files use the same format as :mod:`repro.graph.io` (``u v [w]`` per line,
@@ -23,6 +26,7 @@ from typing import Optional, Sequence
 from repro._version import __version__
 from repro.analysis.tables import format_table
 from repro.core.api import approximate_coreness, approximate_densest_subsets, approximate_orientation
+from repro.engine import BatchRunner, available_engines, get_engine, sweep_jobs
 from repro.errors import ReproError
 from repro.graph.datasets import dataset_info, list_datasets, load_dataset
 from repro.graph.graph import Graph
@@ -50,9 +54,15 @@ def _build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--output", type=Path, default=None,
                          help="write per-node results as TSV instead of a table")
 
+    def add_engine_argument(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--engine", default="vectorized", metavar="SPEC",
+                         help="execution engine spec, e.g. 'vectorized', 'faithful', "
+                              "'sharded:4' (see the 'engines' subcommand)")
+
     coreness_parser = subparsers.add_parser(
         "coreness", help="approximate coreness / maximal density per node (Theorem I.1)")
     add_graph_arguments(coreness_parser)
+    add_engine_argument(coreness_parser)
     coreness_parser.add_argument("--top", type=int, default=10,
                                  help="number of top nodes to print (default 10)")
     coreness_parser.add_argument("--lam", type=float, default=0.0,
@@ -61,11 +71,32 @@ def _build_parser() -> argparse.ArgumentParser:
     orientation_parser = subparsers.add_parser(
         "orientation", help="approximate min-max edge orientation (Theorem I.2)")
     add_graph_arguments(orientation_parser)
+    add_engine_argument(orientation_parser)
 
     densest_parser = subparsers.add_parser(
         "densest", help="weak densest subset collection (Theorem I.3)")
     add_graph_arguments(densest_parser)
 
+    batch_parser = subparsers.add_parser(
+        "batch", help="run a batch of coreness jobs (graphs x budgets x lambdas) "
+                      "through one engine with shared CSR views")
+    batch_parser.add_argument("--input", type=Path, action="append", default=[],
+                              help="edge-list file; repeatable")
+    batch_parser.add_argument("--dataset", choices=list_datasets(), action="append",
+                              default=[], help="bundled dataset; repeatable")
+    batch_parser.add_argument("--weighted", action="store_true",
+                              help="layer integer weights onto the bundled datasets")
+    batch_parser.add_argument("--epsilon", type=float, action="append", default=[],
+                              help="budget variant: target ratio 2(1+epsilon); repeatable")
+    batch_parser.add_argument("--rounds", type=int, action="append", default=[],
+                              help="budget variant: explicit round budget T; repeatable")
+    batch_parser.add_argument("--lam", type=float, action="append", default=[],
+                              help="Lambda-grid variant (default: 0.0 only); repeatable")
+    batch_parser.add_argument("--output", type=Path, default=None,
+                              help="write per-job stats as TSV in addition to the table")
+    add_engine_argument(batch_parser)
+
+    subparsers.add_parser("engines", help="list the registered execution engines")
     subparsers.add_parser("datasets", help="list the bundled synthetic datasets")
     return parser
 
@@ -92,9 +123,50 @@ def _command_datasets(out) -> int:
     return 0
 
 
+def _command_engines(out) -> int:
+    rows = [[name, get_engine(name).describe()] for name in available_engines()]
+    print(format_table(["name", "description"], rows), file=out)
+    print("# specs may carry options, e.g. 'sharded:4' or 'sharded:shards=4,max_workers=2'",
+          file=out)
+    return 0
+
+
+def _command_batch(args: argparse.Namespace, out) -> int:
+    graphs = {}
+    for path in args.input:
+        graphs[str(path)] = read_edge_list(path)
+    for name in args.dataset:
+        graphs[name] = load_dataset(name, weighted=args.weighted)
+    if not graphs:
+        raise ReproError("batch needs at least one --input or --dataset")
+    jobs = sweep_jobs(graphs, epsilons=args.epsilon, rounds=args.rounds,
+                      lams=args.lam or (0.0,))
+    runner = BatchRunner(args.engine)
+    results = runner.run(jobs)
+    header = ["job", "engine", "n", "m", "rounds", "seconds", "converged", "max value"]
+    rows = []
+    for result in results:
+        stats = result.stats
+        max_value = max(result.values.values()) if result.values else 0.0
+        rows.append([stats.job, stats.engine, stats.num_nodes, stats.num_edges,
+                     stats.rounds, f"{stats.seconds:.4f}",
+                     stats.converged_round if stats.converged_round is not None else "-",
+                     f"{max_value:.6g}"])
+    print(f"# engine={runner.engine.describe()} jobs={len(results)} "
+          f"graphs={runner.cached_graphs}", file=out)
+    print(format_table(header, rows), file=out)
+    if args.output is not None:
+        lines = ["\t".join(str(cell) for cell in row) for row in rows]
+        args.output.write_text("\n".join(["\t".join(header)] + lines) + "\n",
+                               encoding="utf-8")
+        print(f"# per-job stats written to {args.output}", file=out)
+    return 0
+
+
 def _command_coreness(args: argparse.Namespace, out) -> int:
     graph = _load_graph(args)
-    result = approximate_coreness(graph, lam=args.lam, **_budget_kwargs(args))
+    result = approximate_coreness(graph, lam=args.lam, engine=args.engine,
+                                  **_budget_kwargs(args))
     print(f"# n={graph.num_nodes} m={graph.num_edges} rounds={result.rounds} "
           f"guarantee={result.guarantee:.4g}", file=out)
     if args.output is not None:
@@ -109,7 +181,7 @@ def _command_coreness(args: argparse.Namespace, out) -> int:
 
 def _command_orientation(args: argparse.Namespace, out) -> int:
     graph = _load_graph(args)
-    result = approximate_orientation(graph, **_budget_kwargs(args))
+    result = approximate_orientation(graph, engine=args.engine, **_budget_kwargs(args))
     print(f"# n={graph.num_nodes} m={graph.num_edges} rounds={result.rounds} "
           f"guarantee={result.guarantee:.4g}", file=out)
     print(f"max weighted in-degree: {result.max_in_weight:.6g}", file=out)
@@ -153,6 +225,10 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     try:
         if args.command == "datasets":
             return _command_datasets(out)
+        if args.command == "engines":
+            return _command_engines(out)
+        if args.command == "batch":
+            return _command_batch(args, out)
         if args.command == "coreness":
             return _command_coreness(args, out)
         if args.command == "orientation":

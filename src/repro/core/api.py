@@ -19,25 +19,18 @@ from typing import Dict, Hashable, Optional, Tuple
 
 from repro.core.densest import WeakDensestResult, weak_densest_subsets
 from repro.core.orientation import Orientation, orientation_from_kept
-from repro.core.rounds import guarantee_after_rounds, rounds_for_epsilon, rounds_for_gamma
+from repro.core.rounds import guarantee_after_rounds, resolve_round_budget
 from repro.core.surviving import SurvivingNumbers, compact_elimination
+from repro.engine.base import EngineLike
 from repro.errors import AlgorithmError
 from repro.graph.graph import Graph
 
 
 def _resolve_rounds(num_nodes: int, epsilon: Optional[float], gamma: Optional[float],
                     rounds: Optional[int]) -> int:
-    provided = [p is not None for p in (epsilon, gamma, rounds)]
-    if sum(provided) != 1:
-        raise AlgorithmError("provide exactly one of epsilon, gamma or rounds")
-    if epsilon is not None:
-        return rounds_for_epsilon(num_nodes, epsilon)
-    if gamma is not None:
-        return rounds_for_gamma(num_nodes, gamma)
-    assert rounds is not None
-    if rounds < 1:
-        raise AlgorithmError(f"rounds must be >= 1, got {rounds}")
-    return int(rounds)
+    """Resolve the (ε | γ | T) parametrisation; see
+    :func:`repro.core.rounds.resolve_round_budget` for the contract."""
+    return resolve_round_budget(num_nodes, epsilon, gamma, rounds)
 
 
 @dataclass
@@ -62,7 +55,8 @@ class CorenessResult:
 
 def approximate_coreness(graph: Graph, *, epsilon: Optional[float] = None,
                          gamma: Optional[float] = None, rounds: Optional[int] = None,
-                         lam: float = 0.0, engine: str = "vectorized") -> CorenessResult:
+                         lam: float = 0.0,
+                         engine: EngineLike = "vectorized") -> CorenessResult:
     """Theorem I.1: approximate every node's coreness (and maximal density).
 
     Exactly one of ``epsilon`` (γ = 2(1+ε)), ``gamma`` (γ > 2) or ``rounds`` must be
@@ -74,8 +68,10 @@ def approximate_coreness(graph: Graph, *, epsilon: Optional[float] = None,
     lam:
         Λ-grid parameter for message-size reduction (0 = exact values).
     engine:
-        ``"vectorized"`` (NumPy, fast) or ``"simulation"`` (faithful per-node
-        protocol with message statistics).
+        Anything :func:`repro.engine.get_engine` resolves: an engine instance,
+        ``"vectorized"`` (NumPy, fast — the default), ``"faithful"`` (alias
+        ``"simulation"``: per-node protocol with message statistics), or
+        ``"sharded"`` / ``"sharded:4"`` (bounded-memory shard-by-shard kernels).
     """
     if graph.num_nodes == 0:
         raise AlgorithmError("approximate_coreness needs a non-empty graph")
@@ -103,13 +99,14 @@ class OrientationResult:
 
 def approximate_orientation(graph: Graph, *, epsilon: Optional[float] = None,
                             gamma: Optional[float] = None, rounds: Optional[int] = None,
-                            engine: str = "vectorized",
+                            engine: EngineLike = "vectorized",
                             tie_break: str = "history") -> OrientationResult:
     """Theorem I.2: compute a ``2·n^(1/T)``-approximate min-max edge orientation.
 
     Runs Algorithm 2 with ``Λ = R`` (required by Lemma III.11), collects the
     auxiliary subsets ``N_v`` and materialises the orientation, resolving the rare
-    both-endpoints conflicts deterministically.
+    both-endpoints conflicts deterministically.  ``engine`` is resolved through
+    the registry exactly as in :func:`approximate_coreness`.
     """
     if graph.num_nodes == 0:
         raise AlgorithmError("approximate_orientation needs a non-empty graph")

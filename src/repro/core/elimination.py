@@ -115,26 +115,15 @@ def eliminate_vectorized(csr: CSRAdjacency, threshold: float, rounds: int) -> np
     Returns a boolean array of shape ``(rounds + 1, n)``: row ``t`` is the survival
     mask after ``t`` rounds (row 0 is all-True).  Stops early (repeating the last
     row) once the mask stops changing, since the process is monotone.
+
+    The per-round work is the shared kernel
+    :func:`repro.engine.kernels.threshold_round_range` (here invoked over the
+    whole node range; shard plans are supported through
+    :func:`repro.engine.kernels.threshold_masks`).
     """
-    if rounds < 0:
-        raise AlgorithmError(f"rounds must be non-negative, got {rounds}")
-    n = csr.num_nodes
-    masks = np.ones((rounds + 1, n), dtype=bool)
-    rows = np.repeat(np.arange(n), np.diff(csr.indptr))
-    current = masks[0].copy()
-    for t in range(1, rounds + 1):
-        # Weighted degree towards surviving neighbours + own self-loop.
-        contrib = np.where(current[csr.indices], csr.weights, 0.0)
-        deg = np.zeros(n, dtype=np.float64)
-        np.add.at(deg, rows, contrib)
-        deg += csr.loops
-        new = current & (deg >= threshold)
-        masks[t] = new
-        if np.array_equal(new, current):
-            masks[t:] = new
-            break
-        current = new
-    return masks
+    from repro.engine.kernels import threshold_masks
+
+    return threshold_masks(csr, threshold, rounds)
 
 
 def eliminate_on_graph(graph: Graph, threshold: float, rounds: int) -> EliminationResult:

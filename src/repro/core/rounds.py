@@ -13,6 +13,7 @@ The paper's guarantees are parameterised by the number of synchronous rounds ``T
 from __future__ import annotations
 
 import math
+from typing import Optional
 
 from repro.errors import AlgorithmError
 
@@ -43,6 +44,28 @@ def rounds_for_gamma(num_nodes: int, gamma: float) -> int:
     if num_nodes == 1:
         return 1
     return max(1, math.ceil(math.log(num_nodes) / math.log(gamma / 2.0)))
+
+
+def resolve_round_budget(num_nodes: int, epsilon: Optional[float] = None,
+                         gamma: Optional[float] = None,
+                         rounds: Optional[int] = None) -> int:
+    """Resolve the paper's parametrisation to an explicit round budget ``T``.
+
+    Exactly one of ``epsilon`` (γ = 2(1+ε)), ``gamma`` (γ > 2) or ``rounds`` must
+    be provided; this is the single resolver behind the public API and the batch
+    runner, so the exception types and messages are identical everywhere.
+    """
+    provided = [p is not None for p in (epsilon, gamma, rounds)]
+    if sum(provided) != 1:
+        raise AlgorithmError("provide exactly one of epsilon, gamma or rounds")
+    if epsilon is not None:
+        return rounds_for_epsilon(num_nodes, epsilon)
+    if gamma is not None:
+        return rounds_for_gamma(num_nodes, gamma)
+    assert rounds is not None
+    if rounds < 1:
+        raise AlgorithmError(f"rounds must be >= 1, got {rounds}")
+    return int(rounds)
 
 
 def guarantee_after_rounds(num_nodes: int, rounds: int) -> float:

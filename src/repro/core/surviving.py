@@ -13,16 +13,15 @@ from its neighbours, and optionally rounds the result down onto the geometric gr
   feasible, equally-approximate solution of the min-max edge orientation problem
   (Theorem I.2, Lemma III.11).
 
-Two engines are provided and are tested to produce identical surviving numbers:
-
-* :func:`run_compact_elimination` — the faithful per-node protocol
-  (:class:`CompactEliminationProtocol`) on the synchronous simulator; this is the
-  reference implementation and also tracks message statistics;
-* :func:`surviving_numbers_vectorized` — a NumPy engine computing the whole
-  per-round trajectory of surviving numbers on a CSR view, used for large graphs
-  and for convergence analyses.  Auxiliary orientation subsets can be recovered
-  from the trajectory with
-  :func:`repro.core.orientation.kept_sets_from_trajectory`.
+Execution is delegated to the engine registry in :mod:`repro.engine`: the
+``faithful`` engine wraps :func:`run_compact_elimination` (the per-node
+protocol, :class:`CompactEliminationProtocol`, on the synchronous simulator —
+the reference implementation, which also tracks message statistics), while the
+``vectorized`` and ``sharded`` engines execute the per-round NumPy kernels of
+:mod:`repro.engine.kernels` on a CSR view.  All engines are property-tested to
+produce identical surviving numbers; auxiliary orientation subsets can be
+recovered from a trajectory with
+:func:`repro.core.orientation.kept_sets_from_trajectory`.
 """
 
 from __future__ import annotations
@@ -36,11 +35,13 @@ import numpy as np
 from repro.core.rounding import LambdaGrid
 from repro.core.update import UpdateResult, update_sorted, update_stable
 from repro.distsim.congest import MessageSizeModel
+from repro.engine.base import get_engine
+from repro.engine.kernels import compact_round, compact_trajectory
 from repro.distsim.message import Message
 from repro.distsim.node import NodeContext, NodeProtocol, Outgoing
 from repro.distsim.runner import ProtocolRun, run_protocol
 from repro.errors import AlgorithmError
-from repro.graph.csr import CSRAdjacency, graph_to_csr
+from repro.graph.csr import CSRAdjacency
 from repro.graph.graph import Graph
 
 #: Supported tie-breaking rules for Algorithm 3's sort.
@@ -194,34 +195,12 @@ def _vectorized_round(csr: CSRAdjacency, current: np.ndarray, rows: np.ndarray,
                       counts: np.ndarray, grid: LambdaGrid) -> np.ndarray:
     """One synchronous round of Algorithm 2 for every node at once.
 
-    Implements the ``max_k min(S_k, b_(k))`` characterisation of Algorithm 3 (see
-    :func:`repro.core.update.update_value_only`) with a single lexsort over the CSR
-    arrays; returns the new surviving-number vector (Λ-rounded when the grid is not
-    exact).
+    Backwards-compatible wrapper over the shared kernel
+    :func:`repro.engine.kernels.compact_round_range`; ``rows`` and ``counts`` are
+    accepted (and ignored) for callers that precomputed them against the old
+    monolithic implementation.
     """
-    n = csr.num_nodes
-    vals = current[csr.indices]
-    # Sort each row's entries by descending neighbour value.  ``lexsort`` sorts by
-    # the last key first, so (−vals, rows) yields: primary = row, secondary = −val.
-    order = np.lexsort((-vals, rows))
-    sorted_vals = vals[order]
-    sorted_w = csr.weights[order]
-    # Prefix sums of weights *within* each row, offset by the node's self-loop.
-    flat_cs = np.cumsum(sorted_w)
-    row_starts = csr.indptr[:-1]
-    nonempty = counts > 0
-    before_row = np.zeros(n, dtype=np.float64)
-    before_row[nonempty] = flat_cs[row_starts[nonempty]] - sorted_w[row_starts[nonempty]]
-    within_cs = flat_cs - np.repeat(before_row, counts) + np.repeat(csr.loops, counts)
-    candidates = np.minimum(within_cs, sorted_vals)
-    new = csr.loops.copy()  # a node with no neighbours keeps only its self-loop weight
-    if len(candidates):
-        seg_max = np.full(n, -np.inf, dtype=np.float64)
-        seg_max[nonempty] = np.maximum.reduceat(candidates, row_starts[nonempty])
-        new = np.maximum(new, np.where(nonempty, seg_max, csr.loops))
-    if not grid.is_exact:
-        new = np.array([grid.round_down(x) for x in new], dtype=np.float64)
-    return new
+    return compact_round(csr, current, grid)
 
 
 def surviving_numbers_vectorized(csr: CSRAdjacency, rounds: int, *,
@@ -234,24 +213,12 @@ def surviving_numbers_vectorized(csr: CSRAdjacency, rounds: int, *,
     depend on the tie-breaking rule); Λ-rounding is applied after every round when
     ``lam > 0``.  Because the process is monotone, once a fixed point is reached the
     remaining rows simply repeat it.
-    """
-    if rounds < 0:
-        raise AlgorithmError(f"rounds must be non-negative, got {rounds}")
-    n = csr.num_nodes
-    counts = np.diff(csr.indptr)
-    rows = np.repeat(np.arange(n), counts)
-    trajectory = np.full((rounds + 1, n), np.inf, dtype=np.float64)
-    grid = LambdaGrid(lam=lam)
 
-    current = trajectory[0].copy()
-    for t in range(1, rounds + 1):
-        new = _vectorized_round(csr, current, rows, counts, grid)
-        trajectory[t] = new
-        if np.array_equal(new, current):
-            trajectory[t:] = new
-            break
-        current = new
-    return trajectory
+    This is the single-range special case of
+    :func:`repro.engine.kernels.compact_trajectory` (which the sharded engine
+    calls with a multi-range shard plan).
+    """
+    return compact_trajectory(csr, rounds, lam=lam)
 
 
 def iterate_to_fixed_point(csr: CSRAdjacency, *, lam: float = 0.0,
@@ -265,13 +232,11 @@ def iterate_to_fixed_point(csr: CSRAdjacency, *, lam: float = 0.0,
     Update operator equals the exact coreness values.
     """
     n = csr.num_nodes
-    counts = np.diff(csr.indptr)
-    rows = np.repeat(np.arange(n), counts)
     grid = LambdaGrid(lam=lam)
     cap = max_rounds if max_rounds is not None else max(1, n + 1)
     current = np.full(n, np.inf, dtype=np.float64)
     for t in range(1, cap + 1):
-        new = _vectorized_round(csr, current, rows, counts, grid)
+        new = compact_round(csr, current, grid)
         if np.array_equal(new, current):
             return current, t - 1
         current = new
@@ -279,35 +244,18 @@ def iterate_to_fixed_point(csr: CSRAdjacency, *, lam: float = 0.0,
 
 
 def compact_elimination(graph: Graph, rounds: int, *, lam: float = 0.0,
-                        engine: str = "vectorized", tie_break: str = "history",
+                        engine="vectorized", tie_break: str = "history",
                         track_kept: bool = True) -> SurvivingNumbers:
-    """Run Algorithm 2 with either engine and return a :class:`SurvivingNumbers`.
+    """Run Algorithm 2 with a registry engine and return a :class:`SurvivingNumbers`.
 
-    ``engine="vectorized"`` (default) computes the trajectory with NumPy and, when
-    ``track_kept`` is set, recovers the auxiliary orientation subsets by replaying
-    the final Update locally per node (see
-    :func:`repro.core.orientation.kept_sets_from_trajectory`); ``engine="simulation"``
-    runs the faithful per-node protocol.
+    ``engine`` is anything :func:`repro.engine.get_engine` resolves: an
+    :class:`~repro.engine.base.Engine` instance, ``"faithful"`` (alias
+    ``"simulation"``) for the per-node protocol, ``"vectorized"`` (default) for
+    the whole-graph NumPy kernels, or ``"sharded"`` / ``"sharded:4"`` for the
+    bounded-memory shard-by-shard executor.  When ``track_kept`` is set the
+    array engines recover the auxiliary orientation subsets by replaying the
+    final Update locally per node (see
+    :func:`repro.core.orientation.kept_sets_from_trajectory`).
     """
-    if engine not in ("vectorized", "simulation"):
-        raise AlgorithmError(f"unknown engine {engine!r}; expected 'vectorized' or 'simulation'")
-    if rounds < 1:
-        raise AlgorithmError(f"rounds must be >= 1, got {rounds}")
-    if engine == "simulation":
-        result, _ = run_compact_elimination(graph, rounds, lam=lam, tie_break=tie_break,
-                                            track_kept=track_kept)
-        return result
-
-    csr = graph_to_csr(graph)
-    trajectory = surviving_numbers_vectorized(csr, rounds, lam=lam)
-    labels = csr.labels()
-    values = {labels[i]: float(trajectory[rounds, i]) for i in range(csr.num_nodes)}
-    kept: Dict[Hashable, Tuple[Hashable, ...]] = {v: () for v in labels}
-    if track_kept:
-        from repro.core.orientation import kept_sets_from_trajectory
-
-        kept = kept_sets_from_trajectory(csr, trajectory, tie_break=tie_break)
-    grid = _resolve_grid(graph, lam)
-    return SurvivingNumbers(values=values, kept=kept, rounds=rounds, grid=grid,
-                            num_nodes=graph.num_nodes, trajectory=trajectory,
-                            node_order=labels)
+    return get_engine(engine).run(graph, rounds, lam=lam, tie_break=tie_break,
+                                  track_kept=track_kept)

@@ -1,0 +1,39 @@
+"""repro.engine — the unified multi-engine execution layer.
+
+Every way of executing Algorithm 2 (the compact elimination procedure) lives
+behind the :class:`~repro.engine.base.Engine` protocol and is resolved by name
+through :func:`~repro.engine.base.get_engine`:
+
+>>> from repro.engine import get_engine, available_engines
+>>> available_engines()
+('faithful', 'sharded', 'vectorized')
+>>> engine = get_engine("sharded", num_shards=4)
+
+The per-round NumPy kernels shared by the array engines are in
+:mod:`repro.engine.kernels`; multi-job execution with shared CSR views and
+memoised Λ-grids is in :mod:`repro.engine.batch`.
+"""
+
+from repro.engine.base import (
+    Engine,
+    EngineLike,
+    available_engines,
+    get_engine,
+    parse_engine_spec,
+    register_engine,
+)
+from repro.engine.batch import BatchJob, BatchResult, BatchRunner, RunStats, sweep_jobs
+
+__all__ = [
+    "Engine",
+    "EngineLike",
+    "available_engines",
+    "get_engine",
+    "parse_engine_spec",
+    "register_engine",
+    "BatchJob",
+    "BatchResult",
+    "BatchRunner",
+    "RunStats",
+    "sweep_jobs",
+]

@@ -1,0 +1,189 @@
+"""Batch execution of many compact-elimination jobs over shared CSR views.
+
+Production workloads rarely run one graph once: parameter sweeps (ε / Λ grids),
+multi-tenant serving and the experiment harness all execute *many* jobs, often
+against the *same* graphs.  :class:`BatchRunner` makes that the first-class
+shape: it resolves one engine from the registry, converts every distinct graph
+to a CSR view exactly once, memoises Λ-grids per ``(graph, λ)``, and returns a
+:class:`BatchResult` with per-job :class:`RunStats` (wall-clock, convergence
+round) for each :class:`BatchJob`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.rounding import LambdaGrid, grid_for_graph
+from repro.core.rounds import resolve_round_budget
+from repro.engine.base import Engine, EngineLike, get_engine
+from repro.errors import AlgorithmError
+from repro.graph.csr import CSRAdjacency, graph_to_csr
+from repro.graph.graph import Graph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.surviving import SurvivingNumbers
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """One unit of work: a graph plus the paper's parametrisation.
+
+    Exactly one of ``epsilon`` (γ = 2(1+ε)), ``gamma`` (γ > 2) or ``rounds``
+    must be given — the same contract as :func:`repro.core.api.approximate_coreness`.
+    """
+
+    graph: Graph
+    name: str = ""
+    epsilon: Optional[float] = None
+    gamma: Optional[float] = None
+    rounds: Optional[int] = None
+    lam: float = 0.0
+    tie_break: str = "history"
+    track_kept: bool = False
+
+    def resolve_rounds(self) -> int:
+        """The round budget ``T`` this job's parametrisation resolves to."""
+        return resolve_round_budget(self.graph.num_nodes, self.epsilon, self.gamma,
+                                    self.rounds)
+
+    def label(self) -> str:
+        """A display label: the explicit name, or a budget-derived fallback."""
+        if self.name:
+            return self.name
+        if self.epsilon is not None:
+            budget = f"eps={self.epsilon:g}"
+        elif self.gamma is not None:
+            budget = f"gamma={self.gamma:g}"
+        else:
+            budget = f"T={self.rounds}"
+        return f"n={self.graph.num_nodes};{budget};lam={self.lam:g}"
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """Per-job execution statistics recorded by the :class:`BatchRunner`."""
+
+    job: str                         #: the job's display label
+    engine: str                      #: canonical engine name
+    num_nodes: int
+    num_edges: int
+    rounds: int                      #: executed round budget T
+    seconds: float                   #: wall-clock of the engine run
+    converged_round: Optional[int]   #: first round the values stopped changing
+                                     #: (None when unknown or not reached)
+
+
+@dataclass
+class BatchResult:
+    """A finished job: the surviving numbers plus its :class:`RunStats`."""
+
+    job: BatchJob
+    surviving: "SurvivingNumbers"
+    stats: RunStats
+
+    @property
+    def values(self):
+        """Shortcut to the per-node surviving numbers."""
+        return self.surviving.values
+
+
+def _converged_round(trajectory: Optional[np.ndarray]) -> Optional[int]:
+    if trajectory is None or trajectory.shape[0] < 2:
+        return None
+    for t in range(1, trajectory.shape[0]):
+        if np.array_equal(trajectory[t], trajectory[t - 1]):
+            return t - 1
+    return None
+
+
+class BatchRunner:
+    """Execute many :class:`BatchJob`\\ s through one registry engine.
+
+    The runner owns two memo caches keyed by graph identity: CSR views (shared
+    by every job on the same graph) and Λ-grids per ``(graph, λ)``.  Graphs are
+    treated as immutable while a runner holds them.
+    """
+
+    def __init__(self, engine: EngineLike = "vectorized", **engine_options) -> None:
+        self.engine: Engine = get_engine(engine, **engine_options)
+        # id() keys require keeping the graph alive; store it alongside the value.
+        self._csr_cache: Dict[int, Tuple[Graph, CSRAdjacency]] = {}
+        self._grid_cache: Dict[Tuple[int, float], Tuple[Graph, LambdaGrid]] = {}
+
+    # ------------------------------------------------------------------ caches
+    def csr_view(self, graph: Graph) -> CSRAdjacency:
+        """The (cached) CSR view of ``graph``."""
+        key = id(graph)
+        hit = self._csr_cache.get(key)
+        if hit is None:
+            hit = (graph, graph_to_csr(graph))
+            self._csr_cache[key] = hit
+        return hit[1]
+
+    def grid_view(self, graph: Graph, lam: float) -> LambdaGrid:
+        """The (memoised) Λ-grid of ``graph`` for parameter ``lam``."""
+        key = (id(graph), float(lam))
+        hit = self._grid_cache.get(key)
+        if hit is None:
+            hit = (graph, grid_for_graph(graph, lam))
+            self._grid_cache[key] = hit
+        return hit[1]
+
+    @property
+    def cached_graphs(self) -> int:
+        """Number of distinct graphs with a cached CSR view or grid."""
+        return len(self._csr_cache)
+
+    # -------------------------------------------------------------------- runs
+    def run_job(self, job: BatchJob) -> BatchResult:
+        """Execute one job and return its :class:`BatchResult`."""
+        if job.graph.num_nodes == 0:
+            raise AlgorithmError("batch jobs need a non-empty graph")
+        rounds = job.resolve_rounds()
+        csr = self.csr_view(job.graph)
+        grid = self.grid_view(job.graph, job.lam)
+        start = time.perf_counter()
+        surviving = self.engine.run(job.graph, rounds, lam=job.lam,
+                                    tie_break=job.tie_break,
+                                    track_kept=job.track_kept, csr=csr, grid=grid)
+        seconds = time.perf_counter() - start
+        stats = RunStats(job=job.label(), engine=self.engine.name,
+                         num_nodes=job.graph.num_nodes, num_edges=job.graph.num_edges,
+                         rounds=rounds, seconds=seconds,
+                         converged_round=_converged_round(surviving.trajectory))
+        return BatchResult(job=job, surviving=surviving, stats=stats)
+
+    def run(self, jobs: Iterable[BatchJob]) -> List[BatchResult]:
+        """Execute every job in order and return their results."""
+        return [self.run_job(job) for job in jobs]
+
+
+def sweep_jobs(graphs: Dict[str, Graph], *, epsilons: Iterable[float] = (),
+               rounds: Iterable[int] = (), lams: Iterable[float] = (0.0,),
+               track_kept: bool = False) -> List[BatchJob]:
+    """Cross-product helper: one job per (graph × budget × λ).
+
+    ``epsilons`` and ``rounds`` together form the budget axis (each entry is one
+    budget variant); at least one budget must be supplied.
+    """
+    budgets: List[Tuple[str, Dict[str, object]]] = []
+    for eps in epsilons:
+        budgets.append((f"eps={eps:g}", {"epsilon": float(eps)}))
+    for t in rounds:
+        budgets.append((f"T={t}", {"rounds": int(t)}))
+    if not budgets:
+        raise AlgorithmError("sweep_jobs needs at least one epsilon or rounds budget")
+    jobs: List[BatchJob] = []
+    for graph_name, graph in graphs.items():
+        for budget_name, budget in budgets:
+            for lam in lams:
+                name = f"{graph_name};{budget_name}"
+                if lam:
+                    name += f";lam={lam:g}"
+                jobs.append(BatchJob(graph=graph, name=name, lam=float(lam),
+                                     track_kept=track_kept, **budget))
+    return jobs

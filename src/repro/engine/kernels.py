@@ -1,0 +1,214 @@
+"""Per-round NumPy kernels shared by the vectorised execution engines.
+
+These are the innermost loops of the library, extracted from the original
+monolithic implementations in :mod:`repro.core.surviving` and
+:mod:`repro.core.elimination` so that every engine (see :mod:`repro.engine.base`)
+composes the *same* kernels instead of re-implementing them:
+
+* :func:`compact_round_range` — one synchronous round of Algorithm 2 (the compact
+  elimination / surviving-number update) for a contiguous *row range* of a CSR
+  view;
+* :func:`threshold_round_range` — one synchronous round of Algorithm 1 (the
+  single-threshold elimination) for a row range;
+* :func:`compact_trajectory` — the round loop over an arbitrary shard plan,
+  producing the full ``(T+1, n)`` trajectory with monotone early-stopping.
+
+Every kernel takes an explicit ``[lo, hi)`` node range and only materialises the
+frontier arrays (gathered neighbour values, sort permutation, prefix sums) for
+that range, which is what bounds the peak memory of the sharded engine: with a
+shard plan of ``k`` ranges, at most one range's frontier arrays exist at a time
+(unless a concurrent executor is supplied, in which case each in-flight shard
+owns one set).
+
+Numerical note: within a kernel invocation the per-row prefix sums are derived
+from a single cumulative sum over the range (exactly like the original
+implementation), so surviving numbers are bit-identical across *any* shard plan
+whenever the intermediate weight sums are exactly representable — in particular
+for integer and dyadic-rational edge weights, which is what the cross-engine
+equivalence suite pins down.  For arbitrary float weights, different shard plans
+may differ in the last ulp (and so may the faithful per-node protocol, which
+accumulates with Python floats); callers compare with tolerances there.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.rounding import LambdaGrid
+from repro.errors import AlgorithmError
+from repro.graph.csr import CSRAdjacency
+
+#: A shard plan: contiguous, disjoint ``[lo, hi)`` node ranges covering ``0..n``.
+ShardPlan = Sequence[Tuple[int, int]]
+
+
+def shard_plan(num_nodes: int, num_shards: int) -> Tuple[Tuple[int, int], ...]:
+    """Split ``0..num_nodes`` into ``num_shards`` contiguous near-equal ranges.
+
+    The first ``num_nodes % num_shards`` ranges get one extra node.  A plan for an
+    empty graph is the single empty range ``(0, 0)`` so that round loops stay
+    uniform.  ``num_shards`` larger than ``num_nodes`` is clamped (empty shards
+    would only add overhead).
+    """
+    if num_shards < 1:
+        raise AlgorithmError(f"num_shards must be >= 1, got {num_shards}")
+    if num_nodes <= 0:
+        return ((0, 0),)
+    shards = min(num_shards, num_nodes)
+    base, extra = divmod(num_nodes, shards)
+    bounds = []
+    lo = 0
+    for s in range(shards):
+        hi = lo + base + (1 if s < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return tuple(bounds)
+
+
+def round_values(grid: LambdaGrid, values: np.ndarray) -> np.ndarray:
+    """Λ-round every entry of ``values`` down onto the grid (identity when exact)."""
+    if grid.is_exact:
+        return values
+    return np.array([grid.round_down(x) for x in values], dtype=np.float64)
+
+
+def compact_round_range(csr: CSRAdjacency, current: np.ndarray, lo: int, hi: int,
+                        grid: LambdaGrid) -> np.ndarray:
+    """One round of Algorithm 2 for the nodes ``lo..hi-1`` of a CSR view.
+
+    Implements the ``max_k min(S_k, b_(k))`` characterisation of Algorithm 3 (see
+    :func:`repro.core.update.update_value_only`) with a single lexsort over the
+    range's CSR slice.  ``current`` is the *full* surviving-number vector (a
+    node's update reads all of its neighbours, which may live in other shards);
+    the return value holds the new surviving numbers for the range only,
+    Λ-rounded when the grid is not exact.
+    """
+    start, stop = int(csr.indptr[lo]), int(csr.indptr[hi])
+    local_n = hi - lo
+    loops = csr.loops[lo:hi]
+    counts = np.diff(csr.indptr[lo:hi + 1])
+    rows = np.repeat(np.arange(local_n), counts)
+    vals = current[csr.indices[start:stop]]
+    # Sort each row's entries by descending neighbour value.  ``lexsort`` sorts by
+    # the last key first, so (−vals, rows) yields: primary = row, secondary = −val.
+    order = np.lexsort((-vals, rows))
+    sorted_vals = vals[order]
+    sorted_w = csr.weights[start:stop][order]
+    # Prefix sums of weights *within* each row, offset by the node's self-loop.
+    flat_cs = np.cumsum(sorted_w)
+    row_starts = csr.indptr[lo:hi] - start
+    nonempty = counts > 0
+    before_row = np.zeros(local_n, dtype=np.float64)
+    before_row[nonempty] = flat_cs[row_starts[nonempty]] - sorted_w[row_starts[nonempty]]
+    within_cs = flat_cs - np.repeat(before_row, counts) + np.repeat(loops, counts)
+    candidates = np.minimum(within_cs, sorted_vals)
+    new = loops.copy()  # a node with no neighbours keeps only its self-loop weight
+    if len(candidates):
+        seg_max = np.full(local_n, -np.inf, dtype=np.float64)
+        seg_max[nonempty] = np.maximum.reduceat(candidates, row_starts[nonempty])
+        new = np.maximum(new, np.where(nonempty, seg_max, loops))
+    return round_values(grid, new)
+
+
+def compact_round(csr: CSRAdjacency, current: np.ndarray, grid: LambdaGrid) -> np.ndarray:
+    """One full round of Algorithm 2 over every node (single-range kernel call)."""
+    return compact_round_range(csr, current, 0, csr.num_nodes, grid)
+
+
+def compact_trajectory(csr: CSRAdjacency, rounds: int, *, lam: float = 0.0,
+                       plan: Optional[ShardPlan] = None,
+                       shard_map: Optional[Callable] = None) -> np.ndarray:
+    """The full Algorithm 2 trajectory of surviving numbers over a shard plan.
+
+    Returns an array of shape ``(rounds + 1, n)``: row 0 is the initial ``+inf``
+    state, row ``t`` holds every node's surviving number after ``t`` rounds.
+    Because the process is monotone, once a fixed point is reached the remaining
+    rows simply repeat it.
+
+    Parameters
+    ----------
+    plan:
+        Contiguous node ranges executed one after another within each round
+        (default: a single range covering all nodes).  Synchronous-round semantics
+        are preserved because every shard reads the *previous* round's full
+        vector and writes only its own range.
+    shard_map:
+        Optional parallel map (e.g. ``concurrent.futures.Executor.map``) applied
+        to the per-shard kernel calls of one round; ``None`` runs the shards
+        sequentially, which caps peak memory at one shard's frontier arrays.
+    """
+    if rounds < 0:
+        raise AlgorithmError(f"rounds must be non-negative, got {rounds}")
+    n = csr.num_nodes
+    grid = LambdaGrid(lam=lam)
+    bounds = tuple(plan) if plan is not None else ((0, n),)
+    trajectory = np.full((rounds + 1, n), np.inf, dtype=np.float64)
+    current = trajectory[0].copy()
+    for t in range(1, rounds + 1):
+        if len(bounds) == 1:
+            lo, hi = bounds[0]
+            new = compact_round_range(csr, current, lo, hi, grid)
+        else:
+            new = np.empty(n, dtype=np.float64)
+            if shard_map is not None:
+                chunks = shard_map(
+                    lambda b: compact_round_range(csr, current, b[0], b[1], grid), bounds)
+                for (lo, hi), chunk in zip(bounds, chunks):
+                    new[lo:hi] = chunk
+            else:
+                for lo, hi in bounds:
+                    new[lo:hi] = compact_round_range(csr, current, lo, hi, grid)
+        trajectory[t] = new
+        if np.array_equal(new, current):
+            trajectory[t:] = new
+            break
+        current = new
+    return trajectory
+
+
+def threshold_round_range(csr: CSRAdjacency, alive: np.ndarray, threshold: float,
+                          lo: int, hi: int) -> np.ndarray:
+    """One round of Algorithm 1 (single-threshold elimination) for ``lo..hi-1``.
+
+    ``alive`` is the full survival mask after the previous round; the return value
+    is the new mask restricted to the range: a node stays alive iff it was alive
+    and its weighted degree towards surviving neighbours (plus its self-loop) is
+    at least ``threshold``.
+    """
+    start, stop = int(csr.indptr[lo]), int(csr.indptr[hi])
+    local_n = hi - lo
+    counts = np.diff(csr.indptr[lo:hi + 1])
+    rows = np.repeat(np.arange(local_n), counts)
+    contrib = np.where(alive[csr.indices[start:stop]], csr.weights[start:stop], 0.0)
+    deg = np.zeros(local_n, dtype=np.float64)
+    np.add.at(deg, rows, contrib)
+    deg += csr.loops[lo:hi]
+    return alive[lo:hi] & (deg >= threshold)
+
+
+def threshold_masks(csr: CSRAdjacency, threshold: float, rounds: int, *,
+                    plan: Optional[ShardPlan] = None) -> np.ndarray:
+    """Per-round survival masks of Algorithm 1 (shape ``(rounds + 1, n)``).
+
+    Row ``t`` is the survival mask after ``t`` rounds (row 0 is all-True).  Stops
+    early (repeating the last row) once the mask stops changing, since the
+    process is monotone.
+    """
+    if rounds < 0:
+        raise AlgorithmError(f"rounds must be non-negative, got {rounds}")
+    n = csr.num_nodes
+    bounds = tuple(plan) if plan is not None else ((0, n),)
+    masks = np.ones((rounds + 1, n), dtype=bool)
+    current = masks[0].copy()
+    for t in range(1, rounds + 1):
+        new = np.empty(n, dtype=bool)
+        for lo, hi in bounds:
+            new[lo:hi] = threshold_round_range(csr, current, threshold, lo, hi)
+        masks[t] = new
+        if np.array_equal(new, current):
+            masks[t:] = new
+            break
+        current = new
+    return masks

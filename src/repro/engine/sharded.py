@@ -1,0 +1,79 @@
+"""The ``sharded`` engine — per-round kernels over contiguous CSR node ranges.
+
+The CSR arrays are partitioned into ``num_shards`` contiguous node-range shards;
+each synchronous round executes the compact-elimination kernel shard-by-shard,
+every shard reading the previous round's full surviving-number vector and
+writing only its own range.  Synchronous-round semantics are therefore exact,
+while peak memory for the frontier arrays (gathered neighbour values, sort
+permutation, prefix sums — the ``O(m)`` part) is bounded by the largest shard
+instead of the whole graph.
+
+With ``max_workers`` set, the shards of one round are dispatched onto a
+``concurrent.futures.ThreadPoolExecutor`` (NumPy releases the GIL in the sort
+and reduction kernels, so threads give real parallelism without pickling the
+CSR arrays); the one-shard-at-a-time memory bound then becomes
+``max_workers``-shards-at-a-time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.engine.kernels import compact_trajectory, shard_plan
+from repro.engine.vectorized import TrajectoryEngine
+from repro.errors import AlgorithmError
+
+#: Target number of nodes per shard when ``num_shards`` is not given.
+DEFAULT_SHARD_NODES = 16384
+
+
+class ShardedEngine(TrajectoryEngine):
+    """Bounded-memory engine: rounds execute shard-by-shard over node ranges.
+
+    Parameters
+    ----------
+    num_shards:
+        Number of contiguous node-range shards (clamped to ``n``).  ``None``
+        sizes shards automatically to about :data:`DEFAULT_SHARD_NODES` nodes.
+    max_workers:
+        When given (>= 1), shards of a round run on a thread pool of this size;
+        ``None`` (default) runs them sequentially, which caps peak frontier
+        memory at a single shard.
+    """
+
+    name = "sharded"
+
+    def __init__(self, num_shards: Optional[int] = None,
+                 max_workers: Optional[int] = None) -> None:
+        if num_shards is not None and num_shards < 1:
+            raise AlgorithmError(f"num_shards must be >= 1, got {num_shards}")
+        if max_workers is not None and max_workers < 1:
+            raise AlgorithmError(f"max_workers must be >= 1, got {max_workers}")
+        self.num_shards = num_shards
+        self.max_workers = max_workers
+
+    def plan_for(self, num_nodes: int):
+        """The shard plan (contiguous ``[lo, hi)`` ranges) used for ``num_nodes``."""
+        if self.num_shards is not None:
+            shards = self.num_shards
+        else:
+            shards = max(1, -(-num_nodes // DEFAULT_SHARD_NODES))
+        return shard_plan(num_nodes, shards)
+
+    def trajectory(self, csr, rounds, *, lam=0.0) -> np.ndarray:
+        plan = self.plan_for(csr.num_nodes)
+        if self.max_workers is not None and len(plan) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                return compact_trajectory(csr, rounds, lam=lam, plan=plan,
+                                          shard_map=pool.map)
+        return compact_trajectory(csr, rounds, lam=lam, plan=plan)
+
+    def describe(self) -> str:
+        shards = self.num_shards if self.num_shards is not None \
+            else f"auto(~{DEFAULT_SHARD_NODES} nodes)"
+        workers = self.max_workers if self.max_workers is not None else "sequential"
+        return f"sharded (shards={shards}, workers={workers})"

@@ -1,0 +1,66 @@
+"""The ``vectorized`` engine — whole-graph NumPy kernels, one call per round.
+
+Also home of :class:`TrajectoryEngine`, the shared base class for every engine
+that computes the full per-round trajectory on a CSR view (the sharded engine
+subclasses it with a different round executor).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.base import Engine
+from repro.engine.kernels import compact_trajectory
+from repro.errors import AlgorithmError
+
+
+class TrajectoryEngine(Engine):
+    """Base class for CSR-trajectory engines (vectorized, sharded, ...).
+
+    Subclasses implement :meth:`trajectory`; this class handles argument
+    validation, CSR conversion, label mapping and the recovery of the auxiliary
+    orientation subsets from the trajectory.
+    """
+
+    def run(self, graph, rounds, *, lam=0.0, tie_break="history", track_kept=True,
+            csr=None, grid=None):
+        from repro.core.rounding import grid_for_graph
+        from repro.core.surviving import TIE_BREAK_RULES, SurvivingNumbers
+        from repro.graph.csr import graph_to_csr
+
+        if tie_break not in TIE_BREAK_RULES:
+            raise AlgorithmError(
+                f"unknown tie_break rule {tie_break!r}; expected one of {TIE_BREAK_RULES}")
+        if rounds < 1:
+            raise AlgorithmError(f"rounds must be >= 1, got {rounds}")
+        if csr is None:
+            csr = graph_to_csr(graph)
+        if grid is None:
+            grid = grid_for_graph(graph, lam)
+        trajectory = self.trajectory(csr, rounds, lam=lam)
+        labels = csr.labels()
+        values = {labels[i]: float(trajectory[rounds, i]) for i in range(csr.num_nodes)}
+        kept = {v: () for v in labels}
+        if track_kept:
+            from repro.core.orientation import kept_sets_from_trajectory
+
+            kept = kept_sets_from_trajectory(csr, trajectory, tie_break=tie_break)
+        return SurvivingNumbers(values=values, kept=kept, rounds=rounds, grid=grid,
+                                num_nodes=csr.num_nodes, trajectory=trajectory,
+                                node_order=labels)
+
+    def trajectory(self, csr, rounds, *, lam=0.0) -> np.ndarray:
+        """The ``(rounds + 1, n)`` per-round surviving-number trajectory."""
+        raise NotImplementedError
+
+
+class VectorizedEngine(TrajectoryEngine):
+    """Fast path: every round is a single whole-graph kernel invocation."""
+
+    name = "vectorized"
+
+    def trajectory(self, csr, rounds, *, lam=0.0) -> np.ndarray:
+        return compact_trajectory(csr, rounds, lam=lam)
+
+    def describe(self) -> str:
+        return "vectorized (whole-graph NumPy kernels)"

@@ -1,0 +1,92 @@
+"""Tests for the CLI's engine surfaces: --engine, `engines` and `batch`."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.graph.generators.structured import complete_graph
+from repro.graph.io import write_edge_list
+
+
+@pytest.fixture
+def k6_file(tmp_path):
+    path = tmp_path / "k6.edges"
+    write_edge_list(complete_graph(6), path)
+    return path
+
+
+class TestEngineFlag:
+    @pytest.mark.parametrize("engine", ["vectorized", "faithful", "sharded:2"])
+    def test_coreness_with_engine(self, k6_file, engine):
+        out = io.StringIO()
+        code = main(["coreness", "--input", str(k6_file), "--rounds", "3",
+                     "--engine", engine, "--top", "3"], out=out)
+        assert code == 0
+        assert "5" in out.getvalue()
+
+    def test_orientation_with_engine(self, k6_file):
+        out = io.StringIO()
+        code = main(["orientation", "--input", str(k6_file), "--rounds", "3",
+                     "--engine", "sharded:3"], out=out)
+        assert code == 0
+        assert "max weighted in-degree" in out.getvalue()
+
+    def test_unknown_engine_is_reported(self, k6_file):
+        code = main(["coreness", "--input", str(k6_file), "--rounds", "2",
+                     "--engine", "quantum"], out=io.StringIO())
+        assert code == 2
+
+
+class TestEnginesCommand:
+    def test_lists_all_engines(self):
+        out = io.StringIO()
+        assert main(["engines"], out=out) == 0
+        text = out.getvalue()
+        for name in ("faithful", "vectorized", "sharded"):
+            assert name in text
+
+
+class TestBatchCommand:
+    def test_batch_over_datasets(self):
+        out = io.StringIO()
+        code = main(["batch", "--dataset", "caveman", "--epsilon", "1.0",
+                     "--rounds", "3", "--engine", "sharded:2"], out=out)
+        text = out.getvalue()
+        assert code == 0
+        assert "jobs=2" in text
+        assert "caveman;eps=1" in text
+        assert "caveman;T=3" in text
+
+    def test_batch_over_files_with_lambda_sweep(self, k6_file, tmp_path):
+        target = tmp_path / "stats.tsv"
+        out = io.StringIO()
+        code = main(["batch", "--input", str(k6_file), "--rounds", "2",
+                     "--lam", "0.0", "--lam", "0.5", "--output", str(target)], out=out)
+        assert code == 0
+        lines = target.read_text().strip().splitlines()
+        assert len(lines) == 3  # header + 2 jobs
+        assert lines[0].startswith("job\tengine")
+
+    def test_batch_keeps_same_named_files_from_different_dirs(self, tmp_path):
+        """Regression: inputs are keyed by full path, not basename."""
+        for sub in ("one", "two"):
+            d = tmp_path / sub
+            d.mkdir()
+            write_edge_list(complete_graph(4), d / "g.edges")
+        out = io.StringIO()
+        code = main(["batch", "--input", str(tmp_path / "one" / "g.edges"),
+                     "--input", str(tmp_path / "two" / "g.edges"), "--rounds", "2"],
+                    out=out)
+        assert code == 0
+        assert "jobs=2" in out.getvalue()
+
+    def test_batch_without_graphs_is_an_error(self):
+        code = main(["batch", "--epsilon", "1.0"], out=io.StringIO())
+        assert code == 2
+
+    def test_batch_without_budget_is_an_error(self):
+        code = main(["batch", "--dataset", "caveman"], out=io.StringIO())
+        assert code == 2

@@ -1,0 +1,122 @@
+"""Tests for the batch workload runner — repro.engine.batch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.api import approximate_coreness
+from repro.engine import BatchJob, BatchRunner, get_engine, sweep_jobs
+from repro.errors import AlgorithmError
+from repro.graph.generators.structured import complete_graph
+from repro.graph.graph import Graph
+
+
+class TestBatchJob:
+    def test_resolve_rounds_from_epsilon(self, k6):
+        job = BatchJob(graph=k6, epsilon=1.0)
+        assert job.resolve_rounds() >= 1
+
+    def test_resolve_rounds_explicit(self, k6):
+        assert BatchJob(graph=k6, rounds=4).resolve_rounds() == 4
+
+    def test_budget_is_exclusive(self, k6):
+        with pytest.raises(AlgorithmError,
+                           match="provide exactly one of epsilon, gamma or rounds"):
+            BatchJob(graph=k6, epsilon=1.0, rounds=3).resolve_rounds()
+        with pytest.raises(AlgorithmError,
+                           match="provide exactly one of epsilon, gamma or rounds"):
+            BatchJob(graph=k6).resolve_rounds()
+
+    def test_label_fallback_mentions_budget(self, k6):
+        assert "eps=0.5" in BatchJob(graph=k6, epsilon=0.5).label()
+        assert "T=3" in BatchJob(graph=k6, rounds=3).label()
+        assert BatchJob(graph=k6, rounds=3, name="mine").label() == "mine"
+
+
+class TestBatchRunnerCaching:
+    def test_csr_view_shared_across_jobs(self, k6):
+        runner = BatchRunner("vectorized")
+        assert runner.csr_view(k6) is runner.csr_view(k6)
+        assert runner.cached_graphs == 1
+
+    def test_grid_memoised_per_lambda(self, k6):
+        runner = BatchRunner()
+        assert runner.grid_view(k6, 0.25) is runner.grid_view(k6, 0.25)
+        assert runner.grid_view(k6, 0.25) is not runner.grid_view(k6, 0.5)
+
+    def test_distinct_graphs_cached_separately(self, k6, cycle8):
+        runner = BatchRunner()
+        runner.run([BatchJob(graph=k6, rounds=2), BatchJob(graph=cycle8, rounds=2),
+                    BatchJob(graph=k6, rounds=3)])
+        assert runner.cached_graphs == 2
+
+
+class TestBatchRunnerExecution:
+    def test_results_match_direct_api(self, two_communities):
+        runner = BatchRunner("sharded:3")
+        result = runner.run_job(BatchJob(graph=two_communities, epsilon=0.5))
+        direct = approximate_coreness(two_communities, epsilon=0.5)
+        assert result.values == direct.values
+        assert result.stats.rounds == direct.rounds
+
+    def test_stats_fields(self, k6):
+        result = BatchRunner().run_job(BatchJob(graph=k6, rounds=4, name="k6-job"))
+        stats = result.stats
+        assert stats.job == "k6-job"
+        assert stats.engine == "vectorized"
+        assert stats.num_nodes == 6
+        assert stats.num_edges == 15
+        assert stats.rounds == 4
+        assert stats.seconds >= 0.0
+        # K6 hits its fixed point (all values 5) after the first round.
+        assert stats.converged_round == 1
+
+    def test_unconverged_job_reports_none(self):
+        g = complete_graph(40)  # degrees 39 stay put, but one round is too few to tell
+        result = BatchRunner().run_job(BatchJob(graph=g, rounds=1))
+        assert result.stats.converged_round is None
+
+    def test_faithful_engine_has_no_convergence_info(self, k6):
+        result = BatchRunner("faithful").run_job(BatchJob(graph=k6, rounds=3))
+        assert result.stats.converged_round is None
+        assert result.stats.engine == "faithful"
+
+    def test_track_kept_flows_through(self, k6):
+        kept = BatchRunner().run_job(BatchJob(graph=k6, rounds=2, track_kept=True))
+        assert any(kept.surviving.kept.values())
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(AlgorithmError, match="non-empty graph"):
+            BatchRunner().run_job(BatchJob(graph=Graph(), rounds=2))
+
+    def test_engine_options_forwarded(self, k6):
+        runner = BatchRunner("sharded", num_shards=2)
+        assert runner.engine.num_shards == 2
+        result = runner.run_job(BatchJob(graph=k6, rounds=2))
+        assert result.values == approximate_coreness(k6, rounds=2).values
+
+    def test_engine_instance_accepted(self, k6):
+        engine = get_engine("sharded:2")
+        runner = BatchRunner(engine)
+        assert runner.engine is engine
+
+
+class TestSweepJobs:
+    def test_cross_product_size(self, k6, cycle8):
+        jobs = sweep_jobs({"k6": k6, "c8": cycle8}, epsilons=(0.5, 1.0), rounds=(3,),
+                          lams=(0.0, 0.25))
+        # 2 graphs x (2 eps + 1 rounds) x 2 lams
+        assert len(jobs) == 12
+        labels = {job.label() for job in jobs}
+        assert "k6;eps=0.5" in labels
+        assert "c8;T=3;lam=0.25" in labels
+
+    def test_requires_a_budget(self, k6):
+        with pytest.raises(AlgorithmError, match="at least one epsilon or rounds"):
+            sweep_jobs({"k6": k6})
+
+    def test_sweep_runs_end_to_end(self, k6):
+        runner = BatchRunner()
+        results = runner.run(sweep_jobs({"k6": k6}, rounds=(2, 3)))
+        assert [r.stats.rounds for r in results] == [2, 3]
+        assert runner.cached_graphs == 1

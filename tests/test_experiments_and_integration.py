@@ -37,6 +37,7 @@ class TestExperimentRunners:
         assert row["rounds_measured_to_target"] is None or \
             row["rounds_measured_to_target"] <= row["rounds_theory"]
 
+    @pytest.mark.slow
     def test_e5_message_size_decreases_with_lambda(self):
         rows = experiment_e5_message_size("caveman", lambdas=(0.0, 0.5), epsilon=1.0)
         assert len(rows) == 2
@@ -62,8 +63,16 @@ class TestExperimentRunners:
         rows = experiment_e8_scaling(sizes=(100, 200), rounds=4, include_simulation=True)
         assert len(rows) == 2
         assert all(row["vectorized_seconds"] >= 0 for row in rows)
+        assert all(row["sharded_seconds"] >= 0 for row in rows)
         assert "messages" in rows[0]
 
+    def test_e8_scaling_custom_engine_specs(self):
+        rows = experiment_e8_scaling(sizes=(100,), rounds=3, include_simulation=False,
+                                     engines=("sharded:2",))
+        assert "sharded:2_seconds" in rows[0]
+        assert "vectorized_seconds" not in rows[0]
+
+    @pytest.mark.slow
     def test_a1_tiebreak_rows(self):
         rows = ablation_a1_tiebreak(dataset_names=("caveman",), epsilon=1.0)
         rules = {row["tie_break"] for row in rows}
@@ -103,6 +112,7 @@ class TestEndToEndScenarios:
         assert result.max_in_weight <= result.guarantee * rho_star + 1e-6
         assert result.orientation.violations == 0
 
+    @pytest.mark.slow
     def test_community_density_scenario(self):
         """Weak densest subsets find a community at least gamma-close to rho*."""
         graph = load_dataset("communities")
