@@ -12,12 +12,14 @@ This example plants communities of different densities, runs the 4-phase pipelin
 and reports every subset the protocol announces, alongside the exact ρ* and the
 classical centralized baselines.
 
-Run with:  python examples/community_density.py
+Run with:  python examples/community_density.py   (REPRO_SMOKE=1 shrinks the network)
 """
 
 from __future__ import annotations
 
-from repro import approximate_densest_subsets
+import os
+
+from repro import Session
 from repro.analysis.tables import format_table
 from repro.baselines import bahmani_densest_subset, charikar_peeling, maximum_density
 from repro.graph.generators import complete_graph, erdos_renyi_gnp
@@ -25,28 +27,35 @@ from repro.graph.graph import Graph
 from repro.graph.properties import hop_diameter
 from repro.utils.rng import ensure_rng
 
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"   #: CI smoke mode: half-size communities
+SCALE = 1 if SMOKE else 2                       #: community size multiplier
+
 
 def build_network() -> Graph:
     """Three communities of very different densities plus sparse cross links.
+
+    At full scale (SCALE = 2; smoke mode halves every size):
 
     * community A: a 20-user clique (density 9.5)      -> nodes   0..19
     * community B: 40 users, ER(p=0.25) (density ~4.9) -> nodes  20..59
     * community C: 60 users, ER(p=0.10) (density ~3.0) -> nodes  60..119
     * ~40 random cross-community acquaintance edges.
     """
+    a, b, c = 10 * SCALE, 20 * SCALE, 30 * SCALE
     graph = Graph()
-    for u, v, w in complete_graph(20).edges():
+    for u, v, w in complete_graph(a).edges():
         graph.add_edge(u, v, w)
-    for u, v, w in erdos_renyi_gnp(40, 0.25, seed=31).edges():
-        graph.add_edge(20 + u, 20 + v, w)
-    for u, v, w in erdos_renyi_gnp(60, 0.10, seed=32).edges():
-        graph.add_edge(60 + u, 60 + v, w)
+    for u, v, w in erdos_renyi_gnp(b, 0.25, seed=31).edges():
+        graph.add_edge(a + u, a + v, w)
+    for u, v, w in erdos_renyi_gnp(c, 0.10, seed=32).edges():
+        graph.add_edge(a + b + u, a + b + v, w)
     rng = ensure_rng(33)
+    total = a + b + c
     added = 0
-    while added < 40:
-        u = int(rng.integers(0, 120))
-        v = int(rng.integers(0, 120))
-        if u // 20 != v // 20 and u != v and not graph.has_edge(u, v):
+    while added < 20 * SCALE:
+        u = int(rng.integers(0, total))
+        v = int(rng.integers(0, total))
+        if u // a != v // a and u != v and not graph.has_edge(u, v):
             graph.add_edge(u, v, 1.0)
             added += 1
     return graph
@@ -58,7 +67,7 @@ def main() -> None:
           f"diameter={hop_diameter(graph, exact=False)}")
 
     epsilon = 1.0
-    result = approximate_densest_subsets(graph, epsilon=epsilon)
+    result = Session(graph).densest(epsilon=epsilon)
     rho_star = maximum_density(graph)
 
     rows = []

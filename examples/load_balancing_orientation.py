@@ -10,19 +10,24 @@ greedy heuristic, and the Barenboim–Elkin-style two-phase distributed baseline
 (which pays an extra factor ~2 because it needs a separate density-estimation
 phase).
 
-Run with:  python examples/load_balancing_orientation.py
+Run with:  python examples/load_balancing_orientation.py   (REPRO_SMOKE=1 shrinks it)
 """
 
 from __future__ import annotations
 
-from repro import approximate_orientation
+import os
+
+from repro import Session
 from repro.analysis.tables import format_table
 from repro.baselines import greedy_orientation, lp_lower_bound, two_phase_orientation
 from repro.graph.generators import erdos_renyi_gnm, with_two_level_weights
 
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"   #: CI smoke mode: smaller cluster
+
 
 def main() -> None:
-    topology = erdos_renyi_gnm(500, 2000, seed=23)
+    machines, jobs = (150, 600) if SMOKE else (500, 2000)
+    topology = erdos_renyi_gnm(machines, jobs, seed=23)
     # Two job classes: cheap (cost 1) and expensive (cost 8) -- the weight regime in
     # which the centralized problem is already NP-hard.
     graph = with_two_level_weights(topology, heavy_weight=8.0, heavy_fraction=0.25, seed=24)
@@ -30,7 +35,7 @@ def main() -> None:
           f"total work={graph.total_weight:.0f}")
 
     rho_star = lp_lower_bound(graph)
-    ours = approximate_orientation(graph, epsilon=0.5)
+    ours = Session(graph).orientation(epsilon=0.5)
     greedy = greedy_orientation(graph)
     two_phase = two_phase_orientation(graph, epsilon=0.5)
 

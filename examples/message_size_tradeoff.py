@@ -6,27 +6,33 @@ With arbitrary real edge weights, a surviving number may need many bits; the pap
 ``Λ = {(1+λ)^k}`` so that a message only needs ``log2 |Λ|`` bits, at the price of a
 ``(1+λ)`` slack on the lower side of the guarantee.
 
-This example runs the compact elimination procedure on a weighted graph for several
-values of λ using the faithful simulator (which charges message sizes through the
-CONGEST accounting model), and prints the traffic/accuracy trade-off together with
-the per-message budget of the CONGEST model for that graph size.
+This example opens a ``Session`` over the *faithful* engine on a weighted graph
+(the per-node simulator charges message sizes through the CONGEST accounting
+model and attaches them to every result as ``message_stats``), runs the compact
+elimination procedure for several values of λ, and prints the traffic/accuracy
+trade-off together with the per-message budget of the CONGEST model for that
+graph size.
 
-Run with:  python examples/message_size_tradeoff.py
+Run with:  python examples/message_size_tradeoff.py   (REPRO_SMOKE=1 shrinks it)
 """
 
 from __future__ import annotations
 
+import os
+
+from repro import Session
 from repro.analysis.ratios import summarize_ratios
 from repro.analysis.tables import format_table
 from repro.baselines import coreness
 from repro.core.rounds import rounds_for_epsilon
-from repro.core.surviving import run_compact_elimination
 from repro.distsim.congest import CongestBudget
 from repro.graph.generators import barabasi_albert, with_uniform_real_weights
 
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"   #: CI smoke mode: smaller graph
+
 
 def main() -> None:
-    topology = barabasi_albert(600, 3, seed=41)
+    topology = barabasi_albert(150 if SMOKE else 600, 3, seed=41)
     graph = with_uniform_real_weights(topology, 0.5, 4.0, seed=42)   # real-valued weights
     exact = coreness(graph)
     epsilon = 0.5
@@ -36,16 +42,18 @@ def main() -> None:
     print(f"round budget T = {T} (epsilon = {epsilon}); CONGEST budget per message = "
           f"{budget.budget_bits} bits\n")
 
+    session = Session(graph, engine="faithful")
     rows = []
     for lam in (0.0, 0.05, 0.1, 0.25, 0.5):
-        result, run = run_compact_elimination(graph, T, lam=lam, track_kept=False)
+        result = session.surviving(rounds=T, lam=lam, track_kept=False)
+        stats = result.message_stats
         summary = summarize_ratios(result.values, exact)
-        fits = run.stats.max_message_bits <= budget.budget_bits
+        fits = stats.max_message_bits <= budget.budget_bits
         rows.append([
             lam,
             result.grid.grid_size() or "unbounded",
-            run.stats.max_message_bits,
-            f"{run.stats.total_bits / 1e6:.3f}",
+            stats.max_message_bits,
+            f"{stats.total_bits / 1e6:.3f}",
             f"{summary.max:.3f}",
             f"{summary.mean:.3f}",
             "yes" if fits else "no",

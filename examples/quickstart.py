@@ -1,32 +1,41 @@
 #!/usr/bin/env python
 """Quickstart: the three problems of the paper on one small graph.
 
-Builds a small collaboration-network-like graph, then runs
+Builds a small collaboration-network-like graph, opens one :class:`repro.Session`
+for it, then runs
 
 1. the approximate coreness protocol (Theorem I.1),
 2. the approximate min-max edge orientation (Theorem I.2),
 3. the weak densest subset pipeline (Theorem I.3),
 
-and compares each output against its exact centralized baseline.
+and compares each output against its exact centralized baseline.  The session
+is the recommended entry point: the three requests share one CSR view and one
+λ=0 elimination trajectory (the orientation replays the rounds the coreness
+request already computed).
 
-Run with:  python examples/quickstart.py
+Run with:  python examples/quickstart.py          (REPRO_SMOKE=1 shrinks the graph)
 """
 
 from __future__ import annotations
 
-from repro import approximate_coreness, approximate_densest_subsets, approximate_orientation
+import os
+
+from repro import Session
 from repro.analysis.tables import format_table
 from repro.baselines import coreness, lp_lower_bound, maximum_density
 from repro.graph.generators import powerlaw_cluster
 
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"   #: CI smoke mode: smaller graph
+
 
 def main() -> None:
-    graph = powerlaw_cluster(300, 3, 0.3, seed=7)
+    graph = powerlaw_cluster(80 if SMOKE else 300, 3, 0.3, seed=7)
+    session = Session(graph)
     print(f"graph: n={graph.num_nodes}, m={graph.num_edges}, density={graph.density():.3f}")
 
     # ------------------------------------------------------------- coreness
     epsilon = 0.5
-    approx = approximate_coreness(graph, epsilon=epsilon)
+    approx = session.coreness(epsilon=epsilon)
     exact = coreness(graph)
     worst = max(approx.values[v] / max(exact[v], 1e-12) for v in graph.nodes())
     print(f"\n[coreness]  rounds={approx.rounds}  proven guarantee={approx.guarantee:.2f}")
@@ -35,7 +44,7 @@ def main() -> None:
     print(format_table(["node", "exact coreness", "approximate"], rows))
 
     # ---------------------------------------------------------- orientation
-    orientation = approximate_orientation(graph, epsilon=epsilon)
+    orientation = session.orientation(epsilon=epsilon)
     rho_star = lp_lower_bound(graph)
     print(f"\n[orientation]  max weighted in-degree = {orientation.max_in_weight:.2f}"
           f"  (LP lower bound rho* = {rho_star:.2f},"
@@ -44,12 +53,17 @@ def main() -> None:
           f" uncovered edges = {orientation.orientation.violations}")
 
     # ------------------------------------------------------- densest subset
-    densest = approximate_densest_subsets(graph, epsilon=1.0)
+    densest = session.densest(epsilon=1.0)
     print(f"\n[densest]  reported subsets = {len(densest.subsets)},"
           f" best density = {densest.best_density:.3f},"
           f" exact rho* = {maximum_density(graph):.3f}")
     print(f"[densest]  total rounds across the 4 phases = {densest.rounds_total}"
           f" (independent of the graph diameter)")
+
+    # The orientation reused every round the coreness request had computed:
+    stats = session.stats
+    print(f"\n[session]  rounds executed = {stats.rounds_executed},"
+          f" reused from cached trajectories = {stats.rounds_reused}")
 
 
 if __name__ == "__main__":

@@ -8,21 +8,28 @@ that the top-k nodes by approximate coreness are exactly the planted core — i.
 approximation is good enough for the downstream ranking task long before the exact
 values are available, and without ever paying the network diameter in rounds.
 
-Run with:  python examples/social_influencers.py
+The epsilon sweep below is the Session API's sweet spot: the round budget grows
+as epsilon shrinks, so every request *resumes* the elimination trajectory the
+previous one cached instead of recomputing it from round 1.
+
+Run with:  python examples/social_influencers.py   (REPRO_SMOKE=1 shrinks it)
 """
 
 from __future__ import annotations
 
-from repro import approximate_coreness
+import os
+
+from repro import Session
 from repro.analysis.ratios import summarize_ratios
 from repro.analysis.tables import format_table
 from repro.baselines import coreness, montresor_kcore
 from repro.graph.generators import core_periphery
 from repro.graph.properties import hop_diameter
 
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"   #: CI smoke mode: smaller network
 CORE_SIZE = 25
-PERIPHERY = 400
-CHAIN_LENGTH = 120   #: a long "chain of followers" that inflates the diameter
+PERIPHERY = 120 if SMOKE else 400
+CHAIN_LENGTH = 40 if SMOKE else 120   #: a long "chain of followers" that inflates the diameter
 
 
 def build_network():
@@ -49,9 +56,12 @@ def main() -> None:
           f"diameter={hop_diameter(graph, exact=False)}")
 
     exact = coreness(graph)
+    session = Session(graph)
     rows = []
     for epsilon in (2.0, 1.0, 0.5, 0.25):
-        result = approximate_coreness(graph, epsilon=epsilon)
+        # Each shrinking epsilon means a larger budget T; the session resumes the
+        # cached trajectory, so only the new rounds are computed.
+        result = session.coreness(epsilon=epsilon)
         summary = summarize_ratios(result.values, exact)
         top = set(result.top_nodes(CORE_SIZE))
         recovered = len(top & set(range(CORE_SIZE)))
@@ -69,9 +79,11 @@ def main() -> None:
     print(f"\nMontresor et al. (exact distributed k-core) needed "
           f"{exact_distributed.rounds_to_convergence} rounds to converge on this graph; "
           f"the approximate protocol above used "
-          f"{approximate_coreness(graph, epsilon=0.5).rounds} rounds for a "
+          f"{session.coreness(epsilon=0.5).rounds} rounds for a "
           f"ranking-equivalent answer (and its budget grows only with log n, never "
           f"with the chain length).")
+    print(f"session: {session.stats.rounds_executed} rounds executed across the sweep, "
+          f"{session.stats.rounds_reused} reused from cached trajectories.")
 
 
 if __name__ == "__main__":

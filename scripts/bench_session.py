@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Repeated-request throughput: cold one-shot calls vs one warm Session.
+
+Simulates the serving shape the session API is built for — many parametrised
+requests against one shared graph — and times two strategies over the *same*
+request sequence:
+
+* **cold**: a fresh ``Session`` per request (what the one-shot free functions
+  do): every request rebuilds the CSR view and reruns every round;
+* **warm**: one long-lived ``Session``: the CSR view and Λ-grids are built
+  once, repeated requests hit the result cache, and growing round budgets
+  resume cached trajectory prefixes.
+
+The default workload issues 50 mixed coreness/orientation requests (several
+round budgets, one rounded-λ variant) against a 10k-node Barabási–Albert
+graph, e.g.::
+
+    $ python scripts/bench_session.py --nodes 10000 --requests 50 --require 2.0
+    session n=10000 m=29994 | requests=50 | cold 12.41s | warm 1.03s | speedup 12.0x | identical=True
+
+``--require X`` exits non-zero when the speedup falls below ``X`` (used by
+``scripts/check.sh`` with the acceptance threshold of 2x).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.graph.generators.random_graphs import barabasi_albert  # noqa: E402
+from repro.session import Session  # noqa: E402
+
+
+def build_workload(requests: int, budgets) -> list:
+    """A cycling mixed-problem request list: ``(problem, params)`` pairs.
+
+    Orientation appears once per cycle (its kept-set recovery dominates cold
+    cost); coreness covers several budgets plus one λ-rounded variant, so the
+    warm session exercises result hits, grid memoisation and prefix resumes.
+    """
+    cycle = [("coreness", {"rounds": t}) for t in budgets]
+    cycle.append(("coreness", {"rounds": max(budgets), "lam": 0.1}))
+    cycle.append(("orientation", {"rounds": max(budgets)}))
+    return [cycle[i % len(cycle)] for i in range(requests)]
+
+
+def run_cold(graph, engine, workload) -> tuple:
+    start = time.perf_counter()
+    results = [Session(graph, engine=engine).solve(problem, **params)
+               for problem, params in workload]
+    return time.perf_counter() - start, results
+
+
+def run_warm(graph, engine, workload) -> tuple:
+    session = Session(graph, engine=engine)
+    start = time.perf_counter()
+    results = [session.solve(problem, **params) for problem, params in workload]
+    return time.perf_counter() - start, results, session
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=10000, help="graph size n")
+    parser.add_argument("--degree", type=int, default=3, help="BA attachment degree")
+    parser.add_argument("--requests", type=int, default=50,
+                        help="number of mixed-problem requests")
+    parser.add_argument("--budgets", type=int, nargs="+", default=[4, 6, 8, 10],
+                        help="coreness round budgets cycled through")
+    parser.add_argument("--engine", default="vectorized", help="engine spec")
+    parser.add_argument("--require", type=float, default=None,
+                        help="exit non-zero when the warm speedup is below this")
+    parser.add_argument("--seed", type=int, default=99)
+    args = parser.parse_args()
+
+    graph = barabasi_albert(args.nodes, args.degree, seed=args.seed)
+    workload = build_workload(args.requests, sorted(args.budgets))
+
+    cold_seconds, cold_results = run_cold(graph, args.engine, workload)
+    warm_seconds, warm_results, session = run_warm(graph, args.engine, workload)
+
+    identical = all(c.to_dict() == w.to_dict()
+                    for c, w in zip(cold_results, warm_results))
+    speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+    stats = session.stats
+    print(f"session n={graph.num_nodes} m={graph.num_edges} | "
+          f"requests={len(workload)} | cold {cold_seconds:.2f}s | "
+          f"warm {warm_seconds:.2f}s | speedup {speedup:.1f}x | identical={identical}")
+    print(f"warm session: {stats.rounds_executed} rounds executed, "
+          f"{stats.rounds_reused} reused, {stats.problem_hits} request-cache hits, "
+          f"{stats.csr_builds} CSR build(s)")
+    if not identical:
+        print("error: warm session results differ from cold runs", file=sys.stderr)
+        return 1
+    if args.require is not None and speedup < args.require:
+        print(f"error: speedup {speedup:.1f}x below required {args.require:g}x",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# CI / pre-merge check: tier-1 tests, a quickstart smoke run, and the
-# sharded-vs-vectorized engine micro-benchmark.
+# CI / pre-merge check: tier-1 tests, smoke runs of every example, the
+# sharded-vs-vectorized engine micro-benchmark, and the warm-session
+# throughput benchmark (>= 2x over cold per-call on repeated mixed requests).
 #
 # Usage:  ./scripts/check.sh            (from anywhere; repo root is inferred)
 set -euo pipefail
@@ -17,12 +18,19 @@ echo "== slow + bench tests =="
 python -m pytest -q -m "slow or bench"
 
 echo
-echo "== quickstart smoke run =="
-python examples/quickstart.py
+echo "== example smoke runs (REPRO_SMOKE=1) =="
+for example in examples/*.py; do
+    echo "-- $example"
+    REPRO_SMOKE=1 python "$example" > /dev/null
+done
 
 echo
 echo "== engine micro-benchmark (sharded vs vectorized) =="
 python scripts/bench_engines.py --nodes 20000 --rounds 10 --shards 8 --repeats 2
+
+echo
+echo "== session throughput (warm Session vs cold per-call) =="
+python scripts/bench_session.py --nodes 10000 --requests 50 --require 2.0
 
 echo
 echo "check.sh: all green"

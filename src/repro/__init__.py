@@ -5,17 +5,22 @@ The package is organised as:
 
 * :mod:`repro.graph`     — weighted undirected graph substrate, generators, datasets;
 * :mod:`repro.distsim`   — synchronous LOCAL/CONGEST message-passing simulator;
-* :mod:`repro.core`      — the paper's Algorithms 1-6 and the high-level API;
+* :mod:`repro.core`      — the paper's Algorithms 1-6 and the one-shot API;
+* :mod:`repro.session`   — the stateful :class:`Session` facade (cached CSR views,
+  Λ-grids, results and resumable elimination trajectories);
+* :mod:`repro.problems`  — the problem registry (coreness / orientation / densest)
+  with a uniform request/result protocol;
+* :mod:`repro.engine`    — interchangeable execution engines and the batch runner;
 * :mod:`repro.baselines` — exact/centralized and distributed comparator algorithms;
 * :mod:`repro.analysis`  — approximation-ratio metrics, invariant checks, experiment
   harness shared by the benchmarks.
 
 Quick start
 -----------
->>> from repro import approximate_coreness, load_dataset
->>> graph = load_dataset("collab-small")
->>> result = approximate_coreness(graph, epsilon=0.5)
->>> all(result.values[v] >= 0 for v in graph.nodes())
+>>> from repro import Session, load_dataset
+>>> session = Session(load_dataset("collab-small"))
+>>> result = session.coreness(epsilon=0.5)
+>>> all(result.values[v] >= 0 for v in session.graph.nodes())
 True
 """
 
@@ -46,12 +51,25 @@ from repro.errors import (
 )
 from repro.graph.datasets import list_datasets, load_dataset
 from repro.graph.graph import Graph
+from repro.problems import (
+    Problem,
+    available_problems,
+    get_problem,
+    register_problem,
+)
+from repro.session import Session, SessionStats
 
 __all__ = [
     "__version__",
     "Graph",
     "load_dataset",
     "list_datasets",
+    "Session",
+    "SessionStats",
+    "Problem",
+    "get_problem",
+    "register_problem",
+    "available_problems",
     "approximate_coreness",
     "approximate_orientation",
     "approximate_densest_subsets",

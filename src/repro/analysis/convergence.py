@@ -55,23 +55,49 @@ class ConvergenceTrace:
         return None
 
 
+def _trajectory_and_labels(graph: Graph, rounds: int, session=None):
+    """The ``(rounds + 1, n)`` trajectory plus node labels, via a session if given.
+
+    Routing through a :class:`repro.session.Session` lets repeated analyses of
+    the same graph share one CSR view and resume cached trajectory prefixes.
+    A session whose engine produces no trajectory (the faithful simulator)
+    falls back to the cold vectorized path.
+    """
+    if session is not None:
+        if session.graph is not graph:
+            raise AlgorithmError(
+                "the given session was opened for a different graph object")
+        # Only trajectory-capable engines can serve this — a faithful-engine
+        # session would pay the full simulation just to be discarded below —
+        # and sessions reject rounds < 1, which the cold path supports (the
+        # round-0 row is the initial +inf state).
+        if rounds >= 1 and session.supports_trajectories:
+            # λ is pinned to 0 so the values match the cold path below (exact
+            # surviving numbers) even on sessions whose default λ is non-zero.
+            result = session.surviving(rounds=rounds, lam=0.0, track_kept=False)
+            return result.trajectory, result.node_order
+    # Fallback (no session, or one whose engine cannot serve trajectories):
+    # still reuse the session's CSR view when there is one.
+    csr = session.csr if session is not None else graph_to_csr(graph)
+    return surviving_numbers_vectorized(csr, rounds), csr.labels()
+
+
 def convergence_trace(graph: Graph, exact: Mapping[Hashable, float], *,
                       max_rounds: int, reference_name: str = "coreness",
-                      ) -> ConvergenceTrace:
+                      session=None) -> ConvergenceTrace:
     """Compute the ratio-vs-rounds table for ``graph`` against the ``exact`` map.
 
     The vectorised engine produces the surviving numbers of every round in one shot;
-    round ``t``'s values are then summarised against ``exact``.
+    round ``t``'s values are then summarised against ``exact``.  Pass the graph's
+    :class:`repro.session.Session` as ``session`` to reuse its cached artifacts.
     """
     if max_rounds < 1:
         raise AlgorithmError(f"max_rounds must be >= 1, got {max_rounds}")
-    csr = graph_to_csr(graph)
-    trajectory = surviving_numbers_vectorized(csr, max_rounds)
-    labels = csr.labels()
+    trajectory, labels = _trajectory_and_labels(graph, max_rounds, session)
     rows: List[ConvergenceRow] = []
     n = graph.num_nodes
     for t in range(1, max_rounds + 1):
-        estimates = {labels[i]: float(trajectory[t, i]) for i in range(csr.num_nodes)}
+        estimates = {labels[i]: float(trajectory[t, i]) for i in range(len(labels))}
         summary = summarize_ratios(estimates, exact)
         rows.append(ConvergenceRow(rounds=t,
                                    theoretical_guarantee=guarantee_after_rounds(n, t),
@@ -79,9 +105,11 @@ def convergence_trace(graph: Graph, exact: Mapping[Hashable, float], *,
     return ConvergenceTrace(reference_name=reference_name, rows=tuple(rows))
 
 
-def values_at_round(graph: Graph, rounds: int) -> Dict[Hashable, float]:
-    """Surviving numbers after exactly ``rounds`` rounds (vectorised engine)."""
-    csr = graph_to_csr(graph)
-    trajectory = surviving_numbers_vectorized(csr, rounds)
-    labels = csr.labels()
-    return {labels[i]: float(trajectory[rounds, i]) for i in range(csr.num_nodes)}
+def values_at_round(graph: Graph, rounds: int, *, session=None) -> Dict[Hashable, float]:
+    """Surviving numbers after exactly ``rounds`` rounds (vectorised engine).
+
+    With a :class:`repro.session.Session`, a budget within an already-cached
+    trajectory is served by slicing and a larger one resumes the cached prefix.
+    """
+    trajectory, labels = _trajectory_and_labels(graph, rounds, session)
+    return {labels[i]: float(trajectory[rounds, i]) for i in range(len(labels))}

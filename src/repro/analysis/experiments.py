@@ -34,12 +34,11 @@ from repro.baselines.frank_wolfe import frank_wolfe_densities
 from repro.baselines.goldberg import maximum_density
 from repro.baselines.montresor import montresor_kcore
 from repro.baselines.sarma import sarma_densest_subset
-from repro.core.api import approximate_coreness, approximate_orientation
-from repro.core.densest import weak_densest_subsets
 from repro.core.orientation import orientation_from_kept
 from repro.core.rounds import guarantee_after_rounds, rounds_for_epsilon
-from repro.core.surviving import compact_elimination, run_compact_elimination
+from repro.core.surviving import run_compact_elimination
 from repro.graph.datasets import load_dataset
+from repro.session import Session
 from repro.graph.generators.lowerbound import figure1_triple, lemma313_pair
 from repro.graph.generators.random_graphs import barabasi_albert, erdos_renyi_gnm
 from repro.graph.graph import Graph
@@ -76,10 +75,11 @@ def experiment_e1_convergence(dataset_names: Sequence[str] = SMALL_SUITE, *,
         else:
             r_values = frank_wolfe_densities(graph, iterations=200).loads
             r_reference = "frank-wolfe"
+        session = Session(graph)  # one CSR/trajectory shared by every budget below
         trace_core = convergence_trace(graph, exact_core, max_rounds=max_rounds,
-                                       reference_name="coreness")
+                                       reference_name="coreness", session=session)
         for row in trace_core.rows:
-            estimates = values_at_round(graph, row.rounds)
+            estimates = values_at_round(graph, row.rounds, session=session)
             r_summary = summarize_ratios(estimates, r_values)
             rows.append({
                 "dataset": name,
@@ -125,7 +125,7 @@ def experiment_e3_orientation(dataset_names: Sequence[str] = SMALL_SUITE, *,
     """E3 — min-max orientation quality of ours vs the LP bound and the baselines."""
     rows: List[dict] = []
     for name, graph in _dataset_graphs(dataset_names, weighted=weighted).items():
-        ours = approximate_orientation(graph, epsilon=epsilon)
+        ours = Session(graph).orientation(epsilon=epsilon)
         rho_star = lp_lower_bound(graph)
         greedy = greedy_orientation(graph)
         two_phase = two_phase_orientation(graph, epsilon=epsilon)
@@ -155,7 +155,7 @@ def experiment_e4_densest(dataset_names: Sequence[str] = SMALL_SUITE, *,
     """E4 — weak densest subset quality vs ρ*, Charikar and Bahmani."""
     rows: List[dict] = []
     for name, graph in _dataset_graphs(dataset_names).items():
-        result = weak_densest_subsets(graph, epsilon=epsilon)
+        result = Session(graph).densest(epsilon=epsilon)
         rho_star = maximum_density(graph)
         charikar = charikar_peeling(graph)
         bahmani = bahmani_densest_subset(graph, epsilon=epsilon)
@@ -215,10 +215,12 @@ def experiment_e6_lower_bound(*, cycle_nodes: int = 64,
     """
     rows: List[dict] = []
     gadget_a, gadget_b, gadget_c = figure1_triple(cycle_nodes)
+    sessions = {label: Session(g) for label, g in
+                (("cycle(a)", gadget_a), ("broken(b)", gadget_b), ("broken(c)", gadget_c))}
     for rounds in (1, 2, cycle_nodes // 4, cycle_nodes // 2, cycle_nodes):
         vals = {}
-        for label, g in (("cycle(a)", gadget_a), ("broken(b)", gadget_b), ("broken(c)", gadget_c)):
-            vals[label] = values_at_round(g, rounds)[0]
+        for label, session in sessions.items():
+            vals[label] = values_at_round(session.graph, rounds, session=session)[0]
         rows.append({
             "construction": f"figure1(n={cycle_nodes})",
             "rounds": rounds,
@@ -230,9 +232,12 @@ def experiment_e6_lower_bound(*, cycle_nodes: int = 64,
         })
     for gamma, depth in gamma_depth_pairs:
         pair = lemma313_pair(gamma, depth)
+        tree_session = Session(pair.tree)
+        clique_session = Session(pair.tree_with_clique)
         for rounds in range(1, depth + 2):
-            tree_value = values_at_round(pair.tree, rounds)[pair.root]
-            clique_value = values_at_round(pair.tree_with_clique, rounds)[pair.root]
+            tree_value = values_at_round(pair.tree, rounds, session=tree_session)[pair.root]
+            clique_value = values_at_round(pair.tree_with_clique, rounds,
+                                           session=clique_session)[pair.root]
             rows.append({
                 "construction": f"lemma313(gamma={gamma}, depth={depth})",
                 "rounds": rounds,
@@ -252,11 +257,12 @@ def experiment_e7_baselines(dataset_names: Sequence[str] = SMALL_SUITE, *,
     rows: List[dict] = []
     for name, graph in _dataset_graphs(dataset_names).items():
         exact_core = coreness(graph)
-        ours = approximate_coreness(graph, epsilon=epsilon)
+        session = Session(graph)  # coreness + densest share one graph's session
+        ours = session.coreness(epsilon=epsilon)
         ours_summary = summarize_ratios(ours.values, exact_core)
         montresor = montresor_kcore(graph)
         sarma = sarma_densest_subset(graph, epsilon=epsilon, exact_diameter=False)
-        densest = weak_densest_subsets(graph, epsilon=epsilon)
+        densest = session.densest(epsilon=epsilon)
         rho_star = maximum_density(graph) if graph.num_edges <= _EXACT_DENSITY_EDGE_LIMIT \
             else charikar_peeling(graph).density
         rows.append({
@@ -320,8 +326,9 @@ def ablation_a1_tiebreak(dataset_names: Sequence[str] = ("collab-small", "cavema
     for name, graph in _dataset_graphs(dataset_names, weighted=weighted).items():
         rho_star = lp_lower_bound(graph)
         T = rounds_for_epsilon(graph.num_nodes, epsilon)
+        session = Session(graph)  # the three rules replay one shared trajectory
         for rule in ("history", "stable", "naive"):
-            surv = compact_elimination(graph, T, tie_break=rule, track_kept=True)
+            surv = session.surviving(rounds=T, tie_break=rule, track_kept=True)
             report = check_orientation_invariants(graph, surv.values, surv.kept)
             orientation = orientation_from_kept(graph, surv.kept, values=surv.values)
             rows.append({

@@ -9,7 +9,9 @@ dataset) without writing Python::
     python -m repro orientation --dataset caveman --weighted --epsilon 0.5
     python -m repro densest --input graph.edges --epsilon 1.0
     python -m repro batch --dataset caveman --dataset communities --epsilon 0.5 --rounds 4
+    python -m repro batch --dataset caveman --problem orientation --epsilon 0.5 --json -
     python -m repro engines
+    python -m repro problems
     python -m repro datasets
 
 Edge-list files use the same format as :mod:`repro.graph.io` (``u v [w]`` per line,
@@ -19,18 +21,20 @@ Edge-list files use the same format as :mod:`repro.graph.io` (``u v [w]`` per li
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
 from repro._version import __version__
 from repro.analysis.tables import format_table
-from repro.core.api import approximate_coreness, approximate_densest_subsets, approximate_orientation
 from repro.engine import BatchRunner, available_engines, get_engine, sweep_jobs
 from repro.errors import ReproError
 from repro.graph.datasets import dataset_info, list_datasets, load_dataset
 from repro.graph.graph import Graph
 from repro.graph.io import read_edge_list
+from repro.problems import available_problems, get_problem
+from repro.session import Session
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -78,25 +82,34 @@ def _build_parser() -> argparse.ArgumentParser:
     add_graph_arguments(densest_parser)
 
     batch_parser = subparsers.add_parser(
-        "batch", help="run a batch of coreness jobs (graphs x budgets x lambdas) "
-                      "through one engine with shared CSR views")
+        "batch", help="run a batch of problem jobs (graphs x budgets x lambdas) "
+                      "through one engine with shared per-graph sessions")
     batch_parser.add_argument("--input", type=Path, action="append", default=[],
                               help="edge-list file; repeatable")
     batch_parser.add_argument("--dataset", choices=list_datasets(), action="append",
                               default=[], help="bundled dataset; repeatable")
     batch_parser.add_argument("--weighted", action="store_true",
                               help="layer integer weights onto the bundled datasets")
+    batch_parser.add_argument("--problem", choices=available_problems(),
+                              default="coreness",
+                              help="registered problem every job runs (default: coreness)")
     batch_parser.add_argument("--epsilon", type=float, action="append", default=[],
                               help="budget variant: target ratio 2(1+epsilon); repeatable")
     batch_parser.add_argument("--rounds", type=int, action="append", default=[],
                               help="budget variant: explicit round budget T; repeatable")
     batch_parser.add_argument("--lam", type=float, action="append", default=[],
-                              help="Lambda-grid variant (default: 0.0 only); repeatable")
+                              help="Lambda-grid variant, coreness only "
+                                   "(default: 0.0 only); repeatable")
     batch_parser.add_argument("--output", type=Path, default=None,
                               help="write per-job stats as TSV in addition to the table")
+    batch_parser.add_argument("--json", default=None, metavar="PATH",
+                              help="write per-job results as JSON (each result's "
+                                   "to_dict()); '-' prints pure JSON to stdout, "
+                                   "suppressing the table")
     add_engine_argument(batch_parser)
 
     subparsers.add_parser("engines", help="list the registered execution engines")
+    subparsers.add_parser("problems", help="list the registered problems")
     subparsers.add_parser("datasets", help="list the bundled synthetic datasets")
     return parser
 
@@ -131,6 +144,14 @@ def _command_engines(out) -> int:
     return 0
 
 
+def _command_problems(out) -> int:
+    rows = [[name, get_problem(name).describe()] for name in available_problems()]
+    print(format_table(["name", "description"], rows), file=out)
+    print("# run a problem over many graphs/budgets with: repro batch --problem NAME ...",
+          file=out)
+    return 0
+
+
 def _command_batch(args: argparse.Namespace, out) -> int:
     graphs = {}
     for path in args.input:
@@ -139,34 +160,57 @@ def _command_batch(args: argparse.Namespace, out) -> int:
         graphs[name] = load_dataset(name, weighted=args.weighted)
     if not graphs:
         raise ReproError("batch needs at least one --input or --dataset")
+    problem = get_problem(args.problem)
+    if any(args.lam) and "lam" not in problem.batch_params:
+        raise ReproError(f"--lam only applies to problems that take a Lambda grid "
+                         f"(problem {problem.name!r} does not)")
     jobs = sweep_jobs(graphs, epsilons=args.epsilon, rounds=args.rounds,
-                      lams=args.lam or (0.0,))
+                      lams=args.lam or (0.0,), problem=args.problem)
     runner = BatchRunner(args.engine)
     results = runner.run(jobs)
-    header = ["job", "engine", "n", "m", "rounds", "seconds", "converged", "max value"]
+    header = ["job", "engine", "problem", "n", "m", "rounds", "seconds", "converged",
+              "objective"]
+    json_to_stdout = args.json == "-"
     rows = []
-    for result in results:
-        stats = result.stats
-        max_value = max(result.values.values()) if result.values else 0.0
-        rows.append([stats.job, stats.engine, stats.num_nodes, stats.num_edges,
-                     stats.rounds, f"{stats.seconds:.4f}",
-                     stats.converged_round if stats.converged_round is not None else "-",
-                     f"{max_value:.6g}"])
-    print(f"# engine={runner.engine.describe()} jobs={len(results)} "
-          f"graphs={runner.cached_graphs}", file=out)
-    print(format_table(header, rows), file=out)
+    if not json_to_stdout or args.output is not None:
+        for result in results:
+            stats = result.stats
+            rows.append([stats.job, stats.engine, stats.problem, stats.num_nodes,
+                         stats.num_edges, stats.rounds, f"{stats.seconds:.4f}",
+                         stats.converged_round if stats.converged_round is not None
+                         else "-",
+                         f"{stats.objective:.6g}"])
+    if not json_to_stdout:  # keep stdout pure JSON for `--json -` pipelines
+        engine_desc = runner.engine.describe()
+        if problem.forced_engine:
+            engine_desc = f"{problem.forced_engine} (forced by the problem)"
+        print(f"# engine={engine_desc} problem={problem.name} "
+              f"jobs={len(results)} graphs={runner.cached_graphs}", file=out)
+        print(format_table(header, rows), file=out)
     if args.output is not None:
         lines = ["\t".join(str(cell) for cell in row) for row in rows]
         args.output.write_text("\n".join(["\t".join(header)] + lines) + "\n",
                                encoding="utf-8")
-        print(f"# per-job stats written to {args.output}", file=out)
+        if not json_to_stdout:
+            print(f"# per-job stats written to {args.output}", file=out)
+    if args.json is not None:
+        payload = [{"job": r.stats.job, "problem": r.stats.problem,
+                    "engine": r.stats.engine, "rounds": r.stats.rounds,
+                    "seconds": r.stats.seconds, "objective": r.stats.objective,
+                    "result": r.result.to_dict()} for r in results]
+        text = json.dumps(payload, indent=2)
+        if json_to_stdout:
+            print(text, file=out)
+        else:
+            Path(args.json).write_text(text + "\n", encoding="utf-8")
+            print(f"# per-job results written to {args.json}", file=out)
     return 0
 
 
 def _command_coreness(args: argparse.Namespace, out) -> int:
     graph = _load_graph(args)
-    result = approximate_coreness(graph, lam=args.lam, engine=args.engine,
-                                  **_budget_kwargs(args))
+    result = Session(graph, engine=args.engine, lam=args.lam).coreness(
+        **_budget_kwargs(args))
     print(f"# n={graph.num_nodes} m={graph.num_edges} rounds={result.rounds} "
           f"guarantee={result.guarantee:.4g}", file=out)
     if args.output is not None:
@@ -181,7 +225,7 @@ def _command_coreness(args: argparse.Namespace, out) -> int:
 
 def _command_orientation(args: argparse.Namespace, out) -> int:
     graph = _load_graph(args)
-    result = approximate_orientation(graph, engine=args.engine, **_budget_kwargs(args))
+    result = Session(graph, engine=args.engine).orientation(**_budget_kwargs(args))
     print(f"# n={graph.num_nodes} m={graph.num_edges} rounds={result.rounds} "
           f"guarantee={result.guarantee:.4g}", file=out)
     print(f"max weighted in-degree: {result.max_in_weight:.6g}", file=out)
@@ -197,7 +241,7 @@ def _command_orientation(args: argparse.Namespace, out) -> int:
 
 def _command_densest(args: argparse.Namespace, out) -> int:
     graph = _load_graph(args)
-    result = approximate_densest_subsets(graph, **_budget_kwargs(args))
+    result = Session(graph).densest(**_budget_kwargs(args))
     print(f"# n={graph.num_nodes} m={graph.num_edges} rounds_total={result.rounds_total} "
           f"gamma={result.gamma:.4g}", file=out)
     rows = [[str(leader), len(members),
@@ -227,6 +271,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             return _command_datasets(out)
         if args.command == "engines":
             return _command_engines(out)
+        if args.command == "problems":
+            return _command_problems(out)
         if args.command == "batch":
             return _command_batch(args, out)
         if args.command == "coreness":

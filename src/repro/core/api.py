@@ -1,8 +1,13 @@
-"""High-level public API for the paper's three problems.
+"""High-level one-shot API for the paper's three problems.
 
-These functions are what the examples and benchmarks use; they wrap the lower-level
-protocol/engine machinery with the paper's parametrisation (ε or γ or an explicit
-round budget ``T``) and return self-describing result objects.
+These free functions are thin wrappers that build a throwaway
+:class:`repro.session.Session` for a single request; they are kept (and remain
+fully supported) for scripts and notebooks that touch a graph exactly once.
+Anything that issues *repeated* requests — servers, sweeps, benchmarks — should
+hold a ``Session`` (or route through :class:`repro.engine.batch.BatchRunner`)
+instead: the session owns the CSR view and Λ-grids, caches results, and resumes
+cached elimination trajectories when the round budget grows, none of which a
+one-shot call can amortise.
 
 * :func:`approximate_coreness` — Theorem I.1: per-node ``2(1+ε)``-approximate
   coreness values / maximal densities;
@@ -10,6 +15,9 @@ round budget ``T``) and return self-describing result objects.
   ``2(1+ε)``-approximate maximum weighted in-degree;
 * :func:`approximate_densest_subsets` — Theorem I.3: the weak densest subset
   collection of Definition IV.1.
+
+The result dataclasses (shared with the session / problem-registry layer) all
+implement the uniform ``to_dict()`` JSON protocol of :mod:`repro.problems`.
 """
 
 from __future__ import annotations
@@ -17,20 +25,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Hashable, Optional, Tuple
 
-from repro.core.densest import WeakDensestResult, weak_densest_subsets
-from repro.core.orientation import Orientation, orientation_from_kept
-from repro.core.rounds import guarantee_after_rounds, resolve_round_budget
-from repro.core.surviving import SurvivingNumbers, compact_elimination
+from repro.core.densest import WeakDensestResult
+from repro.core.orientation import Orientation
+from repro.core.surviving import SurvivingNumbers
 from repro.engine.base import EngineLike
 from repro.errors import AlgorithmError
 from repro.graph.graph import Graph
-
-
-def _resolve_rounds(num_nodes: int, epsilon: Optional[float], gamma: Optional[float],
-                    rounds: Optional[int]) -> int:
-    """Resolve the (ε | γ | T) parametrisation; see
-    :func:`repro.core.rounds.resolve_round_budget` for the contract."""
-    return resolve_round_budget(num_nodes, epsilon, gamma, rounds)
+from repro.utils.ordering import rank_by_value
+from repro.utils.serialize import json_node, json_value_pairs
 
 
 @dataclass
@@ -41,16 +43,39 @@ class CorenessResult:
     rounds: int                     #: rounds executed
     guarantee: float                #: proven factor ``2·n^(1/T)`` (modulo the 1+λ slack)
     lam: float                      #: the Λ-grid parameter used
-    surviving: SurvivingNumbers     #: full lower-level result (trajectory, kept sets...)
+    surviving: Optional[SurvivingNumbers] = None  #: full lower-level result
+                                                  #: (trajectory, kept sets...)
 
     def value_of(self, node: Hashable) -> float:
         """Approximate coreness of ``node`` (an upper bound on the true coreness)."""
         return self.values[node]
 
     def top_nodes(self, k: int) -> Tuple[Hashable, ...]:
-        """The ``k`` nodes with the largest approximate coreness (descending)."""
-        ranked = sorted(self.values, key=lambda v: (-self.values[v], repr(v)))
-        return tuple(ranked[:k])
+        """The ``k`` nodes with the largest approximate coreness (descending).
+
+        Ties are broken by the ascending natural order of the nodes themselves
+        (so integer nodes rank numerically: 9 before 10), falling back to the
+        lexicographic order of ``repr(node)`` only when the node set mixes
+        unorderable types — see :func:`repro.utils.ordering.rank_by_value`.
+        """
+        return tuple(rank_by_value(self.values)[:k])
+
+    @property
+    def max_value(self) -> float:
+        """The largest surviving number (the batch/CLI objective)."""
+        return max(self.values.values()) if self.values else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (uniform result protocol of :mod:`repro.problems`)."""
+        return {
+            "problem": "coreness",
+            "rounds": self.rounds,
+            "guarantee": self.guarantee,
+            "lam": self.lam,
+            "num_nodes": len(self.values),
+            "max_value": self.max_value,
+            "values": json_value_pairs(self.values),
+        }
 
 
 def approximate_coreness(graph: Graph, *, epsilon: Optional[float] = None,
@@ -63,6 +88,9 @@ def approximate_coreness(graph: Graph, *, epsilon: Optional[float] = None,
     given.  The returned values satisfy
     ``c(v)/(1+λ) <= b_v <= 2·n^(1/T)·(coreness or maximal density of v)``.
 
+    One-shot wrapper over :meth:`repro.session.Session.coreness`; hold a
+    ``Session`` instead when issuing repeated requests on the same graph.
+
     Parameters
     ----------
     lam:
@@ -73,13 +101,12 @@ def approximate_coreness(graph: Graph, *, epsilon: Optional[float] = None,
         ``"simulation"``: per-node protocol with message statistics), or
         ``"sharded"`` / ``"sharded:4"`` (bounded-memory shard-by-shard kernels).
     """
+    from repro.session import Session
+
     if graph.num_nodes == 0:
         raise AlgorithmError("approximate_coreness needs a non-empty graph")
-    T = _resolve_rounds(graph.num_nodes, epsilon, gamma, rounds)
-    surv = compact_elimination(graph, T, lam=lam, engine=engine, track_kept=False)
-    return CorenessResult(values=dict(surv.values), rounds=T,
-                          guarantee=guarantee_after_rounds(graph.num_nodes, T),
-                          lam=lam, surviving=surv)
+    session = Session(graph, engine=engine, lam=lam)
+    return session.coreness(epsilon=epsilon, gamma=gamma, rounds=rounds)
 
 
 @dataclass
@@ -90,11 +117,26 @@ class OrientationResult:
     values: Dict[Hashable, float]   #: the surviving numbers that produced it
     rounds: int                     #: rounds executed
     guarantee: float                #: proven factor ``2·n^(1/T)``
+    surviving: Optional[SurvivingNumbers] = None  #: full lower-level result
 
     @property
     def max_in_weight(self) -> float:
         """The achieved objective (maximum weighted in-degree)."""
         return self.orientation.max_in_weight
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (uniform result protocol of :mod:`repro.problems`)."""
+        return {
+            "problem": "orientation",
+            "rounds": self.rounds,
+            "guarantee": self.guarantee,
+            "max_in_weight": self.max_in_weight,
+            "conflicts": self.orientation.conflicts,
+            "violations": self.orientation.violations,
+            "assignment": [[json_node(u), json_node(v), json_node(owner)]
+                           for (u, v), owner in self.orientation.assignment.items()],
+            "in_weight": json_value_pairs(self.orientation.in_weight),
+        }
 
 
 def approximate_orientation(graph: Graph, *, epsilon: Optional[float] = None,
@@ -106,16 +148,16 @@ def approximate_orientation(graph: Graph, *, epsilon: Optional[float] = None,
     Runs Algorithm 2 with ``Λ = R`` (required by Lemma III.11), collects the
     auxiliary subsets ``N_v`` and materialises the orientation, resolving the rare
     both-endpoints conflicts deterministically.  ``engine`` is resolved through
-    the registry exactly as in :func:`approximate_coreness`.
+    the registry exactly as in :func:`approximate_coreness`.  One-shot wrapper
+    over :meth:`repro.session.Session.orientation`.
     """
+    from repro.session import Session
+
     if graph.num_nodes == 0:
         raise AlgorithmError("approximate_orientation needs a non-empty graph")
-    T = _resolve_rounds(graph.num_nodes, epsilon, gamma, rounds)
-    surv = compact_elimination(graph, T, lam=0.0, engine=engine, track_kept=True,
+    session = Session(graph, engine=engine)
+    return session.orientation(epsilon=epsilon, gamma=gamma, rounds=rounds,
                                tie_break=tie_break)
-    orientation = orientation_from_kept(graph, surv.kept, values=surv.values)
-    return OrientationResult(orientation=orientation, values=dict(surv.values), rounds=T,
-                             guarantee=guarantee_after_rounds(graph.num_nodes, T))
 
 
 def approximate_densest_subsets(graph: Graph, *, epsilon: Optional[float] = None,
@@ -123,6 +165,13 @@ def approximate_densest_subsets(graph: Graph, *, epsilon: Optional[float] = None
                                 rounds: Optional[int] = None) -> WeakDensestResult:
     """Theorem I.3: the weak densest subset collection (Definition IV.1).
 
-    Thin wrapper over :func:`repro.core.densest.weak_densest_subsets`.
+    One-shot wrapper over :meth:`repro.session.Session.densest` (which delegates
+    to :func:`repro.core.densest.weak_densest_subsets`, the faithful 4-phase
+    pipeline).
     """
-    return weak_densest_subsets(graph, epsilon=epsilon, gamma=gamma, rounds=rounds)
+    from repro.session import Session
+
+    if graph.num_nodes == 0:
+        raise AlgorithmError("the weak densest subset problem needs a non-empty graph")
+    session = Session(graph)
+    return session.densest(epsilon=epsilon, gamma=gamma, rounds=rounds)

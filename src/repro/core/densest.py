@@ -75,6 +75,35 @@ class WeakDensestResult:
             seen |= members
         return True
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (uniform result protocol of :mod:`repro.problems`)."""
+        from repro.utils.ordering import stable_node_order
+        from repro.utils.serialize import json_node
+
+        best = self.best_leader
+        subsets = []
+        for leader in stable_node_order(self.subsets):
+            members = self.subsets[leader]
+            subsets.append({
+                "leader": json_node(leader),
+                "size": len(members),
+                "reported_density": self.reported_densities.get(leader),
+                "actual_density": self.actual_densities.get(leader),
+                "members": [json_node(v) for v in stable_node_order(members)],
+            })
+        return {
+            "problem": "densest",
+            "gamma": self.gamma,
+            "rounds_total": self.rounds_total,
+            "rounds_per_phase": dict(self.rounds_per_phase),
+            "messages_total": self.messages_total,
+            "best_density": self.best_density,
+            "best_leader": json_node(best) if best is not None else None,
+            "num_subsets": len(self.subsets),
+            "subsets_disjoint": self.subsets_are_disjoint(),
+            "subsets": subsets,
+        }
+
 
 def weak_densest_subsets(graph: Graph, *, epsilon: Optional[float] = None,
                          gamma: Optional[float] = None, rounds: Optional[int] = None,

@@ -35,6 +35,7 @@ import numpy as np
 from repro.core.rounding import LambdaGrid
 from repro.core.update import UpdateResult, update_sorted, update_stable
 from repro.distsim.congest import MessageSizeModel
+from repro.distsim.stats import RunStats as SimRunStats
 from repro.engine.base import get_engine
 from repro.engine.kernels import compact_round, compact_trajectory
 from repro.distsim.message import Message
@@ -132,6 +133,8 @@ class SurvivingNumbers:
     trajectory: Optional[np.ndarray] = None         #: (T+1, n) per-round values (vectorised engine)
     node_order: Optional[Tuple[Hashable, ...]] = None  #: column labels of ``trajectory``
     stats_summary: str = ""                         #: simulator statistics (if any)
+    message_stats: Optional[SimRunStats] = None     #: full per-round simulator statistics
+                                                    #: (faithful engine only)
 
     @property
     def guarantee(self) -> float:
@@ -187,7 +190,8 @@ def run_compact_elimination(graph: Graph, rounds: int, *, lam: float = 0.0,
     kept = {v: out.kept for v, out in run.outputs.items()}
     result = SurvivingNumbers(values=values, kept=kept, rounds=rounds, grid=grid,
                               num_nodes=graph.num_nodes,
-                              stats_summary=run.stats.summary())
+                              stats_summary=run.stats.summary(),
+                              message_stats=run.stats)
     return result, run
 
 

@@ -10,8 +10,14 @@ through :func:`~repro.engine.base.get_engine`:
 >>> engine = get_engine("sharded", num_shards=4)
 
 The per-round NumPy kernels shared by the array engines are in
-:mod:`repro.engine.kernels`; multi-job execution with shared CSR views and
-memoised Λ-grids is in :mod:`repro.engine.batch`.
+:mod:`repro.engine.kernels`; multi-job execution with shared per-graph sessions
+is in :mod:`repro.engine.batch`.
+
+The batch symbols are re-exported lazily (PEP 562): :mod:`repro.engine.batch`
+routes jobs through :mod:`repro.session` and :mod:`repro.problems`, which in
+turn build on :mod:`repro.core` — and ``repro.core.surviving`` imports
+:mod:`repro.engine.base` (hence this ``__init__``) for the kernels.  Importing
+batch eagerly here would re-enter those half-initialised core modules.
 """
 
 from repro.engine.base import (
@@ -22,7 +28,8 @@ from repro.engine.base import (
     parse_engine_spec,
     register_engine,
 )
-from repro.engine.batch import BatchJob, BatchResult, BatchRunner, RunStats, sweep_jobs
+
+_BATCH_EXPORTS = ("BatchJob", "BatchResult", "BatchRunner", "RunStats", "sweep_jobs")
 
 __all__ = [
     "Engine",
@@ -31,9 +38,17 @@ __all__ = [
     "get_engine",
     "parse_engine_spec",
     "register_engine",
-    "BatchJob",
-    "BatchResult",
-    "BatchRunner",
-    "RunStats",
-    "sweep_jobs",
+    *_BATCH_EXPORTS,
 ]
+
+
+def __getattr__(name):
+    if name in _BATCH_EXPORTS:
+        from repro.engine import batch
+
+        return getattr(batch, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_BATCH_EXPORTS))

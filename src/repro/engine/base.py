@@ -45,17 +45,28 @@ class Engine(ABC):
     #: canonical registry name of the engine
     name: str = "abstract"
 
+    #: whether the engine consumes precomputed csr/grid artifacts; engines
+    #: that ignore them by design (the faithful simulator) set this False so
+    #: callers like :class:`repro.session.Session` never build them in vain.
+    consumes_artifacts: bool = True
+
     @abstractmethod
     def run(self, graph: "Graph", rounds: int, *, lam: float = 0.0,
             tie_break: str = "history", track_kept: bool = True,
             csr: Optional["CSRAdjacency"] = None,
-            grid: Optional["LambdaGrid"] = None) -> "SurvivingNumbers":
+            grid: Optional["LambdaGrid"] = None,
+            warm_start=None) -> "SurvivingNumbers":
         """Run Algorithm 2 for ``rounds`` rounds and return the surviving numbers.
 
         ``csr`` and ``grid`` are optional precomputed artifacts (a CSR view of
-        ``graph`` and its Λ-grid); the :class:`~repro.engine.batch.BatchRunner`
-        passes them so that many jobs on the same graph share one CSR view and
-        memoised grids.  Engines that do not consume them ignore them.
+        ``graph`` and its Λ-grid); :class:`~repro.session.Session` and the
+        :class:`~repro.engine.batch.BatchRunner` pass them so that many requests
+        on the same graph share one CSR view and memoised grids.  ``warm_start``
+        is an optional trajectory array from an earlier run with the *same*
+        graph and λ: trajectory engines resume the round loop after its last row
+        instead of recomputing rounds ``1..T_old`` (bit-identical by round
+        determinism).  Engines that do not consume these hints ignore them —
+        they are pure optimisations, never a semantic change.
         """
 
     def describe(self) -> str:

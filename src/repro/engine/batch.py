@@ -1,43 +1,58 @@
-"""Batch execution of many compact-elimination jobs over shared CSR views.
+"""Batch execution of many problem requests over shared per-graph sessions.
 
 Production workloads rarely run one graph once: parameter sweeps (ε / Λ grids),
 multi-tenant serving and the experiment harness all execute *many* jobs, often
 against the *same* graphs.  :class:`BatchRunner` makes that the first-class
-shape: it resolves one engine from the registry, converts every distinct graph
-to a CSR view exactly once, memoises Λ-grids per ``(graph, λ)``, and returns a
-:class:`BatchResult` with per-job :class:`RunStats` (wall-clock, convergence
-round) for each :class:`BatchJob`.
+shape: it resolves one engine from the registry, opens one
+:class:`~repro.session.Session` per distinct graph (so every job on a graph
+shares its CSR view, memoised Λ-grids, cached results and elimination
+trajectories), routes each :class:`BatchJob` through the problem registry
+(:mod:`repro.problems` — ``coreness`` / ``orientation`` / ``densest``), and
+returns a :class:`BatchResult` with the problem result plus per-job
+:class:`RunStats` (wall-clock, convergence round, scalar objective).
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
 
 import numpy as np
 
-from repro.core.rounding import LambdaGrid, grid_for_graph
+from repro.core.rounding import LambdaGrid
 from repro.core.rounds import resolve_round_budget
 from repro.engine.base import Engine, EngineLike, get_engine
 from repro.errors import AlgorithmError
-from repro.graph.csr import CSRAdjacency, graph_to_csr
+from repro.graph.csr import CSRAdjacency
 from repro.graph.graph import Graph
+from repro.problems import Problem, ProblemLike, get_problem
+from repro.session import Session
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.surviving import SurvivingNumbers
 
+#: BatchJob fields a problem may consume beyond the round budget; a job must
+#: keep each at its field default (or the problem's forced value) when the
+#: problem does not consume it.
+_OPTIONAL_JOB_FIELDS = ("lam", "tie_break", "track_kept")
+
 
 @dataclass(frozen=True)
 class BatchJob:
-    """One unit of work: a graph plus the paper's parametrisation.
+    """One unit of work: a graph, a problem, and the paper's parametrisation.
 
     Exactly one of ``epsilon`` (γ = 2(1+ε)), ``gamma`` (γ > 2) or ``rounds``
     must be given — the same contract as :func:`repro.core.api.approximate_coreness`.
+    ``problem`` is anything :func:`repro.problems.get_problem` resolves
+    (default ``"coreness"``); ``lam``, ``tie_break`` and ``track_kept`` are
+    forwarded only to problems that consume them (``Problem.batch_params``) and
+    must stay at their defaults otherwise.
     """
 
     graph: Graph
     name: str = ""
+    problem: ProblemLike = "coreness"
     epsilon: Optional[float] = None
     gamma: Optional[float] = None
     rounds: Optional[int] = None
@@ -50,6 +65,10 @@ class BatchJob:
         return resolve_round_budget(self.graph.num_nodes, self.epsilon, self.gamma,
                                     self.rounds)
 
+    def problem_name(self) -> str:
+        """The display name of the job's problem (without registry resolution)."""
+        return self.problem if isinstance(self.problem, str) else self.problem.name
+
     def label(self) -> str:
         """A display label: the explicit name, or a budget-derived fallback."""
         if self.name:
@@ -60,7 +79,16 @@ class BatchJob:
             budget = f"gamma={self.gamma:g}"
         else:
             budget = f"T={self.rounds}"
-        return f"n={self.graph.num_nodes};{budget};lam={self.lam:g}"
+        label = f"n={self.graph.num_nodes};{budget};lam={self.lam:g}"
+        if self.problem_name() != "coreness":
+            label += f";problem={self.problem_name()}"
+        return label
+
+
+#: Field defaults of the optional job params, read off the dataclass itself so
+#: the validation in :meth:`BatchRunner._job_params` cannot drift from them.
+_OPTIONAL_JOB_PARAMS = {f.name: f.default for f in fields(BatchJob)
+                        if f.name in _OPTIONAL_JOB_FIELDS}
 
 
 @dataclass(frozen=True)
@@ -71,19 +99,23 @@ class RunStats:
     engine: str                      #: canonical engine name
     num_nodes: int
     num_edges: int
-    rounds: int                      #: executed round budget T
-    seconds: float                   #: wall-clock of the engine run
+    rounds: int                      #: synchronous rounds executed (the budget T;
+                                     #: for densest, all 4 pipeline phases)
+    seconds: float                   #: wall-clock of the request
     converged_round: Optional[int]   #: first round the values stopped changing
                                      #: (None when unknown or not reached)
+    problem: str = "coreness"        #: canonical problem name
+    objective: Optional[float] = None  #: the problem's scalar objective
 
 
 @dataclass
 class BatchResult:
-    """A finished job: the surviving numbers plus its :class:`RunStats`."""
+    """A finished job: the problem result plus its :class:`RunStats`."""
 
     job: BatchJob
     surviving: "SurvivingNumbers"
     stats: RunStats
+    result: object = None            #: the full problem result (``to_dict()``-capable)
 
     @property
     def values(self):
@@ -103,59 +135,83 @@ def _converged_round(trajectory: Optional[np.ndarray]) -> Optional[int]:
 class BatchRunner:
     """Execute many :class:`BatchJob`\\ s through one registry engine.
 
-    The runner owns two memo caches keyed by graph identity: CSR views (shared
-    by every job on the same graph) and Λ-grids per ``(graph, λ)``.  Graphs are
-    treated as immutable while a runner holds them.
+    The runner owns one :class:`~repro.session.Session` per distinct graph
+    (keyed by graph identity), so CSR views, Λ-grids, cached results and
+    elimination trajectories are shared by every job on the same graph —
+    including across *different* problems (a coreness job and an orientation
+    job on the same graph reuse one λ=0 trajectory).  Graphs are treated as
+    immutable while a runner holds them.
     """
 
     def __init__(self, engine: EngineLike = "vectorized", **engine_options) -> None:
         self.engine: Engine = get_engine(engine, **engine_options)
-        # id() keys require keeping the graph alive; store it alongside the value.
-        self._csr_cache: Dict[int, Tuple[Graph, CSRAdjacency]] = {}
-        self._grid_cache: Dict[Tuple[int, float], Tuple[Graph, LambdaGrid]] = {}
+        # id() keys require keeping the graph alive; the Session holds it.
+        self._sessions: Dict[int, Session] = {}
 
     # ------------------------------------------------------------------ caches
-    def csr_view(self, graph: Graph) -> CSRAdjacency:
-        """The (cached) CSR view of ``graph``."""
+    def session(self, graph: Graph) -> Session:
+        """The (cached) :class:`Session` owning the artifacts of ``graph``."""
         key = id(graph)
-        hit = self._csr_cache.get(key)
+        hit = self._sessions.get(key)
         if hit is None:
-            hit = (graph, graph_to_csr(graph))
-            self._csr_cache[key] = hit
-        return hit[1]
+            hit = self._sessions[key] = Session(graph, engine=self.engine)
+        return hit
+
+    def csr_view(self, graph: Graph) -> CSRAdjacency:
+        """The (cached) CSR view of ``graph`` (owned by its session)."""
+        return self.session(graph).csr
 
     def grid_view(self, graph: Graph, lam: float) -> LambdaGrid:
         """The (memoised) Λ-grid of ``graph`` for parameter ``lam``."""
-        key = (id(graph), float(lam))
-        hit = self._grid_cache.get(key)
-        if hit is None:
-            hit = (graph, grid_for_graph(graph, lam))
-            self._grid_cache[key] = hit
-        return hit[1]
+        return self.session(graph).grid(lam)
 
     @property
     def cached_graphs(self) -> int:
-        """Number of distinct graphs with a cached CSR view or grid."""
-        return len(self._csr_cache)
+        """Number of distinct graphs with an open session."""
+        return len(self._sessions)
 
     # -------------------------------------------------------------------- runs
+    @staticmethod
+    def _job_params(job: BatchJob, problem: Problem) -> dict:
+        params: dict = {}
+        if job.epsilon is not None:
+            params["epsilon"] = job.epsilon
+        if job.gamma is not None:
+            params["gamma"] = job.gamma
+        if job.rounds is not None:
+            params["rounds"] = job.rounds
+        for name, default in _OPTIONAL_JOB_PARAMS.items():
+            value = getattr(job, name)
+            if name in problem.batch_params:
+                params[name] = value
+            elif value != default and value != problem.forced_params.get(name, default):
+                raise AlgorithmError(
+                    f"problem {problem.name!r} does not take {name} "
+                    f"(job {job.label()!r} sets {name}={value!r})")
+        return params
+
     def run_job(self, job: BatchJob) -> BatchResult:
         """Execute one job and return its :class:`BatchResult`."""
         if job.graph.num_nodes == 0:
             raise AlgorithmError("batch jobs need a non-empty graph")
-        rounds = job.resolve_rounds()
-        csr = self.csr_view(job.graph)
-        grid = self.grid_view(job.graph, job.lam)
+        problem = get_problem(job.problem)
+        params = self._job_params(job, problem)
+        job.resolve_rounds()   # budget validation up front, before any work
+        session = self.session(job.graph)
         start = time.perf_counter()
-        surviving = self.engine.run(job.graph, rounds, lam=job.lam,
-                                    tie_break=job.tie_break,
-                                    track_kept=job.track_kept, csr=csr, grid=grid)
+        # The job's own problem spec goes to solve(): name specs dedup by
+        # problem class there, while a fresh instance resolved here would not.
+        result = session.solve(job.problem, **params)
         seconds = time.perf_counter() - start
-        stats = RunStats(job=job.label(), engine=self.engine.name,
+        surviving = result.surviving
+        trajectory = surviving.trajectory if surviving is not None else None
+        stats = RunStats(job=job.label(),
+                         engine=problem.forced_engine or self.engine.name,
                          num_nodes=job.graph.num_nodes, num_edges=job.graph.num_edges,
-                         rounds=rounds, seconds=seconds,
-                         converged_round=_converged_round(surviving.trajectory))
-        return BatchResult(job=job, surviving=surviving, stats=stats)
+                         rounds=problem.rounds_executed(result), seconds=seconds,
+                         converged_round=_converged_round(trajectory),
+                         problem=problem.name, objective=problem.objective(result))
+        return BatchResult(job=job, surviving=surviving, stats=stats, result=result)
 
     def run(self, jobs: Iterable[BatchJob]) -> List[BatchResult]:
         """Execute every job in order and return their results."""
@@ -164,13 +220,15 @@ class BatchRunner:
 
 def sweep_jobs(graphs: Dict[str, Graph], *, epsilons: Iterable[float] = (),
                rounds: Iterable[int] = (), lams: Iterable[float] = (0.0,),
+               problem: ProblemLike = "coreness",
                track_kept: bool = False) -> List[BatchJob]:
     """Cross-product helper: one job per (graph × budget × λ).
 
     ``epsilons`` and ``rounds`` together form the budget axis (each entry is one
-    budget variant); at least one budget must be supplied.
+    budget variant); at least one budget must be supplied.  ``problem`` applies
+    to every generated job.
     """
-    budgets: List[Tuple[str, Dict[str, object]]] = []
+    budgets: List[tuple] = []
     for eps in epsilons:
         budgets.append((f"eps={eps:g}", {"epsilon": float(eps)}))
     for t in rounds:
@@ -184,6 +242,6 @@ def sweep_jobs(graphs: Dict[str, Graph], *, epsilons: Iterable[float] = (),
                 name = f"{graph_name};{budget_name}"
                 if lam:
                     name += f";lam={lam:g}"
-                jobs.append(BatchJob(graph=graph, name=name, lam=float(lam),
-                                     track_kept=track_kept, **budget))
+                jobs.append(BatchJob(graph=graph, name=name, problem=problem,
+                                     lam=float(lam), track_kept=track_kept, **budget))
     return jobs

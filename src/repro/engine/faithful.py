@@ -17,11 +17,14 @@ class FaithfulEngine(Engine):
     """Reference engine: the faithful per-node message-passing protocol."""
 
     name = "faithful"
+    consumes_artifacts = False   # the simulator replays per node; csr/grid unused
 
     def run(self, graph, rounds, *, lam=0.0, tie_break="history", track_kept=True,
-            csr=None, grid=None):
+            csr=None, grid=None, warm_start=None):
         from repro.core.surviving import run_compact_elimination
 
+        # csr/grid/warm_start hints are ignored: the simulator replays every
+        # round per node anyway (the message accounting depends on it).
         result, _ = run_compact_elimination(graph, rounds, lam=lam,
                                             tie_break=tie_break,
                                             track_kept=track_kept)

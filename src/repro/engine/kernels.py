@@ -119,7 +119,8 @@ def compact_round(csr: CSRAdjacency, current: np.ndarray, grid: LambdaGrid) -> n
 
 def compact_trajectory(csr: CSRAdjacency, rounds: int, *, lam: float = 0.0,
                        plan: Optional[ShardPlan] = None,
-                       shard_map: Optional[Callable] = None) -> np.ndarray:
+                       shard_map: Optional[Callable] = None,
+                       prefix: Optional[np.ndarray] = None) -> np.ndarray:
     """The full Algorithm 2 trajectory of surviving numbers over a shard plan.
 
     Returns an array of shape ``(rounds + 1, n)``: row 0 is the initial ``+inf``
@@ -138,6 +139,14 @@ def compact_trajectory(csr: CSRAdjacency, rounds: int, *, lam: float = 0.0,
         Optional parallel map (e.g. ``concurrent.futures.Executor.map``) applied
         to the per-shard kernel calls of one round; ``None`` runs the shards
         sequentially, which caps peak memory at one shard's frontier arrays.
+    prefix:
+        Optional previously computed trajectory of the *same* CSR view and λ (an
+        output of this function).  Its rows are copied verbatim and the round
+        loop resumes after the last one, so a request with a larger budget pays
+        only for the missing rounds.  Each round is a deterministic function of
+        the previous row, hence the resumed trajectory is bit-identical to a
+        cold run (the cross-engine equivalence suite pins this).  A prefix
+        longer than ``rounds`` simply yields the sliced trajectory.
     """
     if rounds < 0:
         raise AlgorithmError(f"rounds must be non-negative, got {rounds}")
@@ -145,8 +154,16 @@ def compact_trajectory(csr: CSRAdjacency, rounds: int, *, lam: float = 0.0,
     grid = LambdaGrid(lam=lam)
     bounds = tuple(plan) if plan is not None else ((0, n),)
     trajectory = np.full((rounds + 1, n), np.inf, dtype=np.float64)
-    current = trajectory[0].copy()
-    for t in range(1, rounds + 1):
+    start = 0
+    if prefix is not None:
+        if prefix.ndim != 2 or prefix.shape[1] != n or prefix.shape[0] < 1:
+            raise AlgorithmError(
+                f"trajectory prefix of shape {getattr(prefix, 'shape', None)} does not "
+                f"match a {n}-node CSR view")
+        start = min(prefix.shape[0] - 1, rounds)
+        trajectory[:start + 1] = prefix[:start + 1]
+    current = trajectory[start].copy()
+    for t in range(start + 1, rounds + 1):
         if len(bounds) == 1:
             lo, hi = bounds[0]
             new = compact_round_range(csr, current, lo, hi, grid)

@@ -62,15 +62,15 @@ class ShardedEngine(TrajectoryEngine):
             shards = max(1, -(-num_nodes // DEFAULT_SHARD_NODES))
         return shard_plan(num_nodes, shards)
 
-    def trajectory(self, csr, rounds, *, lam=0.0) -> np.ndarray:
+    def trajectory(self, csr, rounds, *, lam=0.0, prefix=None) -> np.ndarray:
         plan = self.plan_for(csr.num_nodes)
         if self.max_workers is not None and len(plan) > 1:
             from concurrent.futures import ThreadPoolExecutor
 
             with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
                 return compact_trajectory(csr, rounds, lam=lam, plan=plan,
-                                          shard_map=pool.map)
-        return compact_trajectory(csr, rounds, lam=lam, plan=plan)
+                                          shard_map=pool.map, prefix=prefix)
+        return compact_trajectory(csr, rounds, lam=lam, plan=plan, prefix=prefix)
 
     def describe(self) -> str:
         shards = self.num_shards if self.num_shards is not None \

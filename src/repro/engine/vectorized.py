@@ -7,6 +7,8 @@ subclasses it with a different round executor).
 
 from __future__ import annotations
 
+import inspect
+
 import numpy as np
 
 from repro.engine.base import Engine
@@ -23,9 +25,9 @@ class TrajectoryEngine(Engine):
     """
 
     def run(self, graph, rounds, *, lam=0.0, tie_break="history", track_kept=True,
-            csr=None, grid=None):
+            csr=None, grid=None, warm_start=None):
         from repro.core.rounding import grid_for_graph
-        from repro.core.surviving import TIE_BREAK_RULES, SurvivingNumbers
+        from repro.core.surviving import TIE_BREAK_RULES
         from repro.graph.csr import graph_to_csr
 
         if tie_break not in TIE_BREAK_RULES:
@@ -37,7 +39,36 @@ class TrajectoryEngine(Engine):
             csr = graph_to_csr(graph)
         if grid is None:
             grid = grid_for_graph(graph, lam)
-        trajectory = self.trajectory(csr, rounds, lam=lam)
+        if warm_start is not None and self._trajectory_accepts_prefix():
+            trajectory = self.trajectory(csr, rounds, lam=lam, prefix=warm_start)
+        else:
+            # Subclasses written against the original hint-free trajectory()
+            # signature keep working: they just recompute every round.
+            trajectory = self.trajectory(csr, rounds, lam=lam)
+        return self.assemble(csr, trajectory, rounds, grid, tie_break=tie_break,
+                             track_kept=track_kept)
+
+    def _trajectory_accepts_prefix(self) -> bool:
+        cached = getattr(self, "_prefix_support", None)
+        if cached is None:
+            params = inspect.signature(self.trajectory).parameters
+            cached = "prefix" in params or any(
+                p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values())
+            self._prefix_support = cached
+        return cached
+
+    @staticmethod
+    def assemble(csr, trajectory, rounds, grid, *, tie_break="history",
+                 track_kept=True):
+        """Build the :class:`SurvivingNumbers` for a computed trajectory.
+
+        The single assembly path for trajectory-backed results: the engines
+        call it after computing rounds, and :class:`repro.session.Session`
+        calls it when a request is served entirely from a cached trajectory —
+        keeping both field-for-field identical by construction.
+        """
+        from repro.core.surviving import SurvivingNumbers
+
         labels = csr.labels()
         values = {labels[i]: float(trajectory[rounds, i]) for i in range(csr.num_nodes)}
         kept = {v: () for v in labels}
@@ -49,8 +80,13 @@ class TrajectoryEngine(Engine):
                                 num_nodes=csr.num_nodes, trajectory=trajectory,
                                 node_order=labels)
 
-    def trajectory(self, csr, rounds, *, lam=0.0) -> np.ndarray:
-        """The ``(rounds + 1, n)`` per-round surviving-number trajectory."""
+    def trajectory(self, csr, rounds, *, lam=0.0, prefix=None) -> np.ndarray:
+        """The ``(rounds + 1, n)`` per-round surviving-number trajectory.
+
+        ``prefix`` is an optional earlier trajectory of the same CSR view and λ;
+        subclasses resume after its last row (see
+        :func:`repro.engine.kernels.compact_trajectory`).
+        """
         raise NotImplementedError
 
 
@@ -59,8 +95,8 @@ class VectorizedEngine(TrajectoryEngine):
 
     name = "vectorized"
 
-    def trajectory(self, csr, rounds, *, lam=0.0) -> np.ndarray:
-        return compact_trajectory(csr, rounds, lam=lam)
+    def trajectory(self, csr, rounds, *, lam=0.0, prefix=None) -> np.ndarray:
+        return compact_trajectory(csr, rounds, lam=lam, prefix=prefix)
 
     def describe(self) -> str:
         return "vectorized (whole-graph NumPy kernels)"

@@ -1,0 +1,367 @@
+"""Session-centric public API: one long-lived coordinator per graph.
+
+The paper's three theorems all run the *same* compact elimination procedure
+(Algorithm 2), and a production serving path rarely runs a graph once: repeated
+requests with different budgets, λ-grids or problems hit the same graph over
+and over.  :class:`Session` makes that the first-class shape — construct it
+once per graph, then issue as many parametrised requests as you like:
+
+>>> from repro import Session, load_dataset
+>>> session = Session(load_dataset("caveman"))
+>>> core = session.coreness(epsilon=0.5)
+>>> orient = session.orientation(epsilon=0.5)      # reuses the trajectory
+>>> generic = session.solve("coreness", rounds=8)  # problem-registry route
+
+A session owns and amortises, per graph:
+
+* the **CSR view** — built exactly once, shared by every array-engine request;
+* the **Λ-grids** — memoised per distinct λ;
+* the **surviving-number results** — cached per ``(T, λ, tie_break, track_kept)``;
+* the **elimination trajectories** — kept per λ, so a request with a *larger*
+  round budget resumes after the cached rounds instead of recomputing rounds
+  ``1..T_old`` (and a *smaller* budget is served by slicing).  Resumed and
+  sliced runs are bit-identical to cold runs because every round is a
+  deterministic function of the previous row (pinned by the test-suite);
+* the **problem results** — deduplicated per ``(problem, params)`` through
+  :meth:`solve`.
+
+Cached result objects are shared between identical requests — treat them as
+read-only.  The caches grow with the number of distinct requests (that is the
+amortisation trade); long-lived servers can shed them with
+:meth:`Session.clear_cache`.  :attr:`Session.stats` counts builds, hits,
+resumes and the executed/reused round split, which is what the cache-reuse
+tests and ``scripts/bench_session.py`` observe.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.rounding import LambdaGrid, grid_for_graph
+from repro.core.rounds import resolve_round_budget
+from repro.core.surviving import TIE_BREAK_RULES, SurvivingNumbers
+from repro.engine.base import Engine, EngineLike, get_engine
+from repro.errors import AlgorithmError
+from repro.graph.csr import CSRAdjacency, graph_to_csr
+from repro.graph.graph import Graph
+from repro.problems import Problem, ProblemLike, get_problem
+
+
+@dataclass
+class SessionStats:
+    """Counters of what a :class:`Session` built, reused and executed."""
+
+    csr_builds: int = 0         #: CSR views built (1 per session)
+    grid_builds: int = 0        #: Λ-grids built (1 per distinct λ)
+    cold_runs: int = 0          #: engine runs with no reusable trajectory
+    result_hits: int = 0        #: exact ``(T, λ, tie_break, track_kept)`` cache hits
+    trajectory_slices: int = 0  #: requests served entirely from a cached trajectory
+    prefix_resumes: int = 0     #: runs resumed after a cached trajectory prefix
+    problem_hits: int = 0       #: :meth:`Session.solve` request-cache hits
+    rounds_executed: int = 0    #: elimination rounds actually computed
+    rounds_reused: int = 0      #: elimination rounds served from cached trajectories
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot of the counters."""
+        return dict(vars(self))
+
+
+class Session:
+    """Stateful entry point for repeated requests against one graph.
+
+    Parameters
+    ----------
+    graph:
+        The input graph (treated as immutable while the session holds it).
+    engine:
+        Anything :func:`repro.engine.get_engine` resolves (name, spec string or
+        instance); extra keyword ``engine_options`` are handed to the factory.
+    lam:
+        The session's default Λ-grid parameter, used by :meth:`surviving` and
+        :meth:`coreness` when a request does not override it.  The CSR view and
+        Λ-grids are built on first use and owned for the session's lifetime, so
+        a session that only ever runs the densest pipeline (or a faithful
+        engine, which replays rounds per node) never pays for them.
+    """
+
+    def __init__(self, graph: Graph, *, engine: EngineLike = "vectorized",
+                 lam: float = 0.0, **engine_options) -> None:
+        if graph.num_nodes == 0:
+            raise AlgorithmError("a Session needs a non-empty graph")
+        self.graph = graph
+        self.engine: Engine = get_engine(engine, **engine_options)
+        self._default_lam = float(lam)
+        self.stats = SessionStats()
+        self._csr: Optional[CSRAdjacency] = None
+        self._grids: Dict[float, LambdaGrid] = {}
+        self._results: Dict[Tuple[int, float, str, bool], SurvivingNumbers] = {}
+        self._trajectories: Dict[float, np.ndarray] = {}
+        self._problem_results: Dict[tuple, object] = {}
+        self._array_engine = callable(getattr(self.engine, "trajectory", None))
+        # Hints (csr / grid / warm_start) go to any engine whose run()
+        # signature declares them — the documented contract — but csr/grid are
+        # only *built* for engines that consume them (Engine.consumes_artifacts;
+        # the faithful simulator opts out, so it costs nothing).
+        run_params = inspect.signature(self.engine.run).parameters
+        var_kw = any(p.kind is inspect.Parameter.VAR_KEYWORD
+                     for p in run_params.values())
+        self._run_hints = {hint for hint in ("csr", "grid", "warm_start")
+                           if var_kw or hint in run_params}
+        if not getattr(self.engine, "consumes_artifacts", True):
+            self._run_hints -= {"csr", "grid"}
+
+    @property
+    def default_lam(self) -> float:
+        """The session's default λ (read-only: the request caches key on it,
+        so mutating it mid-session would serve results computed at the old λ —
+        open a new :class:`Session` for a different default)."""
+        return self._default_lam
+
+    @property
+    def supports_trajectories(self) -> bool:
+        """Whether the engine produces per-round trajectories.
+
+        The single capability probe: used internally to decide artifact/hint
+        passing, and by analysis helpers to decide whether a session can serve
+        a trajectory at all (the faithful simulator cannot).
+        """
+        return self._array_engine
+
+    # ---------------------------------------------------------------- artifacts
+    @property
+    def csr(self) -> CSRAdjacency:
+        """The session's CSR view of the graph (built on first use, exactly once)."""
+        if self._csr is None:
+            self.stats.csr_builds += 1
+            self._csr = graph_to_csr(self.graph)
+        return self._csr
+
+    def grid(self, lam: Optional[float] = None) -> LambdaGrid:
+        """The (memoised) Λ-grid for ``lam`` (default: the session's λ)."""
+        lam = self.default_lam if lam is None else float(lam)
+        hit = self._grids.get(lam)
+        if hit is None:
+            self.stats.grid_builds += 1
+            hit = self._grids[lam] = grid_for_graph(self.graph, lam)
+        return hit
+
+    def clear_cache(self) -> None:
+        """Drop every cached result and trajectory, keeping the CSR view and grids.
+
+        The caches grow with the number of distinct requests for the session's
+        lifetime (an explicit trade: the session is the amortisation layer);
+        long-running servers can call this to shed memory without losing the
+        per-graph artifacts the next request needs.  Counters in :attr:`stats`
+        are not reset.
+        """
+        self._results.clear()
+        self._trajectories.clear()
+        self._problem_results.clear()
+
+    def describe(self) -> str:
+        """One-line summary of the session (graph size, engine, caches)."""
+        return (f"n={self.graph.num_nodes} m={self.graph.num_edges} "
+                f"engine={self.engine.name} lam={self.default_lam:g} "
+                f"cached_results={len(self._results)}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Session {self.describe()}>"
+
+    # ---------------------------------------------------------------- surviving
+    def surviving(self, *, epsilon: Optional[float] = None,
+                  gamma: Optional[float] = None, rounds: Optional[int] = None,
+                  lam: Optional[float] = None, tie_break: str = "history",
+                  track_kept: bool = False) -> SurvivingNumbers:
+        """Run (or reuse) the compact elimination procedure for one request.
+
+        Exactly one of ``epsilon`` (γ = 2(1+ε)), ``gamma`` (γ > 2) or ``rounds``
+        must be given.  Results are cached per ``(T, λ, tie_break, track_kept)``;
+        on a miss, the cached trajectory for λ (if any) is handed to the engine
+        as a warm start, so only rounds beyond the cached budget are computed.
+        Returned objects are shared between identical requests — read-only.
+        """
+        T = resolve_round_budget(self.graph.num_nodes, epsilon, gamma, rounds)
+        if tie_break not in TIE_BREAK_RULES:
+            raise AlgorithmError(f"unknown tie_break rule {tie_break!r}; "
+                                 f"expected one of {TIE_BREAK_RULES}")
+        lam = self.default_lam if lam is None else float(lam)
+        key = (T, lam, tie_break, bool(track_kept))
+        hit = self._results.get(key)
+        if hit is not None:
+            self.stats.result_hits += 1
+            return hit
+        prefix = self._trajectories.get(lam)
+        if prefix is not None and prefix.shape[0] > T:
+            # Fully covered by the cached trajectory: answer from a view
+            # without invoking the engine (which would allocate and copy the
+            # whole prefix just to be discarded); kept sets, when requested,
+            # are recovered from the sliced rows exactly as the engine would.
+            result = self._sliced_result(T, lam, prefix, tie_break=tie_break,
+                                         track_kept=track_kept)
+            warm = prefix
+        else:
+            # The warm-start hint only goes to engines that will actually
+            # consume it (and `warm` only counts as reuse then); engines
+            # written against hint-free signatures keep working unchanged,
+            # with every round honestly counted as executed.
+            warm = prefix if "warm_start" in self._run_hints \
+                and self._engine_takes_prefix() else None
+            run_kwargs = {}
+            if "csr" in self._run_hints:
+                run_kwargs["csr"] = self.csr
+            if "grid" in self._run_hints:
+                run_kwargs["grid"] = self.grid(lam)
+            if warm is not None:
+                run_kwargs["warm_start"] = warm
+            result = self.engine.run(self.graph, T, lam=lam, tie_break=tie_break,
+                                     track_kept=track_kept, **run_kwargs)
+        self._account(T, warm, result)
+        if result.trajectory is not None and (
+                prefix is None or result.trajectory.shape[0] > prefix.shape[0]):
+            self._trajectories[lam] = result.trajectory
+            # Earlier cached results for this λ hold bit-identical prefixes of
+            # the new longest array (round determinism); rebind them to views
+            # so a budget sweep — ascending or descending — retains one
+            # O(T_max * n) trajectory, not O(T_max^2 * n) floats.
+            for (cached_T, cached_lam, _, _), cached in self._results.items():
+                if cached_lam == lam and cached.trajectory is not None:
+                    cached.trajectory = result.trajectory[:cached_T + 1]
+        self._results[key] = result
+        return result
+
+    def _engine_takes_prefix(self) -> bool:
+        """Whether the engine can exploit a warm-start prefix.
+
+        An engine whose ``run()`` declares ``warm_start`` is assumed to honour
+        the documented contract; trajectory engines additionally expose
+        ``_trajectory_accepts_prefix`` so that subclasses written against the
+        hint-free ``trajectory()`` signature are not handed (and not credited
+        for) a prefix they would recompute anyway.
+        """
+        probe = getattr(self.engine, "_trajectory_accepts_prefix", None)
+        return True if probe is None else bool(probe())
+
+    def _sliced_result(self, T: int, lam: float, prefix: np.ndarray, *,
+                       tie_break: str, track_kept: bool) -> SurvivingNumbers:
+        """A ``SurvivingNumbers`` read straight off the cached trajectory.
+
+        Delegates to the engines' shared assembly so slice-served results stay
+        field-for-field identical to engine-produced ones by construction.
+        """
+        from repro.engine.vectorized import TrajectoryEngine
+
+        return TrajectoryEngine.assemble(self.csr, prefix[:T + 1], T,
+                                         self.grid(lam), tie_break=tie_break,
+                                         track_kept=track_kept)
+
+    def _account(self, T: int, warm: Optional[np.ndarray],
+                 result: SurvivingNumbers) -> None:
+        # ``warm`` is the cached trajectory that was actually consumed (served
+        # as a slice or handed to a prefix-capable engine) — None whenever the
+        # engine ran every round itself, including engines that cannot take
+        # the hint.
+        if result.trajectory is None or warm is None:
+            self.stats.cold_runs += 1
+            self.stats.rounds_executed += T
+            return
+        reused = min(warm.shape[0] - 1, T)
+        self.stats.rounds_reused += reused
+        self.stats.rounds_executed += T - reused
+        if reused >= T:
+            self.stats.trajectory_slices += 1
+        else:
+            self.stats.prefix_resumes += 1
+
+    # ----------------------------------------------------------------- problems
+    def solve(self, problem: ProblemLike, **params):
+        """Solve a registered problem against this session.
+
+        ``problem`` is anything :func:`repro.problems.get_problem` resolves
+        (``"coreness"``, ``"orientation"``, ``"densest"``, an alias, or a
+        :class:`~repro.problems.Problem` instance).  Identical requests return
+        the *same* cached result object.
+        """
+        prob = get_problem(problem)
+        # An explicit lam at the session default is the same request as an
+        # omitted one (surviving() resolves None to the default).
+        if params.get("lam") == self._default_lam:
+            params = {**params, "lam": None}
+        key = self._request_key(prob, params,
+                                caller_instance=isinstance(problem, Problem))
+        if key is not None:
+            hit = self._problem_results.get(key)
+            if hit is not None:
+                self.stats.problem_hits += 1
+                return hit
+        result = prob.solve(self, **params)
+        if key is not None:
+            self._problem_results[key] = result
+        return result
+
+    #: per-Problem-class cache of the non-None defaults of its solve signature.
+    _SOLVE_DEFAULTS: Dict[type, Dict[str, object]] = {}
+
+    @classmethod
+    def _request_key(cls, prob, params: dict, *,
+                     caller_instance: bool) -> Optional[tuple]:
+        # Params spelled at their default — None padding from the convenience
+        # methods (epsilon=None, lam=None, ...) or an explicit signature
+        # default (tie_break="history") — are dropped, so every equivalent
+        # spelling of a request hits the same cache entry.
+        defaults = cls._SOLVE_DEFAULTS.get(type(prob))
+        if defaults is None:
+            defaults = {name: p.default
+                        for name, p in inspect.signature(prob.solve).parameters.items()
+                        if p.default is not inspect.Parameter.empty
+                        and p.default is not None}
+            cls._SOLVE_DEFAULTS[type(prob)] = defaults
+        # Name-resolved problems get a fresh stateless instance per request, so
+        # they dedup by class; the class token also keeps a re-registered
+        # (shadowed) implementation from serving the old one's cached results.
+        # A caller-supplied instance may carry its own configuration, so it
+        # dedups per instance — keyed on the object itself, which also keeps
+        # it alive (an id() would be reusable after collection).
+        token = prob if caller_instance else type(prob)
+        try:
+            return (prob.name, token, frozenset(
+                (k, v) for k, v in params.items()
+                if v is not None and (k not in defaults or v != defaults[k])))
+        except TypeError:  # unhashable parameter value: skip request caching
+            return None
+
+    def coreness(self, *, epsilon: Optional[float] = None,
+                 gamma: Optional[float] = None, rounds: Optional[int] = None,
+                 lam: Optional[float] = None):
+        """Theorem I.1 — :class:`~repro.core.api.CorenessResult` for one budget.
+
+        ``lam`` defaults to the session's λ; see :meth:`surviving` for the
+        caching semantics.
+        """
+        return self.solve("coreness", epsilon=epsilon, gamma=gamma, rounds=rounds,
+                          lam=lam)
+
+    def orientation(self, *, epsilon: Optional[float] = None,
+                    gamma: Optional[float] = None, rounds: Optional[int] = None,
+                    tie_break: str = "history"):
+        """Theorem I.2 — :class:`~repro.core.api.OrientationResult` for one budget.
+
+        Always runs with ``Λ = R`` (Lemma III.11), regardless of the session's
+        default λ; shares the λ=0 trajectory with coreness requests.
+        """
+        return self.solve("orientation", epsilon=epsilon, gamma=gamma,
+                          rounds=rounds, tie_break=tie_break)
+
+    def densest(self, *, epsilon: Optional[float] = None,
+                gamma: Optional[float] = None, rounds: Optional[int] = None,
+                acceptance_factor: Optional[float] = None):
+        """Theorem I.3 — :class:`~repro.core.densest.WeakDensestResult`.
+
+        Runs the faithful 4-phase pipeline (message accounting included);
+        repeated identical requests are served from the request cache.
+        """
+        return self.solve("densest", epsilon=epsilon, gamma=gamma, rounds=rounds,
+                          acceptance_factor=acceptance_factor)

@@ -14,7 +14,7 @@ Two places in the paper need a deterministic total order:
 
 from __future__ import annotations
 
-from typing import Hashable, Sequence, Tuple
+from typing import Hashable, List, Mapping, Sequence, Tuple
 
 
 def lexicographic_history_key(history: Sequence[float], node_id: Hashable,
@@ -49,6 +49,32 @@ def total_order_key(b_value: float, node_id: Hashable) -> Tuple[float, Hashable]
     maximum element.
     """
     return (b_value, node_id)
+
+
+def rank_by_value(values: Mapping[Hashable, float]) -> List[Hashable]:
+    """The nodes of ``values`` from largest to smallest value, deterministically.
+
+    Ties are broken by the *ascending natural order of the nodes themselves*, so
+    integer nodes rank numerically (9 before 10).  Only when the node set mixes
+    unorderable types (e.g. ints and strings) does the tie-break fall back to
+    the lexicographic order of ``repr(node)`` — the total order is then still
+    deterministic, just no longer the natural one.
+    """
+    nodes = list(values)
+    try:
+        return sorted(nodes, key=lambda v: (-values[v], v))
+    except TypeError:
+        return sorted(nodes, key=lambda v: (-values[v], repr(v)))
+
+
+def stable_node_order(nodes: Sequence[Hashable]) -> List[Hashable]:
+    """Nodes in ascending natural order, with the same ``repr`` fallback as
+    :func:`rank_by_value` for unorderable mixed-type node sets."""
+    nodes = list(nodes)
+    try:
+        return sorted(nodes)
+    except TypeError:
+        return sorted(nodes, key=repr)
 
 
 def argmax_total_order(pairs: Sequence[Tuple[Hashable, float]]) -> Tuple[Hashable, float]:

@@ -1,0 +1,31 @@
+"""JSON serialization helpers for the uniform result protocol.
+
+Every problem result (:mod:`repro.problems`) exposes ``to_dict()`` returning a
+structure ``json.dumps`` accepts verbatim.  Node labels are arbitrary hashables,
+so per-node maps are emitted as *lists of pairs* rather than str-keyed objects:
+a dict keyed by ``str(node)`` would silently merge the int node ``1`` with the
+string node ``"1"``, while pairs are collision-free and order-preserving.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Mapping
+
+#: JSON scalar types that pass through :func:`json_node` unchanged.
+_JSON_SCALARS = (bool, int, float, str)
+
+
+def json_node(node: Hashable):
+    """A JSON-representable stand-in for a node label.
+
+    ``None`` and JSON scalars (bool/int/float/str) pass through unchanged; any
+    other hashable (tuples, frozensets, objects) serializes as its ``repr``.
+    """
+    if node is None or isinstance(node, _JSON_SCALARS):
+        return node
+    return repr(node)
+
+
+def json_value_pairs(values: Mapping[Hashable, float]) -> List[list]:
+    """``[[node, value], ...]`` pairs in mapping order (see module docstring)."""
+    return [[json_node(node), value] for node, value in values.items()]

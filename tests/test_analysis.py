@@ -147,6 +147,48 @@ class TestConvergence:
         values = values_at_round(k6, 2)
         assert set(values.values()) == {5.0}
 
+    def test_values_at_round_reuses_a_session(self, k6):
+        from repro.session import Session
+
+        session = Session(k6)
+        assert values_at_round(k6, 2, session=session) == values_at_round(k6, 2)
+        assert session.stats.rounds_executed == 2
+
+    def test_session_without_trajectories_falls_back_to_vectorized(self, k6):
+        # A faithful-engine session cannot serve trajectories; the helper must
+        # fall back to the cold path without paying for (or caching) a
+        # discarded simulation run.
+        from repro.session import Session
+
+        session = Session(k6, engine="faithful")
+        assert values_at_round(k6, 2, session=session) == values_at_round(k6, 2)
+        trace = convergence_trace(k6, coreness(k6), max_rounds=2, session=session)
+        assert trace.rows[-1].max_ratio == pytest.approx(1.0)
+        assert session.stats.rounds_executed == 0  # the simulator never ran
+
+    def test_session_for_another_graph_rejected(self, k6, cycle8):
+        from repro.session import Session
+
+        with pytest.raises(AlgorithmError, match="different graph"):
+            values_at_round(k6, 2, session=Session(cycle8))
+
+    def test_round_zero_supported_with_and_without_session(self, k6):
+        from repro.session import Session
+
+        import math
+        with_session = values_at_round(k6, 0, session=Session(k6))
+        assert with_session == values_at_round(k6, 0)
+        assert all(math.isinf(v) for v in with_session.values())
+
+    def test_session_default_lambda_does_not_leak_into_values(self, ba_weighted):
+        # The helpers report exact (λ=0) surviving numbers even on a session
+        # whose default grid is non-trivial.
+        from repro.session import Session
+
+        session = Session(ba_weighted, lam=0.5)
+        assert values_at_round(ba_weighted, 3, session=session) == \
+            values_at_round(ba_weighted, 3)
+
     def test_invalid_rounds(self, k6):
         with pytest.raises(AlgorithmError):
             convergence_trace(k6, coreness(k6), max_rounds=0)

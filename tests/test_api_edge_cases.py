@@ -3,7 +3,7 @@
 Locks in (1) round-trip determinism — same seed + same engine twice yields
 byte-identical result objects, (2) the stability of ``CSRAdjacency.node_order``
 under graph-node insertion order, and (3) the exact exception types/messages of
-the public API's error paths (``_resolve_rounds`` & friends).
+the public API's error paths (``resolve_round_budget`` & friends).
 """
 
 from __future__ import annotations
@@ -14,11 +14,12 @@ import pickle
 import numpy as np
 import pytest
 
-from repro.core.api import _resolve_rounds, approximate_coreness, approximate_orientation
+from repro.core.api import approximate_coreness, approximate_orientation
 from repro.core.rounds import resolve_round_budget
 from repro.errors import AlgorithmError
 from repro.graph.csr import graph_to_csr
 from repro.graph.generators.random_graphs import barabasi_albert
+from repro.graph.generators.structured import complete_graph
 from repro.graph.generators.weights import with_uniform_integer_weights
 from repro.graph.graph import Graph
 
@@ -58,6 +59,37 @@ class TestRoundTripDeterminism:
     def test_top_nodes_deterministic(self, seeded_graph):
         result = approximate_coreness(seeded_graph, rounds=3)
         assert result.top_nodes(10) == approximate_coreness(seeded_graph, rounds=3).top_nodes(10)
+
+
+class TestTopNodesTieBreak:
+    """Regression: ties used to be broken by repr(), ordering "10" before "9"."""
+
+    @staticmethod
+    def _result(values):
+        from repro.core.api import CorenessResult
+
+        return CorenessResult(values=values, rounds=1, guarantee=2.0, lam=0.0)
+
+    def test_integer_ties_rank_numerically(self):
+        result = self._result({10: 1.0, 9: 1.0, 2: 1.0, 100: 2.0})
+        assert result.top_nodes(4) == (100, 2, 9, 10)
+
+    def test_tied_integer_nodes_on_a_real_run(self):
+        # Every node of a cycle gets the same surviving number: the full list
+        # of top nodes must come back in numeric order, not 0,1,10,11,...
+        from repro.graph.generators.structured import cycle_graph
+
+        result = approximate_coreness(cycle_graph(12), rounds=3)
+        assert result.top_nodes(12) == tuple(range(12))
+
+    def test_string_ties_rank_lexicographically(self):
+        result = self._result({"b": 1.0, "a": 1.0, "c": 3.0})
+        assert result.top_nodes(3) == ("c", "a", "b")
+
+    def test_unorderable_mixed_types_fall_back_to_repr(self):
+        result = self._result({"x": 1.0, 2: 1.0, (1, 2): 1.0})
+        # repr order: "'x'" < "(1, 2)" < "2"; deterministic, no TypeError.
+        assert result.top_nodes(3) == ("x", (1, 2), 2)
 
 
 class TestNodeOrderStability:
@@ -133,7 +165,7 @@ class TestResolveRoundsErrorPaths:
 
     def test_zero_budgets_rejected(self):
         with pytest.raises(AlgorithmError) as excinfo:
-            _resolve_rounds(10, None, None, None)
+            resolve_round_budget(10)
         assert str(excinfo.value) == "provide exactly one of epsilon, gamma or rounds"
 
     @pytest.mark.parametrize("kwargs", [
@@ -170,9 +202,10 @@ class TestResolveRoundsErrorPaths:
         assert str(excinfo.value) == "approximate_orientation needs a non-empty graph"
 
     def test_api_and_public_resolver_agree(self):
-        assert _resolve_rounds(100, 0.5, None, None) == \
+        # The session layer resolves budgets with the same public resolver.
+        assert approximate_coreness(complete_graph(100), epsilon=0.5).rounds == \
             resolve_round_budget(100, epsilon=0.5)
-        assert _resolve_rounds(100, None, None, 7) == 7
+        assert resolve_round_budget(100, rounds=7) == 7
 
     def test_resolver_validates_num_nodes(self):
         with pytest.raises(AlgorithmError, match="num_nodes must be >= 1"):

@@ -1,12 +1,14 @@
-"""Tests for the CLI's engine surfaces: --engine, `engines` and `batch`."""
+"""Tests for the CLI's engine surfaces: --engine, `engines`, `problems`, `batch`."""
 
 from __future__ import annotations
 
 import io
+import json
 
 import pytest
 
 from repro.cli import main
+from repro.core.api import approximate_densest_subsets, approximate_orientation
 from repro.graph.generators.structured import complete_graph
 from repro.graph.io import write_edge_list
 
@@ -90,3 +92,74 @@ class TestBatchCommand:
     def test_batch_without_budget_is_an_error(self):
         code = main(["batch", "--dataset", "caveman"], out=io.StringIO())
         assert code == 2
+
+
+class TestProblemsCommand:
+    def test_lists_all_problems(self):
+        out = io.StringIO()
+        assert main(["problems"], out=out) == 0
+        text = out.getvalue()
+        for name in ("coreness", "orientation", "densest"):
+            assert name in text
+
+
+class TestBatchProblemSelection:
+    def test_orientation_problem_with_json_file(self, k6_file, tmp_path):
+        target = tmp_path / "results.json"
+        out = io.StringIO()
+        code = main(["batch", "--input", str(k6_file), "--rounds", "3",
+                     "--problem", "orientation", "--json", str(target)], out=out)
+        assert code == 0
+        assert "problem=orientation" in out.getvalue()
+        payload = json.loads(target.read_text())
+        assert len(payload) == 1
+        direct = approximate_orientation(complete_graph(6), rounds=3)
+        assert payload[0]["problem"] == "orientation"
+        assert payload[0]["objective"] == direct.max_in_weight
+        assert payload[0]["result"]["max_in_weight"] == direct.max_in_weight
+        assert len(payload[0]["result"]["assignment"]) == 15
+
+    def test_densest_problem_with_json_to_stdout(self, k6_file):
+        out = io.StringIO()
+        code = main(["batch", "--input", str(k6_file), "--rounds", "3",
+                     "--problem", "densest", "--json", "-"], out=out)
+        assert code == 0
+        # `--json -` keeps stdout pure JSON (no table/header interleaved)
+        payload = json.loads(out.getvalue())
+        direct = approximate_densest_subsets(complete_graph(6), rounds=3)
+        assert payload[0]["objective"] == pytest.approx(direct.best_density)
+        assert payload[0]["result"]["subsets_disjoint"] is True
+
+    def test_coreness_json_round_trips(self, k6_file, tmp_path):
+        target = tmp_path / "core.json"
+        code = main(["batch", "--input", str(k6_file), "--rounds", "2",
+                     "--json", str(target)], out=io.StringIO())
+        assert code == 0
+        payload = json.loads(target.read_text())
+        assert payload[0]["result"]["max_value"] == 5.0
+        assert sorted(v for _, v in payload[0]["result"]["values"]) == [5.0] * 6
+
+    def test_lambda_sweep_rejected_for_orientation(self, k6_file):
+        code = main(["batch", "--input", str(k6_file), "--rounds", "2",
+                     "--problem", "orientation", "--lam", "0.5"],
+                    out=io.StringIO())
+        assert code == 2
+
+    def test_explicit_lambda_zero_accepted_for_orientation(self, k6_file):
+        # λ=0 is Λ = R — exactly what orientation runs with; only non-zero
+        # grids are rejected.
+        code = main(["batch", "--input", str(k6_file), "--rounds", "2",
+                     "--problem", "orientation", "--lam", "0"],
+                    out=io.StringIO())
+        assert code == 0
+
+    def test_unknown_problem_rejected_by_argparse(self, k6_file):
+        with pytest.raises(SystemExit):
+            main(["batch", "--input", str(k6_file), "--rounds", "2",
+                  "--problem", "sorting"], out=io.StringIO())
+
+    def test_objective_column_in_table(self, k6_file):
+        out = io.StringIO()
+        code = main(["batch", "--input", str(k6_file), "--rounds", "2"], out=out)
+        assert code == 0
+        assert "objective" in out.getvalue()

@@ -4,7 +4,11 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.api import approximate_coreness
+from repro.core.api import (
+    approximate_coreness,
+    approximate_densest_subsets,
+    approximate_orientation,
+)
 from repro.engine import BatchJob, BatchRunner, get_engine, sweep_jobs
 from repro.errors import AlgorithmError
 from repro.graph.generators.structured import complete_graph
@@ -31,6 +35,11 @@ class TestBatchJob:
         assert "eps=0.5" in BatchJob(graph=k6, epsilon=0.5).label()
         assert "T=3" in BatchJob(graph=k6, rounds=3).label()
         assert BatchJob(graph=k6, rounds=3, name="mine").label() == "mine"
+
+    def test_label_mentions_non_default_problem(self, k6):
+        assert "problem=orientation" in \
+            BatchJob(graph=k6, rounds=3, problem="orientation").label()
+        assert "problem" not in BatchJob(graph=k6, rounds=3).label()
 
 
 class TestBatchRunnerCaching:
@@ -101,6 +110,93 @@ class TestBatchRunnerExecution:
         assert runner.engine is engine
 
 
+class TestProblemRouting:
+    def test_orientation_job_matches_direct_api(self, two_communities):
+        result = BatchRunner().run_job(
+            BatchJob(graph=two_communities, rounds=4, problem="orientation"))
+        direct = approximate_orientation(two_communities, rounds=4)
+        assert result.result.orientation.assignment == direct.orientation.assignment
+        assert result.stats.problem == "orientation"
+        assert result.stats.objective == direct.max_in_weight
+
+    def test_densest_job_matches_direct_api(self, k6):
+        result = BatchRunner().run_job(
+            BatchJob(graph=k6, rounds=3, problem="densest"))
+        direct = approximate_densest_subsets(k6, rounds=3)
+        assert result.result.subsets == direct.subsets
+        assert result.stats.objective == pytest.approx(2.5)
+        # densest runs on the faithful pipeline: no trajectory to inspect
+        assert result.stats.converged_round is None
+
+    def test_densest_stats_report_the_engine_that_actually_ran(self, k6):
+        # The 4-phase pipeline always executes on the faithful simulator,
+        # whatever engine the runner was opened with.
+        result = BatchRunner("sharded:2").run_job(
+            BatchJob(graph=k6, rounds=3, problem="densest"))
+        assert result.stats.engine == "faithful"
+
+    def test_densest_stats_count_all_pipeline_rounds(self, k6):
+        # The wall-clock covers all 4 phases, so the rounds column must too —
+        # not just the Phase-1 budget T.
+        result = BatchRunner().run_job(
+            BatchJob(graph=k6, rounds=3, problem="densest"))
+        assert result.stats.rounds == result.result.rounds_total
+        assert result.stats.rounds > 3
+
+    def test_coreness_stats_carry_problem_and_objective(self, k6):
+        result = BatchRunner().run_job(BatchJob(graph=k6, rounds=3))
+        assert result.stats.problem == "coreness"
+        assert result.stats.objective == 5.0
+        assert result.result.to_dict()["problem"] == "coreness"
+
+    def test_mixed_problems_share_one_session(self, two_communities):
+        runner = BatchRunner()
+        runner.run([BatchJob(graph=two_communities, rounds=3),
+                    BatchJob(graph=two_communities, rounds=5,
+                             problem="orientation")])
+        assert runner.cached_graphs == 1
+        stats = runner.session(two_communities).stats
+        # the orientation resumed the coreness job's λ=0 trajectory
+        assert stats.prefix_resumes == 1
+        assert stats.rounds_reused == 3
+
+    def test_problem_aliases_and_instances_accepted(self, k6):
+        from repro.problems import OrientationProblem
+
+        by_alias = BatchRunner().run_job(
+            BatchJob(graph=k6, rounds=3, problem="minmax"))
+        by_instance = BatchRunner().run_job(
+            BatchJob(graph=k6, rounds=3, problem=OrientationProblem()))
+        assert by_alias.stats.problem == by_instance.stats.problem == "orientation"
+
+    def test_unknown_problem_rejected(self, k6):
+        with pytest.raises(AlgorithmError, match="unknown problem"):
+            BatchRunner().run_job(BatchJob(graph=k6, rounds=3, problem="sorting"))
+
+    def test_unconsumed_non_default_field_rejected(self, k6):
+        with pytest.raises(AlgorithmError, match="does not take lam"):
+            BatchRunner().run_job(
+                BatchJob(graph=k6, rounds=3, problem="orientation", lam=0.5))
+        with pytest.raises(AlgorithmError, match="does not take tie_break"):
+            BatchRunner().run_job(
+                BatchJob(graph=k6, rounds=3, problem="densest", tie_break="naive"))
+
+    def test_values_the_problem_forces_anyway_are_accepted(self, k6):
+        # Orientation always tracks kept sets with Λ = R: jobs spelling that
+        # out (e.g. from sweep_jobs(track_kept=True)) must not be rejected.
+        results = BatchRunner().run(
+            sweep_jobs({"k6": k6}, rounds=(3,), problem="orientation",
+                       track_kept=True))
+        assert results[0].stats.problem == "orientation"
+        assert any(results[0].surviving.kept.values())
+
+    def test_repeated_identical_jobs_share_the_result(self, k6):
+        runner = BatchRunner()
+        job = BatchJob(graph=k6, rounds=3, problem="orientation")
+        first, second = runner.run([job, job])
+        assert second.result is first.result  # request-level deduplication
+
+
 class TestSweepJobs:
     def test_cross_product_size(self, k6, cycle8):
         jobs = sweep_jobs({"k6": k6, "c8": cycle8}, epsilons=(0.5, 1.0), rounds=(3,),
@@ -120,3 +216,10 @@ class TestSweepJobs:
         results = runner.run(sweep_jobs({"k6": k6}, rounds=(2, 3)))
         assert [r.stats.rounds for r in results] == [2, 3]
         assert runner.cached_graphs == 1
+
+    def test_sweep_carries_problem_to_every_job(self, k6, cycle8):
+        jobs = sweep_jobs({"k6": k6, "c8": cycle8}, rounds=(2,),
+                          problem="orientation")
+        assert all(job.problem == "orientation" for job in jobs)
+        results = BatchRunner().run(jobs)
+        assert {r.stats.problem for r in results} == {"orientation"}

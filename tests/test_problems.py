@@ -1,0 +1,161 @@
+"""Tests for the problem registry and the uniform result protocol."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import AlgorithmError
+from repro.problems import (
+    CorenessProblem,
+    DensestProblem,
+    OrientationProblem,
+    Problem,
+    available_problems,
+    get_problem,
+    register_problem,
+)
+from repro.session import Session
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_problems()
+        for name in ("coreness", "orientation", "densest"):
+            assert name in names
+
+    @pytest.mark.parametrize("alias, canonical", [
+        ("kcore", "coreness"), ("core", "coreness"),
+        ("orient", "orientation"), ("minmax", "orientation"),
+        ("dss", "densest"), ("densest-subsets", "densest"),
+    ])
+    def test_aliases_resolve(self, alias, canonical):
+        assert get_problem(alias).name == canonical
+
+    def test_name_resolution_is_case_insensitive(self):
+        assert get_problem("Coreness").name == "coreness"
+
+    def test_instance_passthrough(self):
+        problem = CorenessProblem()
+        assert get_problem(problem) is problem
+
+    def test_unknown_problem_reported_with_choices(self):
+        with pytest.raises(AlgorithmError, match="unknown problem 'sorting'"):
+            get_problem("sorting")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(AlgorithmError, match="name string or a Problem"):
+            get_problem(42)
+
+    def test_custom_problem_can_be_registered(self, k6):
+        class GuaranteeProblem(Problem):
+            name = "guarantee"
+
+            def solve(self, session, *, rounds=None, **_):
+                return session.surviving(rounds=rounds)
+
+            def objective(self, result):
+                return result.guarantee
+
+        register_problem("guarantee", GuaranteeProblem)
+        try:
+            assert "guarantee" in available_problems()
+            result = Session(k6).solve("guarantee", rounds=2)
+            assert result.rounds == 2
+        finally:
+            import repro.problems as problems_module
+            problems_module._FACTORIES.pop("guarantee", None)
+
+    def test_shadowed_problem_is_not_served_stale_cached_results(self, k6):
+        import repro.problems as problems_module
+        from repro.core.api import CorenessResult
+
+        session = Session(k6)
+        original = session.solve("coreness", rounds=3)
+
+        class Shadow(CorenessProblem):
+            def solve(self, session, **params):
+                result = CorenessProblem.solve(self, session, **params)
+                return CorenessResult(values={v: x * 100 for v, x in result.values.items()},
+                                      rounds=result.rounds, guarantee=result.guarantee,
+                                      lam=result.lam, surviving=result.surviving)
+
+        register_problem("coreness", Shadow)
+        try:
+            shadowed = session.solve("coreness", rounds=3)
+            assert shadowed is not original
+            assert shadowed.values[0] == original.values[0] * 100
+        finally:
+            problems_module.register_problem("coreness", CorenessProblem,
+                                             aliases=("kcore", "core"))
+
+    def test_describe_mentions_theorem(self):
+        assert "Theorem I.1" in get_problem("coreness").describe()
+        assert "Theorem I.2" in get_problem("orientation").describe()
+        assert "Theorem I.3" in get_problem("densest").describe()
+
+
+class TestObjectives:
+    def test_coreness_objective_is_max_value(self, k6):
+        result = Session(k6).coreness(rounds=3)
+        assert CorenessProblem().objective(result) == 5.0
+
+    def test_orientation_objective_is_max_in_weight(self, k6):
+        result = Session(k6).orientation(rounds=3)
+        assert OrientationProblem().objective(result) == result.max_in_weight
+
+    def test_densest_objective_is_best_density(self, k6):
+        result = Session(k6).densest(rounds=3)
+        assert DensestProblem().objective(result) == pytest.approx(2.5)
+
+
+class TestUniformResultProtocol:
+    @pytest.mark.parametrize("problem", ["coreness", "orientation", "densest"])
+    def test_every_result_serializes_to_json(self, k6, problem):
+        result = Session(k6).solve(problem, rounds=3)
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["problem"] == problem
+        assert result.surviving is not None
+
+    def test_coreness_to_dict_fields(self, small_weighted):
+        result = Session(small_weighted).coreness(rounds=4)
+        payload = result.to_dict()
+        assert payload["rounds"] == 4
+        assert payload["num_nodes"] == 4
+        assert payload["max_value"] == max(result.values.values())
+        assert dict((n, v) for n, v in payload["values"]) == result.values
+
+    def test_orientation_to_dict_covers_every_edge(self, small_weighted):
+        result = Session(small_weighted).orientation(rounds=4)
+        payload = result.to_dict()
+        assert len(payload["assignment"]) == small_weighted.num_edges
+        assert payload["max_in_weight"] == result.max_in_weight
+        for u, v, owner in payload["assignment"]:
+            assert owner in (u, v)
+
+    def test_densest_to_dict_subsets(self, k6):
+        result = Session(k6).densest(rounds=3)
+        payload = result.to_dict()
+        assert payload["best_density"] == pytest.approx(2.5)
+        assert payload["subsets_disjoint"] is True
+        sizes = {entry["leader"]: entry["size"] for entry in payload["subsets"]}
+        assert sum(sizes.values()) == sum(len(m) for m in result.subsets.values())
+
+    def test_non_scalar_node_labels_serialize(self):
+        from repro.graph.graph import Graph
+
+        g = Graph(edges=[((0, "a"), (1, "b"), 2.0), ((1, "b"), (2, "c"), 1.0)])
+        payload = json.dumps(Session(g).coreness(rounds=2).to_dict())
+        assert "(0, 'a')" in payload
+
+
+class TestBatchParamDeclarations:
+    def test_coreness_takes_lambda_and_kept_tracking(self):
+        assert set(CorenessProblem.batch_params) == {"lam", "tie_break", "track_kept"}
+
+    def test_orientation_takes_only_tie_break(self):
+        assert OrientationProblem.batch_params == ("tie_break",)
+
+    def test_densest_takes_no_extras(self):
+        assert DensestProblem.batch_params == ()

@@ -1,0 +1,84 @@
+"""Cross-engine equivalence through the session layer.
+
+Acceptance contract of the session redesign: for every registered engine,
+``Session.solve(problem, ...)`` — cold, warm-cached, and prefix-resumed — must
+return bit-identical values / kept sets / orientations to the one-shot free
+functions on the seeded equivalence corpus (reusing the graph suite of
+:mod:`test_engine_equivalence`; all weights are integers or dyadic rationals,
+so equality is exact, not approximate).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from test_engine_equivalence import CORPUS
+
+from repro.core.api import approximate_coreness, approximate_orientation
+from repro.session import Session
+
+#: Every 4th corpus case: enough topology/weight diversity for the session
+#: layer while the full corpus stays with the per-engine kernel suite.
+SUITE = CORPUS[::4]
+
+ENGINES = ("vectorized", "sharded:3", "faithful")
+
+
+def _skip_if_faithful_cannot_run(engine, graph):
+    if engine == "faithful" and graph.num_edges == 0 and graph.num_nodes == 0:
+        pytest.skip("the simulator cannot instantiate zero nodes")
+
+
+class TestSessionMatchesFreeFunctions:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("graph, rounds", SUITE)
+    def test_cold_warm_and_resumed_coreness_identical(self, graph, rounds, engine):
+        _skip_if_faithful_cannot_run(engine, graph)
+        free = approximate_coreness(graph, rounds=rounds, engine=engine)
+
+        cold = Session(graph, engine=engine).coreness(rounds=rounds)
+        assert cold.values == free.values
+
+        session = Session(graph, engine=engine)
+        warm_first = session.coreness(rounds=rounds)
+        warm_second = session.coreness(rounds=rounds)
+        assert warm_first.values == free.values
+        assert warm_second is warm_first  # served from the request cache
+
+        resumed_session = Session(graph, engine=engine)
+        resumed_session.coreness(rounds=max(1, rounds - 1))
+        resumed = resumed_session.coreness(rounds=rounds)
+        assert resumed.values == free.values
+        if resumed.surviving.trajectory is not None:
+            assert np.array_equal(resumed.surviving.trajectory,
+                                  free.surviving.trajectory)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("graph, rounds", SUITE)
+    def test_cold_warm_and_resumed_orientation_identical(self, graph, rounds, engine):
+        _skip_if_faithful_cannot_run(engine, graph)
+        free = approximate_orientation(graph, rounds=rounds, engine=engine)
+
+        cold = Session(graph, engine=engine).orientation(rounds=rounds)
+        assert cold.values == free.values
+        assert cold.surviving.kept == free.surviving.kept
+        assert cold.orientation.assignment == free.orientation.assignment
+        assert cold.orientation.in_weight == free.orientation.in_weight
+
+        # Resume: a coreness request first, then the orientation replays the
+        # kept sets from the (possibly extended) cached trajectory.
+        session = Session(graph, engine=engine)
+        session.coreness(rounds=max(1, rounds - 1))
+        resumed = session.orientation(rounds=rounds)
+        assert resumed.orientation.assignment == free.orientation.assignment
+        assert resumed.orientation.in_weight == free.orientation.in_weight
+        assert resumed.surviving.kept == free.surviving.kept
+
+    @pytest.mark.parametrize("graph, rounds", SUITE[::3])
+    def test_generic_solve_route_matches_methods(self, graph, rounds):
+        session = Session(graph)
+        assert session.solve("coreness", rounds=rounds).values == \
+            session.coreness(rounds=rounds).values
+        assert session.solve("orientation", rounds=rounds).orientation.assignment \
+            == session.orientation(rounds=rounds).orientation.assignment
