@@ -1,0 +1,297 @@
+#!/usr/bin/env python
+"""Standing benchmark harness — the repo's one perf trajectory.
+
+Times, on seeded Barabási–Albert and Erdős–Rényi graphs:
+
+* **engines** — cold trajectory runs for every engine × parallel mode
+  (``vectorized``, ``sharded`` sequential / ``thread`` / ``process``, and the
+  ``faithful`` simulator on graphs small enough to finish), with a
+  bit-identical check against the vectorized trajectory and speedups relative
+  to the single-worker sharded baseline;
+* **kept_sets** — the batched `kept_sets_from_trajectory` vs the per-node
+  `_reference` Python loop, for all three tie-break rules;
+* **sessions** — cold vs warm (request-cache) vs prefix-resumed
+  `Session.coreness` requests per engine.
+
+Results are written as machine-readable JSON (default ``BENCH_PR3.json`` at
+the repo root) so future PRs have a baseline to regress against::
+
+    python scripts/bench.py                     # full run (10k-200k nodes)
+    python scripts/bench.py --smoke             # seconds-long CI smoke run
+    python scripts/bench.py --sizes 100000 --rounds 10 --workers 4
+
+The JSON schema (validated by ``tests/test_bench_harness.py``) is
+``{"schema": "repro-bench/1", "machine": {...}, "params": {...},
+"engines": [...], "kept_sets": [...], "sessions": [...]}``; every row carries
+its graph, timings and speedups.  Speedup claims are only meaningful relative
+to ``machine.cpu_count`` — process parallelism cannot beat the baseline on a
+single-CPU container, and the JSON records that context instead of hiding it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.orientation import (  # noqa: E402
+    kept_sets_from_trajectory,
+    kept_sets_from_trajectory_reference,
+)
+from repro.engine import get_engine  # noqa: E402
+from repro.engine.kernels import compact_trajectory  # noqa: E402
+from repro.graph.csr import graph_to_csr  # noqa: E402
+from repro.graph.generators.random_graphs import (  # noqa: E402
+    barabasi_albert,
+    erdos_renyi_gnp,
+)
+from repro.session import Session  # noqa: E402
+
+SCHEMA = "repro-bench/1"
+
+#: Keys every emitted document must carry (pinned by the bench smoke test).
+REQUIRED_TOP_LEVEL = ("schema", "generated_by", "smoke", "machine", "params",
+                      "engines", "kept_sets", "sessions")
+
+#: Largest graph the faithful per-node simulator is timed on.
+FAITHFUL_MAX_NODES = 20_000
+
+
+def best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _graphs(sizes, seed):
+    for n in sizes:
+        yield f"ba-{n}", barabasi_albert(n, 3, seed=seed)
+        yield f"er-{n}", erdos_renyi_gnp(n, min(1.0, 6.0 / max(1, n)), seed=seed + 1)
+
+
+def _engine_configs(shards, workers):
+    """(label, spec dict) for every engine × parallel mode that is timed."""
+    return [
+        ("vectorized", {"engine": "vectorized"}),
+        ("sharded-seq", {"engine": "sharded", "num_shards": shards}),
+        ("sharded-thread", {"engine": "sharded", "num_shards": shards,
+                            "max_workers": workers, "parallel": "thread"}),
+        ("sharded-process", {"engine": "sharded", "num_shards": shards,
+                             "max_workers": workers, "parallel": "process"}),
+        ("faithful", {"engine": "faithful"}),
+    ]
+
+
+def bench_engines(graphs, rounds, shards, workers, repeats, log, configs=None):
+    """Time every engine config on every graph; ``configs`` filters by label."""
+    rows = []
+    for graph_name, graph in graphs:
+        csr = graph_to_csr(graph)  # shared: time the engines, not the conversion
+        reference = get_engine("vectorized").run(graph, rounds, track_kept=False,
+                                                 csr=csr)
+        baseline_seconds = None
+        graph_rows = []
+        for label, spec in _engine_configs(shards, workers):
+            if configs is not None and label not in configs:
+                continue
+            if spec["engine"] == "faithful" and graph.num_nodes > FAITHFUL_MAX_NODES:
+                continue
+            engine = get_engine(spec["engine"],
+                                **{k: v for k, v in spec.items() if k != "engine"})
+            seconds = best_of(
+                lambda: engine.run(graph, rounds, track_kept=False, csr=csr),
+                repeats)
+            result = engine.run(graph, rounds, track_kept=False, csr=csr)
+            if result.trajectory is not None:
+                identical = bool(np.array_equal(result.trajectory,
+                                                reference.trajectory))
+            else:  # the faithful simulator keeps no trajectory; compare values
+                identical = result.values == reference.values
+            if label == "sharded-seq":
+                baseline_seconds = seconds
+            graph_rows.append({
+                "graph": graph_name, "n": graph.num_nodes, "m": graph.num_edges,
+                "rounds": rounds, "config": label, **spec,
+                "seconds": round(seconds, 6), "identical": identical,
+            })
+            log(f"  engines {graph_name:>12s} {label:<16s} {seconds:8.3f}s"
+                f"  identical={identical}")
+        if baseline_seconds is not None:
+            # Backfilled after the loop so every row — including the ones
+            # timed before the baseline — carries the ratio.
+            for row in graph_rows:
+                row["speedup_vs_sharded_seq"] = round(
+                    baseline_seconds / row["seconds"], 4)
+        rows.extend(graph_rows)
+    return rows
+
+
+def bench_kept_sets(graphs, rounds, repeats, log):
+    rows = []
+    for graph_name, graph in graphs:
+        csr = graph_to_csr(graph)
+        trajectory = compact_trajectory(csr, rounds)
+        for tie_break in ("history", "stable", "naive"):
+            reference_seconds = best_of(
+                lambda: kept_sets_from_trajectory_reference(
+                    csr, trajectory, tie_break=tie_break), max(1, repeats - 1))
+            vectorized_seconds = best_of(
+                lambda: kept_sets_from_trajectory(
+                    csr, trajectory, tie_break=tie_break), repeats)
+            identical = kept_sets_from_trajectory(
+                csr, trajectory, tie_break=tie_break) == \
+                kept_sets_from_trajectory_reference(
+                    csr, trajectory, tie_break=tie_break)
+            speedup = reference_seconds / vectorized_seconds
+            rows.append({
+                "graph": graph_name, "n": graph.num_nodes, "m": graph.num_edges,
+                "rounds": rounds, "tie_break": tie_break,
+                "reference_seconds": round(reference_seconds, 6),
+                "vectorized_seconds": round(vectorized_seconds, 6),
+                "speedup": round(speedup, 4), "identical": identical,
+            })
+            log(f"  kept    {graph_name:>12s} {tie_break:<8s} reference "
+                f"{reference_seconds:7.3f}s vectorized {vectorized_seconds:7.3f}s "
+                f"speedup {speedup:5.1f}x identical={identical}")
+    return rows
+
+
+def bench_sessions(graphs, rounds, shards, workers, log):
+    rows = []
+    for graph_name, graph in graphs:
+        for label, spec in _engine_configs(shards, workers):
+            if spec["engine"] == "faithful":
+                continue  # the session layer adds nothing to replay per node
+            options = {k: v for k, v in spec.items() if k != "engine"}
+
+            session = Session(graph, engine=spec["engine"], **options)
+            start = time.perf_counter()
+            session.coreness(rounds=rounds)
+            cold = time.perf_counter() - start
+            start = time.perf_counter()
+            session.coreness(rounds=rounds)
+            warm = time.perf_counter() - start
+
+            resumed_session = Session(graph, engine=spec["engine"], **options)
+            resumed_session.coreness(rounds=max(1, rounds - 2))
+            start = time.perf_counter()
+            resumed_session.coreness(rounds=rounds)
+            resumed = time.perf_counter() - start
+
+            rows.append({
+                "graph": graph_name, "n": graph.num_nodes, "m": graph.num_edges,
+                "rounds": rounds, "config": label, **spec,
+                "cold_seconds": round(cold, 6), "warm_seconds": round(warm, 6),
+                "resumed_seconds": round(resumed, 6),
+                "speedup_warm": round(cold / warm, 2) if warm > 0 else float("inf"),
+            })
+            log(f"  session {graph_name:>12s} {label:<16s} cold {cold:7.3f}s "
+                f"warm {warm:9.6f}s resumed {resumed:7.3f}s")
+    return rows
+
+
+def run_benchmarks(sizes, rounds, shards, workers, repeats, seed, smoke,
+                   log=lambda line: None) -> dict:
+    graphs = list(_graphs(sizes, seed))
+    document = {
+        "schema": SCHEMA,
+        "generated_by": "scripts/bench.py",
+        "smoke": bool(smoke),
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "params": {"sizes": list(sizes), "rounds": rounds, "shards": shards,
+                   "workers": workers, "repeats": repeats, "seed": seed},
+        "engines": bench_engines(graphs, rounds, shards, workers, repeats, log),
+        "kept_sets": bench_kept_sets(graphs, rounds, repeats, log),
+        "sessions": bench_sessions(graphs, rounds, shards, workers, log),
+    }
+    return document
+
+
+def validate_document(document: dict) -> None:
+    """Raise ``ValueError`` unless ``document`` matches the bench schema."""
+    for key in REQUIRED_TOP_LEVEL:
+        if key not in document:
+            raise ValueError(f"bench document is missing the {key!r} key")
+    if document["schema"] != SCHEMA:
+        raise ValueError(f"unknown bench schema {document['schema']!r}")
+    if not isinstance(document["machine"].get("cpu_count"), int):
+        raise ValueError("machine.cpu_count must be an integer")
+    for row in document["engines"]:
+        for key in ("graph", "n", "m", "rounds", "config", "engine",
+                    "seconds", "identical"):
+            if key not in row:
+                raise ValueError(f"engines row is missing {key!r}: {row}")
+        if not row["identical"]:
+            raise ValueError(f"engines row is not bit-identical: {row}")
+    for row in document["kept_sets"]:
+        for key in ("graph", "tie_break", "reference_seconds",
+                    "vectorized_seconds", "speedup", "identical"):
+            if key not in row:
+                raise ValueError(f"kept_sets row is missing {key!r}: {row}")
+        if not row["identical"]:
+            raise ValueError(f"kept_sets row is not identical: {row}")
+    for row in document["sessions"]:
+        for key in ("graph", "config", "cold_seconds", "warm_seconds",
+                    "resumed_seconds", "speedup_warm"):
+            if key not in row:
+                raise ValueError(f"sessions row is missing {key!r}: {row}")
+    if not (document["engines"] and document["kept_sets"] and document["sessions"]):
+        raise ValueError("bench document has an empty section")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", type=int, nargs="+",
+                        default=[10_000, 100_000, 200_000],
+                        help="graph sizes n (default: 10k 100k 200k)")
+    parser.add_argument("--rounds", type=int, default=10, help="round budget T")
+    parser.add_argument("--shards", type=int, default=8, help="shard count")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="pool size for the parallel modes (default: max(4, CPUs))")
+    parser.add_argument("--repeats", type=int, default=3, help="best-of repeats")
+    parser.add_argument("--seed", type=int, default=99)
+    parser.add_argument("--smoke", action="store_true",
+                        help="seconds-long run on one small graph (CI)")
+    parser.add_argument("--output", type=Path, default=REPO_ROOT / "BENCH_PR3.json",
+                        help="where to write the JSON document")
+    args = parser.parse_args()
+
+    sizes = [2_000] if args.smoke else args.sizes
+    repeats = 1 if args.smoke else args.repeats
+    workers = args.workers if args.workers is not None \
+        else max(4, os.cpu_count() or 1)
+
+    print(f"bench: sizes={sizes} rounds={args.rounds} shards={args.shards} "
+          f"workers={workers} repeats={repeats} cpu_count={os.cpu_count()}")
+    document = run_benchmarks(sizes, args.rounds, args.shards, workers, repeats,
+                              args.seed, args.smoke, log=print)
+    validate_document(document)
+    args.output.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    print(f"bench: results written to {args.output}")
+
+    failures = [row for row in document["engines"] + document["kept_sets"]
+                if not row["identical"]]
+    if failures:  # pragma: no cover - validate_document already raises
+        print("error: non-identical results", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # CI / pre-merge check: tier-1 tests, smoke runs of every example, the
-# sharded-vs-vectorized engine micro-benchmark, and the warm-session
-# throughput benchmark (>= 2x over cold per-call on repeated mixed requests).
+# unified benchmark harness (engines x parallel modes, kept-set
+# reconstruction, cold/warm sessions — scripts/bench.py), and the
+# warm-session throughput benchmark (>= 2x over cold per-call on repeated
+# mixed requests).
 #
 # Usage:  ./scripts/check.sh            (from anywhere; repo root is inferred)
 set -euo pipefail
@@ -25,8 +27,8 @@ for example in examples/*.py; do
 done
 
 echo
-echo "== engine micro-benchmark (sharded vs vectorized) =="
-python scripts/bench_engines.py --nodes 20000 --rounds 10 --shards 8 --repeats 2
+echo "== unified benchmark harness (smoke) =="
+python scripts/bench.py --smoke --output "$(mktemp -t bench_smoke.XXXXXX.json)"
 
 echo
 echo "== session throughput (warm Session vs cold per-call) =="

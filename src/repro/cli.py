@@ -6,6 +6,7 @@ dataset) without writing Python::
     python -m repro coreness --dataset collab-small --epsilon 0.5 --top 10
     python -m repro coreness --input graph.edges --rounds 8 --output values.tsv
     python -m repro coreness --dataset social-ba --epsilon 0.5 --engine sharded:4
+    python -m repro coreness --dataset social-ba --epsilon 0.5 --engine sharded --parallel process --workers 4
     python -m repro orientation --dataset caveman --weighted --epsilon 0.5
     python -m repro densest --input graph.edges --epsilon 1.0
     python -m repro batch --dataset caveman --dataset communities --epsilon 0.5 --rounds 4
@@ -62,6 +63,11 @@ def _build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--engine", default="vectorized", metavar="SPEC",
                          help="execution engine spec, e.g. 'vectorized', 'faithful', "
                               "'sharded:4' (see the 'engines' subcommand)")
+        sub.add_argument("--parallel", choices=("thread", "process"), default=None,
+                         help="shard parallel mode for the sharded engine "
+                              "(process breaks the GIL via shared memory)")
+        sub.add_argument("--workers", type=int, default=None, metavar="N",
+                         help="pool size for --parallel (default: the CPU count)")
 
     coreness_parser = subparsers.add_parser(
         "coreness", help="approximate coreness / maximal density per node (Theorem I.1)")
@@ -120,6 +126,21 @@ def _load_graph(args: argparse.Namespace) -> Graph:
     return load_dataset(args.dataset, weighted=args.weighted)
 
 
+def _resolve_engine(args: argparse.Namespace):
+    """The engine instance for an engine-taking command.
+
+    ``--parallel`` / ``--workers`` are forwarded as engine options, so they
+    compose with any spec (``--engine sharded:8 --parallel process``); engines
+    that do not take them fail with the registry's invalid-option error.
+    """
+    options = {}
+    if args.parallel is not None:
+        options["parallel"] = args.parallel
+    if args.workers is not None:
+        options["max_workers"] = args.workers
+    return get_engine(args.engine, **options)
+
+
 def _budget_kwargs(args: argparse.Namespace) -> dict:
     if args.epsilon is not None:
         return {"epsilon": args.epsilon}
@@ -139,7 +160,8 @@ def _command_datasets(out) -> int:
 def _command_engines(out) -> int:
     rows = [[name, get_engine(name).describe()] for name in available_engines()]
     print(format_table(["name", "description"], rows), file=out)
-    print("# specs may carry options, e.g. 'sharded:4' or 'sharded:shards=4,max_workers=2'",
+    print("# specs may carry options, e.g. 'sharded:4', 'sharded:shards=4,max_workers=2'\n"
+          "# or 'sharded:workers=4,parallel=process' (also: --parallel/--workers flags)",
           file=out)
     return 0
 
@@ -166,7 +188,7 @@ def _command_batch(args: argparse.Namespace, out) -> int:
                          f"(problem {problem.name!r} does not)")
     jobs = sweep_jobs(graphs, epsilons=args.epsilon, rounds=args.rounds,
                       lams=args.lam or (0.0,), problem=args.problem)
-    runner = BatchRunner(args.engine)
+    runner = BatchRunner(_resolve_engine(args))
     results = runner.run(jobs)
     header = ["job", "engine", "problem", "n", "m", "rounds", "seconds", "converged",
               "objective"]
@@ -209,7 +231,7 @@ def _command_batch(args: argparse.Namespace, out) -> int:
 
 def _command_coreness(args: argparse.Namespace, out) -> int:
     graph = _load_graph(args)
-    result = Session(graph, engine=args.engine, lam=args.lam).coreness(
+    result = Session(graph, engine=_resolve_engine(args), lam=args.lam).coreness(
         **_budget_kwargs(args))
     print(f"# n={graph.num_nodes} m={graph.num_edges} rounds={result.rounds} "
           f"guarantee={result.guarantee:.4g}", file=out)
@@ -225,7 +247,7 @@ def _command_coreness(args: argparse.Namespace, out) -> int:
 
 def _command_orientation(args: argparse.Namespace, out) -> int:
     graph = _load_graph(args)
-    result = Session(graph, engine=args.engine).orientation(**_budget_kwargs(args))
+    result = Session(graph, engine=_resolve_engine(args)).orientation(**_budget_kwargs(args))
     print(f"# n={graph.num_nodes} m={graph.num_edges} rounds={result.rounds} "
           f"guarantee={result.guarantee:.4g}", file=out)
     print(f"max weighted in-degree: {result.max_in_weight:.6g}", file=out)

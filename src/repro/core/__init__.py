@@ -28,6 +28,7 @@ from repro.core.orientation import (
     canonical_edge,
     check_feasible,
     kept_sets_from_trajectory,
+    kept_sets_from_trajectory_reference,
     orientation_from_kept,
     orientation_from_values_greedy,
 )
@@ -84,6 +85,7 @@ __all__ = [
     "canonical_edge",
     "check_feasible",
     "kept_sets_from_trajectory",
+    "kept_sets_from_trajectory_reference",
     "orientation_from_kept",
     "orientation_from_values_greedy",
     "LambdaGrid",

@@ -51,6 +51,9 @@ class WeakDensestResult:
     rounds_per_phase: Dict[str, int]            #: breakdown of the round budget
     messages_total: int                         #: total point-to-point messages
     gamma: float                                #: the approximation factor targeted
+    phase1_reused: bool = False                 #: Phase 1 served from a precomputed
+                                                #: trajectory; ``messages_total`` then
+                                                #: covers phases 2-4 only
 
     @property
     def best_leader(self) -> Optional[Hashable]:
@@ -94,6 +97,7 @@ class WeakDensestResult:
         return {
             "problem": "densest",
             "gamma": self.gamma,
+            "phase1_reused": self.phase1_reused,
             "rounds_total": self.rounds_total,
             "rounds_per_phase": dict(self.rounds_per_phase),
             "messages_total": self.messages_total,
@@ -108,6 +112,7 @@ class WeakDensestResult:
 def weak_densest_subsets(graph: Graph, *, epsilon: Optional[float] = None,
                          gamma: Optional[float] = None, rounds: Optional[int] = None,
                          acceptance_factor: Optional[float] = None,
+                         phase1: Optional[SurvivingNumbers] = None,
                          ) -> WeakDensestResult:
     """Run the Theorem I.3 pipeline.
 
@@ -120,6 +125,16 @@ def weak_densest_subsets(graph: Graph, *, epsilon: Optional[float] = None,
         The divisor in Algorithm 6's acceptance test ``b_max >= b_v / acceptance_factor``.
         Defaults to the derived γ (the analysis-supported choice — see
         :mod:`repro.core.aggregation` for why the literal paper condition is not used).
+    phase1:
+        Optional precomputed Phase-1 :class:`~repro.core.surviving.SurvivingNumbers`
+        for the *same* graph, λ = 0 and the same round budget — typically a
+        session's cached λ=0 trajectory.  Skips the faithful Phase-1
+        simulation; the result's ``messages_total`` then covers phases 2-4
+        only and ``phase1_reused`` is set.  Use only when Phase-1 message
+        accounting is not needed.  With integer/dyadic edge weights every
+        engine computes bit-identical surviving numbers, so phases 2-4 are
+        unchanged; arbitrary float weights carry the last-ulp caveat of
+        :mod:`repro.engine.kernels`.
     """
     if graph.num_nodes == 0:
         raise AlgorithmError("the weak densest subset problem needs a non-empty graph")
@@ -138,8 +153,22 @@ def weak_densest_subsets(graph: Graph, *, epsilon: Optional[float] = None,
     derived_gamma = guarantee_after_rounds(n, T)
     factor = acceptance_factor if acceptance_factor is not None else derived_gamma
 
-    # Phase 1: surviving numbers.
-    surviving, run1 = run_compact_elimination(graph, T, lam=0.0, track_kept=False)
+    # Phase 1: surviving numbers (or a caller-supplied precomputed result).
+    if phase1 is not None:
+        if phase1.rounds != T:
+            raise AlgorithmError(
+                f"precomputed phase1 ran {phase1.rounds} rounds, but this request "
+                f"resolves to T={T}")
+        if not phase1.grid.is_exact:
+            raise AlgorithmError(
+                "precomputed phase1 must use the exact grid (lam=0); got "
+                f"lam={phase1.grid.lam}")
+        if set(phase1.values) != set(graph.nodes()):
+            raise AlgorithmError(
+                "precomputed phase1 does not cover the nodes of this graph")
+        surviving, run1 = phase1, None
+    else:
+        surviving, run1 = run_compact_elimination(graph, T, lam=0.0, track_kept=False)
     # Phase 2: BFS forest.
     bfs_outputs, run2 = run_bfs_construction(graph, surviving.values, T)
     # Phase 3: per-tree elimination.
@@ -163,12 +192,13 @@ def weak_densest_subsets(graph: Graph, *, epsilon: Optional[float] = None,
               for leader, members in subsets.items() if members}
 
     rounds_per_phase = {
-        "phase1_surviving": run1.stats.num_rounds,
+        "phase1_surviving": run1.stats.num_rounds if run1 is not None else T,
         "phase2_bfs": run2.stats.num_rounds,
         "phase3_local_elimination": run3.stats.num_rounds,
         "phase4_aggregation": run4.stats.num_rounds,
     }
-    messages_total = sum(run.stats.total_messages for run in (run1, run2, run3, run4))
+    messages_total = sum(run.stats.total_messages
+                         for run in (run1, run2, run3, run4) if run is not None)
 
     return WeakDensestResult(
         subsets={k: frozenset(v) for k, v in subsets.items()},
@@ -180,6 +210,7 @@ def weak_densest_subsets(graph: Graph, *, epsilon: Optional[float] = None,
         rounds_per_phase=rounds_per_phase,
         messages_total=messages_total,
         gamma=derived_gamma,
+        phase1_reused=run1 is None,
     )
 
 

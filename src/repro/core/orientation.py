@@ -125,6 +125,43 @@ def orientation_from_kept(graph: Graph, kept: Dict[Hashable, Sequence[Hashable]]
                        violations=violations, loop_weight=loop_weight)
 
 
+def _validate_trajectory(csr: CSRAdjacency, trajectory: np.ndarray) -> int:
+    """Shared validation of the two reconstruction paths; returns ``T``."""
+    if trajectory.ndim != 2 or trajectory.shape[1] != csr.num_nodes:
+        raise AlgorithmError("trajectory shape does not match the CSR view")
+    total_rounds = trajectory.shape[0] - 1
+    if total_rounds < 1:
+        raise AlgorithmError("the trajectory must contain at least one executed round")
+    return total_rounds
+
+
+def _identity_ranks(labels: Sequence[Hashable]) -> np.ndarray:
+    """Rank of every node under the deterministic identity order of Update.
+
+    :func:`repro.core.update.update_sorted` breaks final ties by
+    ``(type name, repr)`` of the label; the rank array lets the vectorised
+    reconstruction feed that order to ``np.lexsort`` as a plain int key.
+    """
+    from repro.core.update import _comparable_id
+
+    n = len(labels)
+    if all(type(label) is int and 0 <= label and label.bit_length() <= 63
+           for label in labels):
+        # Fast path for the ubiquitous 0..n-1 integer labels (int64-sized, so
+        # the asarray below cannot overflow): the identity key is
+        # ("int", repr(label)), i.e. plain lexicographic order of the
+        # decimal strings — computable with a C-speed unicode argsort.
+        order_arr = np.argsort(np.asarray(labels, dtype=np.int64).astype("U"),
+                               kind="stable")
+    else:
+        order_arr = np.asarray(
+            sorted(range(n), key=lambda i: _comparable_id(labels[i])),
+            dtype=np.int64)
+    ranks = np.empty(n, dtype=np.int64)
+    ranks[order_arr] = np.arange(n, dtype=np.int64)
+    return ranks
+
+
 def kept_sets_from_trajectory(csr: CSRAdjacency, trajectory: np.ndarray, *,
                               tie_break: str = "history",
                               ) -> Dict[Hashable, Tuple[Hashable, ...]]:
@@ -136,6 +173,22 @@ def kept_sets_from_trajectory(csr: CSRAdjacency, trajectory: np.ndarray, *,
     to what the faithful protocol maintains — this equivalence is asserted by the
     test-suite.
 
+    This is the batched NumPy implementation (one ``np.lexsort`` + segmented
+    prefix scan over every node's final-round Update at once); the per-node
+    Python loop it replaced survives as
+    :func:`kept_sets_from_trajectory_reference`, which the equivalence tests
+    compare against.  The two are bit-identical whenever the intermediate
+    weight sums are exactly representable (integer / dyadic weights — the same
+    caveat as :mod:`repro.engine.kernels`).
+
+    All three tie-break rules reduce to one lexicographic sort.  Ascending,
+    Algorithm 3 orders a node's neighbours by ``(b_u, history, final tie)``
+    where ``history`` is the sequence of values received in earlier rounds,
+    most recent first — for ``"stable"`` this holds because iterated stable
+    sorts compose into exactly that lexicographic key, with the adjacency
+    position as the final tie instead of the identity rank, and for
+    ``"naive"`` the history columns are simply absent.
+
     Parameters
     ----------
     csr:
@@ -146,11 +199,129 @@ def kept_sets_from_trajectory(csr: CSRAdjacency, trajectory: np.ndarray, *,
     tie_break:
         ``"history"`` (paper's rule), ``"stable"`` or ``"naive"``.
     """
-    if trajectory.ndim != 2 or trajectory.shape[1] != csr.num_nodes:
-        raise AlgorithmError("trajectory shape does not match the CSR view")
-    total_rounds = trajectory.shape[0] - 1
-    if total_rounds < 1:
-        raise AlgorithmError("the trajectory must contain at least one executed round")
+    total_rounds = _validate_trajectory(csr, trajectory)
+    if tie_break not in ("history", "stable", "naive"):
+        raise AlgorithmError(f"unknown tie_break rule {tie_break!r}; "
+                             f"expected one of ('history', 'stable', 'naive')")
+    n = csr.num_nodes
+    labels = csr.labels()
+    if n == 0:
+        return {}
+    counts = np.diff(csr.indptr)
+    total_entries = int(csr.indptr[-1])
+    if total_entries == 0:
+        return {label: () for label in labels}
+    nbr = csr.indices
+    final_received = trajectory[total_rounds - 1]
+    vals = final_received[nbr]
+
+    # Per-row *descending* sort by (b, history most-recent-first, final tie).
+    # Every comparison column — the current value b, each history round, and
+    # the identity rank — is a property of the neighbour *node*, so the whole
+    # multi-key comparison collapses into one integer rank per node (a lexsort
+    # over n nodes), and the per-entry sort becomes a single int64 argsort
+    # over the m adjacency entries instead of T+1 lexsort passes over them.
+    # Columns, most significant first; round T receives trajectory[T-1], and
+    # earlier rounds' values form the tie-breaking history (most recent
+    # first).  A converged trajectory repeats rows, and adjacent duplicate
+    # sort keys cannot change a lexicographic comparison, so duplicates are
+    # skipped — the column count is bounded by the rounds to the fixed point.
+    node_columns: List[np.ndarray] = [final_received]
+    if tie_break in ("history", "stable"):
+        previous: Optional[np.ndarray] = None
+        for t in range(total_rounds - 2, -1, -1):
+            row = trajectory[t]
+            if previous is None or not np.array_equal(row, previous):
+                node_columns.append(row)
+            previous = row
+    node_keys = [-column for column in reversed(node_columns)]
+    if tie_break != "stable":
+        # Identity rank as the least significant key makes the node order
+        # strict; "stable" leaves ties to the per-entry adjacency position.
+        node_keys.insert(0, -_identity_ranks(labels))
+    node_perm = np.lexsort(node_keys)  # nodes in descending comparison order
+    node_rank = np.empty(n, dtype=np.int64)
+    if tie_break == "stable":
+        # Dense ranks: nodes with identical (value, history) columns share a
+        # rank, leaving the final tie to the adjacency position below.
+        boundary = np.zeros(n, dtype=np.int64)
+        for column in node_columns:
+            in_order = column[node_perm]
+            boundary[1:] |= in_order[1:] != in_order[:-1]
+        node_rank[node_perm] = np.cumsum(boundary)
+    else:
+        node_rank[node_perm] = np.arange(n, dtype=np.int64)
+    rows = np.repeat(np.arange(n, dtype=np.int64), counts)
+    combined = rows * np.int64(n + 1) + node_rank[nbr]
+    # Sorting the *reversed* entry array stably and mapping the indices back
+    # resolves equal combined keys by descending adjacency position — exactly
+    # the "stable" rule (positions are distinct elsewhere, so the other modes
+    # are unaffected).
+    order = (total_entries - 1
+             - np.argsort(combined[::-1], kind="stable"))
+
+    # The scan of Algorithm 3, segmented: within each row walk the descending
+    # order accumulating s = self_loop + Σw and stop at the first position
+    # where s exceeds the *next* (smaller) surviving number; everything strictly
+    # before the stop is kept, the stop entry itself iff s <= b there.
+    sorted_vals = vals[order]
+    sorted_w = csr.weights[order]
+    flat_cs = np.cumsum(sorted_w)
+    row_starts = csr.indptr[:-1]
+    nonempty = counts > 0
+    starts_ne = row_starts[nonempty]
+    before_row = np.zeros(n, dtype=np.float64)
+    before_row[nonempty] = flat_cs[starts_ne] - sorted_w[starts_ne]
+    acc = flat_cs - np.repeat(before_row, counts) + np.repeat(csr.loops, counts)
+    next_vals = np.empty(total_entries, dtype=np.float64)
+    next_vals[:-1] = sorted_vals[1:]
+    next_vals[(csr.indptr[1:] - 1)[nonempty]] = -np.inf  # row ends (incl. the last)
+    stop_candidates = np.where(acc > next_vals,
+                               np.arange(total_entries, dtype=np.int64), total_entries)
+    # Every non-empty row stops (its last position compares against -inf), so
+    # the segmented minimum is always a valid flat index.
+    first_stop = np.minimum.reduceat(stop_candidates, starts_ne)
+    stop_index = np.full(n, -1, dtype=np.int64)
+    stop_index[nonempty] = first_stop
+
+    # Assemble the kept tuples in the reference order: the entries strictly
+    # above the stop, listed by ascending surviving number, then the stop
+    # entry last when its prefix sum fits under its own value.
+    sorted_labels = list(map(labels.__getitem__, nbr[order].tolist()))
+    # Reversing the flat list once turns every per-row "reversed slice" into a
+    # plain slice: flat positions start..stop-1 (descending value) map to
+    # reversed positions M-stop..M-start-1 (ascending value).
+    reversed_labels = sorted_labels[::-1]
+    stop_kept = (acc <= sorted_vals).tolist()
+    starts_list = row_starts.tolist()
+    stops_list = stop_index.tolist()
+    kept: Dict[Hashable, Tuple[Hashable, ...]] = {}
+    for v, label in enumerate(labels):
+        stop = stops_list[v]
+        if stop < 0:
+            kept[label] = ()
+            continue
+        entry = tuple(reversed_labels[total_entries - stop:
+                                      total_entries - starts_list[v]])
+        if stop_kept[stop]:
+            entry += (sorted_labels[stop],)
+        kept[label] = entry
+    return kept
+
+
+def kept_sets_from_trajectory_reference(
+        csr: CSRAdjacency, trajectory: np.ndarray, *,
+        tie_break: str = "history") -> Dict[Hashable, Tuple[Hashable, ...]]:
+    """Per-node reference reconstruction (the original Python loop).
+
+    Replays the final Update locally per node through the scalar
+    :func:`~repro.core.update.update_sorted` / ``update_stable`` code paths.
+    Kept only as the ground truth the equivalence tests compare
+    :func:`kept_sets_from_trajectory` against — the batched implementation is
+    the production path (measured 5-20x faster depending on graph size and
+    tie-break mode; see ``scripts/bench.py`` / ``BENCH_PR3.json``).
+    """
+    total_rounds = _validate_trajectory(csr, trajectory)
     labels = csr.labels()
     kept: Dict[Hashable, Tuple[Hashable, ...]] = {}
     for v in range(csr.num_nodes):

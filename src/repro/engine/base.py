@@ -16,11 +16,14 @@ name          implementation
 ``sharded``   the same kernels executed shard-by-shard over contiguous node
               ranges, bounding peak memory to one shard's frontier arrays;
               optionally fanned out over a thread pool
+              (``parallel=thread``) or — breaking the GIL ceiling — over a
+              shared-memory process pool (``parallel=process``)
 ============  ===============================================================
 
 Engines are resolved by name through :func:`get_engine`, which also accepts an
-*engine spec* carrying inline options, e.g. ``"sharded:4"`` (4 shards) or
-``"sharded:shards=4,workers=2"``.  Third-party backends can hook in with
+*engine spec* carrying inline options, e.g. ``"sharded:4"`` (4 shards),
+``"sharded:shards=4,workers=2"`` or
+``"sharded:workers=4,parallel=process"``.  Third-party backends can hook in with
 :func:`register_engine`; the registry is the extension point for every future
 execution backend (multiprocessing, GPU, out-of-core...).
 """

@@ -117,6 +117,32 @@ def compact_round(csr: CSRAdjacency, current: np.ndarray, grid: LambdaGrid) -> n
     return compact_round_range(csr, current, 0, csr.num_nodes, grid)
 
 
+def init_trajectory(num_nodes: int, rounds: int,
+                    prefix: Optional[np.ndarray] = None,
+                    ) -> Tuple[np.ndarray, int]:
+    """Allocate a ``(rounds + 1, n)`` trajectory, seeded from an optional prefix.
+
+    Returns ``(trajectory, start)``: row 0 is the initial ``+inf`` state, rows
+    ``1..start`` are copied verbatim from ``prefix`` (clamped to ``rounds``),
+    and the round loop should resume at ``start + 1``.  Shared by every
+    trajectory executor (:func:`compact_trajectory` and the process-parallel
+    path in :mod:`repro.engine.shm`) so prefix semantics cannot drift between
+    them.
+    """
+    if rounds < 0:
+        raise AlgorithmError(f"rounds must be non-negative, got {rounds}")
+    trajectory = np.full((rounds + 1, num_nodes), np.inf, dtype=np.float64)
+    start = 0
+    if prefix is not None:
+        if prefix.ndim != 2 or prefix.shape[1] != num_nodes or prefix.shape[0] < 1:
+            raise AlgorithmError(
+                f"trajectory prefix of shape {getattr(prefix, 'shape', None)} does not "
+                f"match a {num_nodes}-node CSR view")
+        start = min(prefix.shape[0] - 1, rounds)
+        trajectory[:start + 1] = prefix[:start + 1]
+    return trajectory, start
+
+
 def compact_trajectory(csr: CSRAdjacency, rounds: int, *, lam: float = 0.0,
                        plan: Optional[ShardPlan] = None,
                        shard_map: Optional[Callable] = None,
@@ -148,20 +174,10 @@ def compact_trajectory(csr: CSRAdjacency, rounds: int, *, lam: float = 0.0,
         cold run (the cross-engine equivalence suite pins this).  A prefix
         longer than ``rounds`` simply yields the sliced trajectory.
     """
-    if rounds < 0:
-        raise AlgorithmError(f"rounds must be non-negative, got {rounds}")
     n = csr.num_nodes
     grid = LambdaGrid(lam=lam)
     bounds = tuple(plan) if plan is not None else ((0, n),)
-    trajectory = np.full((rounds + 1, n), np.inf, dtype=np.float64)
-    start = 0
-    if prefix is not None:
-        if prefix.ndim != 2 or prefix.shape[1] != n or prefix.shape[0] < 1:
-            raise AlgorithmError(
-                f"trajectory prefix of shape {getattr(prefix, 'shape', None)} does not "
-                f"match a {n}-node CSR view")
-        start = min(prefix.shape[0] - 1, rounds)
-        trajectory[:start + 1] = prefix[:start + 1]
+    trajectory, start = init_trajectory(n, rounds, prefix)
     current = trajectory[start].copy()
     for t in range(start + 1, rounds + 1):
         if len(bounds) == 1:

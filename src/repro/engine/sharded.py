@@ -8,15 +8,27 @@ while peak memory for the frontier arrays (gathered neighbour values, sort
 permutation, prefix sums — the ``O(m)`` part) is bounded by the largest shard
 instead of the whole graph.
 
-With ``max_workers`` set, the shards of one round are dispatched onto a
-``concurrent.futures.ThreadPoolExecutor`` (NumPy releases the GIL in the sort
-and reduction kernels, so threads give real parallelism without pickling the
-CSR arrays); the one-shard-at-a-time memory bound then becomes
-``max_workers``-shards-at-a-time.
+Three execution modes, selected by ``parallel``:
+
+* ``None`` (default) — shards of a round run sequentially, which caps peak
+  frontier memory at a single shard;
+* ``"thread"`` — shards are dispatched onto a
+  ``concurrent.futures.ThreadPoolExecutor`` (NumPy releases the GIL in the
+  sort and reduction kernels, so threads give partial parallelism without
+  pickling the CSR arrays) — the GIL still serialises the Python-level parts;
+* ``"process"`` — the CSR arrays and the per-round value vector live in
+  ``multiprocessing.shared_memory`` blocks and shard ranges are dispatched
+  onto a reusable ``ProcessPoolExecutor`` (workers re-attach by name, zero
+  pickling of graph data; see :mod:`repro.engine.shm`), which breaks the GIL
+  ceiling entirely.
+
+All three modes produce bit-identical trajectories (the cross-engine
+equivalence suite pins this down to the float64 representation).
 """
 
 from __future__ import annotations
 
+import os
 from typing import Optional
 
 import numpy as np
@@ -28,6 +40,9 @@ from repro.errors import AlgorithmError
 #: Target number of nodes per shard when ``num_shards`` is not given.
 DEFAULT_SHARD_NODES = 16384
 
+#: Accepted values of the ``parallel`` option (``None`` = sequential shards).
+PARALLEL_MODES = (None, "thread", "process")
+
 
 class ShardedEngine(TrajectoryEngine):
     """Bounded-memory engine: rounds execute shard-by-shard over node ranges.
@@ -36,23 +51,48 @@ class ShardedEngine(TrajectoryEngine):
     ----------
     num_shards:
         Number of contiguous node-range shards (clamped to ``n``).  ``None``
-        sizes shards automatically to about :data:`DEFAULT_SHARD_NODES` nodes.
+        sizes shards automatically to about :data:`DEFAULT_SHARD_NODES` nodes —
+        except in a parallel mode, where at least ``max_workers`` shards are
+        planned so every worker has a range to own.
     max_workers:
-        When given (>= 1), shards of a round run on a thread pool of this size;
-        ``None`` (default) runs them sequentially, which caps peak frontier
-        memory at a single shard.
+        Pool size for the parallel modes.  ``None`` defaults to the machine's
+        CPU count when ``parallel`` is set; setting it without ``parallel``
+        keeps the historical behaviour of a thread pool of that size.
+    parallel:
+        ``None`` (sequential, the memory-bounded default), ``"thread"`` or
+        ``"process"`` — see the module docstring.
     """
 
     name = "sharded"
 
     def __init__(self, num_shards: Optional[int] = None,
-                 max_workers: Optional[int] = None) -> None:
+                 max_workers: Optional[int] = None,
+                 parallel: Optional[str] = None) -> None:
         if num_shards is not None and num_shards < 1:
             raise AlgorithmError(f"num_shards must be >= 1, got {num_shards}")
         if max_workers is not None and max_workers < 1:
             raise AlgorithmError(f"max_workers must be >= 1, got {max_workers}")
+        if isinstance(parallel, str):
+            parallel = parallel.strip().lower() or None
+            if parallel == "none":
+                parallel = None
+        if parallel not in PARALLEL_MODES:
+            raise AlgorithmError(
+                f"unknown parallel mode {parallel!r}; expected one of "
+                f"{', '.join(repr(m) for m in PARALLEL_MODES)}")
+        if parallel is None and max_workers is not None:
+            parallel = "thread"  # historical spelling: workers implied threads
         self.num_shards = num_shards
         self.max_workers = max_workers
+        self.parallel = parallel
+
+    def effective_workers(self) -> int:
+        """The pool size a parallel mode will actually use."""
+        if self.parallel is None:
+            return 1
+        if self.max_workers is not None:
+            return self.max_workers
+        return max(1, os.cpu_count() or 1)
 
     def plan_for(self, num_nodes: int):
         """The shard plan (contiguous ``[lo, hi)`` ranges) used for ``num_nodes``."""
@@ -60,14 +100,24 @@ class ShardedEngine(TrajectoryEngine):
             shards = self.num_shards
         else:
             shards = max(1, -(-num_nodes // DEFAULT_SHARD_NODES))
+            if self.parallel is not None:
+                # Auto-sizing must not starve the pool: plan at least one
+                # range per worker (still clamped to n inside shard_plan).
+                shards = max(shards, self.effective_workers())
         return shard_plan(num_nodes, shards)
 
     def trajectory(self, csr, rounds, *, lam=0.0, prefix=None) -> np.ndarray:
         plan = self.plan_for(csr.num_nodes)
-        if self.max_workers is not None and len(plan) > 1:
+        if self.parallel is not None and len(plan) > 1:
+            if self.parallel == "process":
+                from repro.engine.shm import process_trajectory
+
+                return process_trajectory(csr, rounds, lam=lam, plan=plan,
+                                          max_workers=self.effective_workers(),
+                                          prefix=prefix)
             from concurrent.futures import ThreadPoolExecutor
 
-            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            with ThreadPoolExecutor(max_workers=self.effective_workers()) as pool:
                 return compact_trajectory(csr, rounds, lam=lam, plan=plan,
                                           shard_map=pool.map, prefix=prefix)
         return compact_trajectory(csr, rounds, lam=lam, plan=plan, prefix=prefix)
@@ -75,5 +125,8 @@ class ShardedEngine(TrajectoryEngine):
     def describe(self) -> str:
         shards = self.num_shards if self.num_shards is not None \
             else f"auto(~{DEFAULT_SHARD_NODES} nodes)"
-        workers = self.max_workers if self.max_workers is not None else "sequential"
+        if self.parallel is None:
+            workers = "sequential"
+        else:
+            workers = f"{self.parallel}x{self.effective_workers()}"
         return f"sharded (shards={shards}, workers={workers})"

@@ -1,0 +1,246 @@
+"""Process-parallel round execution over shared-memory CSR blocks.
+
+The thread-pool mode of the sharded engine is capped by the GIL for the
+non-NumPy parts of a round (Python-level dispatch, small-shard overheads).
+This module breaks that ceiling: the CSR arrays (``indptr`` / ``indices`` /
+``weights`` / ``loops``) and two per-round surviving-number buffers are placed
+in :mod:`multiprocessing.shared_memory` blocks, and the shard ranges of every
+round are dispatched onto a reusable :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Zero graph data is ever pickled:
+
+* workers receive the block *names* once (through the pool initializer) and
+  re-attach by name on their first task, caching the mapped arrays for the
+  life of the process;
+* a task is the tuple ``(lo, hi, src)`` — a shard range plus which of the two
+  value buffers holds the previous round's vector;
+* the worker writes its shard's new values straight into the *other* value
+  buffer, so results do not travel back through the result pickle either
+  (double buffering also means no copy between rounds: the parent just flips
+  ``src``).
+
+Synchronous-round semantics are exact — every worker reads the previous
+round's full vector and writes only its own ``[lo, hi)`` range — and the
+computed rows are bit-identical to :func:`repro.engine.kernels.compact_trajectory`
+because each shard runs the *same* :func:`~repro.engine.kernels.compact_round_range`
+kernel on the same float64 data.
+
+Lifecycle: :func:`process_trajectory` owns the pool and the blocks for one
+trajectory computation and tears both down in a ``finally`` — the pool is shut
+down and every ``/dev/shm`` segment unlinked even when a worker raises (the
+teardown tests pin this).
+"""
+
+from __future__ import annotations
+
+import os
+import uuid
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.kernels import ShardPlan, compact_round_range, init_trajectory
+from repro.errors import AlgorithmError
+
+#: Prefix of every shared-memory segment this module creates (the teardown
+#: tests glob ``/dev/shm`` for it to prove nothing leaks).
+SHM_PREFIX = "repro-shm"
+
+#: Environment variable that makes every worker task raise (teardown tests).
+FAIL_SHARD_ENV = "REPRO_SHM_FAIL_SHARD"
+
+#: Block key -> (dtype, CSR attribute) for the four graph arrays.
+_CSR_BLOCKS = (
+    ("indptr", np.int64),
+    ("indices", np.int64),
+    ("weights", np.float64),
+    ("loops", np.float64),
+)
+
+
+class _SharedCSR:
+    """Duck-typed CSR view over worker-attached shared-memory arrays.
+
+    The per-round kernels only touch ``indptr`` / ``indices`` / ``weights`` /
+    ``loops``, so this stand-in never needs node labels.
+    """
+
+    __slots__ = ("indptr", "indices", "weights", "loops")
+
+    def __init__(self, indptr, indices, weights, loops):
+        self.indptr = indptr
+        self.indices = indices
+        self.weights = weights
+        self.loops = loops
+
+
+def _unregister_from_tracker(name: str) -> None:
+    """Stop the attaching process's *own* resource tracker from double-unlinking.
+
+    Attaching (``create=False``) still registers the segment with the resource
+    tracker on CPython < 3.13.  Under ``spawn`` every worker runs its own
+    tracker, which would try to unlink blocks the parent owns when the worker
+    exits and spam "leaked shared_memory" warnings — so spawn workers
+    unregister right after attaching.  Under ``fork`` the tracker process is
+    *shared* with the parent, where unregistering would instead erase the
+    parent's legitimate registration; fork workers therefore skip this (their
+    duplicate ``register`` of the same name is an idempotent set-add).
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(name, "shared_memory")
+    except Exception:  # pragma: no cover - best effort, tracker internals vary
+        pass
+
+
+# --------------------------------------------------------------------- worker
+# Module-level state of one pool worker process: the spec arrives through the
+# pool initializer; the arrays are attached lazily on the first task and then
+# cached for the life of the process (re-attach by name happens exactly once).
+
+_WORKER_SPEC: Optional[dict] = None
+_WORKER_CACHE: Optional[tuple] = None
+
+
+def _worker_init(spec: dict) -> None:
+    global _WORKER_SPEC, _WORKER_CACHE
+    _WORKER_SPEC = spec
+    _WORKER_CACHE = None
+
+
+def _worker_attach() -> tuple:
+    """Attach (once per process) and return ``(csr, grid, value_buffers)``."""
+    global _WORKER_CACHE
+    if _WORKER_CACHE is None:
+        from multiprocessing import shared_memory
+
+        from repro.core.rounding import LambdaGrid
+
+        spec = _WORKER_SPEC
+        if spec is None:  # pragma: no cover - initializer always runs first
+            raise AlgorithmError("shared-memory worker used without initialization")
+        segments = []
+        arrays: Dict[str, np.ndarray] = {}
+        for key, (name, dtype, shape) in spec["blocks"].items():
+            shm = shared_memory.SharedMemory(name=name)
+            if spec.get("private_tracker"):
+                _unregister_from_tracker(shm._name)
+            segments.append(shm)  # keep the mapping alive with the cache
+            arrays[key] = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+        csr = _SharedCSR(arrays["indptr"], arrays["indices"],
+                         arrays["weights"], arrays["loops"])
+        grid = LambdaGrid(lam=spec["lam"])
+        _WORKER_CACHE = (csr, grid, (arrays["values0"], arrays["values1"]), segments)
+    return _WORKER_CACHE
+
+
+def _run_shard(lo: int, hi: int, src: int) -> Tuple[int, int]:
+    """One shard of one round: read buffer ``src``, write buffer ``1 - src``."""
+    if os.environ.get(FAIL_SHARD_ENV):
+        raise RuntimeError(f"injected shard failure for range [{lo}, {hi})")
+    csr, grid, values, _ = _worker_attach()
+    values[1 - src][lo:hi] = compact_round_range(csr, values[src], lo, hi, grid)
+    return lo, hi
+
+
+# --------------------------------------------------------------------- parent
+
+def _create_block(shared_memory, arrays: list, key: str, data: np.ndarray,
+                  blocks: Dict[str, tuple], run_id: str):
+    """Create one named segment, copy ``data`` in, record it in the spec."""
+    shm = shared_memory.SharedMemory(
+        name=f"{SHM_PREFIX}-{run_id}-{key}",
+        create=True, size=max(1, data.nbytes))  # size 0 is rejected by the OS
+    view = np.ndarray(data.shape, dtype=data.dtype, buffer=shm.buf)
+    np.copyto(view, data)
+    arrays.append(shm)
+    blocks[key] = (shm.name, data.dtype.str, data.shape)
+    return view
+
+
+def _pool_context():
+    """The multiprocessing context for the shard pool (fork where available).
+
+    ``fork`` starts workers in milliseconds and inherits the environment; on
+    platforms without it (Windows/macOS-spawn) the default context works too —
+    workers only ever receive the tiny block-name spec, never graph data.
+    """
+    import multiprocessing as mp
+
+    try:
+        return mp.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return mp.get_context()
+
+
+def process_trajectory(csr, rounds: int, *, lam: float = 0.0,
+                       plan: ShardPlan, max_workers: int,
+                       prefix: Optional[np.ndarray] = None) -> np.ndarray:
+    """The full Algorithm 2 trajectory with rounds fanned out over processes.
+
+    Drop-in replacement for :func:`repro.engine.kernels.compact_trajectory`
+    with ``plan`` executed by ``max_workers`` worker processes per round;
+    returns the bit-identical ``(rounds + 1, n)`` trajectory (same kernels,
+    same float64 operation order per shard).
+
+    The pool and the shared-memory blocks live exactly as long as this call:
+    they are torn down in a ``finally`` even when a worker raises, so no
+    ``/dev/shm`` segment outlives a crashed round.
+    """
+    if max_workers < 1:
+        raise AlgorithmError(f"max_workers must be >= 1, got {max_workers}")
+    n = csr.num_nodes
+    bounds = tuple(plan)
+    trajectory, start = init_trajectory(n, rounds, prefix)
+    if start >= rounds:
+        return trajectory  # fully served by the prefix: no pool, no blocks
+    from concurrent.futures import ProcessPoolExecutor
+    from multiprocessing import shared_memory
+
+    # uuid alone keeps the name unique across processes; no pid, so the
+    # longest name ("repro-shm-<8 hex>-values0", 26 chars) stays under
+    # macOS's 31-char POSIX shm name limit.
+    run_id = uuid.uuid4().hex[:8]
+    segments: list = []
+    blocks: Dict[str, tuple] = {}
+    pool = None
+    try:
+        for key, dtype in _CSR_BLOCKS:
+            _create_block(shared_memory, segments, key,
+                          np.ascontiguousarray(getattr(csr, key), dtype=dtype),
+                          blocks, run_id)
+        zeros = np.zeros(n, dtype=np.float64)
+        values = (
+            _create_block(shared_memory, segments, "values0", zeros, blocks, run_id),
+            _create_block(shared_memory, segments, "values1", zeros, blocks, run_id),
+        )
+        ctx = _pool_context()
+        spec = {"blocks": blocks, "lam": float(lam),
+                # spawn workers run their own resource tracker (see
+                # _unregister_from_tracker); fork workers share the parent's.
+                "private_tracker": ctx.get_start_method() != "fork"}
+        pool = ProcessPoolExecutor(max_workers=max_workers, mp_context=ctx,
+                                   initializer=_worker_init, initargs=(spec,))
+        src = 0
+        np.copyto(values[src], trajectory[start])
+        for t in range(start + 1, rounds + 1):
+            futures = [pool.submit(_run_shard, lo, hi, src) for lo, hi in bounds]
+            for future in futures:
+                future.result()  # re-raises worker exceptions in the parent
+            new = values[1 - src]
+            trajectory[t] = new
+            if np.array_equal(new, values[src]):
+                trajectory[t:] = new
+                break
+            src = 1 - src
+        return trajectory
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+        for shm in segments:
+            try:
+                shm.close()
+                shm.unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass

@@ -205,9 +205,16 @@ class DensestProblem(Problem):
     """Theorem I.3 — the weak densest subset collection.
 
     The 4-phase pipeline runs end-to-end on the faithful simulator (its round
-    and message accounting is part of the result), so it does not consume the
-    session's CSR view or engine; the session still deduplicates repeated
-    identical requests through its problem-result cache.
+    and message accounting is part of the result), so by default it does not
+    consume the session's CSR view or engine; the session still deduplicates
+    repeated identical requests through its problem-result cache.  With
+    ``message_accounting=False`` Phase 1 is served from the session's cached
+    λ=0 elimination trajectory instead of re-simulating it; the result's
+    ``messages_total`` then covers phases 2-4 only.  For integer/dyadic edge
+    weights the cached values are bit-identical to the faithful simulation,
+    so phases 2-4 — and the reported subsets — are unchanged; for arbitrary
+    float weights they may differ in the last ulp (the usual caveat of
+    :mod:`repro.engine.kernels`), which can tip a threshold comparison.
     """
 
     name = "densest"
@@ -216,10 +223,20 @@ class DensestProblem(Problem):
 
     def solve(self, session: "Session", *, epsilon: Optional[float] = None,
               gamma: Optional[float] = None, rounds: Optional[int] = None,
-              acceptance_factor: Optional[float] = None):
+              acceptance_factor: Optional[float] = None,
+              message_accounting: bool = True):
+        phase1 = None
+        if not message_accounting and session.supports_trajectories:
+            from repro.core.rounds import resolve_round_budget
+
+            T = resolve_round_budget(session.graph.num_nodes, epsilon, gamma, rounds)
+            phase1 = session.surviving(rounds=T, lam=0.0, track_kept=False)
+            epsilon = gamma = None
+            rounds = T  # same resolver as the pipeline: budgets cannot drift
         return weak_densest_subsets(session.graph, epsilon=epsilon, gamma=gamma,
                                     rounds=rounds,
-                                    acceptance_factor=acceptance_factor)
+                                    acceptance_factor=acceptance_factor,
+                                    phase1=phase1)
 
     def objective(self, result) -> float:
         return result.best_density

@@ -357,11 +357,19 @@ class Session:
 
     def densest(self, *, epsilon: Optional[float] = None,
                 gamma: Optional[float] = None, rounds: Optional[int] = None,
-                acceptance_factor: Optional[float] = None):
+                acceptance_factor: Optional[float] = None,
+                message_accounting: bool = True):
         """Theorem I.3 — :class:`~repro.core.densest.WeakDensestResult`.
 
         Runs the faithful 4-phase pipeline (message accounting included);
-        repeated identical requests are served from the request cache.
+        repeated identical requests are served from the request cache.  Pass
+        ``message_accounting=False`` to serve Phase 1 from the session's
+        cached λ=0 elimination trajectory (shared with coreness / orientation
+        requests) instead of re-simulating it — the Phase-1 message statistics
+        are skipped, and the reported subsets are unchanged for
+        integer/dyadic edge weights (arbitrary float weights carry the usual
+        last-ulp caveat of :mod:`repro.engine.kernels`).
         """
         return self.solve("densest", epsilon=epsilon, gamma=gamma, rounds=rounds,
-                          acceptance_factor=acceptance_factor)
+                          acceptance_factor=acceptance_factor,
+                          message_accounting=message_accounting)

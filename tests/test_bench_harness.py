@@ -1,0 +1,71 @@
+"""The standing benchmark harness cannot silently rot (bench marker).
+
+Runs ``scripts/bench.py --smoke`` end-to-end as a subprocess (the way CI and
+operators invoke it) and validates the emitted ``BENCH_PR3.json``-style
+document against the schema; also validates the committed ``BENCH_PR3.json``
+at the repo root when present, so a schema change cannot strand the persisted
+perf trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SCRIPT = REPO_ROOT / "scripts" / "bench.py"
+
+
+def _load_harness():
+    sys.path.insert(0, str(REPO_ROOT / "scripts"))
+    try:
+        import bench
+    finally:
+        sys.path.pop(0)
+    return bench
+
+
+@pytest.mark.bench
+def test_smoke_run_emits_valid_document(tmp_path):
+    output = tmp_path / "bench_smoke.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.run(
+        [sys.executable, str(SCRIPT), "--smoke", "--output", str(output)],
+        capture_output=True, text=True, env=env, timeout=600)
+    assert proc.returncode == 0, proc.stderr or proc.stdout
+    document = json.loads(output.read_text(encoding="utf-8"))
+
+    bench = _load_harness()
+    bench.validate_document(document)  # raises on any schema violation
+    assert document["smoke"] is True
+    assert {row["config"] for row in document["engines"]} >= {
+        "vectorized", "sharded-seq", "sharded-thread", "sharded-process"}
+    assert {row["tie_break"] for row in document["kept_sets"]} == {
+        "history", "stable", "naive"}
+    # The vectorised kept-set path must beat the reference loop even on the
+    # smoke graph (the full-run acceptance bar is >= 5x at 100k nodes).
+    assert all(row["speedup"] > 1.0 for row in document["kept_sets"])
+
+
+@pytest.mark.bench
+def test_committed_bench_document_matches_schema():
+    committed = REPO_ROOT / "BENCH_PR3.json"
+    if not committed.exists():
+        pytest.skip("no committed BENCH_PR3.json")
+    document = json.loads(committed.read_text(encoding="utf-8"))
+    bench = _load_harness()
+    bench.validate_document(document)
+    assert document["smoke"] is False  # the committed trajectory is a full run
+
+
+def test_validate_document_rejects_missing_sections():
+    bench = _load_harness()
+    with pytest.raises(ValueError, match="missing"):
+        bench.validate_document({"schema": bench.SCHEMA})

@@ -144,7 +144,8 @@ SHARD_COUNTS = (1, 2, 5, 10_000)
 
 def _shard_variants(graph):
     return [ShardedEngine(num_shards=k) for k in SHARD_COUNTS] + \
-        [ShardedEngine(num_shards=3, max_workers=2)]
+        [ShardedEngine(num_shards=3, max_workers=2),
+         ShardedEngine(num_shards=3, max_workers=2, parallel="process")]
 
 
 class TestCorpusSize:
@@ -216,3 +217,75 @@ class TestCrossEngineEquivalence:
         """The simulator cannot instantiate zero nodes; documented asymmetry."""
         with pytest.raises(SimulationError):
             get_engine("faithful").run(Graph(), 2)
+
+
+class TestKeptSetReconstruction:
+    """The batched kept-set path against the per-node reference loop.
+
+    ``kept_sets_from_trajectory`` (one lexsort + segmented scan) must equal
+    ``kept_sets_from_trajectory_reference`` (the original Python loop through
+    ``update_sorted`` / ``update_stable``) *as ordered tuples* for every
+    corpus graph and every tie-break rule — and both must equal the kept sets
+    the faithful protocol maintains.
+    """
+
+    @pytest.mark.parametrize("tie_break", ["history", "stable", "naive"])
+    @pytest.mark.parametrize("graph, rounds", CORPUS[::3])
+    def test_vectorized_matches_reference(self, graph, rounds, tie_break):
+        from repro.core.orientation import (
+            kept_sets_from_trajectory,
+            kept_sets_from_trajectory_reference,
+        )
+        from repro.engine.kernels import compact_trajectory
+        from repro.graph.csr import graph_to_csr
+
+        csr = graph_to_csr(graph)
+        if csr.num_nodes == 0:
+            pytest.skip("no trajectory on the empty graph")
+        trajectory = compact_trajectory(csr, rounds)
+        vectorized = kept_sets_from_trajectory(csr, trajectory, tie_break=tie_break)
+        reference = kept_sets_from_trajectory_reference(csr, trajectory,
+                                                        tie_break=tie_break)
+        assert vectorized == reference
+
+    @pytest.mark.parametrize("tie_break", ["history", "stable", "naive"])
+    def test_both_paths_match_the_faithful_protocol(self, two_communities, tie_break):
+        from repro.core.orientation import kept_sets_from_trajectory_reference
+
+        faithful = get_engine("faithful").run(two_communities, 4,
+                                              tie_break=tie_break, track_kept=True)
+        vec = get_engine("vectorized").run(two_communities, 4,
+                                           tie_break=tie_break, track_kept=True)
+        assert vec.kept == faithful.kept  # engines route through the batched path
+        from repro.graph.csr import graph_to_csr
+
+        csr = graph_to_csr(two_communities)
+        reference = kept_sets_from_trajectory_reference(csr, vec.trajectory,
+                                                        tie_break=tie_break)
+        assert reference == faithful.kept
+
+    def test_single_round_trajectory_has_no_history(self, small_weighted):
+        from repro.core.orientation import (
+            kept_sets_from_trajectory,
+            kept_sets_from_trajectory_reference,
+        )
+        from repro.engine.kernels import compact_trajectory
+        from repro.graph.csr import graph_to_csr
+
+        csr = graph_to_csr(small_weighted)
+        trajectory = compact_trajectory(csr, 1)
+        for tie_break in ("history", "stable", "naive"):
+            assert kept_sets_from_trajectory(csr, trajectory, tie_break=tie_break) \
+                == kept_sets_from_trajectory_reference(csr, trajectory,
+                                                       tie_break=tie_break)
+
+    def test_unknown_tie_break_rejected(self, triangle):
+        from repro.core.orientation import kept_sets_from_trajectory
+        from repro.engine.kernels import compact_trajectory
+        from repro.graph.csr import graph_to_csr
+        from repro.errors import AlgorithmError
+
+        csr = graph_to_csr(triangle)
+        trajectory = compact_trajectory(csr, 2)
+        with pytest.raises(AlgorithmError, match="tie_break"):
+            kept_sets_from_trajectory(csr, trajectory, tie_break="bogus")

@@ -1,0 +1,175 @@
+"""Process-parallel sharded engine: plan edges, lifecycle, and teardown.
+
+The cross-engine *value* equivalence of ``parallel="process"`` lives in
+``test_engine_equivalence.py`` / ``test_session_equivalence.py``; this module
+covers the machinery around it — ``shard_plan`` edge cases, option parsing and
+validation, prefix resume, and the crash/teardown guarantees (pool shut down
+on a worker exception, every ``/dev/shm`` segment unlinked, no matter what).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.engine import get_engine
+from repro.engine.kernels import shard_plan
+from repro.engine.sharded import ShardedEngine
+from repro.engine.shm import FAIL_SHARD_ENV, SHM_PREFIX, process_trajectory
+from repro.errors import AlgorithmError
+from repro.graph.csr import graph_to_csr
+from repro.graph.generators.random_graphs import barabasi_albert
+from repro.graph.generators.structured import complete_graph, path_graph
+from repro.graph.graph import Graph
+
+SHM_DIR = Path("/dev/shm")
+
+
+def _leaked_segments():
+    if not SHM_DIR.is_dir():  # pragma: no cover - non-Linux
+        return []
+    return sorted(p.name for p in SHM_DIR.iterdir() if p.name.startswith(SHM_PREFIX))
+
+
+@pytest.fixture(autouse=True)
+def no_shared_memory_leaks():
+    before = _leaked_segments()
+    yield
+    assert _leaked_segments() == before, "test leaked /dev/shm segments"
+
+
+class TestShardPlanEdgeCases:
+    def test_more_shards_than_nodes_clamps_to_n(self):
+        plan = shard_plan(3, 10)
+        assert plan == ((0, 1), (1, 2), (2, 3))
+
+    def test_empty_graph_yields_single_empty_range(self):
+        assert shard_plan(0, 4) == ((0, 0),)
+        assert shard_plan(-1, 4) == ((0, 0),)
+
+    def test_single_node(self):
+        assert shard_plan(1, 1) == ((0, 1),)
+        assert shard_plan(1, 7) == ((0, 1),)
+
+    @pytest.mark.parametrize("n, k", [(10, 3), (11, 4), (7, 2), (100, 7), (5, 5)])
+    def test_uneven_ranges_cover_everything_once(self, n, k):
+        plan = shard_plan(n, k)
+        assert plan[0][0] == 0 and plan[-1][1] == n
+        for (_, hi), (lo, _) in zip(plan, plan[1:]):
+            assert hi == lo  # contiguous, disjoint
+        sizes = [hi - lo for lo, hi in plan]
+        assert sum(sizes) == n
+        assert max(sizes) - min(sizes) <= 1  # near-equal
+        # the larger shards come first (the divmod remainder)
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_invalid_shard_count_raises(self):
+        with pytest.raises(AlgorithmError, match="num_shards"):
+            shard_plan(5, 0)
+
+
+class TestShardedEngineOptions:
+    def test_parallel_mode_validation(self):
+        with pytest.raises(AlgorithmError, match="parallel"):
+            ShardedEngine(parallel="gpu")
+        assert ShardedEngine(parallel="none").parallel is None
+        assert ShardedEngine(parallel="THREAD").parallel == "thread"
+
+    def test_workers_without_parallel_means_thread(self):
+        engine = ShardedEngine(num_shards=3, max_workers=2)
+        assert engine.parallel == "thread"
+
+    def test_parallel_without_workers_defaults_to_cpu_count(self):
+        engine = ShardedEngine(parallel="process")
+        assert engine.effective_workers() >= 1
+
+    def test_spec_string_resolves_process_mode(self):
+        engine = get_engine("sharded:shards=3,workers=2,parallel=process")
+        assert isinstance(engine, ShardedEngine)
+        assert (engine.num_shards, engine.max_workers, engine.parallel) == \
+            (3, 2, "process")
+        assert "processx2" in engine.describe()
+
+    def test_parallel_auto_plan_covers_workers(self):
+        engine = ShardedEngine(parallel="process", max_workers=4)
+        assert len(engine.plan_for(100)) == 4  # auto-sizing would give 1 shard
+        assert len(engine.plan_for(2)) == 2    # still clamped to n
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(AlgorithmError, match="max_workers"):
+            ShardedEngine(max_workers=0, parallel="process")
+
+
+class TestProcessModeExecution:
+    def test_matches_vectorized_on_small_graph(self, two_communities):
+        vec = get_engine("vectorized").run(two_communities, 4, track_kept=True)
+        proc = get_engine("sharded", num_shards=4, max_workers=2,
+                          parallel="process").run(two_communities, 4,
+                                                  track_kept=True)
+        assert proc.values == vec.values
+        assert proc.kept == vec.kept
+        assert np.array_equal(proc.trajectory, vec.trajectory)
+
+    def test_prefix_resume_is_bit_identical(self):
+        graph = barabasi_albert(300, 3, seed=5)
+        engine = get_engine("sharded", num_shards=4, max_workers=2,
+                            parallel="process")
+        full = engine.run(graph, 6, track_kept=False)
+        short = engine.run(graph, 3, track_kept=False)
+        resumed = engine.run(graph, 6, track_kept=False,
+                             warm_start=short.trajectory)
+        assert np.array_equal(resumed.trajectory, full.trajectory)
+
+    def test_prefix_covering_every_round_skips_the_pool(self):
+        graph = path_graph(40)
+        engine = ShardedEngine(num_shards=4, max_workers=2, parallel="process")
+        full = engine.run(graph, 4, track_kept=False)
+        # A prefix longer than the budget: served by slicing, no pool spawned
+        # (observable as identical output; the leak fixture guards the rest).
+        sliced = engine.run(graph, 2, track_kept=False,
+                            warm_start=full.trajectory)
+        assert np.array_equal(sliced.trajectory, full.trajectory[:3])
+
+    def test_single_shard_falls_back_to_sequential(self):
+        graph = complete_graph(6)
+        engine = ShardedEngine(num_shards=1, max_workers=2, parallel="process")
+        result = engine.run(graph, 3, track_kept=True)
+        reference = get_engine("vectorized").run(graph, 3, track_kept=True)
+        assert result.values == reference.values
+
+    def test_empty_and_single_node_graphs(self):
+        engine = ShardedEngine(num_shards=4, max_workers=2, parallel="process")
+        empty = engine.run(Graph(), 2)
+        assert empty.values == {}
+        lonely = Graph(edges=[("v", "v", 2.0)])
+        result = engine.run(lonely, 2)
+        assert result.values == {"v": 2.0}
+
+
+class TestProcessModeTeardown:
+    def test_worker_exception_propagates_and_cleans_up(self, monkeypatch):
+        graph = barabasi_albert(200, 2, seed=8)
+        monkeypatch.setenv(FAIL_SHARD_ENV, "1")
+        engine = ShardedEngine(num_shards=4, max_workers=2, parallel="process")
+        with pytest.raises(RuntimeError, match="injected shard failure"):
+            engine.run(graph, 3)
+        # the autouse fixture asserts no /dev/shm leak; a fresh run must also
+        # succeed afterwards (the failed run left no half-dead pool behind)
+        monkeypatch.delenv(FAIL_SHARD_ENV)
+        ok = engine.run(graph, 3, track_kept=False)
+        reference = get_engine("vectorized").run(graph, 3, track_kept=False)
+        assert ok.values == reference.values
+
+    def test_process_trajectory_validates_workers(self):
+        csr = graph_to_csr(complete_graph(4))
+        with pytest.raises(AlgorithmError, match="max_workers"):
+            process_trajectory(csr, 2, plan=((0, 2), (2, 4)), max_workers=0)
+
+    def test_normal_run_leaves_no_segments(self):
+        graph = barabasi_albert(150, 2, seed=3)
+        engine = ShardedEngine(num_shards=3, max_workers=2, parallel="process")
+        for _ in range(2):  # repeated runs re-create and re-release blocks
+            engine.run(graph, 3, track_kept=False)
+        assert _leaked_segments() == []

@@ -22,7 +22,8 @@ from repro.session import Session
 #: layer while the full corpus stays with the per-engine kernel suite.
 SUITE = CORPUS[::4]
 
-ENGINES = ("vectorized", "sharded:3", "faithful")
+ENGINES = ("vectorized", "sharded:3", "faithful",
+           "sharded:shards=3,workers=2,parallel=process")
 
 
 def _skip_if_faithful_cannot_run(engine, graph):
@@ -82,3 +83,51 @@ class TestSessionMatchesFreeFunctions:
             session.coreness(rounds=rounds).values
         assert session.solve("orientation", rounds=rounds).orientation.assignment \
             == session.orientation(rounds=rounds).orientation.assignment
+
+
+class TestDensestPhase1Reuse:
+    """``message_accounting=False`` serves Phase 1 from the cached trajectory.
+
+    The reported subsets, densities and assignments must be identical to the
+    all-faithful pipeline (every engine computes bit-identical surviving
+    numbers); only the Phase-1 message statistics are skipped.
+    """
+
+    @pytest.mark.parametrize("engine", ("vectorized", "sharded:3"))
+    def test_subsets_identical_to_full_pipeline(self, two_communities, engine):
+        full = Session(two_communities).densest(rounds=4)
+        session = Session(two_communities, engine=engine)
+        session.coreness(rounds=4)  # warms the λ=0 trajectory
+        reused = session.densest(rounds=4, message_accounting=False)
+        assert reused.phase1_reused and not full.phase1_reused
+        assert reused.subsets == full.subsets
+        assert reused.actual_densities == full.actual_densities
+        assert reused.reported_densities == full.reported_densities
+        assert reused.node_assignment == full.node_assignment
+        assert reused.rounds_total == full.rounds_total
+        assert reused.messages_total < full.messages_total
+        assert reused.surviving.values == full.surviving.values
+        # Phase 1 came straight off the session cache: an exact result hit.
+        assert session.stats.result_hits >= 1
+
+    def test_epsilon_budget_resolves_identically(self, two_communities):
+        full = Session(two_communities).densest(epsilon=0.5)
+        reused = Session(two_communities).densest(epsilon=0.5,
+                                                  message_accounting=False)
+        assert reused.subsets == full.subsets
+        assert reused.gamma == full.gamma
+        assert reused.rounds_total == full.rounds_total
+
+    def test_faithful_engine_falls_back_to_simulation(self, two_communities):
+        session = Session(two_communities, engine="faithful")
+        result = session.densest(rounds=4, message_accounting=False)
+        assert not result.phase1_reused  # no trajectory to reuse; full pipeline
+        assert result.subsets == Session(two_communities).densest(rounds=4).subsets
+
+    def test_requests_cache_separately_per_accounting_mode(self, two_communities):
+        session = Session(two_communities)
+        full = session.densest(rounds=4)
+        reused = session.densest(rounds=4, message_accounting=False)
+        assert reused is not full
+        assert session.densest(rounds=4, message_accounting=False) is reused
+        assert session.densest(rounds=4) is full
