@@ -11,19 +11,26 @@ Times, on seeded Barabási–Albert and Erdős–Rényi graphs:
 * **kept_sets** — the batched `kept_sets_from_trajectory` vs the per-node
   `_reference` Python loop, for all three tie-break rules;
 * **sessions** — cold vs warm (request-cache) vs prefix-resumed
-  `Session.coreness` requests per engine.
+  `Session.coreness` requests per engine;
+* **store** — a cold run against a fresh persistent artifact store vs a
+  warm-*restart*-from-disk (a brand-new `Session(store=...)` on the same
+  graph), with a bit-identical check — the perf trajectory of `repro.store`.
 
-Results are written as machine-readable JSON (default ``BENCH_PR3.json`` at
-the repo root) so future PRs have a baseline to regress against::
+Results are written as machine-readable JSON (``--out``, default
+``BENCH_PR4.json`` at the repo root) so future PRs have a baseline to regress
+against::
 
     python scripts/bench.py                     # full run (10k-200k nodes)
     python scripts/bench.py --smoke             # seconds-long CI smoke run
     python scripts/bench.py --sizes 100000 --rounds 10 --workers 4
+    python scripts/bench.py --out /tmp/b.json   # parameterised output path
 
 The JSON schema (validated by ``tests/test_bench_harness.py``) is
-``{"schema": "repro-bench/1", "machine": {...}, "params": {...},
-"engines": [...], "kept_sets": [...], "sessions": [...]}``; every row carries
-its graph, timings and speedups.  Speedup claims are only meaningful relative
+``{"schema": "repro-bench/2", "machine": {...}, "params": {...},
+"engines": [...], "kept_sets": [...], "sessions": [...], "store": [...]}``;
+every row carries its graph, timings and speedups (``repro-bench/1``
+documents — without the ``store`` section — still validate, so the committed
+PR3 trajectory stays checkable).  Speedup claims are only meaningful relative
 to ``machine.cpu_count`` — process parallelism cannot beat the baseline on a
 single-CPU container, and the JSON records that context instead of hiding it.
 """
@@ -35,6 +42,7 @@ import json
 import os
 import platform
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -55,12 +63,17 @@ from repro.graph.generators.random_graphs import (  # noqa: E402
     erdos_renyi_gnp,
 )
 from repro.session import Session  # noqa: E402
+from repro.store import ArtifactStore  # noqa: E402
 
-SCHEMA = "repro-bench/1"
+SCHEMA = "repro-bench/2"
 
-#: Keys every emitted document must carry (pinned by the bench smoke test).
+#: Older schemas validate_document still accepts (minus the newer sections).
+LEGACY_SCHEMAS = ("repro-bench/1",)
+
+#: Keys every emitted document must carry (pinned by the bench smoke test);
+#: ``store`` only exists from schema 2 on.
 REQUIRED_TOP_LEVEL = ("schema", "generated_by", "smoke", "machine", "params",
-                      "engines", "kept_sets", "sessions")
+                      "engines", "kept_sets", "sessions", "store")
 
 #: Largest graph the faithful per-node simulator is timed on.
 FAITHFUL_MAX_NODES = 20_000
@@ -202,6 +215,41 @@ def bench_sessions(graphs, rounds, shards, workers, log):
     return rows
 
 
+def bench_store(graphs, rounds, log):
+    """Cold run against a fresh store vs warm restart of a brand-new session."""
+    rows = []
+    for graph_name, graph in graphs:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as tmp:
+            store = ArtifactStore(tmp)
+            cold_session = Session(graph, store=store)
+            start = time.perf_counter()
+            cold_result = cold_session.coreness(rounds=rounds)
+            cold = time.perf_counter() - start
+
+            restarted = Session(graph, store=store)  # fresh process stand-in
+            start = time.perf_counter()
+            restart_result = restarted.coreness(rounds=rounds)
+            restart = time.perf_counter() - start
+
+            identical = restart_result.values == cold_result.values and \
+                bool(np.array_equal(restart_result.surviving.trajectory,
+                                    cold_result.surviving.trajectory))
+            rows.append({
+                "graph": graph_name, "n": graph.num_nodes, "m": graph.num_edges,
+                "rounds": rounds,
+                "cold_seconds": round(cold, 6),
+                "restart_seconds": round(restart, 6),
+                "speedup_restart": round(cold / restart, 2)
+                if restart > 0 else float("inf"),
+                "disk_hits": restarted.stats.disk_hits,
+                "store_bytes": store.info()["bytes"],
+                "identical": identical,
+            })
+            log(f"  store   {graph_name:>12s} cold {cold:7.3f}s "
+                f"restart {restart:9.6f}s identical={identical}")
+    return rows
+
+
 def run_benchmarks(sizes, rounds, shards, workers, repeats, seed, smoke,
                    log=lambda line: None) -> dict:
     graphs = list(_graphs(sizes, seed))
@@ -219,17 +267,26 @@ def run_benchmarks(sizes, rounds, shards, workers, repeats, seed, smoke,
         "engines": bench_engines(graphs, rounds, shards, workers, repeats, log),
         "kept_sets": bench_kept_sets(graphs, rounds, repeats, log),
         "sessions": bench_sessions(graphs, rounds, shards, workers, log),
+        "store": bench_store(graphs, rounds, log),
     }
     return document
 
 
 def validate_document(document: dict) -> None:
-    """Raise ``ValueError`` unless ``document`` matches the bench schema."""
-    for key in REQUIRED_TOP_LEVEL:
+    """Raise ``ValueError`` unless ``document`` matches the bench schema.
+
+    Accepts the current schema and the legacy ones (older documents simply
+    lack the sections added later), so committed perf trajectories from past
+    PRs stay checkable.
+    """
+    schema = document.get("schema")
+    if schema != SCHEMA and schema not in LEGACY_SCHEMAS:
+        raise ValueError(f"unknown bench schema {schema!r}")
+    required = REQUIRED_TOP_LEVEL if schema == SCHEMA else tuple(
+        key for key in REQUIRED_TOP_LEVEL if key != "store")
+    for key in required:
         if key not in document:
             raise ValueError(f"bench document is missing the {key!r} key")
-    if document["schema"] != SCHEMA:
-        raise ValueError(f"unknown bench schema {document['schema']!r}")
     if not isinstance(document["machine"].get("cpu_count"), int):
         raise ValueError("machine.cpu_count must be an integer")
     for row in document["engines"]:
@@ -251,7 +308,17 @@ def validate_document(document: dict) -> None:
                     "resumed_seconds", "speedup_warm"):
             if key not in row:
                 raise ValueError(f"sessions row is missing {key!r}: {row}")
-    if not (document["engines"] and document["kept_sets"] and document["sessions"]):
+    for row in document.get("store", ()):
+        for key in ("graph", "cold_seconds", "restart_seconds",
+                    "speedup_restart", "disk_hits", "identical"):
+            if key not in row:
+                raise ValueError(f"store row is missing {key!r}: {row}")
+        if not row["identical"]:
+            raise ValueError(f"store row is not bit-identical: {row}")
+        if row["disk_hits"] < 1:
+            raise ValueError(f"store restart did not hit the disk: {row}")
+    if not all(document[key] for key in ("engines", "kept_sets", "sessions")
+               + (("store",) if schema == SCHEMA else ())):
         raise ValueError("bench document has an empty section")
 
 
@@ -268,8 +335,10 @@ def main() -> int:
     parser.add_argument("--seed", type=int, default=99)
     parser.add_argument("--smoke", action="store_true",
                         help="seconds-long run on one small graph (CI)")
-    parser.add_argument("--output", type=Path, default=REPO_ROOT / "BENCH_PR3.json",
-                        help="where to write the JSON document")
+    parser.add_argument("--out", "--output", dest="output", type=Path,
+                        default=REPO_ROOT / "BENCH_PR4.json",
+                        help="where to write the JSON document "
+                             "(default: BENCH_PR4.json at the repo root)")
     args = parser.parse_args()
 
     sizes = [2_000] if args.smoke else args.sizes

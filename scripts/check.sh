@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # CI / pre-merge check: tier-1 tests, smoke runs of every example, the
 # unified benchmark harness (engines x parallel modes, kept-set
-# reconstruction, cold/warm sessions — scripts/bench.py), and the
-# warm-session throughput benchmark (>= 2x over cold per-call on repeated
-# mixed requests).
+# reconstruction, cold/warm sessions, store restart — scripts/bench.py),
+# the warm-session throughput benchmark (>= 2x over cold per-call on
+# repeated mixed requests), the persistent-store smoke (second run served
+# from disk, bit-identical) and the `repro cache` CLI smoke.
 #
 # Usage:  ./scripts/check.sh            (from anywhere; repo root is inferred)
 set -euo pipefail
@@ -33,6 +34,22 @@ python scripts/bench.py --smoke --output "$(mktemp -t bench_smoke.XXXXXX.json)"
 echo
 echo "== session throughput (warm Session vs cold per-call) =="
 python scripts/bench_session.py --nodes 10000 --requests 50 --require 2.0
+
+echo
+echo "== persistent store smoke (restart served from disk, bit-identical) =="
+python scripts/store_smoke.py
+
+echo
+echo "== repro cache CLI smoke =="
+STORE_DIR="$(mktemp -d -t repro_cache_smoke.XXXXXX)"
+trap 'rm -rf "$STORE_DIR"' EXIT
+python -m repro batch --dataset caveman --rounds 6 --store "$STORE_DIR" > /dev/null
+python -m repro batch --dataset caveman --rounds 6 --store "$STORE_DIR" --async \
+    | grep -q "disk_hits=1" || { echo "cache smoke: second run missed the store"; exit 1; }
+python -m repro cache ls --store "$STORE_DIR"
+python -m repro cache info --store "$STORE_DIR" > /dev/null
+python -m repro cache purge --store "$STORE_DIR" | grep -q "purged" \
+    || { echo "cache smoke: purge failed"; exit 1; }
 
 echo
 echo "check.sh: all green"

@@ -11,6 +11,10 @@ The package is organised as:
 * :mod:`repro.problems`  — the problem registry (coreness / orientation / densest)
   with a uniform request/result protocol;
 * :mod:`repro.engine`    — interchangeable execution engines and the batch runner;
+* :mod:`repro.store`     — persistent content-addressed artifact store (trajectories
+  and results survive process restarts, resumed bit-identically);
+* :mod:`repro.serve`     — async job submission (futures, in-flight dedup, bounded
+  backpressure) over sessions and the batch runner;
 * :mod:`repro.baselines` — exact/centralized and distributed comparator algorithms;
 * :mod:`repro.analysis`  — approximation-ratio metrics, invariant checks, experiment
   harness shared by the benchmarks.
@@ -47,8 +51,11 @@ from repro.errors import (
     GraphError,
     ProtocolError,
     ReproError,
+    ServeError,
     SimulationError,
+    StoreError,
 )
+from repro.graph.csr import csr_fingerprint, graph_fingerprint
 from repro.graph.datasets import list_datasets, load_dataset
 from repro.graph.graph import Graph
 from repro.problems import (
@@ -57,7 +64,9 @@ from repro.problems import (
     get_problem,
     register_problem,
 )
+from repro.serve import AsyncSession, JobQueue, ServeStats
 from repro.session import Session, SessionStats
+from repro.store import ArtifactStore
 
 __all__ = [
     "__version__",

@@ -11,6 +11,10 @@ dataset) without writing Python::
     python -m repro densest --input graph.edges --epsilon 1.0
     python -m repro batch --dataset caveman --dataset communities --epsilon 0.5 --rounds 4
     python -m repro batch --dataset caveman --problem orientation --epsilon 0.5 --json -
+    python -m repro batch --dataset social-ba --rounds 8 --store ./cache --async
+    python -m repro cache ls --store ./cache
+    python -m repro cache info --store ./cache
+    python -m repro cache purge --store ./cache [--fingerprint HEX]
     python -m repro engines
     python -m repro problems
     python -m repro datasets
@@ -35,7 +39,9 @@ from repro.graph.datasets import dataset_info, list_datasets, load_dataset
 from repro.graph.graph import Graph
 from repro.graph.io import read_edge_list
 from repro.problems import available_problems, get_problem
+from repro.serve import JobQueue
 from repro.session import Session
+from repro.store import ArtifactStore
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -112,7 +118,26 @@ def _build_parser() -> argparse.ArgumentParser:
                               help="write per-job results as JSON (each result's "
                                    "to_dict()); '-' prints pure JSON to stdout, "
                                    "suppressing the table")
+    batch_parser.add_argument("--store", type=Path, default=None, metavar="DIR",
+                              help="persistent artifact store: sessions resume "
+                                   "bit-identically from (and extend) this cache")
+    batch_parser.add_argument("--async", dest="use_async", action="store_true",
+                              help="submit jobs through the async JobQueue "
+                                   "(worker pool, in-flight dedup) instead of "
+                                   "running them sequentially")
+    batch_parser.add_argument("--serve-workers", type=int, default=2, metavar="N",
+                              help="JobQueue worker threads for --async (default 2)")
     add_engine_argument(batch_parser)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or purge a persistent artifact store")
+    cache_parser.add_argument("action", choices=("ls", "info", "purge"),
+                              help="ls: per-graph artifacts; info: store totals; "
+                                   "purge: delete artifacts")
+    cache_parser.add_argument("--store", type=Path, required=True, metavar="DIR",
+                              help="store root directory")
+    cache_parser.add_argument("--fingerprint", default=None, metavar="HEX",
+                              help="restrict ls/purge to one graph fingerprint")
 
     subparsers.add_parser("engines", help="list the registered execution engines")
     subparsers.add_parser("problems", help="list the registered problems")
@@ -174,6 +199,26 @@ def _command_problems(out) -> int:
     return 0
 
 
+def _command_cache(args: argparse.Namespace, out) -> int:
+    store = ArtifactStore(args.store)
+    if args.action == "purge":
+        removed = store.purge(args.fingerprint)
+        print(f"# purged {removed} file(s) from {store.root}", file=out)
+        return 0
+    info = store.info(args.fingerprint)
+    if args.action == "ls":
+        rows = [[row["fingerprint"][:16], row["files"], row["bytes"],
+                 ",".join(row["kinds"])] for row in info["graphs"]]
+        if rows:
+            print(format_table(["fingerprint", "files", "bytes", "kinds"], rows),
+                  file=out)
+        else:
+            print("(store is empty)", file=out)
+    print(f"# store={info['root']} graphs={len(info['graphs'])} "
+          f"files={info['files']} bytes={info['bytes']}", file=out)
+    return 0
+
+
 def _command_batch(args: argparse.Namespace, out) -> int:
     graphs = {}
     for path in args.input:
@@ -188,8 +233,13 @@ def _command_batch(args: argparse.Namespace, out) -> int:
                          f"(problem {problem.name!r} does not)")
     jobs = sweep_jobs(graphs, epsilons=args.epsilon, rounds=args.rounds,
                       lams=args.lam or (0.0,), problem=args.problem)
-    runner = BatchRunner(_resolve_engine(args))
-    results = runner.run(jobs)
+    store = ArtifactStore(args.store) if args.store is not None else None
+    runner = BatchRunner(_resolve_engine(args), store=store)
+    if args.use_async:
+        with JobQueue(runner, max_workers=args.serve_workers) as queue:
+            results = queue.run(jobs)
+    else:
+        results = runner.run(jobs)
     header = ["job", "engine", "problem", "n", "m", "rounds", "seconds", "converged",
               "objective"]
     json_to_stdout = args.json == "-"
@@ -208,6 +258,11 @@ def _command_batch(args: argparse.Namespace, out) -> int:
             engine_desc = f"{problem.forced_engine} (forced by the problem)"
         print(f"# engine={engine_desc} problem={problem.name} "
               f"jobs={len(results)} graphs={runner.cached_graphs}", file=out)
+        if store is not None:
+            totals = runner.aggregate_stats()
+            print(f"# store={store.root} disk_hits={totals['disk_hits']} "
+                  f"disk_misses={totals['disk_misses']} "
+                  f"disk_writes={totals['disk_writes']}", file=out)
         print(format_table(header, rows), file=out)
     if args.output is not None:
         lines = ["\t".join(str(cell) for cell in row) for row in rows]
@@ -297,6 +352,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             return _command_problems(out)
         if args.command == "batch":
             return _command_batch(args, out)
+        if args.command == "cache":
+            return _command_cache(args, out)
         if args.command == "coreness":
             return _command_coreness(args, out)
         if args.command == "orientation":

@@ -143,8 +143,15 @@ class BatchRunner:
     immutable while a runner holds them.
     """
 
-    def __init__(self, engine: EngineLike = "vectorized", **engine_options) -> None:
+    def __init__(self, engine: EngineLike = "vectorized", *, store=None,
+                 max_cached_results: Optional[int] = None,
+                 **engine_options) -> None:
         self.engine: Engine = get_engine(engine, **engine_options)
+        #: persistent artifact store handed to every opened session (optional;
+        #: an :class:`~repro.store.ArtifactStore` or its root directory), so
+        #: batch runs resume from — and extend — the on-disk cache.
+        self.store = store
+        self.max_cached_results = max_cached_results
         # id() keys require keeping the graph alive; the Session holds it.
         self._sessions: Dict[int, Session] = {}
 
@@ -154,7 +161,9 @@ class BatchRunner:
         key = id(graph)
         hit = self._sessions.get(key)
         if hit is None:
-            hit = self._sessions[key] = Session(graph, engine=self.engine)
+            hit = self._sessions[key] = Session(
+                graph, engine=self.engine, store=self.store,
+                max_cached_results=self.max_cached_results)
         return hit
 
     def csr_view(self, graph: Graph) -> CSRAdjacency:
@@ -169,6 +178,19 @@ class BatchRunner:
     def cached_graphs(self) -> int:
         """Number of distinct graphs with an open session."""
         return len(self._sessions)
+
+    def aggregate_stats(self) -> dict:
+        """Summed :class:`~repro.session.SessionStats` across every session.
+
+        One JSON-ready dict with the same counter keys as
+        ``SessionStats.to_dict()`` — what the CLI and the serving layer report
+        for a whole batch (cache hits, disk traffic, executed/reused rounds).
+        """
+        totals: Dict[str, int] = {}
+        for session in self._sessions.values():
+            for key, value in session.stats.to_dict().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
 
     # -------------------------------------------------------------------- runs
     @staticmethod

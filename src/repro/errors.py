@@ -37,3 +37,20 @@ class AlgorithmError(ReproError):
 
 class ConvergenceError(ReproError):
     """Raised when an iterative baseline (e.g. Frank-Wolfe) fails to converge."""
+
+
+class StoreError(ReproError):
+    """Raised by the persistent artifact store on invalid operations.
+
+    Examples: a store root that exists but is not a directory, a malformed
+    fingerprint, or arrays that do not describe a trajectory.  Corrupted or
+    foreign *files* never raise — they read as cache misses.
+    """
+
+
+class ServeError(ReproError):
+    """Raised by the async serving layer when it is driven incorrectly.
+
+    Examples: submitting to a closed :class:`~repro.serve.JobQueue` /
+    :class:`~repro.serve.AsyncSession`, or invalid worker/backpressure bounds.
+    """

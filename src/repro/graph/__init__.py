@@ -9,7 +9,13 @@ from repro.graph.builders import (
     graph_to_networkx,
     with_weights,
 )
-from repro.graph.csr import CSRAdjacency, csr_subset_density, graph_to_csr
+from repro.graph.csr import (
+    CSRAdjacency,
+    csr_fingerprint,
+    csr_subset_density,
+    graph_fingerprint,
+    graph_to_csr,
+)
 from repro.graph.datasets import DatasetSpec, dataset_info, list_datasets, load_dataset
 from repro.graph.graph import Graph
 from repro.graph.io import (
@@ -35,7 +41,9 @@ from repro.graph.quotient import induced_subgraph, quotient_graph
 __all__ = [
     "Graph",
     "CSRAdjacency",
+    "csr_fingerprint",
     "csr_subset_density",
+    "graph_fingerprint",
     "graph_to_csr",
     "graph_from_adjacency_matrix",
     "graph_from_edges",

@@ -16,6 +16,7 @@ The CSR view stores, for a graph relabelled to ``0..n-1``:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Tuple
 
@@ -120,6 +121,49 @@ def graph_to_csr(graph: Graph) -> CSRAdjacency:
 
     return CSRAdjacency(indptr=indptr, indices=indices, weights=weights,
                         loops=loops, node_order=tuple(nodes))
+
+
+#: Version prefix mixed into every fingerprint so a change to the hashed
+#: representation (array dtypes, label encoding) can never collide with
+#: fingerprints minted by an older layout.
+_FINGERPRINT_VERSION = b"repro-csr-fingerprint/1\x00"
+
+
+def csr_fingerprint(csr: CSRAdjacency) -> str:
+    """A stable content hash of the graph behind a CSR view (hex, 64 chars).
+
+    Two graphs fingerprint identically exactly when their CSR views agree on
+    every array (``indptr`` / ``indices`` / ``weights`` / ``loops``) *and* on
+    the node labels in id order — i.e. the same nodes, inserted in the same
+    order, with the same edges and weights.  This is the content address of
+    the persistent artifact store (:mod:`repro.store`): artifacts saved under
+    a fingerprint may be replayed for any graph that hashes to it.
+
+    Labels are hashed through ``type-qualified repr``, so the int node ``1``
+    and the string node ``"1"`` fingerprint differently.  Labels whose repr is
+    not process-stable (e.g. frozensets of strings under hash randomisation,
+    or objects with default reprs) make the fingerprint unstable across
+    interpreter runs — the store then treats the graph as new, which costs a
+    cold run but never serves wrong artifacts.
+    """
+    digest = hashlib.sha256()
+    digest.update(_FINGERPRINT_VERSION)
+    for array, dtype in ((csr.indptr, np.int64), (csr.indices, np.int64),
+                         (csr.weights, np.float64), (csr.loops, np.float64)):
+        digest.update(np.ascontiguousarray(array, dtype=dtype).tobytes())
+    for label in csr.node_order:
+        digest.update(f"{type(label).__name__}:{label!r}\x1f".encode("utf-8"))
+    return digest.hexdigest()
+
+
+def graph_fingerprint(graph: Graph) -> str:
+    """:func:`csr_fingerprint` of ``graph``'s (freshly built) CSR view.
+
+    Callers that already hold a CSR view — a :class:`~repro.session.Session`
+    in particular — should fingerprint that view directly instead of paying
+    for a second conversion.
+    """
+    return csr_fingerprint(graph_to_csr(graph))
 
 
 def csr_subset_density(csr: CSRAdjacency, mask: np.ndarray) -> float:

@@ -30,8 +30,9 @@ hook in with :func:`register_problem` — the same extension-point shape as
 
 from __future__ import annotations
 
+import inspect
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, Mapping, Optional, Tuple, Union
 
 from repro.core.densest import weak_densest_subsets
 from repro.core.orientation import orientation_from_kept
@@ -78,6 +79,34 @@ class Problem(ABC):
         phases override this so batch stats report honest round counts.
         """
         return result.surviving.rounds
+
+    #: per-Problem-class cache of the non-None defaults of its solve signature.
+    _SOLVE_DEFAULTS: Dict[type, Dict[str, object]] = {}
+
+    def request_key(self, params: Mapping[str, object]) -> Optional[tuple]:
+        """Canonical hashable identity of one parametrised request.
+
+        Params spelled at their default — ``None`` padding from convenience
+        wrappers (``epsilon=None``, ``lam=None``, ...) or an explicit
+        signature default (``tie_break="history"``) — are dropped, so every
+        equivalent spelling of a request maps to the same key.  This is the
+        deduplication key shared by :meth:`repro.session.Session.solve` and
+        the in-flight dedup of :mod:`repro.serve`; ``None`` (for unhashable
+        parameter values) means the request cannot be deduplicated.
+        """
+        defaults = Problem._SOLVE_DEFAULTS.get(type(self))
+        if defaults is None:
+            defaults = {name: p.default
+                        for name, p in inspect.signature(self.solve).parameters.items()
+                        if p.default is not inspect.Parameter.empty
+                        and p.default is not None}
+            Problem._SOLVE_DEFAULTS[type(self)] = defaults
+        try:
+            return (self.name, frozenset(
+                (k, v) for k, v in params.items()
+                if v is not None and (k not in defaults or v != defaults[k])))
+        except TypeError:  # unhashable parameter value: no deduplication
+            return None
 
     def describe(self) -> str:
         """One-line human-readable description (used by the CLI)."""

@@ -1,0 +1,22 @@
+"""Async job serving: futures, in-flight dedup, bounded backpressure.
+
+:class:`JobQueue` serves :class:`~repro.engine.batch.BatchJob`\\ s over a
+shared :class:`~repro.engine.batch.BatchRunner` worker pool;
+:class:`AsyncSession` serves parametrised requests against one graph's
+:class:`~repro.session.Session`.  Both return
+:class:`concurrent.futures.Future`\\ s, coalesce identical in-flight requests,
+bound their queue with ``max_pending`` backpressure, and stream results via
+``map`` — see :mod:`repro.serve.queue` for the semantics and the
+bit-identical-to-sequential guarantee.
+
+>>> from repro import AsyncSession, load_dataset
+>>> with AsyncSession(load_dataset("caveman"), max_workers=2) as serve:
+...     future = serve.submit("coreness", rounds=4)
+...     result = future.result()
+>>> len(result.values) > 0
+True
+"""
+
+from repro.serve.queue import AsyncSession, JobQueue, ServeStats
+
+__all__ = ["AsyncSession", "JobQueue", "ServeStats"]

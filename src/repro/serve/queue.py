@@ -1,0 +1,309 @@
+"""Async job submission: futures, in-flight dedup, bounded backpressure.
+
+The in-process serving stack so far is synchronous: a
+:class:`~repro.session.Session` answers one request at a time and a
+:class:`~repro.engine.batch.BatchRunner` walks jobs in order.  This module adds
+the concurrent front-end a long-lived server needs:
+
+* :class:`JobQueue` — accepts :class:`~repro.engine.batch.BatchJob`\\ s, returns
+  :class:`concurrent.futures.Future`\\ s, and executes them on a worker pool
+  over one shared :class:`BatchRunner` (so the per-graph sessions, caches and
+  any persistent :class:`~repro.store.ArtifactStore` are shared by every job);
+* :class:`AsyncSession` — the same shape over a single graph's
+  :class:`Session`, for ``submit("coreness", rounds=8)``-style requests.
+
+Three serving behaviours, shared by both:
+
+* **in-flight dedup** — identical requests submitted while the first is still
+  running share one future (one execution); the dedup key is the problem's own
+  :meth:`~repro.problems.Problem.request_key`, the same canonicalisation the
+  session result cache uses, so every equivalent spelling coalesces.
+* **bounded backpressure** — with ``max_pending=N``, at most ``N`` jobs are
+  queued-or-running; further ``submit`` calls block until capacity frees.
+  :meth:`~JobQueue.map` streams results in submission order while the window
+  keeps at most ``N`` jobs in flight, so arbitrarily long job streams keep a
+  bounded number of pending results.  (Per-*graph* state — one session with
+  its CSR view and caches — lives for the runner's lifetime by design, the
+  amortisation trade; bound it with ``max_cached_results`` and a bounded set
+  of graphs, not with ``max_pending``.)
+* **session safety** — sessions are single-threaded by design (their caches
+  are plain dicts), so execution is serialised per graph; concurrency comes
+  from distinct graphs, from in-flight dedup, and from the engines themselves
+  (NumPy kernels release the GIL; ``sharded:parallel=process`` sidesteps it).
+
+Results are **bit-identical to sequential execution**: per-graph serialisation
+means every job sees the same cache state transitions as some sequential order,
+and every engine is deterministic (the equivalence suites pin this).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.engine.batch import BatchJob, BatchResult, BatchRunner
+from repro.errors import ServeError
+from repro.problems import Problem, ProblemLike, get_problem
+from repro.session import Session
+
+
+@dataclass
+class ServeStats:
+    """Counters of what an async front-end accepted and ran."""
+
+    submitted: int = 0      #: requests accepted for execution
+    deduplicated: int = 0   #: submissions coalesced onto an in-flight future
+    completed: int = 0      #: executions finished (successfully or not)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot of the counters."""
+        return dict(vars(self))
+
+
+class _AsyncFrontend:
+    """Shared submit/dedup/backpressure plumbing of the serving layer."""
+
+    def __init__(self, *, max_workers: int, max_pending: Optional[int],
+                 name: str) -> None:
+        if max_workers < 1:
+            raise ServeError(f"max_workers must be >= 1, got {max_workers}")
+        if max_pending is not None and max_pending < 1:
+            raise ServeError(f"max_pending must be >= 1, got {max_pending}")
+        self.max_pending = max_pending
+        self.stats = ServeStats()
+        self._pool = ThreadPoolExecutor(max_workers=max_workers,
+                                        thread_name_prefix=name)
+        self._registry_lock = threading.Lock()
+        self._inflight: Dict[object, Future] = {}
+        self._capacity = (threading.BoundedSemaphore(max_pending)
+                          if max_pending is not None else None)
+        self._closed = False
+
+    # ------------------------------------------------------------- submission
+    def _submit(self, key, fn, *args) -> Future:
+        """Submit ``fn(*args)``, coalescing onto an in-flight future for ``key``.
+
+        ``key=None`` (unhashable request parameters) skips dedup.  Blocks when
+        ``max_pending`` executions are already queued-or-running.
+        """
+        with self._registry_lock:
+            if self._closed:
+                raise ServeError(f"{type(self).__name__} is closed")
+            if key is not None:
+                hit = self._inflight.get(key)
+                if hit is not None:
+                    self.stats.deduplicated += 1
+                    return hit
+        if self._capacity is not None:
+            self._capacity.acquire()   # backpressure: block until capacity frees
+        holding_permit = self._capacity is not None
+        try:
+            with self._registry_lock:
+                if self._closed:
+                    raise ServeError(f"{type(self).__name__} is closed")
+                if key is not None:
+                    # A racing submitter registered the same request while we
+                    # waited for capacity: join its future, return the permit.
+                    hit = self._inflight.get(key)
+                    if hit is not None:
+                        self.stats.deduplicated += 1
+                        return hit
+                future = self._pool.submit(self._run_one, fn, *args)
+                holding_permit = False   # the running job now owns the permit
+                if key is not None:
+                    self._inflight[key] = future
+                self.stats.submitted += 1
+        finally:
+            if holding_permit:
+                self._capacity.release()
+        if key is not None:
+            future.add_done_callback(lambda _done, key=key: self._forget(key))
+        return future
+
+    def _run_one(self, fn, *args):
+        try:
+            return fn(*args)
+        finally:
+            with self._registry_lock:
+                self.stats.completed += 1
+            if self._capacity is not None:
+                self._capacity.release()
+
+    def _forget(self, key) -> None:
+        with self._registry_lock:
+            self._inflight.pop(key, None)
+
+    def _stream(self, futures: Iterable[Future]) -> Iterator:
+        """Yield results in submission order, draining as they complete."""
+        pending: deque = deque()
+        for future in futures:
+            pending.append(future)
+            while pending and pending[0].done():
+                yield pending.popleft().result()
+        while pending:
+            yield pending.popleft().result()
+
+    # -------------------------------------------------------------- lifecycle
+    @property
+    def in_flight(self) -> int:
+        """Number of deduplicatable requests currently queued or running."""
+        with self._registry_lock:
+            return len(self._inflight)
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting submissions; optionally wait for running jobs."""
+        with self._registry_lock:
+            self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(wait=exc_type is None)
+
+
+class JobQueue(_AsyncFrontend):
+    """Asynchronous, deduplicating front-end over a :class:`BatchRunner`.
+
+    Parameters
+    ----------
+    runner:
+        The batch runner to execute on (owns one session per graph and the
+        optional persistent store).  When omitted, one is built from
+        ``engine`` / ``store`` / ``engine_options``.
+    max_workers:
+        Worker threads.  Jobs on the *same* graph are serialised (sessions
+        are single-threaded by design); distinct graphs run concurrently.
+    max_pending:
+        Backpressure bound: at most this many jobs queued-or-running;
+        ``submit`` blocks beyond it.  ``None`` means unbounded.
+
+    >>> with JobQueue(max_workers=4, max_pending=64) as queue:    # doctest: +SKIP
+    ...     futures = [queue.submit(job) for job in jobs]
+    ...     results = [f.result() for f in futures]
+    """
+
+    def __init__(self, runner: Optional[BatchRunner] = None, *,
+                 engine=None, store=None, max_workers: int = 2,
+                 max_pending: Optional[int] = None, **engine_options) -> None:
+        super().__init__(max_workers=max_workers, max_pending=max_pending,
+                         name="repro-serve")
+        if runner is not None and (engine is not None or store is not None
+                                   or engine_options):
+            raise ServeError("pass either a runner or engine/store options, not both")
+        self.runner = runner if runner is not None else BatchRunner(
+            engine if engine is not None else "vectorized",
+            store=store, **engine_options)
+        self._graph_locks: Dict[int, threading.Lock] = {}
+
+    def _job_key(self, job: BatchJob) -> Optional[tuple]:
+        problem = get_problem(job.problem)
+        # Validates the job up front (budget + param consistency), so a bad
+        # job fails at submit time, not inside a worker.
+        params = BatchRunner._job_params(job, problem)
+        job.resolve_rounds()
+        base = problem.request_key(params)
+        if base is None:
+            return None
+        token = job.problem if isinstance(job.problem, Problem) else type(problem)
+        # The label is part of the key: a shared future returns one
+        # BatchResult whose stats carry one job identity, so only jobs that
+        # would report identically may coalesce (differently-named duplicates
+        # still share the session's result cache — the compute is not repeated,
+        # only the per-job stats row is).
+        return (id(job.graph), token, base, job.label())
+
+    def _graph_lock(self, graph) -> threading.Lock:
+        with self._registry_lock:
+            return self._graph_locks.setdefault(id(graph), threading.Lock())
+
+    def _execute(self, job: BatchJob) -> BatchResult:
+        with self._graph_lock(job.graph):
+            return self.runner.run_job(job)
+
+    def submit(self, job: BatchJob) -> "Future[BatchResult]":
+        """Accept one job; returns a future of its :class:`BatchResult`.
+
+        An identical in-flight job (same graph, problem and canonicalised
+        parameters) shares one future and one execution.  Blocks when
+        ``max_pending`` jobs are already in flight.
+        """
+        return self._submit(self._job_key(job), self._execute, job)
+
+    def map(self, jobs: Iterable[BatchJob]) -> Iterator[BatchResult]:
+        """Stream results in submission order with bounded in-flight jobs.
+
+        With ``max_pending`` set, at most that many jobs are in flight while
+        the input iterator is consumed lazily, so pending results stay
+        bounded for arbitrarily long job streams (per-graph session state
+        persists for the runner's lifetime — see the module docstring).
+        Exceptions from a job surface at its position in the stream.
+        """
+        return self._stream(self.submit(job) for job in jobs)
+
+    def run(self, jobs: Iterable[BatchJob]) -> List[BatchResult]:
+        """Submit every job and collect the results (submission order)."""
+        return list(self.map(jobs))
+
+
+class AsyncSession(_AsyncFrontend):
+    """Asynchronous, deduplicating front-end over one graph's :class:`Session`.
+
+    ``submit("coreness", rounds=8)`` returns a future of the same result object
+    the synchronous ``session.solve`` would produce; identical in-flight
+    requests share one future.  Execution is serialised on the underlying
+    session (sessions are single-threaded by design), so results are
+    bit-identical to sequential calls; concurrency buys request pipelining,
+    dedup and non-blocking callers rather than parallel rounds.
+
+    Pass an existing ``session=`` to serve a warmed (or store-backed) session,
+    or a ``graph=`` plus session options to own a fresh one.
+    """
+
+    def __init__(self, graph=None, *, session: Optional[Session] = None,
+                 engine="vectorized", lam: float = 0.0, store=None,
+                 max_cached_results: Optional[int] = None,
+                 max_workers: int = 2, max_pending: Optional[int] = None,
+                 **engine_options) -> None:
+        super().__init__(max_workers=max_workers, max_pending=max_pending,
+                         name="repro-serve-session")
+        if (session is None) == (graph is None):
+            raise ServeError("pass exactly one of graph= or session=")
+        if session is None:
+            session = Session(graph, engine=engine, lam=lam, store=store,
+                              max_cached_results=max_cached_results,
+                              **engine_options)
+        elif engine_options or store is not None:
+            raise ServeError("session= carries its own engine/store; "
+                             "do not pass engine/store options with it")
+        self.session = session
+        self._session_lock = threading.Lock()
+
+    def _request_key(self, problem: ProblemLike, params: dict) -> Optional[tuple]:
+        prob = get_problem(problem)
+        # Mirror Session.solve's normalisation: an explicit lam at the session
+        # default is the same request as an omitted one.
+        if params.get("lam") == self.session.default_lam:
+            params = {**params, "lam": None}
+        base = prob.request_key(params)
+        if base is None:
+            return None
+        return (base, problem if isinstance(problem, Problem) else type(prob))
+
+    def _execute(self, problem: ProblemLike, params: dict):
+        with self._session_lock:
+            return self.session.solve(problem, **params)
+
+    def submit(self, problem: ProblemLike, **params) -> Future:
+        """Accept one request; returns a future of the problem result."""
+        return self._submit(self._request_key(problem, params),
+                            self._execute, problem, params)
+
+    def map(self, requests: Iterable[Tuple[ProblemLike, dict]]) -> Iterator:
+        """Stream results for ``(problem, params)`` pairs in submission order."""
+        return self._stream(self.submit(problem, **params)
+                            for problem, params in requests)

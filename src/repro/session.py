@@ -27,17 +27,23 @@ A session owns and amortises, per graph:
 
 Cached result objects are shared between identical requests — treat them as
 read-only.  The caches grow with the number of distinct requests (that is the
-amortisation trade); long-lived servers can shed them with
-:meth:`Session.clear_cache`.  :attr:`Session.stats` counts builds, hits,
-resumes and the executed/reused round split, which is what the cache-reuse
+amortisation trade); long-lived servers can bound the result caches with
+``max_cached_results=`` (LRU eviction) or shed them with
+:meth:`Session.clear_cache`.  With a persistent ``store=``
+(:class:`~repro.store.ArtifactStore`) the expensive artifacts also survive
+process restarts: trajectories are reloaded from disk and resumed
+bit-identically.  :attr:`Session.stats` counts builds, hits, resumes, disk
+traffic and the executed/reused round split, which is what the cache-reuse
 tests and ``scripts/bench_session.py`` observe.
 """
 
 from __future__ import annotations
 
 import inspect
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -46,9 +52,13 @@ from repro.core.rounds import resolve_round_budget
 from repro.core.surviving import TIE_BREAK_RULES, SurvivingNumbers
 from repro.engine.base import Engine, EngineLike, get_engine
 from repro.errors import AlgorithmError
-from repro.graph.csr import CSRAdjacency, graph_to_csr
+from repro.graph.csr import CSRAdjacency, csr_fingerprint, graph_to_csr
 from repro.graph.graph import Graph
 from repro.problems import Problem, ProblemLike, get_problem
+from repro.store import ArtifactStore
+
+#: Something the ``store=`` parameter accepts: a store instance or its root.
+StoreLike = Union[ArtifactStore, str, Path]
 
 
 @dataclass
@@ -63,7 +73,12 @@ class SessionStats:
     prefix_resumes: int = 0     #: runs resumed after a cached trajectory prefix
     problem_hits: int = 0       #: :meth:`Session.solve` request-cache hits
     rounds_executed: int = 0    #: elimination rounds actually computed
-    rounds_reused: int = 0      #: elimination rounds served from cached trajectories
+    rounds_reused: int = 0      #: elimination rounds served from caches
+                                #: (in-memory trajectories or the artifact store)
+    disk_hits: int = 0          #: requests (partially) served from the artifact store
+    disk_misses: int = 0        #: store probes that found nothing usable
+    disk_writes: int = 0        #: artifacts persisted to the store
+    evictions: int = 0          #: cached results dropped by the LRU bound
 
     def to_dict(self) -> dict:
         """JSON-serializable snapshot of the counters."""
@@ -86,21 +101,49 @@ class Session:
         Λ-grids are built on first use and owned for the session's lifetime, so
         a session that only ever runs the densest pipeline (or a faithful
         engine, which replays rounds per node) never pays for them.
+    store:
+        Optional persistent artifact store (an
+        :class:`~repro.store.ArtifactStore` or its root directory).  The
+        session then consults the store before computing — a stored
+        elimination trajectory for this graph warm-starts or fully serves a
+        request, bit-identically to the in-process warm path — and persists
+        what it computes, so a freshly constructed session on a known graph
+        resumes from disk.  Disk traffic is counted in :attr:`stats`
+        (``disk_hits`` / ``disk_misses`` / ``disk_writes``).  Opening a store
+        builds the CSR view once even for the faithful engine (the content
+        fingerprint hashes it).
+    max_cached_results:
+        Optional bound on the in-memory result caches (surviving-number and
+        problem results each keep at most this many entries, evicting the
+        least recently used).  ``None`` (the default) keeps every distinct
+        request for the session's lifetime.
     """
 
     def __init__(self, graph: Graph, *, engine: EngineLike = "vectorized",
-                 lam: float = 0.0, **engine_options) -> None:
+                 lam: float = 0.0, store: Optional[StoreLike] = None,
+                 max_cached_results: Optional[int] = None,
+                 **engine_options) -> None:
         if graph.num_nodes == 0:
             raise AlgorithmError("a Session needs a non-empty graph")
+        if max_cached_results is not None and max_cached_results < 1:
+            raise AlgorithmError(
+                f"max_cached_results must be >= 1, got {max_cached_results}")
         self.graph = graph
         self.engine: Engine = get_engine(engine, **engine_options)
         self._default_lam = float(lam)
+        self.store: Optional[ArtifactStore] = (
+            ArtifactStore(store) if isinstance(store, (str, Path)) else store)
+        self.max_cached_results = max_cached_results
         self.stats = SessionStats()
         self._csr: Optional[CSRAdjacency] = None
+        self._fingerprint: Optional[str] = None
         self._grids: Dict[float, LambdaGrid] = {}
-        self._results: Dict[Tuple[int, float, str, bool], SurvivingNumbers] = {}
+        self._results: "OrderedDict[Tuple[int, float, str, bool], SurvivingNumbers]" \
+            = OrderedDict()
         self._trajectories: Dict[float, np.ndarray] = {}
-        self._problem_results: Dict[tuple, object] = {}
+        self._problem_results: "OrderedDict[tuple, object]" = OrderedDict()
+        #: rounds known to be on disk per λ (-1: known empty, absent: unknown).
+        self._disk_rounds: Dict[float, int] = {}
         self._array_engine = callable(getattr(self.engine, "trajectory", None))
         # Hints (csr / grid / warm_start) go to any engine whose run()
         # signature declares them — the documented contract — but csr/grid are
@@ -149,6 +192,32 @@ class Session:
             hit = self._grids[lam] = grid_for_graph(self.graph, lam)
         return hit
 
+    @property
+    def fingerprint(self) -> str:
+        """The content fingerprint addressing this graph in an artifact store.
+
+        Computed (and the CSR view built) on first use, then owned for the
+        session's lifetime — the graph is immutable while the session holds it.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = csr_fingerprint(self.csr)
+        return self._fingerprint
+
+    def _cache_put(self, cache: OrderedDict, key, value) -> None:
+        """Insert into an LRU-bounded result cache, evicting the oldest."""
+        cache[key] = value
+        cache.move_to_end(key)
+        if self.max_cached_results is not None:
+            while len(cache) > self.max_cached_results:
+                cache.popitem(last=False)
+                self.stats.evictions += 1
+
+    def _cache_get(self, cache: OrderedDict, key):
+        hit = cache.get(key)
+        if hit is not None:
+            cache.move_to_end(key)
+        return hit
+
     def clear_cache(self) -> None:
         """Drop every cached result and trajectory, keeping the CSR view and grids.
 
@@ -190,11 +259,13 @@ class Session:
                                  f"expected one of {TIE_BREAK_RULES}")
         lam = self.default_lam if lam is None else float(lam)
         key = (T, lam, tie_break, bool(track_kept))
-        hit = self._results.get(key)
+        hit = self._cache_get(self._results, key)
         if hit is not None:
             self.stats.result_hits += 1
             return hit
         prefix = self._trajectories.get(lam)
+        if self.store is not None and self._array_engine:
+            prefix = self._adopt_stored_trajectory(lam, T, prefix)
         if prefix is not None and prefix.shape[0] > T:
             # Fully covered by the cached trajectory: answer from a view
             # without invoking the engine (which would allocate and copy the
@@ -204,6 +275,12 @@ class Session:
                                          track_kept=track_kept)
             warm = prefix
         else:
+            if self.store is not None and not self._array_engine:
+                loaded = self._load_stored_result(T, lam, tie_break=tie_break,
+                                                  track_kept=track_kept)
+                if loaded is not None:
+                    self._cache_put(self._results, key, loaded)
+                    return loaded
             # The warm-start hint only goes to engines that will actually
             # consume it (and `warm` only counts as reuse then); engines
             # written against hint-free signatures keep working unchanged,
@@ -230,8 +307,85 @@ class Session:
             for (cached_T, cached_lam, _, _), cached in self._results.items():
                 if cached_lam == lam and cached.trajectory is not None:
                     cached.trajectory = result.trajectory[:cached_T + 1]
-        self._results[key] = result
+        self._persist(lam, result, tie_break=tie_break, track_kept=track_kept)
+        self._cache_put(self._results, key, result)
         return result
+
+    # ------------------------------------------------------------- persistence
+    def _adopt_stored_trajectory(self, lam: float, T: int,
+                                 prefix: Optional[np.ndarray]) -> Optional[np.ndarray]:
+        """The best warm-start prefix for ``(λ, T)``: memory, or disk if longer.
+
+        Probes the store only when the in-memory trajectory cannot fully serve
+        the request and the disk is not already known to hold fewer rounds, so
+        warm in-process requests never pay I/O (and never count disk misses).
+        A usable stored trajectory is adopted into the in-memory cache — from
+        then on it slices and resumes exactly like a locally computed one.
+        """
+        mem_rounds = -1 if prefix is None else prefix.shape[0] - 1
+        if mem_rounds >= T:
+            return prefix
+        known = self._disk_rounds.get(lam)
+        if known is not None and known <= mem_rounds:
+            return prefix
+        stored = self.store.load_trajectory(self.fingerprint, lam)
+        if stored is None:
+            self._disk_rounds[lam] = -1
+            self.stats.disk_misses += 1
+            return prefix
+        self._disk_rounds[lam] = stored.shape[0] - 1
+        if stored.shape[0] - 1 <= mem_rounds:
+            self.stats.disk_misses += 1
+            return prefix
+        self.stats.disk_hits += 1
+        self._trajectories[lam] = stored
+        return stored
+
+    def _load_stored_result(self, T: int, lam: float, *, tie_break: str,
+                            track_kept: bool) -> Optional[SurvivingNumbers]:
+        """A stored full result for a non-trajectory engine, or None.
+
+        The reloaded result is value- and kept-identical to the computed one
+        (the simulator's per-round message statistics are not persisted); its
+        ``T`` rounds count as reused, mirroring the trajectory reuse split.
+        """
+        loaded = self.store.load_result(self.fingerprint, rounds=T, lam=lam,
+                                        tie_break=tie_break, track_kept=track_kept,
+                                        labels=self.csr.labels(),
+                                        grid=self.grid(lam))
+        if loaded is None:
+            self.stats.disk_misses += 1
+            return None
+        self.stats.disk_hits += 1
+        self.stats.rounds_reused += T
+        return loaded
+
+    def _persist(self, lam: float, result: SurvivingNumbers, *, tie_break: str,
+                 track_kept: bool) -> None:
+        """Persist what this request added: the longest trajectory, or — for
+        engines without trajectories — the full result."""
+        if self.store is None:
+            return
+        if self._array_engine:
+            best = self._trajectories.get(lam)
+            if best is None:
+                return
+            disk = self._disk_rounds.get(lam)
+            if disk is None:
+                # Disk state unknown (memory fully served so far): a cheap
+                # metadata read keeps us from clobbering a longer artifact.
+                stored = self.store.trajectory_rounds(self.fingerprint, lam)
+                disk = self._disk_rounds[lam] = -1 if stored is None else stored
+            if best.shape[0] - 1 > disk:
+                self.store.save_trajectory(self.fingerprint, lam, best,
+                                           labels=self.csr.labels())
+                self._disk_rounds[lam] = best.shape[0] - 1
+                self.stats.disk_writes += 1
+        elif result.trajectory is None:
+            self.store.save_result(self.fingerprint, result, lam=lam,
+                                   tie_break=tie_break, track_kept=track_kept,
+                                   labels=self.csr.labels())
+            self.stats.disk_writes += 1
 
     def _engine_takes_prefix(self) -> bool:
         """Whether the engine can exploit a warm-start prefix.
@@ -293,45 +447,31 @@ class Session:
         key = self._request_key(prob, params,
                                 caller_instance=isinstance(problem, Problem))
         if key is not None:
-            hit = self._problem_results.get(key)
+            hit = self._cache_get(self._problem_results, key)
             if hit is not None:
                 self.stats.problem_hits += 1
                 return hit
         result = prob.solve(self, **params)
         if key is not None:
-            self._problem_results[key] = result
+            self._cache_put(self._problem_results, key, result)
         return result
 
-    #: per-Problem-class cache of the non-None defaults of its solve signature.
-    _SOLVE_DEFAULTS: Dict[type, Dict[str, object]] = {}
-
-    @classmethod
-    def _request_key(cls, prob, params: dict, *,
+    @staticmethod
+    def _request_key(prob: Problem, params: dict, *,
                      caller_instance: bool) -> Optional[tuple]:
-        # Params spelled at their default — None padding from the convenience
-        # methods (epsilon=None, lam=None, ...) or an explicit signature
-        # default (tie_break="history") — are dropped, so every equivalent
-        # spelling of a request hits the same cache entry.
-        defaults = cls._SOLVE_DEFAULTS.get(type(prob))
-        if defaults is None:
-            defaults = {name: p.default
-                        for name, p in inspect.signature(prob.solve).parameters.items()
-                        if p.default is not inspect.Parameter.empty
-                        and p.default is not None}
-            cls._SOLVE_DEFAULTS[type(prob)] = defaults
+        # The parameter canonicalisation (default-stripping) is the problem's
+        # own :meth:`Problem.request_key` — shared with the in-flight dedup of
+        # :mod:`repro.serve`.  None (unhashable params) skips request caching.
+        base = prob.request_key(params)
+        if base is None:
+            return None
         # Name-resolved problems get a fresh stateless instance per request, so
         # they dedup by class; the class token also keeps a re-registered
         # (shadowed) implementation from serving the old one's cached results.
         # A caller-supplied instance may carry its own configuration, so it
         # dedups per instance — keyed on the object itself, which also keeps
         # it alive (an id() would be reusable after collection).
-        token = prob if caller_instance else type(prob)
-        try:
-            return (prob.name, token, frozenset(
-                (k, v) for k, v in params.items()
-                if v is not None and (k not in defaults or v != defaults[k])))
-        except TypeError:  # unhashable parameter value: skip request caching
-            return None
+        return (base, prob if caller_instance else type(prob))
 
     def coreness(self, *, epsilon: Optional[float] = None,
                  gamma: Optional[float] = None, rounds: Optional[int] = None,

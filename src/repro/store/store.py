@@ -1,0 +1,386 @@
+"""The content-addressed on-disk artifact store.
+
+Layout
+------
+One directory per graph, addressed by its CSR content fingerprint
+(:func:`repro.graph.csr.csr_fingerprint`)::
+
+    <root>/
+      <fingerprint>/                     # 64 hex chars
+        graph.json                       # schema, n, entries, sample labels
+        trajectory-lam<λ>.npz            # longest elimination trajectory per λ
+        result-T<T>-lam<λ>-<rule>-k<0|1>.npz   # full SurvivingNumbers (see below)
+
+Every ``.npz`` carries a JSON ``meta`` entry (schema version, artifact kind,
+fingerprint, λ, round count, node count) that is validated on load; files with
+a wrong schema, a mismatching fingerprint or any decoding problem are treated
+as absent — a corrupted or foreign file can cost a recompute, never a wrong
+answer.  Writes go to a same-directory temp file and are published with an
+atomic ``os.replace``, so concurrent readers only ever observe complete
+artifacts and the last writer wins.
+
+Trajectory artifacts serve the array engines: a stored ``(T+1, n)`` float64
+trajectory warm-starts any later request on the same graph and λ (a longer
+budget resumes after the stored rounds, a smaller one is served by slicing).
+Result artifacts serve engines that keep no trajectory (the faithful
+simulator): the per-node values and kept sets are stored as arrays indexed by
+integer node id — the fingerprint guarantees the caller's label order matches,
+so labels themselves never need to round-trip through the file.  Human-facing
+metadata (``graph.json``) serializes sample labels with the collision-free
+JSON protocol of :mod:`repro.utils.serialize`.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import threading
+import zipfile
+from pathlib import Path
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.rounding import LambdaGrid
+from repro.core.surviving import SurvivingNumbers
+from repro.errors import StoreError
+from repro.utils.serialize import json_node
+
+#: Schema stamp embedded in (and required of) every stored artifact.
+SCHEMA_VERSION = "repro-store/1"
+
+#: Exceptions a load treats as "artifact absent" rather than a crash: anything
+#: a truncated, corrupted, foreign or concurrently-replaced file can raise
+#: (TypeError covers wrong-typed metadata fields, e.g. a string round count).
+_LOAD_ERRORS = (OSError, ValueError, KeyError, TypeError, EOFError,
+                zipfile.BadZipFile, json.JSONDecodeError)
+
+
+def _format_lam(lam: float) -> str:
+    """Exact, filename-safe spelling of a λ (``repr`` of the float)."""
+    return repr(float(lam))
+
+
+class ArtifactStore:
+    """A persistent, content-addressed store of per-graph artifacts.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the store (created on first write).  Multiple
+        processes may share a root: writes are atomic renames and loads
+        tolerate mid-flight replacement.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        if self.root.exists() and not self.root.is_dir():
+            raise StoreError(f"store root {self.root} exists and is not a directory")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ArtifactStore root={self.root}>"
+
+    # ------------------------------------------------------------------ layout
+    def graph_dir(self, fingerprint: str) -> Path:
+        """The directory holding every artifact of ``fingerprint``."""
+        if not fingerprint or any(c not in "0123456789abcdef" for c in fingerprint):
+            raise StoreError(f"not a hex fingerprint: {fingerprint!r}")
+        return self.root / fingerprint
+
+    def _trajectory_path(self, fingerprint: str, lam: float) -> Path:
+        return self.graph_dir(fingerprint) / f"trajectory-lam{_format_lam(lam)}.npz"
+
+    def _result_path(self, fingerprint: str, *, rounds: int, lam: float,
+                     tie_break: str, track_kept: bool) -> Path:
+        return self.graph_dir(fingerprint) / (
+            f"result-T{int(rounds)}-lam{_format_lam(lam)}-{tie_break}"
+            f"-k{int(bool(track_kept))}.npz")
+
+    # ----------------------------------------------------------------- writing
+    def _atomic_write(self, path: Path, payload: bytes) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Unique per process *and* thread: concurrent writers of the same
+        # artifact (e.g. two store-backed sessions in one process) must never
+        # share a temp file, or os.replace could publish torn bytes.
+        tmp = path.with_name(
+            f".{path.name}.tmp-{os.getpid()}-{threading.get_ident()}")
+        try:
+            tmp.write_bytes(payload)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    def _write_npz(self, path: Path, meta: dict, arrays: Dict[str, np.ndarray]) -> None:
+        buffer = io.BytesIO()
+        np.savez(buffer, meta=np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8), **arrays)
+        self._atomic_write(path, buffer.getvalue())
+
+    def _write_graph_meta(self, fingerprint: str, n: int,
+                          labels: Sequence[Hashable]) -> None:
+        path = self.graph_dir(fingerprint) / "graph.json"
+        if path.exists():
+            return
+        meta = {"schema": SCHEMA_VERSION, "fingerprint": fingerprint, "n": n,
+                "sample_labels": [json_node(label) for label in labels[:8]]}
+        self._atomic_write(path, (json.dumps(meta, indent=2) + "\n").encode("utf-8"))
+
+    # ----------------------------------------------------------------- reading
+    @staticmethod
+    def _read_meta(archive: np.lib.npyio.NpzFile) -> dict:
+        meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
+        if not isinstance(meta, dict):
+            raise ValueError("meta entry is not an object")
+        return meta
+
+    def _load_npz(self, path: Path, *, kind: str, fingerprint: str,
+                  lam: float) -> Optional[Tuple[dict, "np.lib.npyio.NpzFile"]]:
+        """Open and validate one artifact; None for absent/corrupt/foreign files."""
+        try:
+            archive = np.load(path, allow_pickle=False)
+        except _LOAD_ERRORS:
+            return None
+        try:
+            meta = self._read_meta(archive)
+            if (meta.get("schema") != SCHEMA_VERSION or meta.get("kind") != kind
+                    or meta.get("fingerprint") != fingerprint
+                    or meta.get("lam") != float(lam)):
+                archive.close()
+                return None
+            return meta, archive
+        except _LOAD_ERRORS:
+            archive.close()
+            return None
+
+    # ------------------------------------------------------------ trajectories
+    def save_trajectory(self, fingerprint: str, lam: float,
+                        trajectory: np.ndarray,
+                        labels: Sequence[Hashable] = ()) -> Path:
+        """Persist the ``(T+1, n)`` trajectory for ``(fingerprint, λ)``.
+
+        Unconditionally replaces any stored trajectory for the pair — callers
+        (the :class:`~repro.session.Session` integration) only write when they
+        hold more rounds than the store does.
+        """
+        trajectory = np.ascontiguousarray(trajectory, dtype=np.float64)
+        if trajectory.ndim != 2 or trajectory.shape[0] < 1:
+            raise StoreError(f"not a trajectory array: shape {trajectory.shape}")
+        meta = {"schema": SCHEMA_VERSION, "kind": "trajectory",
+                "fingerprint": fingerprint, "lam": float(lam),
+                "rounds": int(trajectory.shape[0] - 1), "n": int(trajectory.shape[1])}
+        path = self._trajectory_path(fingerprint, lam)
+        self._write_npz(path, meta, {"trajectory": trajectory})
+        self._write_graph_meta(fingerprint, trajectory.shape[1], labels)
+        return path
+
+    def load_trajectory(self, fingerprint: str, lam: float) -> Optional[np.ndarray]:
+        """The stored trajectory for ``(fingerprint, λ)``, or None.
+
+        Absent, corrupted, schema-mismatching and fingerprint-mismatching
+        files all read as None (a miss).
+        """
+        loaded = self._load_npz(self._trajectory_path(fingerprint, lam),
+                                kind="trajectory", fingerprint=fingerprint, lam=lam)
+        if loaded is None:
+            return None
+        meta, archive = loaded
+        try:
+            trajectory = archive["trajectory"]
+            if (trajectory.ndim != 2 or trajectory.dtype != np.float64
+                    or trajectory.shape != (meta.get("rounds", -2) + 1, meta.get("n"))):
+                return None
+            return trajectory
+        except _LOAD_ERRORS:
+            return None
+        finally:
+            archive.close()
+
+    def trajectory_rounds(self, fingerprint: str, lam: float) -> Optional[int]:
+        """Round count of the stored trajectory without loading the array."""
+        loaded = self._load_npz(self._trajectory_path(fingerprint, lam),
+                                kind="trajectory", fingerprint=fingerprint, lam=lam)
+        if loaded is None:
+            return None
+        meta, archive = loaded
+        archive.close()
+        rounds = meta.get("rounds")
+        return int(rounds) if isinstance(rounds, int) else None
+
+    # ----------------------------------------------------------------- results
+    def save_result(self, fingerprint: str, result: SurvivingNumbers, *,
+                    lam: float, tie_break: str, track_kept: bool,
+                    labels: Sequence[Hashable]) -> Path:
+        """Persist a full :class:`SurvivingNumbers` (values + kept sets).
+
+        ``labels`` is the node-label sequence in integer-id order (the CSR
+        ``node_order`` / graph insertion order); values and kept sets are
+        stored as arrays indexed by those ids.  Used for engines that keep no
+        trajectory — trajectory engines persist the (smaller, composable)
+        trajectory instead and reassemble results from it.
+        """
+        index = {label: i for i, label in enumerate(labels)}
+        if len(index) != len(result.values):
+            raise StoreError(
+                f"labels ({len(index)}) do not cover the result ({len(result.values)})")
+        values = np.array([result.values[label] for label in labels], dtype=np.float64)
+        kept_ids: List[int] = []
+        kept_indptr = np.zeros(len(labels) + 1, dtype=np.int64)
+        for i, label in enumerate(labels):
+            members = result.kept.get(label, ())
+            kept_ids.extend(index[member] for member in members)
+            kept_indptr[i + 1] = len(kept_ids)
+        meta = {"schema": SCHEMA_VERSION, "kind": "result",
+                "fingerprint": fingerprint, "lam": float(lam),
+                "rounds": int(result.rounds), "n": len(labels),
+                "tie_break": tie_break, "track_kept": bool(track_kept),
+                "stats_summary": result.stats_summary}
+        path = self._result_path(fingerprint, rounds=result.rounds, lam=lam,
+                                 tie_break=tie_break, track_kept=track_kept)
+        self._write_npz(path, meta, {
+            "values": values,
+            "kept_indices": np.asarray(kept_ids, dtype=np.int64),
+            "kept_indptr": kept_indptr,
+        })
+        self._write_graph_meta(fingerprint, len(labels), labels)
+        return path
+
+    def load_result(self, fingerprint: str, *, rounds: int, lam: float,
+                    tie_break: str, track_kept: bool,
+                    labels: Sequence[Hashable],
+                    grid: LambdaGrid) -> Optional[SurvivingNumbers]:
+        """Rebuild a stored :class:`SurvivingNumbers`, or None on any mismatch.
+
+        ``labels`` and ``grid`` come from the caller's live graph — the
+        fingerprint guarantees they match what was stored, so the file only
+        carries arrays.  The reloaded result is value- and kept-identical to
+        the stored one; the simulator's per-round ``message_stats`` are not
+        persisted (``stats_summary`` is).
+        """
+        path = self._result_path(fingerprint, rounds=rounds, lam=lam,
+                                 tie_break=tie_break, track_kept=track_kept)
+        loaded = self._load_npz(path, kind="result", fingerprint=fingerprint, lam=lam)
+        if loaded is None:
+            return None
+        meta, archive = loaded
+        try:
+            if (meta.get("rounds") != int(rounds) or meta.get("n") != len(labels)
+                    or meta.get("tie_break") != tie_break
+                    or meta.get("track_kept") != bool(track_kept)):
+                return None
+            values_array = archive["values"]
+            kept_indices = archive["kept_indices"]
+            kept_indptr = archive["kept_indptr"]
+            n = len(labels)
+            if (values_array.shape != (n,) or kept_indptr.shape != (n + 1,)
+                    or kept_indptr[-1] != kept_indices.shape[0]
+                    or (kept_indices.size and not (
+                        0 <= kept_indices.min() and kept_indices.max() < n))):
+                return None
+            values = {label: float(values_array[i]) for i, label in enumerate(labels)}
+            kept = {label: tuple(labels[j] for j in
+                                 kept_indices[kept_indptr[i]:kept_indptr[i + 1]])
+                    for i, label in enumerate(labels)}
+            return SurvivingNumbers(values=values, kept=kept, rounds=int(rounds),
+                                    grid=grid, num_nodes=n,
+                                    stats_summary=str(meta.get("stats_summary", "")))
+        except _LOAD_ERRORS:
+            return None
+        finally:
+            archive.close()
+
+    # -------------------------------------------------------------- management
+    def _artifact_files(self, fingerprint: Optional[str] = None) -> Iterator[Path]:
+        dirs = [self.graph_dir(fingerprint)] if fingerprint else (
+            [p for p in sorted(self.root.iterdir()) if p.is_dir()]
+            if self.root.is_dir() else [])
+        for directory in dirs:
+            if directory.is_dir():
+                yield from sorted(p for p in directory.iterdir() if p.is_file())
+
+    def fingerprints(self) -> Tuple[str, ...]:
+        """Fingerprints of every graph with at least one stored file."""
+        if not self.root.is_dir():
+            return ()
+        return tuple(sorted(p.name for p in self.root.iterdir()
+                            if p.is_dir() and any(p.iterdir())))
+
+    def info(self, fingerprint: Optional[str] = None) -> dict:
+        """Totals (and per-graph rows) for the CLI and tests.
+
+        Returns ``{"root", "graphs": [{"fingerprint", "files", "bytes",
+        "kinds"}, ...], "files", "bytes"}``.
+        """
+        graphs = []
+        total_files = total_bytes = 0
+        targets = (fingerprint,) if fingerprint else self.fingerprints()
+        for fp in targets:
+            files = [p for p in self._artifact_files(fp)]
+            size = sum(p.stat().st_size for p in files)
+            kinds = sorted({p.name.split("-")[0].removesuffix(".json")
+                            for p in files})
+            graphs.append({"fingerprint": fp, "files": len(files),
+                           "bytes": size, "kinds": kinds})
+            total_files += len(files)
+            total_bytes += size
+        return {"root": str(self.root), "graphs": graphs,
+                "files": total_files, "bytes": total_bytes}
+
+    def purge(self, fingerprint: Optional[str] = None) -> int:
+        """Delete every artifact (of one graph, or of the whole store).
+
+        Returns the number of files removed.  Directories left empty are
+        pruned; the root itself is kept.
+        """
+        removed = 0
+        for path in list(self._artifact_files(fingerprint)):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - concurrent removal
+                pass
+        dirs = [self.graph_dir(fingerprint)] if fingerprint else (
+            [p for p in self.root.iterdir() if p.is_dir()]
+            if self.root.is_dir() else [])
+        for directory in dirs:
+            try:
+                directory.rmdir()
+            except OSError:
+                pass
+        return removed
+
+    def evict(self, max_bytes: int) -> int:
+        """Remove oldest-modified artifacts until the store fits ``max_bytes``.
+
+        The ``graph.json`` descriptors are only removed when their directory
+        has no artifacts left.  Returns the number of files removed.
+        """
+        if max_bytes < 0:
+            raise StoreError(f"max_bytes must be >= 0, got {max_bytes}")
+        entries = []
+        for path in self._artifact_files():
+            if path.name == "graph.json":
+                continue
+            stat = path.stat()
+            entries.append((stat.st_mtime, stat.st_size, path))
+        total = sum(size for _, size, _ in entries)
+        removed = 0
+        for _, size, path in sorted(entries, key=lambda entry: entry[0]):
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - concurrent removal
+                continue
+            total -= size
+            removed += 1
+        for directory in ([p for p in self.root.iterdir() if p.is_dir()]
+                          if self.root.is_dir() else []):
+            artifacts = [p for p in directory.iterdir() if p.name != "graph.json"]
+            if not artifacts:
+                (directory / "graph.json").unlink(missing_ok=True)
+                try:
+                    directory.rmdir()
+                except OSError:  # pragma: no cover - concurrent write
+                    pass
+        return removed

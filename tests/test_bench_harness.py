@@ -1,10 +1,10 @@
 """The standing benchmark harness cannot silently rot (bench marker).
 
 Runs ``scripts/bench.py --smoke`` end-to-end as a subprocess (the way CI and
-operators invoke it) and validates the emitted ``BENCH_PR3.json``-style
-document against the schema; also validates the committed ``BENCH_PR3.json``
-at the repo root when present, so a schema change cannot strand the persisted
-perf trajectory.
+operators invoke it) and validates the emitted ``BENCH_PR4.json``-style
+document against the schema; also validates the committed bench documents
+(``BENCH_PR3.json`` legacy schema, ``BENCH_PR4.json``) at the repo root when
+present, so a schema change cannot strand the persisted perf trajectory.
 """
 
 from __future__ import annotations
@@ -52,17 +52,22 @@ def test_smoke_run_emits_valid_document(tmp_path):
     # The vectorised kept-set path must beat the reference loop even on the
     # smoke graph (the full-run acceptance bar is >= 5x at 100k nodes).
     assert all(row["speedup"] > 1.0 for row in document["kept_sets"])
+    # The store scenario restarted from disk, bit-identically.
+    assert document["store"]
+    assert all(row["identical"] and row["disk_hits"] >= 1
+               for row in document["store"])
 
 
 @pytest.mark.bench
-def test_committed_bench_document_matches_schema():
-    committed = REPO_ROOT / "BENCH_PR3.json"
+@pytest.mark.parametrize("name", ["BENCH_PR3.json", "BENCH_PR4.json"])
+def test_committed_bench_documents_match_schema(name):
+    committed = REPO_ROOT / name
     if not committed.exists():
-        pytest.skip("no committed BENCH_PR3.json")
+        pytest.skip(f"no committed {name}")
     document = json.loads(committed.read_text(encoding="utf-8"))
     bench = _load_harness()
     bench.validate_document(document)
-    assert document["smoke"] is False  # the committed trajectory is a full run
+    assert document["smoke"] is False  # committed trajectories are full runs
 
 
 def test_validate_document_rejects_missing_sections():

@@ -1,0 +1,111 @@
+"""CLI surfaces of the persistent store and the async serving layer:
+``repro cache ls|info|purge``, ``repro batch --store`` and ``--async``."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graph.generators.structured import complete_graph
+from repro.graph.io import write_edge_list
+from repro.store import ArtifactStore
+
+
+@pytest.fixture
+def k6_file(tmp_path):
+    path = tmp_path / "k6.edges"
+    write_edge_list(complete_graph(6), path)
+    return path
+
+
+def _run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestBatchStoreFlag:
+    def test_second_run_is_served_from_disk(self, tmp_path, k6_file):
+        store_dir = tmp_path / "store"
+        argv = ["batch", "--input", str(k6_file), "--rounds", "4",
+                "--store", str(store_dir)]
+        code, first = _run(argv)
+        assert code == 0
+        assert "disk_writes=1" in first
+        code, second = _run(argv)
+        assert code == 0
+        assert "disk_hits=1" in second
+        assert "disk_writes=0" in second
+
+    def test_async_flag_matches_sequential_json(self, tmp_path, k6_file):
+        base = ["batch", "--input", str(k6_file), "--rounds", "3",
+                "--rounds", "5", "--json", "-"]
+        code, sequential = _run(base)
+        assert code == 0
+        code, concurrent = _run(base + ["--async", "--serve-workers", "3"])
+        assert code == 0
+
+        def stable(text):  # everything but the wall-clock must be identical
+            return [{k: v for k, v in row.items() if k != "seconds"}
+                    for row in json.loads(text)]
+
+        assert stable(concurrent) == stable(sequential)
+
+    def test_async_with_store(self, tmp_path, k6_file):
+        store_dir = tmp_path / "store"
+        code, text = _run(["batch", "--input", str(k6_file), "--rounds", "4",
+                           "--store", str(store_dir), "--async"])
+        assert code == 0
+        assert ArtifactStore(store_dir).info()["files"] > 0
+
+
+class TestCacheCommand:
+    def _populate(self, tmp_path, k6_file):
+        store_dir = tmp_path / "store"
+        code, _ = _run(["batch", "--input", str(k6_file), "--rounds", "4",
+                        "--store", str(store_dir)])
+        assert code == 0
+        return store_dir
+
+    def test_ls_lists_graphs(self, tmp_path, k6_file):
+        store_dir = self._populate(tmp_path, k6_file)
+        code, text = _run(["cache", "ls", "--store", str(store_dir)])
+        assert code == 0
+        assert "trajectory" in text
+        assert "graphs=1" in text
+
+    def test_ls_empty_store(self, tmp_path):
+        code, text = _run(["cache", "ls", "--store", str(tmp_path / "empty")])
+        assert code == 0
+        assert "(store is empty)" in text
+
+    def test_info_reports_totals(self, tmp_path, k6_file):
+        store_dir = self._populate(tmp_path, k6_file)
+        code, text = _run(["cache", "info", "--store", str(store_dir)])
+        assert code == 0
+        assert "files=2" in text          # trajectory + graph.json
+
+    def test_purge_empties_the_store(self, tmp_path, k6_file):
+        store_dir = self._populate(tmp_path, k6_file)
+        code, text = _run(["cache", "purge", "--store", str(store_dir)])
+        assert code == 0
+        assert "purged 2 file(s)" in text
+        code, text = _run(["cache", "ls", "--store", str(store_dir)])
+        assert "(store is empty)" in text
+
+    def test_purge_single_fingerprint(self, tmp_path, k6_file):
+        store_dir = self._populate(tmp_path, k6_file)
+        fingerprint = ArtifactStore(store_dir).fingerprints()[0]
+        code, text = _run(["cache", "purge", "--store", str(store_dir),
+                           "--fingerprint", fingerprint])
+        assert code == 0
+        assert "purged 2 file(s)" in text
+
+    def test_bad_fingerprint_is_reported_as_error(self, tmp_path, k6_file):
+        store_dir = self._populate(tmp_path, k6_file)
+        code, _ = _run(["cache", "purge", "--store", str(store_dir),
+                        "--fingerprint", "NOT-HEX"])
+        assert code == 2

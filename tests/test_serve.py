@@ -1,0 +1,286 @@
+"""The async serving layer: equivalence, dedup, backpressure, lifecycle.
+
+The acceptance contract is the concurrent-submission equivalence: N mixed jobs
+submitted through a :class:`JobQueue` produce results bit-identical to running
+the same jobs sequentially through a :class:`BatchRunner` (and the
+:class:`AsyncSession` route matches synchronous ``Session.solve``).  Timing
+tests are gated on events, never sleeps-as-synchronisation.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.engine.batch import BatchJob, BatchRunner
+from repro.errors import ServeError
+from repro.graph.datasets import load_dataset
+from repro.problems import CorenessProblem
+from repro.serve import AsyncSession, JobQueue
+from repro.session import Session
+
+
+@pytest.fixture
+def graphs():
+    return load_dataset("caveman"), load_dataset("communities")
+
+
+def _mixed_jobs(graphs):
+    g1, g2 = graphs
+    return [BatchJob(graph=g, problem=problem, rounds=rounds)
+            for g in (g1, g2)
+            for problem in ("coreness", "orientation")
+            for rounds in (3, 6)]
+
+
+class _Gated(CorenessProblem):
+    """A coreness problem that blocks inside solve until released."""
+
+    def __init__(self):
+        self.started = threading.Event()
+        self.release = threading.Event()
+
+    def solve(self, session, **params):
+        self.started.set()
+        assert self.release.wait(timeout=10), "gate was never released"
+        return super().solve(session, **params)
+
+
+class _Failing(CorenessProblem):
+    def solve(self, session, **params):
+        raise RuntimeError("deliberate failure")
+
+
+class TestJobQueueEquivalence:
+    def test_concurrent_submission_matches_sequential(self, graphs):
+        jobs = _mixed_jobs(graphs)
+        sequential = BatchRunner().run(jobs)
+        with JobQueue(max_workers=4) as queue:
+            concurrent = [future.result()
+                          for future in [queue.submit(job) for job in jobs]]
+        assert len(concurrent) == len(sequential)
+        for seq, conc in zip(sequential, concurrent):
+            assert conc.surviving.values == seq.surviving.values
+            assert conc.surviving.kept == seq.surviving.kept
+            assert conc.stats.objective == seq.stats.objective
+            assert conc.stats.problem == seq.stats.problem
+
+    def test_map_streams_in_submission_order(self, graphs):
+        jobs = _mixed_jobs(graphs)
+        with JobQueue(max_workers=4) as queue:
+            streamed = list(queue.map(jobs))
+        assert [r.job for r in streamed] == jobs
+
+    def test_queue_with_store_matches_sequential(self, graphs, tmp_path):
+        jobs = _mixed_jobs(graphs)
+        sequential = BatchRunner().run(jobs)
+        with JobQueue(max_workers=4, store=tmp_path / "store") as queue:
+            concurrent = queue.run(jobs)
+        for seq, conc in zip(sequential, concurrent):
+            assert conc.surviving.values == seq.surviving.values
+        assert (tmp_path / "store").is_dir()  # artifacts were persisted
+
+    def test_same_graph_jobs_share_one_session(self, graphs):
+        g1, _ = graphs
+        jobs = [BatchJob(graph=g1, rounds=t) for t in (2, 4, 6)]
+        with JobQueue(max_workers=3) as queue:
+            queue.run(jobs)
+            assert queue.runner.cached_graphs == 1
+
+
+class TestInFlightDedup:
+    def test_identical_inflight_jobs_share_one_future(self, graphs):
+        g1, _ = graphs
+        gated = _Gated()
+        job = BatchJob(graph=g1, problem=gated, rounds=3)
+        with JobQueue(max_workers=2) as queue:
+            first = queue.submit(job)
+            assert gated.started.wait(timeout=10)
+            second = queue.submit(job)   # identical and in flight: coalesces
+            assert second is first
+            assert queue.stats.deduplicated == 1
+            gated.release.set()
+            assert first.result().surviving.values
+        assert queue.stats.submitted == 1
+
+    def test_equivalent_spellings_coalesce(self, graphs):
+        g1, _ = graphs
+        gated = _Gated()
+        with JobQueue(max_workers=2) as queue:
+            first = queue.submit(BatchJob(graph=g1, problem=gated, rounds=3))
+            assert gated.started.wait(timeout=10)
+            # tie_break spelled at its default is the same request.
+            second = queue.submit(BatchJob(graph=g1, problem=gated, rounds=3,
+                                           tie_break="history"))
+            assert second is first
+            gated.release.set()
+            first.result()
+
+    def test_differently_named_jobs_do_not_coalesce(self, graphs):
+        # A shared future carries one job identity in its stats row, so only
+        # jobs that would report identically may share one (the session's
+        # result cache still deduplicates the compute underneath).
+        g1, _ = graphs
+        gated = _Gated()
+        with JobQueue(max_workers=2) as queue:
+            first = queue.submit(BatchJob(graph=g1, problem=gated,
+                                          rounds=3, name="job-a"))
+            assert gated.started.wait(timeout=10)
+            second = queue.submit(BatchJob(graph=g1, problem=gated,
+                                           rounds=3, name="job-b"))
+            assert second is not first
+            gated.release.set()
+            assert first.result().stats.job == "job-a"
+            assert second.result().stats.job == "job-b"
+
+    def test_distinct_jobs_do_not_coalesce(self, graphs):
+        g1, g2 = graphs
+        with JobQueue(max_workers=2) as queue:
+            futures = {queue.submit(BatchJob(graph=g1, rounds=3)),
+                       queue.submit(BatchJob(graph=g1, rounds=4)),
+                       queue.submit(BatchJob(graph=g2, rounds=3))}
+            assert len(futures) == 3
+            for future in futures:
+                future.result()
+        assert queue.stats.deduplicated == 0
+
+    def test_completed_jobs_leave_the_inflight_registry(self, graphs):
+        g1, _ = graphs
+        with JobQueue(max_workers=1) as queue:
+            queue.submit(BatchJob(graph=g1, rounds=3)).result()
+            # Drain the done-callback (runs on the worker thread).
+            deadline = threading.Event()
+            for _ in range(100):
+                if queue.in_flight == 0:
+                    break
+                deadline.wait(0.01)
+            assert queue.in_flight == 0
+
+
+class TestBackpressure:
+    def test_submit_blocks_at_max_pending(self, graphs):
+        g1, _ = graphs
+        gated = _Gated()
+        blocked_submitted = threading.Event()
+        with JobQueue(max_workers=1, max_pending=1) as queue:
+            first = queue.submit(BatchJob(graph=g1, problem=gated, rounds=3))
+            assert gated.started.wait(timeout=10)
+
+            def overflow():
+                future = queue.submit(BatchJob(graph=g1, rounds=4))
+                blocked_submitted.set()
+                future.result()
+
+            thread = threading.Thread(target=overflow, daemon=True)
+            thread.start()
+            # The queue is full: the second submit must still be blocked.
+            assert not blocked_submitted.wait(timeout=0.2)
+            gated.release.set()
+            assert blocked_submitted.wait(timeout=10)
+            thread.join(timeout=10)
+            assert first.result().surviving.values
+
+    def test_dedup_does_not_consume_capacity(self, graphs):
+        g1, _ = graphs
+        gated = _Gated()
+        job = BatchJob(graph=g1, problem=gated, rounds=3)
+        with JobQueue(max_workers=1, max_pending=1) as queue:
+            first = queue.submit(job)
+            assert gated.started.wait(timeout=10)
+            # The queue is at capacity, but an identical submission coalesces
+            # without blocking on the semaphore.
+            assert queue.submit(job) is first
+            gated.release.set()
+            first.result()
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ServeError):
+            JobQueue(max_workers=0)
+        with pytest.raises(ServeError):
+            JobQueue(max_pending=0)
+
+
+class TestLifecycleAndErrors:
+    def test_submit_after_close_raises(self, graphs):
+        g1, _ = graphs
+        queue = JobQueue(max_workers=1)
+        queue.close()
+        with pytest.raises(ServeError):
+            queue.submit(BatchJob(graph=g1, rounds=3))
+
+    def test_job_exceptions_surface_on_the_future(self, graphs):
+        g1, _ = graphs
+        with JobQueue(max_workers=1) as queue:
+            future = queue.submit(BatchJob(graph=g1, problem=_Failing(), rounds=3))
+            with pytest.raises(RuntimeError, match="deliberate"):
+                future.result()
+        assert queue.stats.completed == 1
+
+    def test_invalid_jobs_fail_at_submit_time(self, graphs):
+        from repro.errors import AlgorithmError
+
+        g1, _ = graphs
+        with JobQueue(max_workers=1) as queue:
+            with pytest.raises(AlgorithmError):
+                # orientation does not take lam: rejected before any worker runs
+                queue.submit(BatchJob(graph=g1, problem="orientation",
+                                      rounds=3, lam=0.5))
+
+    def test_runner_and_options_are_mutually_exclusive(self):
+        with pytest.raises(ServeError):
+            JobQueue(BatchRunner(), store="/tmp/nope")
+        with pytest.raises(ServeError):
+            # An explicit engine alongside a runner must be rejected, not
+            # silently dropped in favour of the runner's engine.
+            JobQueue(BatchRunner("faithful"), engine="sharded:8")
+
+
+class TestAsyncSession:
+    def test_matches_synchronous_session(self, graphs):
+        g1, _ = graphs
+        sync = Session(g1)
+        expected = [sync.solve("coreness", rounds=3),
+                    sync.solve("orientation", rounds=3),
+                    sync.solve("coreness", rounds=6)]
+        with AsyncSession(g1, max_workers=2) as serve:
+            results = list(serve.map([("coreness", {"rounds": 3}),
+                                      ("orientation", {"rounds": 3}),
+                                      ("coreness", {"rounds": 6})]))
+        assert results[0].values == expected[0].values
+        assert results[1].orientation.assignment == expected[1].orientation.assignment
+        assert results[2].values == expected[2].values
+
+    def test_identical_requests_share_the_result_object(self, graphs):
+        g1, _ = graphs
+        with AsyncSession(g1, max_workers=2) as serve:
+            futures = [serve.submit("coreness", rounds=4) for _ in range(6)]
+            results = [future.result() for future in futures]
+        assert all(result is results[0] for result in results)
+        # Every submission either coalesced in flight or hit the session cache.
+        assert serve.stats.submitted + serve.stats.deduplicated == 6
+
+    def test_wraps_an_existing_session(self, graphs):
+        g1, _ = graphs
+        session = Session(g1)
+        warmed = session.coreness(rounds=4)
+        with AsyncSession(session=session, max_workers=1) as serve:
+            assert serve.submit("coreness", rounds=4).result() is warmed
+
+    def test_graph_and_session_are_mutually_exclusive(self, graphs):
+        g1, _ = graphs
+        with pytest.raises(ServeError):
+            AsyncSession(g1, session=Session(g1))
+        with pytest.raises(ServeError):
+            AsyncSession()
+        with pytest.raises(ServeError):
+            AsyncSession(session=Session(g1), store="/tmp/nope")
+
+    def test_store_backed_async_session(self, graphs, tmp_path):
+        g1, _ = graphs
+        with AsyncSession(g1, store=tmp_path / "store", max_workers=2) as serve:
+            first = serve.submit("coreness", rounds=4).result()
+        with AsyncSession(g1, store=tmp_path / "store", max_workers=2) as serve:
+            again = serve.submit("coreness", rounds=4).result()
+            assert serve.session.stats.disk_hits == 1
+        assert again.values == first.values

@@ -165,6 +165,65 @@ class TestArtifactCaching:
         assert session.stats.cold_runs == 2
 
 
+class TestBoundedResultCache:
+    """``max_cached_results`` bounds the result caches with LRU eviction."""
+
+    def test_unbounded_by_default(self, two_communities):
+        session = Session(two_communities)
+        for t in range(1, 9):
+            session.surviving(rounds=t)
+        assert len(session._results) == 8
+        assert session.stats.evictions == 0
+
+    def test_bound_is_enforced_on_surviving_results(self, two_communities):
+        session = Session(two_communities, max_cached_results=3)
+        for t in range(1, 9):
+            session.surviving(rounds=t)
+        assert len(session._results) == 3
+        assert session.stats.evictions == 5
+
+    def test_least_recently_used_entry_is_evicted_first(self, two_communities):
+        session = Session(two_communities, max_cached_results=2)
+        first = session.surviving(rounds=1)
+        session.surviving(rounds=2)
+        assert session.surviving(rounds=1) is first   # touch: 1 is now MRU
+        session.surviving(rounds=3)                   # evicts the LRU entry (2)
+        assert set(session._results) == {(1, 0.0, "history", False),
+                                         (3, 0.0, "history", False)}
+        assert session.surviving(rounds=1) is first   # survived as a hit
+
+    def test_evicted_requests_recompute_identically(self, two_communities):
+        session = Session(two_communities, max_cached_results=1)
+        first = session.surviving(rounds=4)
+        session.surviving(rounds=6)                   # evicts the T=4 entry
+        again = session.surviving(rounds=4)
+        assert again is not first
+        assert again.values == first.values
+        # The trajectory cache is not LRU-bounded (one array per λ), so the
+        # recompute is served by slicing, not by running rounds again.
+        assert session.stats.rounds_executed == 6
+
+    def test_problem_results_are_bounded_too(self, two_communities):
+        session = Session(two_communities, max_cached_results=2)
+        for t in range(1, 6):
+            session.coreness(rounds=t)
+        assert len(session._problem_results) == 2
+
+    def test_clear_cache_resets_a_bounded_session(self, two_communities):
+        session = Session(two_communities, max_cached_results=2)
+        session.coreness(rounds=2)
+        session.coreness(rounds=3)
+        session.clear_cache()
+        assert len(session._results) == 0
+        assert len(session._problem_results) == 0
+        repeat = session.coreness(rounds=2)
+        assert repeat.values == Session(two_communities).coreness(rounds=2).values
+
+    def test_invalid_bound_rejected(self, two_communities):
+        with pytest.raises(AlgorithmError, match="max_cached_results"):
+            Session(two_communities, max_cached_results=0)
+
+
 class TestPrefixReuse:
     def test_resumed_trajectory_bit_identical_to_cold(self, two_communities):
         warm = Session(two_communities)

@@ -17,6 +17,7 @@ from test_engine_equivalence import CORPUS
 
 from repro.core.api import approximate_coreness, approximate_orientation
 from repro.session import Session
+from repro.store import ArtifactStore
 
 #: Every 4th corpus case: enough topology/weight diversity for the session
 #: layer while the full corpus stays with the per-engine kernel suite.
@@ -83,6 +84,93 @@ class TestSessionMatchesFreeFunctions:
             session.coreness(rounds=rounds).values
         assert session.solve("orientation", rounds=rounds).orientation.assignment \
             == session.orientation(rounds=rounds).orientation.assignment
+
+
+class TestStoreRestartMatrix:
+    """Cold / warm / restarted-from-disk requests are bit-identical, per engine.
+
+    Acceptance contract of the persistent store: a freshly constructed
+    ``Session(store=...)`` on a known graph reproduces bit-identical results
+    to the in-process warm path for every engine, disk-served requests are
+    counted in ``SessionStats``, and a stored short trajectory warm-starts a
+    longer request (prefix reuse composes across process restarts).
+    """
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("graph, rounds", SUITE[::2])
+    def test_cold_warm_restart_identical(self, graph, rounds, engine, tmp_path):
+        _skip_if_faithful_cannot_run(engine, graph)
+        store = ArtifactStore(tmp_path / "store")
+
+        first_session = Session(graph, engine=engine, store=store)
+        cold = first_session.orientation(rounds=rounds)
+        warm = first_session.orientation(rounds=rounds)   # in-process warm path
+        assert warm is cold
+        assert first_session.stats.disk_writes >= 1
+
+        restarted = Session(graph, engine=engine, store=store)
+        served = restarted.orientation(rounds=rounds)
+        assert served.values == warm.values
+        assert served.surviving.kept == warm.surviving.kept
+        assert served.orientation.assignment == warm.orientation.assignment
+        assert served.orientation.in_weight == warm.orientation.in_weight
+        if served.surviving.trajectory is not None:
+            assert np.array_equal(served.surviving.trajectory,
+                                  warm.surviving.trajectory)
+        # The restart was served from disk, not recomputed, and says so.
+        assert restarted.stats.disk_hits == 1
+        assert restarted.stats.cold_runs == 0
+        assert restarted.stats.rounds_executed == 0
+        assert restarted.stats.rounds_reused == rounds
+
+    @pytest.mark.parametrize("engine", [e for e in ENGINES if e != "faithful"])
+    def test_stored_prefix_warm_starts_longer_budget(self, engine, tmp_path,
+                                                     two_communities):
+        store = ArtifactStore(tmp_path / "store")
+        Session(two_communities, engine=engine, store=store).coreness(rounds=8)
+
+        restarted = Session(two_communities, engine=engine, store=store)
+        resumed = restarted.coreness(rounds=32)
+        assert restarted.stats.disk_hits == 1
+        assert restarted.stats.rounds_reused == 8
+        assert restarted.stats.rounds_executed == 32 - 8
+        assert restarted.stats.prefix_resumes == 1
+        # ... and the extended trajectory went back to disk.
+        assert restarted.stats.disk_writes == 1
+
+        fresh = Session(two_communities, engine=engine).coreness(rounds=32)
+        assert resumed.values == fresh.values
+        assert np.array_equal(resumed.surviving.trajectory,
+                              fresh.surviving.trajectory)
+
+    def test_stores_shared_across_engines_stay_identical(self, tmp_path,
+                                                         two_communities):
+        # A trajectory persisted by one array engine serves another: the
+        # artifacts are engine-agnostic (bit-identical kernels).
+        store = ArtifactStore(tmp_path / "store")
+        Session(two_communities, engine="vectorized", store=store).coreness(rounds=6)
+        sharded = Session(two_communities, engine="sharded:3", store=store)
+        served = sharded.coreness(rounds=6)
+        assert sharded.stats.disk_hits == 1
+        fresh = Session(two_communities, engine="sharded:3").coreness(rounds=6)
+        assert served.values == fresh.values
+
+    def test_corrupt_artifact_degrades_to_cold_run(self, tmp_path,
+                                                   two_communities):
+        store = ArtifactStore(tmp_path / "store")
+        session = Session(two_communities, store=store)
+        cold = session.coreness(rounds=6)
+        path = store._trajectory_path(session.fingerprint, 0.0)
+        path.write_bytes(b"corrupted beyond recognition")
+
+        restarted = Session(two_communities, store=store)
+        recomputed = restarted.coreness(rounds=6)
+        assert restarted.stats.disk_misses == 1
+        assert restarted.stats.cold_runs == 1
+        assert recomputed.values == cold.values
+        # The recompute healed the store.
+        assert restarted.stats.disk_writes == 1
+        assert store.load_trajectory(session.fingerprint, 0.0) is not None
 
 
 class TestDensestPhase1Reuse:

@@ -1,0 +1,276 @@
+"""The persistent artifact store: fingerprints, round-trips, corruption, eviction.
+
+Contract under test (see :mod:`repro.store.store`):
+
+* fingerprints are content addresses — stable across conversions, sensitive to
+  any change in topology, weights or node labels;
+* trajectory and result artifacts round-trip bit-identically through ``.npz``;
+* loads are corruption-tolerant: truncated, foreign, schema-mismatching and
+  fingerprint-mismatching files all read as misses, never wrong answers;
+* writes are atomic (no temp files survive) and last-writer-wins;
+* ``purge`` / ``evict`` / ``info`` manage the footprint.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine.base import get_engine
+from repro.errors import StoreError
+from repro.graph.csr import csr_fingerprint, graph_fingerprint, graph_to_csr
+from repro.graph.graph import Graph
+from repro.store import SCHEMA_VERSION, ArtifactStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+@pytest.fixture
+def csr(two_communities):
+    return graph_to_csr(two_communities)
+
+
+@pytest.fixture
+def fingerprint(csr):
+    return csr_fingerprint(csr)
+
+
+class TestFingerprint:
+    def test_stable_across_conversions(self, two_communities):
+        assert graph_fingerprint(two_communities) == \
+            graph_fingerprint(two_communities)
+        assert graph_fingerprint(two_communities) == \
+            csr_fingerprint(graph_to_csr(two_communities))
+
+    def test_is_hex_sha256(self, fingerprint):
+        assert len(fingerprint) == 64
+        assert set(fingerprint) <= set("0123456789abcdef")
+
+    def test_sensitive_to_weights(self):
+        g1 = Graph([("a", "b", 1.0), ("b", "c", 1.0)])
+        g2 = Graph([("a", "b", 1.0), ("b", "c", 2.0)])
+        assert graph_fingerprint(g1) != graph_fingerprint(g2)
+
+    def test_sensitive_to_topology(self):
+        g1 = Graph([("a", "b"), ("b", "c")])
+        g2 = Graph([("a", "b"), ("a", "c")])
+        assert graph_fingerprint(g1) != graph_fingerprint(g2)
+
+    def test_sensitive_to_labels_and_their_types(self):
+        g1 = Graph([(1, 2)])
+        g2 = Graph([("1", "2")])
+        g3 = Graph([(1, 3)])
+        prints = {graph_fingerprint(g) for g in (g1, g2, g3)}
+        assert len(prints) == 3
+
+    def test_sensitive_to_self_loops(self):
+        g1 = Graph([("a", "b")])
+        g2 = Graph([("a", "b"), ("a", "a", 2.0)])
+        assert graph_fingerprint(g1) != graph_fingerprint(g2)
+
+    def test_insertion_order_is_part_of_the_address(self):
+        # The CSR id assignment is insertion order, and stored arrays are
+        # indexed by id — a different order is a different artifact space.
+        g1 = Graph(nodes=["a", "b"])
+        g1.add_edge("a", "b")
+        g2 = Graph(nodes=["b", "a"])
+        g2.add_edge("a", "b")
+        assert graph_fingerprint(g1) != graph_fingerprint(g2)
+
+
+class TestTrajectoryArtifacts:
+    def test_round_trip_bit_identical(self, store, csr, fingerprint):
+        trajectory = get_engine("vectorized").run(
+            csr.to_graph(), 6, track_kept=False).trajectory
+        store.save_trajectory(fingerprint, 0.0, trajectory, labels=csr.labels())
+        loaded = store.load_trajectory(fingerprint, 0.0)
+        assert loaded.dtype == np.float64
+        assert np.array_equal(loaded, trajectory)
+        assert store.trajectory_rounds(fingerprint, 0.0) == 6
+
+    def test_missing_reads_as_none(self, store, fingerprint):
+        assert store.load_trajectory(fingerprint, 0.0) is None
+        assert store.trajectory_rounds(fingerprint, 0.0) is None
+
+    def test_lambda_is_part_of_the_key(self, store, fingerprint):
+        trajectory = np.zeros((3, 4))
+        store.save_trajectory(fingerprint, 0.5, trajectory)
+        assert store.load_trajectory(fingerprint, 0.0) is None
+        assert store.load_trajectory(fingerprint, 0.5) is not None
+
+    def test_last_writer_wins(self, store, fingerprint):
+        store.save_trajectory(fingerprint, 0.0, np.zeros((3, 4)))
+        store.save_trajectory(fingerprint, 0.0, np.ones((5, 4)))
+        assert store.trajectory_rounds(fingerprint, 0.0) == 4
+
+    def test_no_temp_files_survive_a_write(self, store, fingerprint):
+        store.save_trajectory(fingerprint, 0.0, np.zeros((3, 4)))
+        leftovers = [p for p in store.graph_dir(fingerprint).iterdir()
+                     if ".tmp" in p.name]
+        assert leftovers == []
+
+    def test_rejects_non_trajectory_arrays(self, store, fingerprint):
+        with pytest.raises(StoreError):
+            store.save_trajectory(fingerprint, 0.0, np.zeros(4))
+
+    def test_rejects_malformed_fingerprints(self, store):
+        with pytest.raises(StoreError):
+            store.graph_dir("../escape")
+        with pytest.raises(StoreError):
+            store.graph_dir("")
+
+
+class TestCorruptionTolerance:
+    def test_truncated_file_reads_as_miss(self, store, fingerprint):
+        path = store.save_trajectory(fingerprint, 0.0, np.zeros((3, 4)))
+        path.write_bytes(path.read_bytes()[:20])
+        assert store.load_trajectory(fingerprint, 0.0) is None
+
+    def test_garbage_file_reads_as_miss(self, store, fingerprint):
+        path = store.save_trajectory(fingerprint, 0.0, np.zeros((3, 4)))
+        path.write_bytes(b"not a zip archive")
+        assert store.load_trajectory(fingerprint, 0.0) is None
+
+    def test_foreign_fingerprint_reads_as_miss(self, store, fingerprint):
+        # A file copied under the wrong graph directory must not be served.
+        path = store.save_trajectory(fingerprint, 0.0, np.zeros((3, 4)))
+        other = "ab" * 32
+        target = store.graph_dir(other) / path.name
+        target.parent.mkdir(parents=True)
+        target.write_bytes(path.read_bytes())
+        assert store.load_trajectory(other, 0.0) is None
+
+    def test_schema_version_mismatch_reads_as_miss(self, store, csr, fingerprint):
+        path = store.save_trajectory(fingerprint, 0.0, np.zeros((3, 4)))
+        meta = {"schema": "repro-store/999", "kind": "trajectory",
+                "fingerprint": fingerprint, "lam": 0.0, "rounds": 2, "n": 4}
+        store._write_npz(path, meta, {"trajectory": np.zeros((3, 4))})
+        assert store.load_trajectory(fingerprint, 0.0) is None
+
+    def test_shape_metadata_mismatch_reads_as_miss(self, store, fingerprint):
+        path = store.save_trajectory(fingerprint, 0.0, np.zeros((3, 4)))
+        meta = {"schema": SCHEMA_VERSION, "kind": "trajectory",
+                "fingerprint": fingerprint, "lam": 0.0, "rounds": 7, "n": 4}
+        store._write_npz(path, meta, {"trajectory": np.zeros((3, 4))})
+        assert store.load_trajectory(fingerprint, 0.0) is None
+
+    def test_wrong_typed_metadata_reads_as_miss(self, store, fingerprint):
+        path = store.save_trajectory(fingerprint, 0.0, np.zeros((3, 4)))
+        meta = {"schema": SCHEMA_VERSION, "kind": "trajectory",
+                "fingerprint": fingerprint, "lam": 0.0, "rounds": "two", "n": 4}
+        store._write_npz(path, meta, {"trajectory": np.zeros((3, 4))})
+        assert store.load_trajectory(fingerprint, 0.0) is None
+        assert store.trajectory_rounds(fingerprint, 0.0) is None
+
+
+class TestResultArtifacts:
+    def _result(self, graph, rounds=4, track_kept=True):
+        return get_engine("faithful").run(graph, rounds, track_kept=track_kept)
+
+    def test_values_and_kept_round_trip(self, store, two_communities,
+                                        csr, fingerprint):
+        result = self._result(two_communities)
+        store.save_result(fingerprint, result, lam=0.0, tie_break="history",
+                          track_kept=True, labels=csr.labels())
+        loaded = store.load_result(fingerprint, rounds=4, lam=0.0,
+                                   tie_break="history", track_kept=True,
+                                   labels=csr.labels(), grid=result.grid)
+        assert loaded.values == result.values
+        assert loaded.kept == result.kept
+        assert loaded.rounds == result.rounds
+        assert loaded.guarantee == result.guarantee
+        assert loaded.stats_summary == result.stats_summary
+
+    def test_request_key_fields_address_distinct_artifacts(
+            self, store, two_communities, csr, fingerprint):
+        result = self._result(two_communities)
+        store.save_result(fingerprint, result, lam=0.0, tie_break="history",
+                          track_kept=True, labels=csr.labels())
+        for rounds, tie_break, track_kept in (
+                (5, "history", True), (4, "stable", True), (4, "history", False)):
+            assert store.load_result(
+                fingerprint, rounds=rounds, lam=0.0, tie_break=tie_break,
+                track_kept=track_kept, labels=csr.labels(),
+                grid=result.grid) is None
+
+    def test_node_count_mismatch_reads_as_miss(self, store, two_communities,
+                                               csr, fingerprint):
+        result = self._result(two_communities)
+        store.save_result(fingerprint, result, lam=0.0, tie_break="history",
+                          track_kept=True, labels=csr.labels())
+        assert store.load_result(fingerprint, rounds=4, lam=0.0,
+                                 tie_break="history", track_kept=True,
+                                 labels=csr.labels()[:-1], grid=result.grid) is None
+
+
+class TestManagement:
+    def _populate(self, store, fingerprint, lams=(0.0, 0.5)):
+        for lam in lams:
+            store.save_trajectory(fingerprint, lam, np.zeros((3, 4)))
+
+    def test_info_counts_files_and_bytes(self, store, fingerprint):
+        self._populate(store, fingerprint)
+        info = store.info()
+        assert [row["fingerprint"] for row in info["graphs"]] == [fingerprint]
+        assert info["files"] == 3  # 2 trajectories + graph.json
+        assert info["bytes"] > 0
+        assert info["graphs"][0]["kinds"] == ["graph", "trajectory"]
+
+    def test_graph_json_uses_the_serialize_protocol(self, store, fingerprint):
+        store.save_trajectory(fingerprint, 0.0, np.zeros((3, 4)),
+                              labels=(1, "1", (2, 3), None))
+        meta = json.loads(
+            (store.graph_dir(fingerprint) / "graph.json").read_text())
+        assert meta["schema"] == SCHEMA_VERSION
+        assert meta["sample_labels"] == [1, "1", "(2, 3)", None]
+
+    def test_purge_one_graph(self, store, fingerprint):
+        other = "ab" * 32
+        self._populate(store, fingerprint)
+        self._populate(store, other, lams=(0.0,))
+        removed = store.purge(fingerprint)
+        assert removed == 3
+        assert store.fingerprints() == (other,)
+
+    def test_purge_everything(self, store, fingerprint):
+        self._populate(store, fingerprint)
+        assert store.purge() == 3
+        assert store.fingerprints() == ()
+        assert store.info()["files"] == 0
+
+    def test_purge_empty_store_is_a_noop(self, store):
+        assert store.purge() == 0
+
+    def test_evict_drops_oldest_until_under_budget(self, store, fingerprint):
+        import os
+
+        paths = [store.save_trajectory(fingerprint, lam, np.zeros((3, 4)))
+                 for lam in (0.0, 0.25, 0.5)]
+        # Pin distinct mtimes so the LRU order is deterministic.
+        for age, path in enumerate(paths):
+            os.utime(path, (1_000_000 + age, 1_000_000 + age))
+        sizes = [p.stat().st_size for p in paths]
+        removed = store.evict(max_bytes=sizes[1] + sizes[2])
+        assert removed == 1
+        assert not paths[0].exists()
+        assert paths[1].exists() and paths[2].exists()
+
+    def test_evict_to_zero_clears_the_store(self, store, fingerprint):
+        self._populate(store, fingerprint)
+        assert store.evict(max_bytes=0) == 2
+        assert store.fingerprints() == ()
+
+    def test_evict_rejects_negative_budget(self, store):
+        with pytest.raises(StoreError):
+            store.evict(max_bytes=-1)
+
+    def test_root_must_be_a_directory(self, tmp_path):
+        rogue = tmp_path / "file"
+        rogue.write_text("x")
+        with pytest.raises(StoreError):
+            ArtifactStore(rogue)

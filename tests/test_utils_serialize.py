@@ -1,0 +1,88 @@
+"""The JSON node-label protocol — repro.utils.serialize.
+
+Pins the contract the uniform ``to_dict()`` result protocol (and the artifact
+store's ``graph.json`` metadata) relies on: per-node maps serialize as
+*collision-free, order-preserving lists of pairs*.  A str-keyed JSON object
+would silently merge the int node ``1`` with the string node ``"1"``; the pair
+encoding keeps every distinct hashable label a distinct entry, survives
+``json.dumps``/``loads`` round-trips, and represents non-scalar labels
+(tuples, frozensets, mixed types) unambiguously via ``repr``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.utils.serialize import json_node, json_value_pairs
+
+
+class TestJsonNode:
+    @pytest.mark.parametrize("scalar", [None, True, False, 0, -3, 2.5, "x", ""])
+    def test_json_scalars_pass_through_unchanged(self, scalar):
+        assert json_node(scalar) is scalar
+
+    def test_tuple_labels_serialize_as_repr(self):
+        assert json_node((1, 2)) == "(1, 2)"
+        assert json_node(("a", 3)) == "('a', 3)"
+        assert json_node(()) == "()"
+
+    def test_frozenset_labels_serialize_as_repr(self):
+        label = frozenset([3])
+        assert json_node(label) == repr(label)
+        assert json_node(label).startswith("frozenset(")
+
+    def test_nested_labels_serialize_as_repr(self):
+        label = (1, ("a", 2.5))
+        assert json_node(label) == "(1, ('a', 2.5))"
+
+    def test_every_output_is_json_representable(self):
+        labels = [None, 1, "1", 2.5, True, (1, 2), frozenset([7]), ("x", (8,))]
+        encoded = json.dumps([json_node(label) for label in labels])
+        assert json.loads(encoded) is not None
+
+
+class TestJsonValuePairs:
+    def test_round_trips_through_json(self):
+        values = {(1, 2): 0.5, "node": 1.25, 7: 2.0}
+        pairs = json_value_pairs(values)
+        assert json.loads(json.dumps(pairs)) == [["(1, 2)", 0.5],
+                                                 ["node", 1.25], [7, 2.0]]
+
+    def test_mapping_order_is_preserved(self):
+        values = {"c": 1.0, "a": 2.0, "b": 3.0}
+        assert [node for node, _ in json_value_pairs(values)] == ["c", "a", "b"]
+
+    def test_int_and_str_nodes_do_not_collide(self):
+        # The reason pairs exist at all: a {str(node): value} object would
+        # merge these two nodes into one key.
+        values = {1: 10.0, "1": 20.0}
+        pairs = json_value_pairs(values)
+        assert len(pairs) == 2
+        assert pairs == [[1, 10.0], ["1", 20.0]]
+        decoded = json.loads(json.dumps(pairs))
+        assert decoded[0][0] == 1 and decoded[0][0] is not True
+        assert decoded[1][0] == "1"
+
+    def test_mixed_non_scalar_labels_stay_distinct(self):
+        values = {(1, 2): 1.0, "(1, 2)": 2.0, frozenset([1]): 3.0, 1: 4.0}
+        pairs = json_value_pairs(values)
+        assert len(pairs) == len(values)
+        # The tuple node and the string spelled like its repr map to the same
+        # JSON label — documented lossiness of the repr fallback — but they
+        # remain *separate entries*, so no value is silently dropped.
+        assert [value for _, value in pairs] == [1.0, 2.0, 3.0, 4.0]
+
+    def test_empty_mapping(self):
+        assert json_value_pairs({}) == []
+
+    def test_matches_result_to_dict_protocol(self, two_communities):
+        # The protocol consumer: problem results serialize per-node maps
+        # exactly through these helpers.
+        from repro.session import Session
+
+        result = Session(two_communities).coreness(rounds=3)
+        payload = result.to_dict()
+        assert payload["values"] == json_value_pairs(result.values)
+        json.dumps(payload)  # representable end-to-end
