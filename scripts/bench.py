@@ -14,10 +14,16 @@ Times, on seeded Barabási–Albert and Erdős–Rényi graphs:
   `Session.coreness` requests per engine;
 * **store** — a cold run against a fresh persistent artifact store vs a
   warm-*restart*-from-disk (a brand-new `Session(store=...)` on the same
-  graph), with a bit-identical check — the perf trajectory of `repro.store`.
+  graph), with a bit-identical check — the perf trajectory of `repro.store`;
+* **out_of_core** — the memory-mapped CSR mode (`sharded:storage=mmap`,
+  sequential and process-pool): cold (materialise the arrays on disk, then
+  run over `np.memmap` views) vs warm (files revalidated by fingerprint, no
+  rewrite), against the in-memory sharded baseline, with a bit-identical
+  check and the on-disk array footprint — the perf trajectory of
+  `repro.graph.mmap_csr`.
 
 Results are written as machine-readable JSON (``--out``, default
-``BENCH_PR4.json`` at the repo root) so future PRs have a baseline to regress
+``BENCH_PR5.json`` at the repo root) so future PRs have a baseline to regress
 against::
 
     python scripts/bench.py                     # full run (10k-200k nodes)
@@ -26,13 +32,15 @@ against::
     python scripts/bench.py --out /tmp/b.json   # parameterised output path
 
 The JSON schema (validated by ``tests/test_bench_harness.py``) is
-``{"schema": "repro-bench/2", "machine": {...}, "params": {...},
-"engines": [...], "kept_sets": [...], "sessions": [...], "store": [...]}``;
-every row carries its graph, timings and speedups (``repro-bench/1``
-documents — without the ``store`` section — still validate, so the committed
-PR3 trajectory stays checkable).  Speedup claims are only meaningful relative
-to ``machine.cpu_count`` — process parallelism cannot beat the baseline on a
-single-CPU container, and the JSON records that context instead of hiding it.
+``{"schema": "repro-bench/3", "machine": {...}, "params": {...},
+"engines": [...], "kept_sets": [...], "sessions": [...], "store": [...],
+"out_of_core": [...]}``; every row carries its graph, timings and speedups.
+Legacy documents still validate minus the sections added later
+(``repro-bench/1`` without ``store``, ``repro-bench/2`` without
+``out_of_core``), so the committed PR3/PR4 trajectories stay checkable.
+Speedup claims are only meaningful relative to ``machine.cpu_count`` —
+process parallelism cannot beat the baseline on a single-CPU container, and
+the JSON records that context instead of hiding it.
 """
 
 from __future__ import annotations
@@ -65,15 +73,20 @@ from repro.graph.generators.random_graphs import (  # noqa: E402
 from repro.session import Session  # noqa: E402
 from repro.store import ArtifactStore  # noqa: E402
 
-SCHEMA = "repro-bench/2"
+SCHEMA = "repro-bench/3"
 
 #: Older schemas validate_document still accepts (minus the newer sections).
-LEGACY_SCHEMAS = ("repro-bench/1",)
+LEGACY_SCHEMAS = ("repro-bench/1", "repro-bench/2")
 
 #: Keys every emitted document must carry (pinned by the bench smoke test);
-#: ``store`` only exists from schema 2 on.
+#: ``store`` only exists from schema 2 on, ``out_of_core`` from schema 3.
 REQUIRED_TOP_LEVEL = ("schema", "generated_by", "smoke", "machine", "params",
-                      "engines", "kept_sets", "sessions", "store")
+                      "engines", "kept_sets", "sessions", "store",
+                      "out_of_core")
+
+#: Sections absent from the legacy schemas (schema -> missing keys).
+_LEGACY_MISSING = {"repro-bench/1": ("store", "out_of_core"),
+                   "repro-bench/2": ("out_of_core",)}
 
 #: Largest graph the faithful per-node simulator is timed on.
 FAITHFUL_MAX_NODES = 20_000
@@ -250,6 +263,59 @@ def bench_store(graphs, rounds, log):
     return rows
 
 
+def bench_out_of_core(graphs, rounds, shards, workers, repeats, log):
+    """The memory-mapped CSR mode against the in-memory sharded baseline.
+
+    ``cold`` pays the one-time materialisation of the arrays under the
+    store layout plus the mapped run; ``warm`` re-runs with the files already
+    on disk (revalidated by fingerprint, not rewritten).  Both must be
+    bit-identical to the in-memory trajectory.
+    """
+    from repro.engine.sharded import ShardedEngine
+
+    rows = []
+    for graph_name, graph in graphs:
+        csr = graph_to_csr(graph)
+        baseline_engine = get_engine("sharded", num_shards=shards)
+        baseline_seconds = best_of(
+            lambda: baseline_engine.run(graph, rounds, track_kept=False, csr=csr),
+            repeats)
+        reference = baseline_engine.run(graph, rounds, track_kept=False, csr=csr)
+        for label, options in (
+                ("mmap-seq", {}),
+                ("mmap-process", {"max_workers": workers,
+                                  "parallel": "process"})):
+            with tempfile.TemporaryDirectory(prefix="repro-bench-mmap-") as tmp:
+                engine = ShardedEngine(num_shards=shards, storage="mmap",
+                                       storage_dir=tmp, **options)
+                start = time.perf_counter()
+                result = engine.run(graph, rounds, track_kept=False, csr=csr)
+                cold = time.perf_counter() - start
+                warm = best_of(
+                    lambda: engine.run(graph, rounds, track_kept=False, csr=csr),
+                    repeats)
+                mapped = next(iter(engine._mapped_cache.values()))
+                csr_bytes = sum(Path(path).stat().st_size
+                                for path, _, _ in mapped.file_specs().values())
+                identical = bool(np.array_equal(result.trajectory,
+                                                reference.trajectory))
+                rows.append({
+                    "graph": graph_name, "n": graph.num_nodes,
+                    "m": graph.num_edges, "rounds": rounds, "config": label,
+                    "cold_seconds": round(cold, 6),
+                    "warm_seconds": round(warm, 6),
+                    "in_memory_seconds": round(baseline_seconds, 6),
+                    "slowdown_vs_memory": round(warm / baseline_seconds, 4)
+                    if baseline_seconds > 0 else float("inf"),
+                    "csr_bytes_on_disk": csr_bytes,
+                    "identical": identical,
+                })
+                log(f"  mmap    {graph_name:>12s} {label:<16s} cold {cold:7.3f}s "
+                    f"warm {warm:7.3f}s memory {baseline_seconds:7.3f}s "
+                    f"disk {csr_bytes / 1e6:8.1f}MB identical={identical}")
+    return rows
+
+
 def run_benchmarks(sizes, rounds, shards, workers, repeats, seed, smoke,
                    log=lambda line: None) -> dict:
     graphs = list(_graphs(sizes, seed))
@@ -268,6 +334,8 @@ def run_benchmarks(sizes, rounds, shards, workers, repeats, seed, smoke,
         "kept_sets": bench_kept_sets(graphs, rounds, repeats, log),
         "sessions": bench_sessions(graphs, rounds, shards, workers, log),
         "store": bench_store(graphs, rounds, log),
+        "out_of_core": bench_out_of_core(graphs, rounds, shards, workers,
+                                         repeats, log),
     }
     return document
 
@@ -282,8 +350,8 @@ def validate_document(document: dict) -> None:
     schema = document.get("schema")
     if schema != SCHEMA and schema not in LEGACY_SCHEMAS:
         raise ValueError(f"unknown bench schema {schema!r}")
-    required = REQUIRED_TOP_LEVEL if schema == SCHEMA else tuple(
-        key for key in REQUIRED_TOP_LEVEL if key != "store")
+    missing_ok = _LEGACY_MISSING.get(schema, ())
+    required = tuple(key for key in REQUIRED_TOP_LEVEL if key not in missing_ok)
     for key in required:
         if key not in document:
             raise ValueError(f"bench document is missing the {key!r} key")
@@ -317,8 +385,18 @@ def validate_document(document: dict) -> None:
             raise ValueError(f"store row is not bit-identical: {row}")
         if row["disk_hits"] < 1:
             raise ValueError(f"store restart did not hit the disk: {row}")
-    if not all(document[key] for key in ("engines", "kept_sets", "sessions")
-               + (("store",) if schema == SCHEMA else ())):
+    for row in document.get("out_of_core", ()):
+        for key in ("graph", "config", "cold_seconds", "warm_seconds",
+                    "in_memory_seconds", "csr_bytes_on_disk", "identical"):
+            if key not in row:
+                raise ValueError(f"out_of_core row is missing {key!r}: {row}")
+        if not row["identical"]:
+            raise ValueError(f"out_of_core row is not bit-identical: {row}")
+        if row["csr_bytes_on_disk"] <= 0:
+            raise ValueError(f"out_of_core row mapped no bytes: {row}")
+    if not all(document[key] for key in required
+               if key not in ("schema", "generated_by", "smoke", "machine",
+                              "params")):
         raise ValueError("bench document has an empty section")
 
 
@@ -336,9 +414,9 @@ def main() -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="seconds-long run on one small graph (CI)")
     parser.add_argument("--out", "--output", dest="output", type=Path,
-                        default=REPO_ROOT / "BENCH_PR4.json",
+                        default=REPO_ROOT / "BENCH_PR5.json",
                         help="where to write the JSON document "
-                             "(default: BENCH_PR4.json at the repo root)")
+                             "(default: BENCH_PR5.json at the repo root)")
     args = parser.parse_args()
 
     sizes = [2_000] if args.smoke else args.sizes

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # CI / pre-merge check: tier-1 tests, smoke runs of every example, the
 # unified benchmark harness (engines x parallel modes, kept-set
-# reconstruction, cold/warm sessions, store restart — scripts/bench.py),
-# the warm-session throughput benchmark (>= 2x over cold per-call on
-# repeated mixed requests), the persistent-store smoke (second run served
-# from disk, bit-identical) and the `repro cache` CLI smoke.
+# reconstruction, cold/warm sessions, store restart, out-of-core mmap —
+# scripts/bench.py), the out-of-core mmap smoke (small graph forced through
+# storage=mmap, bit-identical to in-memory), the warm-session throughput
+# benchmark (>= 2x over cold per-call on repeated mixed requests), the
+# persistent-store smoke (second run served from disk, bit-identical) and
+# the `repro cache` CLI smoke.
 #
 # Usage:  ./scripts/check.sh            (from anywhere; repo root is inferred)
 set -euo pipefail
@@ -32,6 +34,23 @@ echo "== unified benchmark harness (smoke) =="
 python scripts/bench.py --smoke --output "$(mktemp -t bench_smoke.XXXXXX.json)"
 
 echo
+echo "== out-of-core mmap smoke (storage=mmap bit-identical to in-memory) =="
+python - <<'PY'
+import numpy as np
+from repro.engine import get_engine
+from repro.graph.generators.random_graphs import barabasi_albert
+
+graph = barabasi_albert(2000, 3, seed=21)
+memory = get_engine("sharded:4").run(graph, 8, track_kept=True)
+mapped = get_engine("sharded:shards=4,storage=mmap").run(graph, 8, track_kept=True)
+assert mapped.values == memory.values, "mmap values differ from in-memory"
+assert mapped.kept == memory.kept, "mmap kept sets differ from in-memory"
+assert np.array_equal(mapped.trajectory, memory.trajectory), \
+    "mmap trajectory is not bit-identical"
+print("mmap smoke: storage=mmap bit-identical on n=2000 (8 rounds)")
+PY
+
+echo
 echo "== session throughput (warm Session vs cold per-call) =="
 python scripts/bench_session.py --nodes 10000 --requests 50 --require 2.0
 
@@ -44,8 +63,11 @@ echo "== repro cache CLI smoke =="
 STORE_DIR="$(mktemp -d -t repro_cache_smoke.XXXXXX)"
 trap 'rm -rf "$STORE_DIR"' EXIT
 python -m repro batch --dataset caveman --rounds 6 --store "$STORE_DIR" > /dev/null
-python -m repro batch --dataset caveman --rounds 6 --store "$STORE_DIR" --async \
-    | grep -q "disk_hits=1" || { echo "cache smoke: second run missed the store"; exit 1; }
+# Capture instead of piping into `grep -q`: under pipefail, grep exiting on
+# the first match would SIGPIPE the still-printing CLI and fail the check.
+BATCH_OUT="$(python -m repro batch --dataset caveman --rounds 6 --store "$STORE_DIR" --async)"
+grep -q "disk_hits=1" <<< "$BATCH_OUT" \
+    || { echo "cache smoke: second run missed the store"; exit 1; }
 python -m repro cache ls --store "$STORE_DIR"
 python -m repro cache info --store "$STORE_DIR" > /dev/null
 python -m repro cache purge --store "$STORE_DIR" | grep -q "purged" \

@@ -49,6 +49,7 @@ from repro.errors import (
     AlgorithmError,
     ConvergenceError,
     GraphError,
+    InvalidLambdaError,
     ProtocolError,
     ReproError,
     ServeError,
@@ -57,6 +58,7 @@ from repro.errors import (
 )
 from repro.graph.csr import csr_fingerprint, graph_fingerprint
 from repro.graph.datasets import list_datasets, load_dataset
+from repro.graph.mmap_csr import MappedCSR, mmap_csr
 from repro.graph.graph import Graph
 from repro.problems import (
     Problem,
@@ -91,10 +93,13 @@ __all__ = [
     "available_engines",
     "BatchRunner",
     "BatchJob",
+    "MappedCSR",
+    "mmap_csr",
     "ReproError",
     "GraphError",
     "ProtocolError",
     "SimulationError",
     "AlgorithmError",
+    "InvalidLambdaError",
     "ConvergenceError",
 ]

@@ -7,6 +7,7 @@ dataset) without writing Python::
     python -m repro coreness --input graph.edges --rounds 8 --output values.tsv
     python -m repro coreness --dataset social-ba --epsilon 0.5 --engine sharded:4
     python -m repro coreness --dataset social-ba --epsilon 0.5 --engine sharded --parallel process --workers 4
+    python -m repro coreness --dataset social-ba --epsilon 0.5 --engine sharded --storage mmap
     python -m repro orientation --dataset caveman --weighted --epsilon 0.5
     python -m repro densest --input graph.edges --epsilon 1.0
     python -m repro batch --dataset caveman --dataset communities --epsilon 0.5 --rounds 4
@@ -74,6 +75,12 @@ def _build_parser() -> argparse.ArgumentParser:
                               "(process breaks the GIL via shared memory)")
         sub.add_argument("--workers", type=int, default=None, metavar="N",
                          help="pool size for --parallel (default: the CPU count)")
+        sub.add_argument("--storage", choices=("memory", "mmap", "auto"),
+                         default=None,
+                         help="where the sharded engine keeps the CSR arrays: "
+                              "'mmap' streams them from memory-mapped files "
+                              "(out-of-core), 'auto' spills only when a --store "
+                              "is set and the graph exceeds the threshold")
 
     coreness_parser = subparsers.add_parser(
         "coreness", help="approximate coreness / maximal density per node (Theorem I.1)")
@@ -163,6 +170,8 @@ def _resolve_engine(args: argparse.Namespace):
         options["parallel"] = args.parallel
     if args.workers is not None:
         options["max_workers"] = args.workers
+    if getattr(args, "storage", None) is not None:
+        options["storage"] = args.storage
     return get_engine(args.engine, **options)
 
 
@@ -185,8 +194,9 @@ def _command_datasets(out) -> int:
 def _command_engines(out) -> int:
     rows = [[name, get_engine(name).describe()] for name in available_engines()]
     print(format_table(["name", "description"], rows), file=out)
-    print("# specs may carry options, e.g. 'sharded:4', 'sharded:shards=4,max_workers=2'\n"
-          "# or 'sharded:workers=4,parallel=process' (also: --parallel/--workers flags)",
+    print("# specs may carry options, e.g. 'sharded:4', 'sharded:shards=4,max_workers=2',\n"
+          "# 'sharded:workers=4,parallel=process' or 'sharded:storage=mmap' (out-of-core;\n"
+          "# also: --parallel/--workers/--storage flags)",
           file=out)
     return 0
 
@@ -207,11 +217,14 @@ def _command_cache(args: argparse.Namespace, out) -> int:
         return 0
     info = store.info(args.fingerprint)
     if args.action == "ls":
-        rows = [[row["fingerprint"][:16], row["files"], row["bytes"],
-                 ",".join(row["kinds"])] for row in info["graphs"]]
+        # Full fingerprints: `purge`/`info --fingerprint` require the exact
+        # 64-char address, so ls must print something copy-pasteable.
+        rows = [[row["fingerprint"], row["files"], row["bytes"],
+                 row.get("csr_bytes", 0), ",".join(row["kinds"])]
+                for row in info["graphs"]]
         if rows:
-            print(format_table(["fingerprint", "files", "bytes", "kinds"], rows),
-                  file=out)
+            print(format_table(["fingerprint", "files", "bytes", "csr_bytes",
+                                "kinds"], rows), file=out)
         else:
             print("(store is empty)", file=out)
     print(f"# store={info['root']} graphs={len(info['graphs'])} "
@@ -361,6 +374,9 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         if args.command == "densest":
             return _command_densest(args, out)
     except ReproError as exc:
+        # Covers InvalidLambdaError too (a non-finite --lam rejected at the
+        # boundary): it is a ReproError first, a ValueError second — so
+        # arbitrary internal ValueErrors still surface as tracebacks.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except FileNotFoundError as exc:

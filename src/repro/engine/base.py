@@ -17,13 +17,15 @@ name          implementation
               ranges, bounding peak memory to one shard's frontier arrays;
               optionally fanned out over a thread pool
               (``parallel=thread``) or — breaking the GIL ceiling — over a
-              shared-memory process pool (``parallel=process``)
+              shared-memory process pool (``parallel=process``); with
+              ``storage=mmap`` the CSR arrays stream from memory-mapped
+              files on disk (out-of-core; see :mod:`repro.graph.mmap_csr`)
 ============  ===============================================================
 
 Engines are resolved by name through :func:`get_engine`, which also accepts an
 *engine spec* carrying inline options, e.g. ``"sharded:4"`` (4 shards),
-``"sharded:shards=4,workers=2"`` or
-``"sharded:workers=4,parallel=process"``.  Third-party backends can hook in with
+``"sharded:shards=4,workers=2"``, ``"sharded:workers=4,parallel=process"`` or
+``"sharded:storage=mmap"``.  Third-party backends can hook in with
 :func:`register_engine`; the registry is the extension point for every future
 execution backend (multiprocessing, GPU, out-of-core...).
 """
@@ -212,7 +214,8 @@ def _make_vectorized(**options) -> Engine:
 
 
 #: Friendly spelling aliases accepted in sharded engine specs.
-_SHARDED_OPTION_ALIASES = {"shards": "num_shards", "workers": "max_workers"}
+_SHARDED_OPTION_ALIASES = {"shards": "num_shards", "workers": "max_workers",
+                           "dir": "storage_dir", "spill": "spill_bytes"}
 
 
 def _make_sharded(**options) -> Engine:

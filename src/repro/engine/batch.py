@@ -149,7 +149,11 @@ class BatchRunner:
         self.engine: Engine = get_engine(engine, **engine_options)
         #: persistent artifact store handed to every opened session (optional;
         #: an :class:`~repro.store.ArtifactStore` or its root directory), so
-        #: batch runs resume from — and extend — the on-disk cache.
+        #: batch runs resume from — and extend — the on-disk cache.  When the
+        #: engine supports memory-mapped storage (the sharded engine), the
+        #: sessions also bind the store root for out-of-core auto-spill:
+        #: graphs whose edge arrays exceed the engine's ``spill_bytes`` run
+        #: over mapped files under ``<store>/<fingerprint>/csr/``.
         self.store = store
         self.max_cached_results = max_cached_results
         # id() keys require keeping the graph alive; the Session holds it.

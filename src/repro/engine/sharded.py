@@ -22,13 +22,35 @@ Three execution modes, selected by ``parallel``:
   pickling of graph data; see :mod:`repro.engine.shm`), which breaks the GIL
   ceiling entirely.
 
-All three modes produce bit-identical trajectories (the cross-engine
-equivalence suite pins this down to the float64 representation).
+Orthogonally, ``storage`` selects where the CSR arrays *live* during the run:
+
+* ``None`` (auto) — in memory, unless a storage directory has been bound (a
+  :class:`~repro.session.Session` with a persistent store binds its root) and
+  the edge arrays exceed ``spill_bytes``, in which case the run spills;
+* ``"memory"`` — always in memory, never spills;
+* ``"mmap"`` — the out-of-core mode: the arrays are materialised once under
+  ``<storage_dir>/<fingerprint>/csr/`` (:mod:`repro.graph.mmap_csr` — the
+  artifact store's per-fingerprint layout, written atomically and revalidated
+  by content fingerprint) and the round kernels execute over read-only
+  ``np.memmap`` views, so resident memory stays O(n + shard frontier) while
+  the O(m) arrays page in from disk on demand.  In ``parallel="process"``
+  mode the workers map the *same files by path* instead of attaching CSR
+  shared-memory blocks — only the two double-buffered value vectors stay in
+  shared memory.
+
+All modes produce bit-identical trajectories: the kernels run the same float64
+operations in the same order whether their operands are in RAM, shared memory
+or a mapped file (the cross-engine equivalence suite pins this down to the
+float64 representation).
 """
 
 from __future__ import annotations
 
 import os
+import tempfile
+import weakref
+from collections import OrderedDict
+from pathlib import Path
 from typing import Optional
 
 import numpy as np
@@ -42,6 +64,20 @@ DEFAULT_SHARD_NODES = 16384
 
 #: Accepted values of the ``parallel`` option (``None`` = sequential shards).
 PARALLEL_MODES = (None, "thread", "process")
+
+#: Accepted values of the ``storage`` option (``None`` = auto: spill to a
+#: bound directory only when the edge arrays exceed the threshold).
+STORAGE_MODES = (None, "memory", "mmap")
+
+#: Auto-spill threshold: edge arrays (indices + weights) beyond this many
+#: bytes run memory-mapped when a storage directory is bound (256 MiB).
+DEFAULT_SPILL_BYTES = 256 * 1024 * 1024
+
+#: Most-recently-used mapped graphs an engine keeps open at once.  Each
+#: cached view pins four ``np.memmap`` file descriptors, so an engine shared
+#: across many graphs (a long-lived BatchRunner) must not grow unboundedly;
+#: an evicted view simply re-opens (cheap revalidation) on its next request.
+MAX_MAPPED_GRAPHS = 8
 
 
 class ShardedEngine(TrajectoryEngine):
@@ -61,13 +97,30 @@ class ShardedEngine(TrajectoryEngine):
     parallel:
         ``None`` (sequential, the memory-bounded default), ``"thread"`` or
         ``"process"`` — see the module docstring.
+    storage:
+        ``None`` (auto-spill when a directory is bound and the graph is big),
+        ``"memory"`` (never spill) or ``"mmap"`` (always run over mapped
+        arrays) — see the module docstring.
+    storage_dir:
+        Root directory for the mapped arrays (the artifact-store root when a
+        session binds one).  ``storage="mmap"`` without a directory maps into
+        a private temporary directory owned by the engine instance.
+    spill_bytes:
+        Auto-spill threshold in edge-array bytes (default
+        :data:`DEFAULT_SPILL_BYTES`); only consulted when ``storage`` is auto.
     """
 
     name = "sharded"
 
+    #: Session wiring hook: engines exposing this accept a bound storage root.
+    supports_mmap = True
+
     def __init__(self, num_shards: Optional[int] = None,
                  max_workers: Optional[int] = None,
-                 parallel: Optional[str] = None) -> None:
+                 parallel: Optional[str] = None,
+                 storage: Optional[str] = None,
+                 storage_dir=None,
+                 spill_bytes: Optional[int] = None) -> None:
         if num_shards is not None and num_shards < 1:
             raise AlgorithmError(f"num_shards must be >= 1, got {num_shards}")
         if max_workers is not None and max_workers < 1:
@@ -80,12 +133,123 @@ class ShardedEngine(TrajectoryEngine):
             raise AlgorithmError(
                 f"unknown parallel mode {parallel!r}; expected one of "
                 f"{', '.join(repr(m) for m in PARALLEL_MODES)}")
+        if isinstance(storage, str):
+            storage = storage.strip().lower() or None
+            if storage in ("none", "auto"):
+                storage = None
+        if storage not in STORAGE_MODES:
+            raise AlgorithmError(
+                f"unknown storage mode {storage!r}; expected one of "
+                f"'memory', 'mmap' or 'auto'")
+        if spill_bytes is not None and spill_bytes < 0:
+            raise AlgorithmError(f"spill_bytes must be >= 0, got {spill_bytes}")
         if parallel is None and max_workers is not None:
             parallel = "thread"  # historical spelling: workers implied threads
         self.num_shards = num_shards
         self.max_workers = max_workers
         self.parallel = parallel
+        self.storage = storage
+        self.storage_dir = Path(storage_dir) if storage_dir is not None else None
+        self.spill_bytes = DEFAULT_SPILL_BYTES if spill_bytes is None \
+            else int(spill_bytes)
+        self._private_dir: Optional[tempfile.TemporaryDirectory] = None
+        #: whether storage_dir came from bind_storage (a session's store)
+        #: rather than the constructor — rebinding to a *different* store is
+        #: then a configuration error, not something to silently ignore.
+        self._bound_dir = False
+        #: fingerprint -> MappedCSR views this engine already opened (LRU,
+        #: at most MAX_MAPPED_GRAPHS); the revalidation in materialize_csr is
+        #: cheap but re-opening maps per round-loop call is not free, and
+        #: repeated requests on one graph are the session layer's whole shape.
+        self._mapped_cache: "OrderedDict[str, object]" = OrderedDict()
+        #: id(csr) -> (weakref to the csr, fingerprint): hashing the O(m)
+        #: arrays once per *graph* instead of once per call.  The weakref
+        #: guards against id() reuse after a graph is collected.
+        self._fingerprints: dict = {}
 
+    # ------------------------------------------------------------------ storage
+    def bind_storage(self, root, *, spill_bytes: Optional[int] = None) -> None:
+        """Give the engine a directory for memory-mapped CSR arrays.
+
+        Called by :class:`~repro.session.Session` when a persistent store is
+        configured, so out-of-core runs spill into the store's own
+        per-fingerprint layout.  An explicitly constructed ``storage_dir``
+        wins — binding never overrides it — but binding one engine instance
+        to *two different* stores is a configuration error (the second
+        store's sessions would silently spill into the first store's root,
+        which its ``purge``/``evict`` then own) and raises.
+        """
+        root = Path(root)
+        if self.storage_dir is None:
+            self.storage_dir = root
+            self._bound_dir = True
+        elif self._bound_dir and self.storage_dir != root:
+            raise AlgorithmError(
+                f"engine already spills into {self.storage_dir}; one engine "
+                f"instance cannot serve a second store at {root} — construct "
+                f"a separate engine (or pass storage_dir=) per store")
+        if spill_bytes is not None:
+            self.spill_bytes = int(spill_bytes)
+
+    def _storage_root(self) -> Path:
+        """The directory mapped arrays live under (private tmp as last resort)."""
+        if self.storage_dir is not None:
+            return self.storage_dir
+        if self._private_dir is None:
+            self._private_dir = tempfile.TemporaryDirectory(prefix="repro-mmap-")
+        return Path(self._private_dir.name)
+
+    def _uses_mmap(self, csr) -> bool:
+        """Whether this run executes over mapped arrays (see module docstring)."""
+        if self.storage == "mmap":
+            return True
+        if self.storage == "memory":
+            return False
+        if self.storage_dir is None:
+            return False
+        from repro.graph.mmap_csr import csr_edge_bytes
+
+        return csr_edge_bytes(csr) >= self.spill_bytes
+
+    def _fingerprint_of(self, csr) -> str:
+        """The (memoised) content fingerprint of ``csr``.
+
+        Hashing the O(m) arrays every call would dominate warm requests on
+        exactly the graphs this mode targets, so the digest is computed once
+        per live CSR object; a weakref detects id() reuse after collection.
+        """
+        from repro.graph.csr import csr_fingerprint
+
+        key = id(csr)
+        hit = self._fingerprints.get(key)
+        if hit is not None and hit[0]() is csr:
+            return hit[1]
+        fingerprint = csr_fingerprint(csr)
+        # Opportunistically drop entries whose csr was collected (their ids
+        # may be reused by unrelated objects, and the dict must not grow
+        # with every graph the engine ever saw).
+        dead = [k for k, (ref, _) in self._fingerprints.items() if ref() is None]
+        for k in dead:
+            del self._fingerprints[k]
+        self._fingerprints[key] = (weakref.ref(csr), fingerprint)
+        return fingerprint
+
+    def _mapped_view(self, csr):
+        """The (LRU-cached) :class:`~repro.graph.mmap_csr.MappedCSR` of ``csr``."""
+        from repro.graph.mmap_csr import mmap_csr
+
+        fingerprint = self._fingerprint_of(csr)
+        hit = self._mapped_cache.get(fingerprint)
+        if hit is None:
+            hit = mmap_csr(csr, self._storage_root(), fingerprint=fingerprint)
+            self._mapped_cache[fingerprint] = hit
+            while len(self._mapped_cache) > MAX_MAPPED_GRAPHS:
+                self._mapped_cache.popitem(last=False)  # drops 4 memmap fds
+        else:
+            self._mapped_cache.move_to_end(fingerprint)
+        return hit
+
+    # ---------------------------------------------------------------- execution
     def effective_workers(self) -> int:
         """The pool size a parallel mode will actually use."""
         if self.parallel is None:
@@ -108,19 +272,23 @@ class ShardedEngine(TrajectoryEngine):
 
     def trajectory(self, csr, rounds, *, lam=0.0, prefix=None) -> np.ndarray:
         plan = self.plan_for(csr.num_nodes)
+        view, csr_files = csr, None
+        if self._uses_mmap(csr):
+            view = self._mapped_view(csr)
+            csr_files = view.file_specs()
         if self.parallel is not None and len(plan) > 1:
             if self.parallel == "process":
                 from repro.engine.shm import process_trajectory
 
-                return process_trajectory(csr, rounds, lam=lam, plan=plan,
+                return process_trajectory(view, rounds, lam=lam, plan=plan,
                                           max_workers=self.effective_workers(),
-                                          prefix=prefix)
+                                          prefix=prefix, csr_files=csr_files)
             from concurrent.futures import ThreadPoolExecutor
 
             with ThreadPoolExecutor(max_workers=self.effective_workers()) as pool:
-                return compact_trajectory(csr, rounds, lam=lam, plan=plan,
+                return compact_trajectory(view, rounds, lam=lam, plan=plan,
                                           shard_map=pool.map, prefix=prefix)
-        return compact_trajectory(csr, rounds, lam=lam, plan=plan, prefix=prefix)
+        return compact_trajectory(view, rounds, lam=lam, plan=plan, prefix=prefix)
 
     def describe(self) -> str:
         shards = self.num_shards if self.num_shards is not None \
@@ -129,4 +297,6 @@ class ShardedEngine(TrajectoryEngine):
             workers = "sequential"
         else:
             workers = f"{self.parallel}x{self.effective_workers()}"
-        return f"sharded (shards={shards}, workers={workers})"
+        storage = self.storage or (
+            "auto" if self.storage_dir is not None else "memory")
+        return f"sharded (shards={shards}, workers={workers}, storage={storage})"

@@ -12,6 +12,12 @@ Zero graph data is ever pickled:
 * workers receive the block *names* once (through the pool initializer) and
   re-attach by name on their first task, caching the mapped arrays for the
   life of the process;
+* in the out-of-core mode (``csr_files``, see
+  :mod:`repro.graph.mmap_csr`) the CSR arrays are not copied into shared
+  memory at all: workers receive *file paths* instead of block names and
+  ``np.memmap`` the same on-disk arrays the parent mapped, so the graph
+  occupies one page-cache copy regardless of the worker count — only the two
+  double-buffered value vectors stay in shared memory;
 * a task is the tuple ``(lo, hi, src)`` — a shard range plus which of the two
   value buffers holds the previous round's vector;
 * the worker writes its shard's new values straight into the *other* value
@@ -128,6 +134,12 @@ def _worker_attach() -> tuple:
                 _unregister_from_tracker(shm._name)
             segments.append(shm)  # keep the mapping alive with the cache
             arrays[key] = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+        for key, (path, dtype, shape) in spec.get("files", {}).items():
+            # Out-of-core mode: map the parent's on-disk CSR arrays by path
+            # (read-only; one page-cache copy shared by every worker).
+            from repro.graph.mmap_csr import open_array_file
+
+            arrays[key] = open_array_file(path, dtype, tuple(shape))
         csr = _SharedCSR(arrays["indptr"], arrays["indices"],
                          arrays["weights"], arrays["loops"])
         grid = LambdaGrid(lam=spec["lam"])
@@ -176,13 +188,20 @@ def _pool_context():
 
 def process_trajectory(csr, rounds: int, *, lam: float = 0.0,
                        plan: ShardPlan, max_workers: int,
-                       prefix: Optional[np.ndarray] = None) -> np.ndarray:
+                       prefix: Optional[np.ndarray] = None,
+                       csr_files: Optional[Dict[str, tuple]] = None) -> np.ndarray:
     """The full Algorithm 2 trajectory with rounds fanned out over processes.
 
     Drop-in replacement for :func:`repro.engine.kernels.compact_trajectory`
     with ``plan`` executed by ``max_workers`` worker processes per round;
     returns the bit-identical ``(rounds + 1, n)`` trajectory (same kernels,
     same float64 operation order per shard).
+
+    ``csr_files`` switches the graph transport to the out-of-core mode: a
+    ``{array: (path, dtype, shape)}`` spec (see
+    :meth:`repro.graph.mmap_csr.MappedCSR.file_specs`) that workers
+    ``np.memmap`` by path instead of attaching CSR shared-memory blocks —
+    only the two value buffers are created in shared memory then.
 
     The pool and the shared-memory blocks live exactly as long as this call:
     they are torn down in a ``finally`` even when a worker raises, so no
@@ -206,17 +225,19 @@ def process_trajectory(csr, rounds: int, *, lam: float = 0.0,
     blocks: Dict[str, tuple] = {}
     pool = None
     try:
-        for key, dtype in _CSR_BLOCKS:
-            _create_block(shared_memory, segments, key,
-                          np.ascontiguousarray(getattr(csr, key), dtype=dtype),
-                          blocks, run_id)
+        if csr_files is None:
+            for key, dtype in _CSR_BLOCKS:
+                _create_block(shared_memory, segments, key,
+                              np.ascontiguousarray(getattr(csr, key), dtype=dtype),
+                              blocks, run_id)
         zeros = np.zeros(n, dtype=np.float64)
         values = (
             _create_block(shared_memory, segments, "values0", zeros, blocks, run_id),
             _create_block(shared_memory, segments, "values1", zeros, blocks, run_id),
         )
         ctx = _pool_context()
-        spec = {"blocks": blocks, "lam": float(lam),
+        spec = {"blocks": blocks, "files": dict(csr_files or {}),
+                "lam": float(lam),
                 # spawn workers run their own resource tracker (see
                 # _unregister_from_tracker); fork workers share the parent's.
                 "private_tracker": ctx.get_start_method() != "fork"}

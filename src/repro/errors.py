@@ -35,6 +35,16 @@ class AlgorithmError(ReproError):
     """
 
 
+class InvalidLambdaError(AlgorithmError, ValueError):
+    """Raised when a non-finite λ reaches an entry point.
+
+    Deliberately *both* an :class:`AlgorithmError` (so library-wide handlers —
+    the CLI in particular — treat it like any other domain error) and a
+    ``ValueError`` (the natural builtin for a value outside the domain, which
+    callers outside the library can catch without importing this module).
+    """
+
+
 class ConvergenceError(ReproError):
     """Raised when an iterative baseline (e.g. Frank-Wolfe) fails to converge."""
 

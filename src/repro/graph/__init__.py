@@ -17,6 +17,13 @@ from repro.graph.csr import (
     graph_to_csr,
 )
 from repro.graph.datasets import DatasetSpec, dataset_info, list_datasets, load_dataset
+from repro.graph.mmap_csr import (
+    MappedCSR,
+    csr_edge_bytes,
+    materialize_csr,
+    mmap_csr,
+    open_mapped_csr,
+)
 from repro.graph.graph import Graph
 from repro.graph.io import (
     from_dict,
@@ -45,6 +52,11 @@ __all__ = [
     "csr_subset_density",
     "graph_fingerprint",
     "graph_to_csr",
+    "MappedCSR",
+    "csr_edge_bytes",
+    "materialize_csr",
+    "mmap_csr",
+    "open_mapped_csr",
     "graph_from_adjacency_matrix",
     "graph_from_edges",
     "graph_from_networkx",

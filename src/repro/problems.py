@@ -31,6 +31,7 @@ hook in with :func:`register_problem` — the same extension-point shape as
 from __future__ import annotations
 
 import inspect
+import math
 from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, Callable, Dict, Mapping, Optional, Tuple, Union
 
@@ -89,11 +90,17 @@ class Problem(ABC):
         Params spelled at their default — ``None`` padding from convenience
         wrappers (``epsilon=None``, ``lam=None``, ...) or an explicit
         signature default (``tie_break="history"``) — are dropped, so every
-        equivalent spelling of a request maps to the same key.  This is the
-        deduplication key shared by :meth:`repro.session.Session.solve` and
-        the in-flight dedup of :mod:`repro.serve`; ``None`` (for unhashable
-        parameter values) means the request cannot be deduplicated.
+        equivalent spelling of a request maps to the same key.  A finite
+        ``lam`` is canonicalised (``-0.0`` → ``0.0``) so the key always
+        carries the spelling the caches and the artifact store use.  This is
+        the deduplication key shared by :meth:`repro.session.Session.solve`
+        and the in-flight dedup of :mod:`repro.serve`; ``None`` (for
+        unhashable parameter values) means the request cannot be
+        deduplicated.
         """
+        lam = params.get("lam")
+        if isinstance(lam, (int, float)) and math.isfinite(lam):
+            params = {**params, "lam": float(lam) + 0.0}
         defaults = Problem._SOLVE_DEFAULTS.get(type(self))
         if defaults is None:
             defaults = {name: p.default

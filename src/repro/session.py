@@ -56,6 +56,7 @@ from repro.graph.csr import CSRAdjacency, csr_fingerprint, graph_to_csr
 from repro.graph.graph import Graph
 from repro.problems import Problem, ProblemLike, get_problem
 from repro.store import ArtifactStore
+from repro.utils.numeric import canonical_lam
 
 #: Something the ``store=`` parameter accepts: a store instance or its root.
 StoreLike = Union[ArtifactStore, str, Path]
@@ -111,7 +112,12 @@ class Session:
         resumes from disk.  Disk traffic is counted in :attr:`stats`
         (``disk_hits`` / ``disk_misses`` / ``disk_writes``).  Opening a store
         builds the CSR view once even for the faithful engine (the content
-        fingerprint hashes it).
+        fingerprint hashes it).  An engine that supports memory-mapped
+        storage (the sharded engine) is additionally bound to the store root:
+        graphs whose edge arrays exceed its spill threshold — or any graph
+        under ``storage="mmap"`` — execute over arrays mapped from
+        ``<store>/<fingerprint>/csr/`` instead of RAM (out-of-core mode,
+        bit-identical results).
     max_cached_results:
         Optional bound on the in-memory result caches (surviving-number and
         problem results each keep at most this many entries, evicting the
@@ -130,9 +136,17 @@ class Session:
                 f"max_cached_results must be >= 1, got {max_cached_results}")
         self.graph = graph
         self.engine: Engine = get_engine(engine, **engine_options)
-        self._default_lam = float(lam)
+        # Canonical λ from the very first entry point: -0.0 collapses to 0.0
+        # (one cache key in memory AND on disk) and non-finite λ is rejected.
+        self._default_lam = canonical_lam(lam)
         self.store: Optional[ArtifactStore] = (
             ArtifactStore(store) if isinstance(store, (str, Path)) else store)
+        if self.store is not None and getattr(self.engine, "supports_mmap", False):
+            # Out-of-core wiring: an engine that can run over memory-mapped
+            # CSR arrays spills into the store's per-fingerprint layout when
+            # the graph outgrows its auto-spill threshold (or always, for
+            # storage="mmap").  An explicitly configured storage_dir wins.
+            self.engine.bind_storage(self.store.root)
         self.max_cached_results = max_cached_results
         self.stats = SessionStats()
         self._csr: Optional[CSRAdjacency] = None
@@ -185,7 +199,7 @@ class Session:
 
     def grid(self, lam: Optional[float] = None) -> LambdaGrid:
         """The (memoised) Λ-grid for ``lam`` (default: the session's λ)."""
-        lam = self.default_lam if lam is None else float(lam)
+        lam = self.default_lam if lam is None else canonical_lam(lam)
         hit = self._grids.get(lam)
         if hit is None:
             self.stats.grid_builds += 1
@@ -257,7 +271,7 @@ class Session:
         if tie_break not in TIE_BREAK_RULES:
             raise AlgorithmError(f"unknown tie_break rule {tie_break!r}; "
                                  f"expected one of {TIE_BREAK_RULES}")
-        lam = self.default_lam if lam is None else float(lam)
+        lam = self.default_lam if lam is None else canonical_lam(lam)
         key = (T, lam, tie_break, bool(track_kept))
         hit = self._cache_get(self._results, key)
         if hit is not None:
@@ -440,6 +454,11 @@ class Session:
         the *same* cached result object.
         """
         prob = get_problem(problem)
+        # Canonicalise λ before any key is derived from it (same spelling in
+        # the request cache, the surviving cache and the store) and reject
+        # non-finite values at the solve boundary, before any work runs.
+        if params.get("lam") is not None:
+            params = {**params, "lam": canonical_lam(params["lam"])}
         # An explicit lam at the session default is the same request as an
         # omitted one (surviving() resolves None to the default).
         if params.get("lam") == self._default_lam:

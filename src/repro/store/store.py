@@ -6,10 +6,16 @@ One directory per graph, addressed by its CSR content fingerprint
 (:func:`repro.graph.csr.csr_fingerprint`)::
 
     <root>/
-      <fingerprint>/                     # 64 hex chars
+      <fingerprint>/                     # exactly 64 lowercase hex chars
         graph.json                       # schema, n, entries, sample labels
         trajectory-lam<λ>.npz            # longest elimination trajectory per λ
         result-T<T>-lam<λ>-<rule>-k<0|1>.npz   # full SurvivingNumbers (see below)
+        csr/                             # memory-mapped CSR arrays, written by
+          meta.json, *.bin               # repro.graph.mmap_csr for out-of-core runs
+
+λ is spelled canonically in filenames (:func:`repro.utils.numeric.canonical_lam`:
+``-0.0`` and ``0.0`` are one artifact, matching the in-memory caches that
+collapse the two; non-finite λ is rejected with ``ValueError``).
 
 Every ``.npz`` carries a JSON ``meta`` entry (schema version, artifact kind,
 fingerprint, λ, round count, node count) that is validated on load; files with
@@ -45,6 +51,8 @@ import numpy as np
 from repro.core.rounding import LambdaGrid
 from repro.core.surviving import SurvivingNumbers
 from repro.errors import StoreError
+from repro.graph.mmap_csr import CSR_DIR_NAME, is_fingerprint
+from repro.utils.numeric import canonical_lam
 from repro.utils.serialize import json_node
 
 #: Schema stamp embedded in (and required of) every stored artifact.
@@ -58,8 +66,15 @@ _LOAD_ERRORS = (OSError, ValueError, KeyError, TypeError, EOFError,
 
 
 def _format_lam(lam: float) -> str:
-    """Exact, filename-safe spelling of a λ (``repr`` of the float)."""
-    return repr(float(lam))
+    """Exact, filename-safe spelling of a λ (``repr`` of the canonical float).
+
+    Canonicalised through :func:`repro.utils.numeric.canonical_lam` so the
+    filename agrees with every in-memory λ key: ``-0.0`` spells ``"0.0"``
+    (dict keys collapse the two, so the disk must too) and non-finite values
+    — which would mint un-reloadable artifact names — raise ``ValueError``
+    at this boundary.
+    """
+    return repr(canonical_lam(lam))
 
 
 class ArtifactStore:
@@ -83,9 +98,17 @@ class ArtifactStore:
 
     # ------------------------------------------------------------------ layout
     def graph_dir(self, fingerprint: str) -> Path:
-        """The directory holding every artifact of ``fingerprint``."""
-        if not fingerprint or any(c not in "0123456789abcdef" for c in fingerprint):
-            raise StoreError(f"not a hex fingerprint: {fingerprint!r}")
+        """The directory holding every artifact of ``fingerprint``.
+
+        Requires a *complete* content address — exactly 64 lowercase hex
+        characters, the output shape of
+        :func:`repro.graph.csr.csr_fingerprint`.  Anything shorter (or
+        case-mangled) would mint a stray directory that ``info``/``purge``
+        then misreport, so it raises :class:`StoreError` instead.
+        """
+        if not is_fingerprint(fingerprint):
+            raise StoreError(f"not a 64-char lowercase hex fingerprint: "
+                             f"{fingerprint!r}")
         return self.root / fingerprint
 
     def _trajectory_path(self, fingerprint: str, lam: float) -> Path:
@@ -167,7 +190,7 @@ class ArtifactStore:
         if trajectory.ndim != 2 or trajectory.shape[0] < 1:
             raise StoreError(f"not a trajectory array: shape {trajectory.shape}")
         meta = {"schema": SCHEMA_VERSION, "kind": "trajectory",
-                "fingerprint": fingerprint, "lam": float(lam),
+                "fingerprint": fingerprint, "lam": canonical_lam(lam),
                 "rounds": int(trajectory.shape[0] - 1), "n": int(trajectory.shape[1])}
         path = self._trajectory_path(fingerprint, lam)
         self._write_npz(path, meta, {"trajectory": trajectory})
@@ -231,7 +254,7 @@ class ArtifactStore:
             kept_ids.extend(index[member] for member in members)
             kept_indptr[i + 1] = len(kept_ids)
         meta = {"schema": SCHEMA_VERSION, "kind": "result",
-                "fingerprint": fingerprint, "lam": float(lam),
+                "fingerprint": fingerprint, "lam": canonical_lam(lam),
                 "rounds": int(result.rounds), "n": len(labels),
                 "tie_break": tie_break, "track_kept": bool(track_kept),
                 "stats_summary": result.stats_summary}
@@ -290,37 +313,66 @@ class ArtifactStore:
             archive.close()
 
     # -------------------------------------------------------------- management
+    def csr_dir(self, fingerprint: str) -> Path:
+        """The subdirectory holding ``fingerprint``'s memory-mapped CSR arrays.
+
+        Written by :mod:`repro.graph.mmap_csr` when a session spills a graph
+        out of core; the store accounts for (``info``) and removes
+        (``purge``/``evict``) these files like any other artifact.
+        """
+        return self.graph_dir(fingerprint) / CSR_DIR_NAME
+
     def _artifact_files(self, fingerprint: Optional[str] = None) -> Iterator[Path]:
         dirs = [self.graph_dir(fingerprint)] if fingerprint else (
-            [p for p in sorted(self.root.iterdir()) if p.is_dir()]
+            [p for p in sorted(self.root.iterdir())
+             if p.is_dir() and is_fingerprint(p.name)]
             if self.root.is_dir() else [])
         for directory in dirs:
             if directory.is_dir():
-                yield from sorted(p for p in directory.iterdir() if p.is_file())
+                for path in sorted(directory.iterdir()):
+                    if path.is_file():
+                        yield path
+                    elif path.is_dir() and path.name == CSR_DIR_NAME:
+                        yield from sorted(p for p in path.iterdir() if p.is_file())
 
     def fingerprints(self) -> Tuple[str, ...]:
-        """Fingerprints of every graph with at least one stored file."""
+        """Fingerprints of every graph with at least one stored file.
+
+        Only well-formed content addresses are listed: a stray directory
+        (whatever mkdir'd it) is not a graph and must not make ``info`` /
+        ``purge`` trip over it.
+        """
         if not self.root.is_dir():
             return ()
         return tuple(sorted(p.name for p in self.root.iterdir()
-                            if p.is_dir() and any(p.iterdir())))
+                            if p.is_dir() and is_fingerprint(p.name)
+                            and any(p.iterdir())))
+
+    @staticmethod
+    def _is_csr_file(path: Path) -> bool:
+        return path.parent.name == CSR_DIR_NAME
 
     def info(self, fingerprint: Optional[str] = None) -> dict:
         """Totals (and per-graph rows) for the CLI and tests.
 
         Returns ``{"root", "graphs": [{"fingerprint", "files", "bytes",
-        "kinds"}, ...], "files", "bytes"}``.
+        "csr_bytes", "kinds"}, ...], "files", "bytes"}``; ``csr_bytes`` is
+        the slice of ``bytes`` held by memory-mapped CSR arrays (the
+        out-of-core footprint ``repro cache ls`` reports per graph).
         """
         graphs = []
         total_files = total_bytes = 0
         targets = (fingerprint,) if fingerprint else self.fingerprints()
         for fp in targets:
             files = [p for p in self._artifact_files(fp)]
-            size = sum(p.stat().st_size for p in files)
-            kinds = sorted({p.name.split("-")[0].removesuffix(".json")
+            sizes = {p: p.stat().st_size for p in files}
+            size = sum(sizes.values())
+            csr_bytes = sum(s for p, s in sizes.items() if self._is_csr_file(p))
+            kinds = sorted({"csr" if self._is_csr_file(p)
+                            else p.name.split("-")[0].removesuffix(".json")
                             for p in files})
             graphs.append({"fingerprint": fp, "files": len(files),
-                           "bytes": size, "kinds": kinds})
+                           "bytes": size, "csr_bytes": csr_bytes, "kinds": kinds})
             total_files += len(files)
             total_bytes += size
         return {"root": str(self.root), "graphs": graphs,
@@ -340,26 +392,33 @@ class ArtifactStore:
             except OSError:  # pragma: no cover - concurrent removal
                 pass
         dirs = [self.graph_dir(fingerprint)] if fingerprint else (
-            [p for p in self.root.iterdir() if p.is_dir()]
+            [p for p in self.root.iterdir()
+             if p.is_dir() and is_fingerprint(p.name)]
             if self.root.is_dir() else [])
         for directory in dirs:
-            try:
-                directory.rmdir()
-            except OSError:
-                pass
+            for candidate in (directory / CSR_DIR_NAME, directory):
+                try:
+                    candidate.rmdir()
+                except OSError:
+                    pass
         return removed
 
     def evict(self, max_bytes: int) -> int:
         """Remove oldest-modified artifacts until the store fits ``max_bytes``.
 
-        The ``graph.json`` descriptors are only removed when their directory
-        has no artifacts left.  Returns the number of files removed.
+        Memory-mapped CSR arrays are evictable like any other artifact (a
+        later out-of-core run re-materialises them — the revalidation in
+        :mod:`repro.graph.mmap_csr` treats a torn set as absent).  The
+        ``graph.json`` / ``csr/meta.json`` descriptors are only removed when
+        their directory has no artifacts left.  Returns the number of files
+        removed.
         """
         if max_bytes < 0:
             raise StoreError(f"max_bytes must be >= 0, got {max_bytes}")
         entries = []
         for path in self._artifact_files():
-            if path.name == "graph.json":
+            if path.name == "graph.json" or (
+                    self._is_csr_file(path) and path.name == "meta.json"):
                 continue
             stat = path.stat()
             entries.append((stat.st_mtime, stat.st_size, path))
@@ -374,8 +433,17 @@ class ArtifactStore:
                 continue
             total -= size
             removed += 1
-        for directory in ([p for p in self.root.iterdir() if p.is_dir()]
+        for directory in ([p for p in self.root.iterdir()
+                           if p.is_dir() and is_fingerprint(p.name)]
                           if self.root.is_dir() else []):
+            csr_dir = directory / CSR_DIR_NAME
+            if csr_dir.is_dir() and not any(p for p in csr_dir.iterdir()
+                                            if p.name != "meta.json"):
+                (csr_dir / "meta.json").unlink(missing_ok=True)
+                try:
+                    csr_dir.rmdir()
+                except OSError:  # pragma: no cover - concurrent write
+                    pass
             artifacts = [p for p in directory.iterdir() if p.name != "graph.json"]
             if not artifacts:
                 (directory / "graph.json").unlink(missing_ok=True)

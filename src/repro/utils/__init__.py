@@ -2,6 +2,7 @@
 
 from repro.utils.numeric import (
     POS_INFINITY,
+    canonical_lam,
     geometric_grid,
     is_close,
     next_power_below,
@@ -13,6 +14,7 @@ from repro.utils.timers import Timer
 
 __all__ = [
     "POS_INFINITY",
+    "canonical_lam",
     "geometric_grid",
     "is_close",
     "next_power_below",

@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
-from repro.errors import AlgorithmError
+from repro.errors import AlgorithmError, InvalidLambdaError
 
 #: Convenience alias used to initialise surviving numbers (Algorithm 2, line 1).
 POS_INFINITY: float = math.inf
@@ -21,6 +21,31 @@ DEFAULT_REL_TOL: float = 1e-9
 
 #: Default absolute tolerance for floating point comparisons within the library.
 DEFAULT_ABS_TOL: float = 1e-12
+
+
+def canonical_lam(lam) -> float:
+    """The canonical float spelling of a Λ-grid parameter.
+
+    Every λ-keyed cache in the library — the in-memory grid/trajectory/result
+    dicts of :class:`~repro.session.Session`, the request keys of
+    :meth:`~repro.problems.Problem.request_key` and the artifact filenames of
+    :class:`~repro.store.ArtifactStore` — must agree on *one* spelling per
+    value, or a request can hit memory yet miss disk.  The subtle case is
+    ``-0.0``: it compares (and hashes) equal to ``0.0``, so dict keys
+    collapse the two, while ``repr(-0.0)`` spells ``"-0.0"`` and would split
+    the on-disk artifact namespace.  Adding positive zero normalises
+    ``-0.0`` to ``0.0`` and is the identity for every other float.
+
+    Non-finite values (``nan`` / ``±inf``) can never name a grid — and would
+    produce un-reloadable artifact filenames — so they are rejected here, at
+    the entry points, with a clear ``ValueError``
+    (:class:`~repro.errors.InvalidLambdaError`, which is also a
+    :class:`~repro.errors.ReproError` so the CLI reports it cleanly).
+    """
+    lam = float(lam) + 0.0
+    if not math.isfinite(lam):
+        raise InvalidLambdaError(f"lambda must be a finite float, got {lam!r}")
+    return lam
 
 
 def is_close(a: float, b: float, *, rel_tol: float = DEFAULT_REL_TOL,

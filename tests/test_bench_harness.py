@@ -1,10 +1,11 @@
 """The standing benchmark harness cannot silently rot (bench marker).
 
 Runs ``scripts/bench.py --smoke`` end-to-end as a subprocess (the way CI and
-operators invoke it) and validates the emitted ``BENCH_PR4.json``-style
+operators invoke it) and validates the emitted ``BENCH_PR5.json``-style
 document against the schema; also validates the committed bench documents
-(``BENCH_PR3.json`` legacy schema, ``BENCH_PR4.json``) at the repo root when
-present, so a schema change cannot strand the persisted perf trajectory.
+(``BENCH_PR3.json`` / ``BENCH_PR4.json`` legacy schemas, ``BENCH_PR5.json``)
+at the repo root when present, so a schema change cannot strand the persisted
+perf trajectory.
 """
 
 from __future__ import annotations
@@ -56,10 +57,17 @@ def test_smoke_run_emits_valid_document(tmp_path):
     assert document["store"]
     assert all(row["identical"] and row["disk_hits"] >= 1
                for row in document["store"])
+    # The out-of-core scenario ran over mapped files, bit-identically.
+    assert document["out_of_core"]
+    assert {row["config"] for row in document["out_of_core"]} == {
+        "mmap-seq", "mmap-process"}
+    assert all(row["identical"] and row["csr_bytes_on_disk"] > 0
+               for row in document["out_of_core"])
 
 
 @pytest.mark.bench
-@pytest.mark.parametrize("name", ["BENCH_PR3.json", "BENCH_PR4.json"])
+@pytest.mark.parametrize("name", ["BENCH_PR3.json", "BENCH_PR4.json",
+                                  "BENCH_PR5.json"])
 def test_committed_bench_documents_match_schema(name):
     committed = REPO_ROOT / name
     if not committed.exists():

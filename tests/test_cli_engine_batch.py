@@ -41,6 +41,26 @@ class TestEngineFlag:
                      "--engine", "quantum"], out=io.StringIO())
         assert code == 2
 
+    def test_storage_mmap_flag_runs_out_of_core(self, k6_file):
+        baseline, mapped = io.StringIO(), io.StringIO()
+        assert main(["coreness", "--input", str(k6_file), "--rounds", "3",
+                     "--engine", "sharded:2", "--top", "3"], out=baseline) == 0
+        assert main(["coreness", "--input", str(k6_file), "--rounds", "3",
+                     "--engine", "sharded:2", "--storage", "mmap",
+                     "--top", "3"], out=mapped) == 0
+        assert mapped.getvalue() == baseline.getvalue()
+
+    def test_storage_flag_rejected_for_non_sharded_engines(self, k6_file):
+        code = main(["coreness", "--input", str(k6_file), "--rounds", "2",
+                     "--engine", "vectorized", "--storage", "mmap"],
+                    out=io.StringIO())
+        assert code == 2
+
+    def test_non_finite_lambda_is_reported_cleanly(self, k6_file):
+        code = main(["coreness", "--input", str(k6_file), "--rounds", "2",
+                     "--lam", "nan"], out=io.StringIO())
+        assert code == 2
+
 
 class TestEnginesCommand:
     def test_lists_all_engines(self):

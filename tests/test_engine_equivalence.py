@@ -145,7 +145,13 @@ SHARD_COUNTS = (1, 2, 5, 10_000)
 def _shard_variants(graph):
     return [ShardedEngine(num_shards=k) for k in SHARD_COUNTS] + \
         [ShardedEngine(num_shards=3, max_workers=2),
-         ShardedEngine(num_shards=3, max_workers=2, parallel="process")]
+         ShardedEngine(num_shards=3, max_workers=2, parallel="process"),
+         # Out-of-core: the same kernels over memory-mapped CSR files (a
+         # private temp dir per engine), sequential and process-pool — the
+         # bit-identity contract covers every storage backend too.
+         ShardedEngine(num_shards=3, storage="mmap"),
+         ShardedEngine(num_shards=3, max_workers=2, parallel="process",
+                       storage="mmap")]
 
 
 class TestCorpusSize:

@@ -492,3 +492,91 @@ class TestSessionStats:
         free = approximate_orientation(ba_weighted, rounds=4)
         assert ours.orientation.assignment == free.orientation.assignment
         assert ours.surviving.grid.lam == 0.0
+
+
+class TestLambdaCanonicalisationRegression:
+    """Regression: λ = -0.0 split the caches between memory and disk.
+
+    The in-memory dict keys collapse ``-0.0 == 0.0`` while the store's
+    filename spelling used ``repr`` verbatim — so a session that computed at
+    one spelling wrote an artifact the other spelling's restart could not
+    find, and the store accumulated two files for one grid.  λ is now
+    canonicalised once at every entry point; both spellings must address
+    *one* artifact on disk, *one* cache entry in memory, and a restart must
+    hit the disk whichever spelling it asks with.
+    """
+
+    def test_both_zero_spellings_share_one_artifact_and_cache_entry(
+            self, two_communities, tmp_path):
+        from repro.store import ArtifactStore
+
+        store = ArtifactStore(tmp_path / "store")
+        session = Session(two_communities, store=store)
+        minus = session.coreness(rounds=4, lam=-0.0)
+        plus = session.coreness(rounds=4, lam=0.0)
+        assert plus is minus                      # one memory cache entry ...
+        assert len(session._trajectories) == 1
+        assert len(session._grids) == 1
+        assert repr(session.grid(-0.0).lam) == "0.0"
+        trajectory_files = [p.name for p in
+                            store.graph_dir(session.fingerprint).iterdir()
+                            if p.name.startswith("trajectory")]
+        assert trajectory_files == ["trajectory-lam0.0.npz"]  # ... one on disk
+
+    @pytest.mark.parametrize("spelling", [0.0, -0.0])
+    def test_restart_hits_disk_for_either_spelling(self, two_communities,
+                                                   tmp_path, spelling):
+        from repro.store import ArtifactStore
+
+        store = ArtifactStore(tmp_path / "store")
+        cold = Session(two_communities, store=store)
+        reference = cold.coreness(rounds=4, lam=-0.0)
+
+        restarted = Session(two_communities, store=store)
+        served = restarted.coreness(rounds=4, lam=spelling)
+        assert restarted.stats.disk_hits == 1, spelling
+        assert restarted.stats.cold_runs == 0
+        assert served.values == reference.values
+        # The restart extended nothing, so nothing was rewritten.
+        assert restarted.stats.disk_writes == 0
+
+    def test_minus_zero_default_lam_is_canonical(self, k6):
+        session = Session(k6, lam=-0.0)
+        assert repr(session.default_lam) == "0.0"
+
+    def test_request_key_collapses_minus_zero(self, k6):
+        from repro.problems import get_problem
+
+        problem = get_problem("coreness")
+        assert problem.request_key({"rounds": 4, "lam": -0.0}) == \
+            problem.request_key({"rounds": 4, "lam": 0.0})
+
+
+class TestNonFiniteLambdaRejection:
+    """Regression: nan/inf λ reached the store and minted un-reloadable files."""
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     float("-inf")])
+    def test_rejected_at_solve(self, k6, bad):
+        session = Session(k6)
+        with pytest.raises(ValueError, match="finite"):
+            session.solve("coreness", rounds=2, lam=bad)
+        with pytest.raises(ValueError, match="finite"):
+            session.coreness(rounds=2, lam=bad)
+        with pytest.raises(ValueError, match="finite"):
+            session.surviving(rounds=2, lam=bad)
+
+    def test_rejected_at_construction(self, k6):
+        with pytest.raises(ValueError, match="finite"):
+            Session(k6, lam=float("nan"))
+
+    def test_rejected_before_any_work_or_disk_traffic(self, k6, tmp_path):
+        from repro.store import ArtifactStore
+
+        store = ArtifactStore(tmp_path / "store")
+        session = Session(k6, store=store)
+        with pytest.raises(ValueError, match="finite"):
+            session.coreness(rounds=2, lam=float("nan"))
+        assert session.stats.cold_runs == 0
+        assert session.stats.disk_writes == 0
+        assert not store.fingerprints()

@@ -24,7 +24,12 @@ from repro.store import ArtifactStore
 SUITE = CORPUS[::4]
 
 ENGINES = ("vectorized", "sharded:3", "faithful",
-           "sharded:shards=3,workers=2,parallel=process")
+           "sharded:shards=3,workers=2,parallel=process",
+           # Out-of-core: CSR arrays stream from memory-mapped files; with a
+           # store (the restart matrix below) they live in the store's own
+           # per-fingerprint csr/ layout — cold, warm and restarted requests
+           # must stay bit-identical to the in-memory engines.
+           "sharded:shards=3,storage=mmap")
 
 
 def _skip_if_faithful_cannot_run(engine, graph):

@@ -274,3 +274,124 @@ class TestManagement:
         rogue.write_text("x")
         with pytest.raises(StoreError):
             ArtifactStore(rogue)
+
+
+class TestStrictFingerprints:
+    """Regression: any-length hex used to mint stray store directories.
+
+    ``graph_dir("abc")`` happily created ``<root>/abc`` before, and
+    ``cache ls`` / ``purge`` then misreported the stray entry as a graph.
+    A content address is exactly 64 lowercase hex characters — everything
+    else is rejected before it touches the filesystem.
+    """
+
+    @pytest.mark.parametrize("bad", ["abc", "ABC" + "0" * 61, "0" * 63,
+                                     "0" * 65, "g" * 64, "..", "a/b"])
+    def test_malformed_fingerprint_raises(self, store, bad):
+        with pytest.raises(StoreError, match="fingerprint"):
+            store.graph_dir(bad)
+        with pytest.raises(StoreError, match="fingerprint"):
+            store.info(bad)
+
+    def test_nothing_is_created_for_a_rejected_fingerprint(self, store,
+                                                           fingerprint):
+        store.save_trajectory(fingerprint, 0.0, np.zeros((3, 4)))
+        before = sorted(p.name for p in store.root.iterdir())
+        with pytest.raises(StoreError):
+            store.graph_dir("abc")
+        assert sorted(p.name for p in store.root.iterdir()) == before
+
+    def test_stray_directories_are_not_listed_as_graphs(self, store,
+                                                        fingerprint):
+        store.save_trajectory(fingerprint, 0.0, np.zeros((3, 4)))
+        (store.root / "not-a-fingerprint").mkdir()
+        (store.root / "not-a-fingerprint" / "junk").write_text("x")
+        assert store.fingerprints() == (fingerprint,)
+        info = store.info()  # must not trip over the stray directory
+        assert [row["fingerprint"] for row in info["graphs"]] == [fingerprint]
+        store.purge()
+        assert (store.root / "not-a-fingerprint").exists()  # not ours to delete
+
+
+class TestLambdaCanonicalisation:
+    """Regression: ``repr(-0.0)`` split the λ caches between disk and memory.
+
+    Dict keys collapse ``-0.0 == 0.0`` (the in-memory caches see one entry)
+    but the filename spelling used ``repr`` verbatim, so the store kept two
+    artifacts and a restart with the other spelling missed.  Non-finite λ
+    produced un-reloadable filenames; it is now rejected with ``ValueError``.
+    """
+
+    def test_minus_zero_addresses_the_same_artifact(self, store, fingerprint):
+        store.save_trajectory(fingerprint, -0.0, np.zeros((3, 4)))
+        assert store.load_trajectory(fingerprint, 0.0) is not None
+        assert store.load_trajectory(fingerprint, -0.0) is not None
+        files = [p.name for p in store.graph_dir(fingerprint).iterdir()
+                 if p.name.startswith("trajectory")]
+        assert files == ["trajectory-lam0.0.npz"]
+        # ... and saving the positive spelling does not add a second file.
+        store.save_trajectory(fingerprint, 0.0, np.zeros((3, 4)))
+        assert len([p for p in store.graph_dir(fingerprint).iterdir()
+                    if p.name.startswith("trajectory")]) == 1
+
+    def test_minus_zero_result_artifacts_collapse_too(self, store,
+                                                      two_communities):
+        from repro.core.rounding import grid_for_graph
+
+        csr = graph_to_csr(two_communities)
+        fp = csr_fingerprint(csr)
+        result = get_engine("faithful").run(two_communities, 3, track_kept=True)
+        store.save_result(fp, result, lam=-0.0, tie_break="history",
+                          track_kept=True, labels=csr.labels())
+        loaded = store.load_result(fp, rounds=3, lam=0.0, tie_break="history",
+                                   track_kept=True, labels=csr.labels(),
+                                   grid=grid_for_graph(two_communities, 0.0))
+        assert loaded is not None and loaded.values == result.values
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     float("-inf")])
+    def test_non_finite_lambda_rejected_everywhere(self, store, fingerprint,
+                                                   bad):
+        with pytest.raises(ValueError, match="finite"):
+            store.save_trajectory(fingerprint, bad, np.zeros((3, 4)))
+        with pytest.raises(ValueError, match="finite"):
+            store.load_trajectory(fingerprint, bad)
+        with pytest.raises(ValueError, match="finite"):
+            store.trajectory_rounds(fingerprint, bad)
+        assert not store.graph_dir(fingerprint).exists()  # nothing was minted
+
+    def test_stored_metadata_carries_the_canonical_spelling(self, store,
+                                                            fingerprint):
+        path = store.save_trajectory(fingerprint, -0.0, np.zeros((3, 4)))
+        with np.load(path, allow_pickle=False) as archive:
+            meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
+        assert repr(meta["lam"]) == "0.0"
+
+
+class TestCsrAccounting:
+    """The store accounts for (and removes) the out-of-core csr/ arrays."""
+
+    @pytest.fixture
+    def spilled(self, store, csr, fingerprint):
+        from repro.graph.mmap_csr import materialize_csr
+
+        store.save_trajectory(fingerprint, 0.0, np.zeros((3, 4)),
+                              labels=csr.labels())
+        materialize_csr(csr, store.root, fingerprint=fingerprint)
+        return fingerprint
+
+    def test_info_reports_csr_kind_and_bytes(self, store, spilled):
+        row = store.info(spilled)["graphs"][0]
+        assert "csr" in row["kinds"]
+        assert row["csr_bytes"] > 0
+        assert row["bytes"] >= row["csr_bytes"]
+        assert row["files"] == 7  # graph.json + trajectory + meta + 4 arrays
+
+    def test_purge_removes_the_csr_directory(self, store, spilled):
+        assert store.purge(spilled) == 7
+        assert not store.graph_dir(spilled).exists()
+
+    def test_evict_to_zero_clears_csr_arrays_too(self, store, spilled):
+        assert store.evict(max_bytes=0) >= 5
+        assert store.fingerprints() == ()
+        assert not store.csr_dir(spilled).exists()
