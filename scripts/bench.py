@@ -20,10 +20,17 @@ Times, on seeded Barabási–Albert and Erdős–Rényi graphs:
   run over `np.memmap` views) vs warm (files revalidated by fingerprint, no
   rewrite), against the in-memory sharded baseline, with a bit-identical
   check and the on-disk array footprint — the perf trajectory of
-  `repro.graph.mmap_csr`.
+  `repro.graph.mmap_csr`.  The ``mmap-traj-*`` configs additionally spill the
+  *output* (`trajectory_storage=mmap`, sequential / thread / process) at a
+  larger round budget ``--traj-rounds`` chosen so the full ``(T+1) × n``
+  trajectory dwarfs the run's other allocations: the spilled run keeps only
+  a two-row window resident, appends rounds to the on-disk ``.traj`` buffer,
+  must stay bit-identical to the in-memory run — and, after the file is
+  truncated mid-round to simulate a crash, a fresh engine must *resume* from
+  the surviving prefix and still produce the bit-identical trajectory.
 
 Results are written as machine-readable JSON (``--out``, default
-``BENCH_PR5.json`` at the repo root) so future PRs have a baseline to regress
+``BENCH_PR6.json`` at the repo root) so future PRs have a baseline to regress
 against::
 
     python scripts/bench.py                     # full run (10k-200k nodes)
@@ -263,45 +270,76 @@ def bench_store(graphs, rounds, log):
     return rows
 
 
-def bench_out_of_core(graphs, rounds, shards, workers, repeats, log):
+def bench_out_of_core(graphs, rounds, shards, workers, repeats, log,
+                      traj_rounds=None):
     """The memory-mapped CSR mode against the in-memory sharded baseline.
 
     ``cold`` pays the one-time materialisation of the arrays under the
     store layout plus the mapped run; ``warm`` re-runs with the files already
     on disk (revalidated by fingerprint, not rewritten).  Both must be
     bit-identical to the in-memory trajectory.
+
+    The ``mmap-traj-*`` configs additionally spill the trajectory itself
+    (``trajectory_storage=mmap``) at a larger round budget ``traj_rounds``
+    picked so the full ``(T+1) × n`` float64 trajectory dominates the
+    in-memory engine's allocations: the spilled run appends rounds to the
+    on-disk ``.traj`` buffer keeping only a two-row window resident.  Each
+    such row also truncates the rows file mid-round (a simulated crash) and
+    re-runs on a *fresh* engine, which must resume from the surviving
+    published prefix and still match the in-memory trajectory bit for bit.
     """
     from repro.engine.sharded import ShardedEngine
+    from repro.store import traj as traj_store
 
+    traj_rounds = rounds if traj_rounds is None else traj_rounds
     rows = []
     for graph_name, graph in graphs:
         csr = graph_to_csr(graph)
         baseline_engine = get_engine("sharded", num_shards=shards)
-        baseline_seconds = best_of(
-            lambda: baseline_engine.run(graph, rounds, track_kept=False, csr=csr),
-            repeats)
-        reference = baseline_engine.run(graph, rounds, track_kept=False, csr=csr)
-        for label, options in (
-                ("mmap-seq", {}),
-                ("mmap-process", {"max_workers": workers,
-                                  "parallel": "process"})):
+        baselines = {}
+
+        def baseline_for(budget):
+            if budget not in baselines:
+                seconds = best_of(
+                    lambda: baseline_engine.run(graph, budget,
+                                                track_kept=False, csr=csr),
+                    repeats)
+                reference = baseline_engine.run(graph, budget,
+                                                track_kept=False, csr=csr)
+                baselines[budget] = (seconds, reference)
+            return baselines[budget]
+
+        for label, run_rounds, options in (
+                ("mmap-seq", rounds, {}),
+                ("mmap-process", rounds, {"max_workers": workers,
+                                          "parallel": "process"}),
+                ("mmap-traj-seq", traj_rounds,
+                 {"trajectory_storage": "mmap"}),
+                ("mmap-traj-thread", traj_rounds,
+                 {"max_workers": workers, "parallel": "thread",
+                  "trajectory_storage": "mmap"}),
+                ("mmap-traj-process", traj_rounds,
+                 {"max_workers": workers, "parallel": "process",
+                  "trajectory_storage": "mmap"})):
+            baseline_seconds, reference = baseline_for(run_rounds)
             with tempfile.TemporaryDirectory(prefix="repro-bench-mmap-") as tmp:
                 engine = ShardedEngine(num_shards=shards, storage="mmap",
                                        storage_dir=tmp, **options)
                 start = time.perf_counter()
-                result = engine.run(graph, rounds, track_kept=False, csr=csr)
+                result = engine.run(graph, run_rounds, track_kept=False, csr=csr)
                 cold = time.perf_counter() - start
                 warm = best_of(
-                    lambda: engine.run(graph, rounds, track_kept=False, csr=csr),
+                    lambda: engine.run(graph, run_rounds, track_kept=False,
+                                       csr=csr),
                     repeats)
                 mapped = next(iter(engine._mapped_cache.values()))
                 csr_bytes = sum(Path(path).stat().st_size
                                 for path, _, _ in mapped.file_specs().values())
                 identical = bool(np.array_equal(result.trajectory,
                                                 reference.trajectory))
-                rows.append({
+                row = {
                     "graph": graph_name, "n": graph.num_nodes,
-                    "m": graph.num_edges, "rounds": rounds, "config": label,
+                    "m": graph.num_edges, "rounds": run_rounds, "config": label,
                     "cold_seconds": round(cold, 6),
                     "warm_seconds": round(warm, 6),
                     "in_memory_seconds": round(baseline_seconds, 6),
@@ -309,15 +347,46 @@ def bench_out_of_core(graphs, rounds, shards, workers, repeats, log):
                     if baseline_seconds > 0 else float("inf"),
                     "csr_bytes_on_disk": csr_bytes,
                     "identical": identical,
-                })
-                log(f"  mmap    {graph_name:>12s} {label:<16s} cold {cold:7.3f}s "
+                }
+                if options.get("trajectory_storage") == "mmap":
+                    engine.close()
+                    fingerprint = engine._fingerprint_of(csr)
+                    rows_file = traj_store.rows_path(tmp, fingerprint, 0.0)
+                    row["traj_bytes_on_disk"] = rows_file.stat().st_size
+                    # Simulated crash: truncate to roughly half the rows plus
+                    # a torn partial row; a fresh engine must resume from the
+                    # surviving prefix and match the reference bit for bit.
+                    keep_rows = max(1, run_rounds // 2)
+                    with open(rows_file, "r+b") as handle:
+                        handle.truncate(
+                            keep_rows * graph.num_nodes * 8 + 123)
+                    resumed_engine = ShardedEngine(
+                        num_shards=shards, storage="mmap", storage_dir=tmp,
+                        **options)
+                    start = time.perf_counter()
+                    resumed = resumed_engine.run(graph, run_rounds,
+                                                 track_kept=False, csr=csr)
+                    row["resume_seconds"] = round(
+                        time.perf_counter() - start, 6)
+                    row["resume_from_rounds"] = keep_rows - 1
+                    row["resumed_identical"] = bool(np.array_equal(
+                        resumed.trajectory, reference.trajectory))
+                    resumed_engine.close()
+                rows.append(row)
+                extra = ""
+                if "traj_bytes_on_disk" in row:
+                    extra = (f" traj {row['traj_bytes_on_disk'] / 1e6:8.1f}MB"
+                             f" resumed={row['resumed_identical']}")
+                log(f"  mmap    {graph_name:>12s} {label:<18s} cold {cold:7.3f}s "
                     f"warm {warm:7.3f}s memory {baseline_seconds:7.3f}s "
-                    f"disk {csr_bytes / 1e6:8.1f}MB identical={identical}")
+                    f"disk {csr_bytes / 1e6:8.1f}MB identical={identical}"
+                    + extra)
+                engine.close()
     return rows
 
 
 def run_benchmarks(sizes, rounds, shards, workers, repeats, seed, smoke,
-                   log=lambda line: None) -> dict:
+                   log=lambda line: None, traj_rounds=None) -> dict:
     graphs = list(_graphs(sizes, seed))
     document = {
         "schema": SCHEMA,
@@ -329,13 +398,16 @@ def run_benchmarks(sizes, rounds, shards, workers, repeats, seed, smoke,
             "python": platform.python_version(),
         },
         "params": {"sizes": list(sizes), "rounds": rounds, "shards": shards,
-                   "workers": workers, "repeats": repeats, "seed": seed},
+                   "workers": workers, "repeats": repeats, "seed": seed,
+                   "traj_rounds": traj_rounds if traj_rounds is not None
+                   else rounds},
         "engines": bench_engines(graphs, rounds, shards, workers, repeats, log),
         "kept_sets": bench_kept_sets(graphs, rounds, repeats, log),
         "sessions": bench_sessions(graphs, rounds, shards, workers, log),
         "store": bench_store(graphs, rounds, log),
         "out_of_core": bench_out_of_core(graphs, rounds, shards, workers,
-                                         repeats, log),
+                                         repeats, log,
+                                         traj_rounds=traj_rounds),
     }
     return document
 
@@ -394,6 +466,18 @@ def validate_document(document: dict) -> None:
             raise ValueError(f"out_of_core row is not bit-identical: {row}")
         if row["csr_bytes_on_disk"] <= 0:
             raise ValueError(f"out_of_core row mapped no bytes: {row}")
+        if "traj" in row["config"]:
+            for key in ("traj_bytes_on_disk", "resume_seconds",
+                        "resume_from_rounds", "resumed_identical"):
+                if key not in row:
+                    raise ValueError(f"out_of_core traj row is missing "
+                                     f"{key!r}: {row}")
+            if row["traj_bytes_on_disk"] <= 0:
+                raise ValueError(f"out_of_core traj row spilled no bytes: {row}")
+            if not row["resumed_identical"]:
+                raise ValueError(f"out_of_core traj row did not resume "
+                                 f"bit-identically after the simulated "
+                                 f"crash: {row}")
     if not all(document[key] for key in required
                if key not in ("schema", "generated_by", "smoke", "machine",
                               "params")):
@@ -406,6 +490,11 @@ def main() -> int:
                         default=[10_000, 100_000, 200_000],
                         help="graph sizes n (default: 10k 100k 200k)")
     parser.add_argument("--rounds", type=int, default=10, help="round budget T")
+    parser.add_argument("--traj-rounds", type=int, default=60,
+                        help="round budget for the spilled-trajectory "
+                             "out-of-core configs (default: 60, sized so the "
+                             "(T+1) x n trajectory dominates the run's "
+                             "other allocations)")
     parser.add_argument("--shards", type=int, default=8, help="shard count")
     parser.add_argument("--workers", type=int, default=None,
                         help="pool size for the parallel modes (default: max(4, CPUs))")
@@ -414,20 +503,23 @@ def main() -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="seconds-long run on one small graph (CI)")
     parser.add_argument("--out", "--output", dest="output", type=Path,
-                        default=REPO_ROOT / "BENCH_PR5.json",
+                        default=REPO_ROOT / "BENCH_PR6.json",
                         help="where to write the JSON document "
-                             "(default: BENCH_PR5.json at the repo root)")
+                             "(default: BENCH_PR6.json at the repo root)")
     args = parser.parse_args()
 
     sizes = [2_000] if args.smoke else args.sizes
     repeats = 1 if args.smoke else args.repeats
+    traj_rounds = 12 if args.smoke else args.traj_rounds
     workers = args.workers if args.workers is not None \
         else max(4, os.cpu_count() or 1)
 
-    print(f"bench: sizes={sizes} rounds={args.rounds} shards={args.shards} "
+    print(f"bench: sizes={sizes} rounds={args.rounds} "
+          f"traj_rounds={traj_rounds} shards={args.shards} "
           f"workers={workers} repeats={repeats} cpu_count={os.cpu_count()}")
     document = run_benchmarks(sizes, args.rounds, args.shards, workers, repeats,
-                              args.seed, args.smoke, log=print)
+                              args.seed, args.smoke, log=print,
+                              traj_rounds=traj_rounds)
     validate_document(document)
     args.output.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
     print(f"bench: results written to {args.output}")

@@ -3,7 +3,9 @@
 # unified benchmark harness (engines x parallel modes, kept-set
 # reconstruction, cold/warm sessions, store restart, out-of-core mmap —
 # scripts/bench.py), the out-of-core mmap smoke (small graph forced through
-# storage=mmap, bit-identical to in-memory), the warm-session throughput
+# storage=mmap, bit-identical to in-memory), the mmap-trajectory smoke
+# (trajectory spilled to the append-only .traj buffer, bit-identical and
+# prefix-resumable), the warm-session throughput
 # benchmark (>= 2x over cold per-call on repeated mixed requests), the
 # persistent-store smoke (second run served from disk, bit-identical) and
 # the `repro cache` CLI smoke.
@@ -48,6 +50,42 @@ assert mapped.kept == memory.kept, "mmap kept sets differ from in-memory"
 assert np.array_equal(mapped.trajectory, memory.trajectory), \
     "mmap trajectory is not bit-identical"
 print("mmap smoke: storage=mmap bit-identical on n=2000 (8 rounds)")
+PY
+
+echo
+echo "== mmap-trajectory smoke (traj=mmap bit-identical, prefix-resumable) =="
+python - <<'PY'
+import tempfile
+
+import numpy as np
+
+from repro.engine import get_engine
+from repro.engine.sharded import ShardedEngine
+from repro.graph.generators.random_graphs import barabasi_albert
+
+graph = barabasi_albert(2000, 3, seed=21)
+memory = get_engine("sharded:4").run(graph, 8, track_kept=True)
+with tempfile.TemporaryDirectory(prefix="repro-traj-smoke-") as tmp:
+    engine = ShardedEngine(num_shards=4, storage="mmap",
+                           trajectory_storage="mmap", storage_dir=tmp)
+    spilled = engine.run(graph, 8, track_kept=True)
+    assert spilled.values == memory.values, "traj values differ from in-memory"
+    assert spilled.kept == memory.kept, "traj kept sets differ from in-memory"
+    assert np.array_equal(spilled.trajectory, memory.trajectory), \
+        "spilled trajectory is not bit-identical"
+    assert isinstance(spilled.trajectory, np.memmap), \
+        "trajectory did not spill to disk"
+    engine.close()
+    # A fresh engine must resume from the on-disk prefix, bit-identically.
+    resumed = ShardedEngine(num_shards=4, storage="mmap",
+                            trajectory_storage="mmap", storage_dir=tmp)
+    longer = resumed.run(graph, 12, track_kept=False)
+    reference = get_engine("sharded:4").run(graph, 12, track_kept=False)
+    assert np.array_equal(longer.trajectory, reference.trajectory), \
+        "resumed trajectory is not bit-identical"
+    resumed.close()
+print("traj smoke: trajectory_storage=mmap bit-identical and resumable "
+      "on n=2000 (8 -> 12 rounds)")
 PY
 
 echo

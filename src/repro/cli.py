@@ -81,6 +81,14 @@ def _build_parser() -> argparse.ArgumentParser:
                               "'mmap' streams them from memory-mapped files "
                               "(out-of-core), 'auto' spills only when a --store "
                               "is set and the graph exceeds the threshold")
+        sub.add_argument("--trajectory-storage",
+                         choices=("memory", "mmap", "auto"), default=None,
+                         help="where the sharded engine keeps the elimination "
+                              "trajectory: 'mmap' appends completed rounds to "
+                              "an on-disk .traj buffer (out-of-core, "
+                              "crash-resumable), 'auto' spills only when a "
+                              "--store is set and the trajectory exceeds the "
+                              "threshold")
 
     coreness_parser = subparsers.add_parser(
         "coreness", help="approximate coreness / maximal density per node (Theorem I.1)")
@@ -172,6 +180,8 @@ def _resolve_engine(args: argparse.Namespace):
         options["max_workers"] = args.workers
     if getattr(args, "storage", None) is not None:
         options["storage"] = args.storage
+    if getattr(args, "trajectory_storage", None) is not None:
+        options["trajectory_storage"] = args.trajectory_storage
     return get_engine(args.engine, **options)
 
 
@@ -220,11 +230,12 @@ def _command_cache(args: argparse.Namespace, out) -> int:
         # Full fingerprints: `purge`/`info --fingerprint` require the exact
         # 64-char address, so ls must print something copy-pasteable.
         rows = [[row["fingerprint"], row["files"], row["bytes"],
-                 row.get("csr_bytes", 0), ",".join(row["kinds"])]
+                 row.get("csr_bytes", 0), row.get("traj_bytes", 0),
+                 ",".join(row["kinds"])]
                 for row in info["graphs"]]
         if rows:
             print(format_table(["fingerprint", "files", "bytes", "csr_bytes",
-                                "kinds"], rows), file=out)
+                                "traj_bytes", "kinds"], rows), file=out)
         else:
             print("(store is empty)", file=out)
     print(f"# store={info['root']} graphs={len(info['graphs'])} "

@@ -19,7 +19,10 @@ name          implementation
               (``parallel=thread``) or — breaking the GIL ceiling — over a
               shared-memory process pool (``parallel=process``); with
               ``storage=mmap`` the CSR arrays stream from memory-mapped
-              files on disk (out-of-core; see :mod:`repro.graph.mmap_csr`)
+              files on disk (out-of-core; see :mod:`repro.graph.mmap_csr`),
+              and with ``trajectory_storage=mmap`` (alias ``traj=mmap``) the
+              output trajectory is appended to an on-disk ``.traj`` buffer
+              (see :mod:`repro.store.traj`)
 ============  ===============================================================
 
 Engines are resolved by name through :func:`get_engine`, which also accepts an
@@ -215,7 +218,8 @@ def _make_vectorized(**options) -> Engine:
 
 #: Friendly spelling aliases accepted in sharded engine specs.
 _SHARDED_OPTION_ALIASES = {"shards": "num_shards", "workers": "max_workers",
-                           "dir": "storage_dir", "spill": "spill_bytes"}
+                           "dir": "storage_dir", "spill": "spill_bytes",
+                           "traj": "trajectory_storage"}
 
 
 def _make_sharded(**options) -> Engine:

@@ -11,7 +11,10 @@ composes the *same* kernels instead of re-implementing them:
 * :func:`threshold_round_range` — one synchronous round of Algorithm 1 (the
   single-threshold elimination) for a row range;
 * :func:`compact_trajectory` — the round loop over an arbitrary shard plan,
-  producing the full ``(T+1, n)`` trajectory with monotone early-stopping.
+  producing the full ``(T+1, n)`` trajectory with monotone early-stopping —
+  either as a RAM array or, given an ``out=`` append-trajectory sink
+  (:mod:`repro.store.traj`), appended round-by-round to a mapped file with
+  only a two-row sliding window resident.
 
 Every kernel takes an explicit ``[lo, hi)`` node range and only materialises the
 frontier arrays (gathered neighbour values, sort permutation, prefix sums) for
@@ -119,7 +122,7 @@ def compact_round(csr: CSRAdjacency, current: np.ndarray, grid: LambdaGrid) -> n
 
 def init_trajectory(num_nodes: int, rounds: int,
                     prefix: Optional[np.ndarray] = None,
-                    ) -> Tuple[np.ndarray, int]:
+                    out=None) -> Tuple[object, int]:
     """Allocate a ``(rounds + 1, n)`` trajectory, seeded from an optional prefix.
 
     Returns ``(trajectory, start)``: row 0 is the initial ``+inf`` state, rows
@@ -128,16 +131,27 @@ def init_trajectory(num_nodes: int, rounds: int,
     trajectory executor (:func:`compact_trajectory` and the process-parallel
     path in :mod:`repro.engine.shm`) so prefix semantics cannot drift between
     them.
+
+    When ``out`` is an :class:`~repro.store.traj.AppendTrajectory`, no RAM
+    array is allocated: the first element of the return value is ``out``
+    itself, seeded so its on-disk rows hold the same ``start + 1`` rows the
+    in-memory path would, and ``start`` additionally resumes from rows
+    *already published on disk* (the file is its own warm start, so a prefix
+    shorter than the file — or none at all — still skips the completed
+    rounds).
     """
     if rounds < 0:
         raise AlgorithmError(f"rounds must be non-negative, got {rounds}")
+    if prefix is not None and (
+            prefix.ndim != 2 or prefix.shape[1] != num_nodes or prefix.shape[0] < 1):
+        raise AlgorithmError(
+            f"trajectory prefix of shape {getattr(prefix, 'shape', None)} does not "
+            f"match a {num_nodes}-node CSR view")
+    if out is not None:
+        return out, min(out.ensure_prefix(prefix), rounds)
     trajectory = np.full((rounds + 1, num_nodes), np.inf, dtype=np.float64)
     start = 0
     if prefix is not None:
-        if prefix.ndim != 2 or prefix.shape[1] != num_nodes or prefix.shape[0] < 1:
-            raise AlgorithmError(
-                f"trajectory prefix of shape {getattr(prefix, 'shape', None)} does not "
-                f"match a {num_nodes}-node CSR view")
         start = min(prefix.shape[0] - 1, rounds)
         trajectory[:start + 1] = prefix[:start + 1]
     return trajectory, start
@@ -146,7 +160,8 @@ def init_trajectory(num_nodes: int, rounds: int,
 def compact_trajectory(csr: CSRAdjacency, rounds: int, *, lam: float = 0.0,
                        plan: Optional[ShardPlan] = None,
                        shard_map: Optional[Callable] = None,
-                       prefix: Optional[np.ndarray] = None) -> np.ndarray:
+                       prefix: Optional[np.ndarray] = None,
+                       out=None) -> np.ndarray:
     """The full Algorithm 2 trajectory of surviving numbers over a shard plan.
 
     Returns an array of shape ``(rounds + 1, n)``: row 0 is the initial ``+inf``
@@ -173,12 +188,19 @@ def compact_trajectory(csr: CSRAdjacency, rounds: int, *, lam: float = 0.0,
         the previous row, hence the resumed trajectory is bit-identical to a
         cold run (the cross-engine equivalence suite pins this).  A prefix
         longer than ``rounds`` simply yields the sliced trajectory.
+    out:
+        Optional :class:`~repro.store.traj.AppendTrajectory`: completed rounds
+        are appended (and published) to the mapped file instead of filling a
+        RAM array, only a sliding window of two rows stays resident, and the
+        return value is a read-only ``np.memmap`` over the published prefix —
+        bit-identical rows, since each round runs the very same kernel calls
+        on the very same previous-row vector.
     """
     n = csr.num_nodes
     grid = LambdaGrid(lam=lam)
     bounds = tuple(plan) if plan is not None else ((0, n),)
-    trajectory, start = init_trajectory(n, rounds, prefix)
-    current = trajectory[start].copy()
+    trajectory, start = init_trajectory(n, rounds, prefix, out=out)
+    current = out.row(start) if out is not None else trajectory[start].copy()
     for t in range(start + 1, rounds + 1):
         if len(bounds) == 1:
             lo, hi = bounds[0]
@@ -193,12 +215,18 @@ def compact_trajectory(csr: CSRAdjacency, rounds: int, *, lam: float = 0.0,
             else:
                 for lo, hi in bounds:
                     new[lo:hi] = compact_round_range(csr, current, lo, hi, grid)
-        trajectory[t] = new
+        if out is not None:
+            out.append_row(new)
+        else:
+            trajectory[t] = new
         if np.array_equal(new, current):
-            trajectory[t:] = new
+            if out is not None:
+                out.fill_to(rounds, new)
+            else:
+                trajectory[t:] = new
             break
         current = new
-    return trajectory
+    return out.as_array(rounds) if out is not None else trajectory
 
 
 def threshold_round_range(csr: CSRAdjacency, alive: np.ndarray, threshold: float,

@@ -38,6 +38,26 @@ Orthogonally, ``storage`` selects where the CSR arrays *live* during the run:
   shared-memory blocks — only the two double-buffered value vectors stay in
   shared memory.
 
+A third axis, ``trajectory_storage``, selects where the *output* — the
+``(T+1) × n`` elimination trajectory, the single largest allocation at scale —
+lives during the run:
+
+* ``None`` (auto) — in memory, unless a storage directory is bound and the
+  full trajectory would exceed ``spill_bytes``;
+* ``"memory"`` — always a RAM array;
+* ``"mmap"`` — completed rounds are *appended* to
+  ``<storage_dir>/<fingerprint>/trajectory-lam<λ>.traj/`` (the append-only
+  artifact of :mod:`repro.store.traj`, published with atomic header updates),
+  only a sliding window of two rows stays resident, and the returned
+  trajectory is a read-only ``np.memmap`` over the published prefix.  The
+  rows already on disk are their own warm start: a fresh engine pointed at
+  the same directory resumes after the last published round, which is also
+  what makes a crash-interrupted run recoverable (at most the un-published
+  round is lost, never a readable prefix).  In ``parallel="process"`` mode
+  the workers map the same ``rows.bin`` by path and write their shard's
+  row-slice directly — the full-trajectory never round-trips through the
+  parent.
+
 All modes produce bit-identical trajectories: the kernels run the same float64
 operations in the same order whether their operands are in RAM, shared memory
 or a mapped file (the cross-engine equivalence suite pins this down to the
@@ -68,6 +88,11 @@ PARALLEL_MODES = (None, "thread", "process")
 #: Accepted values of the ``storage`` option (``None`` = auto: spill to a
 #: bound directory only when the edge arrays exceed the threshold).
 STORAGE_MODES = (None, "memory", "mmap")
+
+#: Accepted values of the ``trajectory_storage`` option (``None`` = auto:
+#: spill to a bound directory only when the full trajectory exceeds the
+#: threshold).
+TRAJECTORY_STORAGE_MODES = (None, "memory", "mmap")
 
 #: Auto-spill threshold: edge arrays (indices + weights) beyond this many
 #: bytes run memory-mapped when a storage directory is bound (256 MiB).
@@ -106,8 +131,13 @@ class ShardedEngine(TrajectoryEngine):
         session binds one).  ``storage="mmap"`` without a directory maps into
         a private temporary directory owned by the engine instance.
     spill_bytes:
-        Auto-spill threshold in edge-array bytes (default
-        :data:`DEFAULT_SPILL_BYTES`); only consulted when ``storage`` is auto.
+        Auto-spill threshold in bytes (default :data:`DEFAULT_SPILL_BYTES`);
+        consulted by the auto modes of both ``storage`` (against the edge
+        arrays) and ``trajectory_storage`` (against the full trajectory).
+    trajectory_storage:
+        ``None`` (auto-spill when a directory is bound and the trajectory is
+        big), ``"memory"`` (always a RAM array) or ``"mmap"`` (append rounds
+        to the on-disk ``.traj`` buffer) — see the module docstring.
     """
 
     name = "sharded"
@@ -120,7 +150,8 @@ class ShardedEngine(TrajectoryEngine):
                  parallel: Optional[str] = None,
                  storage: Optional[str] = None,
                  storage_dir=None,
-                 spill_bytes: Optional[int] = None) -> None:
+                 spill_bytes: Optional[int] = None,
+                 trajectory_storage: Optional[str] = None) -> None:
         if num_shards is not None and num_shards < 1:
             raise AlgorithmError(f"num_shards must be >= 1, got {num_shards}")
         if max_workers is not None and max_workers < 1:
@@ -141,6 +172,14 @@ class ShardedEngine(TrajectoryEngine):
             raise AlgorithmError(
                 f"unknown storage mode {storage!r}; expected one of "
                 f"'memory', 'mmap' or 'auto'")
+        if isinstance(trajectory_storage, str):
+            trajectory_storage = trajectory_storage.strip().lower() or None
+            if trajectory_storage in ("none", "auto"):
+                trajectory_storage = None
+        if trajectory_storage not in TRAJECTORY_STORAGE_MODES:
+            raise AlgorithmError(
+                f"unknown trajectory_storage mode {trajectory_storage!r}; "
+                f"expected one of 'memory', 'mmap' or 'auto'")
         if spill_bytes is not None and spill_bytes < 0:
             raise AlgorithmError(f"spill_bytes must be >= 0, got {spill_bytes}")
         if parallel is None and max_workers is not None:
@@ -149,6 +188,7 @@ class ShardedEngine(TrajectoryEngine):
         self.max_workers = max_workers
         self.parallel = parallel
         self.storage = storage
+        self.trajectory_storage = trajectory_storage
         self.storage_dir = Path(storage_dir) if storage_dir is not None else None
         self.spill_bytes = DEFAULT_SPILL_BYTES if spill_bytes is None \
             else int(spill_bytes)
@@ -166,6 +206,11 @@ class ShardedEngine(TrajectoryEngine):
         #: arrays once per *graph* instead of once per call.  The weakref
         #: guards against id() reuse after a graph is collected.
         self._fingerprints: dict = {}
+        #: lazily created thread pool, reused across trajectory() calls (a
+        #: fresh pool per call pays thread spawn/teardown on every warm
+        #: request); close() or garbage collection shuts it down.
+        self._thread_pool = None
+        self._pool_finalizer = None
 
     # ------------------------------------------------------------------ storage
     def bind_storage(self, root, *, spill_bytes: Optional[int] = None) -> None:
@@ -210,6 +255,31 @@ class ShardedEngine(TrajectoryEngine):
         from repro.graph.mmap_csr import csr_edge_bytes
 
         return csr_edge_bytes(csr) >= self.spill_bytes
+
+    def _uses_traj_mmap(self, csr, rounds: int) -> bool:
+        """Whether this run appends its trajectory to a mapped ``.traj`` file."""
+        if self.trajectory_storage == "mmap":
+            return True
+        if self.trajectory_storage == "memory":
+            return False
+        if self.storage_dir is None:
+            return False
+        return (int(rounds) + 1) * csr.num_nodes * 8 >= self.spill_bytes
+
+    def _trajectory_sink(self, csr, rounds: int, lam: float):
+        """The :class:`~repro.store.traj.AppendTrajectory` sink, or None.
+
+        Keyed by the CSR content fingerprint and canonical λ under the same
+        per-fingerprint root the mapped CSR arrays use, so a session's store
+        and the engine read/write the very same file.
+        """
+        if csr.num_nodes < 1 or not self._uses_traj_mmap(csr, rounds):
+            return None
+        from repro.store.traj import AppendTrajectory
+
+        fingerprint = getattr(csr, "fingerprint", None) or self._fingerprint_of(csr)
+        return AppendTrajectory.open(self._storage_root(), fingerprint, lam,
+                                     num_nodes=csr.num_nodes)
 
     def _fingerprint_of(self, csr) -> str:
         """The (memoised) content fingerprint of ``csr``.
@@ -270,25 +340,59 @@ class ShardedEngine(TrajectoryEngine):
                 shards = max(shards, self.effective_workers())
         return shard_plan(num_nodes, shards)
 
+    def _ensure_thread_pool(self):
+        """The engine's reusable thread pool (created on first parallel run).
+
+        One pool per engine instance, shut down by :meth:`close` — and, as a
+        backstop, by a ``weakref.finalize`` when the engine is collected — so
+        warm requests stop paying thread spawn/teardown per ``trajectory()``
+        call.
+        """
+        pool = self._thread_pool
+        if pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            pool = ThreadPoolExecutor(max_workers=self.effective_workers(),
+                                      thread_name_prefix="repro-sharded")
+            self._thread_pool = pool
+            self._pool_finalizer = weakref.finalize(
+                self, pool.shutdown, wait=False)
+        return pool
+
+    def close(self) -> None:
+        """Release pooled resources (idempotent; the engine stays usable)."""
+        pool, self._thread_pool = self._thread_pool, None
+        if pool is not None:
+            if self._pool_finalizer is not None:
+                self._pool_finalizer.detach()
+                self._pool_finalizer = None
+            pool.shutdown(wait=True)
+
     def trajectory(self, csr, rounds, *, lam=0.0, prefix=None) -> np.ndarray:
         plan = self.plan_for(csr.num_nodes)
         view, csr_files = csr, None
         if self._uses_mmap(csr):
             view = self._mapped_view(csr)
             csr_files = view.file_specs()
-        if self.parallel is not None and len(plan) > 1:
-            if self.parallel == "process":
-                from repro.engine.shm import process_trajectory
+        sink = self._trajectory_sink(view, rounds, lam)
+        try:
+            if self.parallel is not None and len(plan) > 1:
+                if self.parallel == "process":
+                    from repro.engine.shm import process_trajectory
 
-                return process_trajectory(view, rounds, lam=lam, plan=plan,
-                                          max_workers=self.effective_workers(),
-                                          prefix=prefix, csr_files=csr_files)
-            from concurrent.futures import ThreadPoolExecutor
-
-            with ThreadPoolExecutor(max_workers=self.effective_workers()) as pool:
+                    return process_trajectory(view, rounds, lam=lam, plan=plan,
+                                              max_workers=self.effective_workers(),
+                                              prefix=prefix, csr_files=csr_files,
+                                              traj_out=sink)
+                pool = self._ensure_thread_pool()
                 return compact_trajectory(view, rounds, lam=lam, plan=plan,
-                                          shard_map=pool.map, prefix=prefix)
-        return compact_trajectory(view, rounds, lam=lam, plan=plan, prefix=prefix)
+                                          shard_map=pool.map, prefix=prefix,
+                                          out=sink)
+            return compact_trajectory(view, rounds, lam=lam, plan=plan,
+                                      prefix=prefix, out=sink)
+        finally:
+            if sink is not None:
+                sink.close()
 
     def describe(self) -> str:
         shards = self.num_shards if self.num_shards is not None \
@@ -299,4 +403,7 @@ class ShardedEngine(TrajectoryEngine):
             workers = f"{self.parallel}x{self.effective_workers()}"
         storage = self.storage or (
             "auto" if self.storage_dir is not None else "memory")
-        return f"sharded (shards={shards}, workers={workers}, storage={storage})"
+        trajectory = self.trajectory_storage or (
+            "auto" if self.storage_dir is not None else "memory")
+        return (f"sharded (shards={shards}, workers={workers}, "
+                f"storage={storage}, trajectory={trajectory})")

@@ -143,16 +143,34 @@ def _worker_attach() -> tuple:
         csr = _SharedCSR(arrays["indptr"], arrays["indices"],
                          arrays["weights"], arrays["loops"])
         grid = LambdaGrid(lam=spec["lam"])
-        _WORKER_CACHE = (csr, grid, (arrays["values0"], arrays["values1"]), segments)
+        traj = None
+        if spec.get("traj"):
+            # Spilled-trajectory mode: every worker maps the pre-sized
+            # rows.bin writable and writes its shard's row-slice in place —
+            # completed rows never round-trip through the parent.  The parent
+            # alone publishes rounds (atomic header updates), so these writes
+            # stay invisible to readers until the round is complete.
+            path, rows, width = spec["traj"]
+            traj = np.memmap(path, dtype=np.float64, mode="r+",
+                             shape=(int(rows), int(width)))
+        _WORKER_CACHE = (csr, grid, (arrays["values0"], arrays["values1"]),
+                         traj, segments)
     return _WORKER_CACHE
 
 
-def _run_shard(lo: int, hi: int, src: int) -> Tuple[int, int]:
-    """One shard of one round: read buffer ``src``, write buffer ``1 - src``."""
+def _run_shard(lo: int, hi: int, src: int, t: Optional[int] = None) -> Tuple[int, int]:
+    """One shard of one round: read buffer ``src``, write buffer ``1 - src``.
+
+    ``t`` is the round number being computed; in spilled-trajectory mode the
+    worker also writes the shard's slice of row ``t`` into the mapped file.
+    """
     if os.environ.get(FAIL_SHARD_ENV):
         raise RuntimeError(f"injected shard failure for range [{lo}, {hi})")
-    csr, grid, values, _ = _worker_attach()
-    values[1 - src][lo:hi] = compact_round_range(csr, values[src], lo, hi, grid)
+    csr, grid, values, traj, _ = _worker_attach()
+    new = compact_round_range(csr, values[src], lo, hi, grid)
+    values[1 - src][lo:hi] = new
+    if traj is not None and t is not None:
+        traj[t, lo:hi] = new
     return lo, hi
 
 
@@ -189,7 +207,8 @@ def _pool_context():
 def process_trajectory(csr, rounds: int, *, lam: float = 0.0,
                        plan: ShardPlan, max_workers: int,
                        prefix: Optional[np.ndarray] = None,
-                       csr_files: Optional[Dict[str, tuple]] = None) -> np.ndarray:
+                       csr_files: Optional[Dict[str, tuple]] = None,
+                       traj_out=None) -> np.ndarray:
     """The full Algorithm 2 trajectory with rounds fanned out over processes.
 
     Drop-in replacement for :func:`repro.engine.kernels.compact_trajectory`
@@ -203,6 +222,14 @@ def process_trajectory(csr, rounds: int, *, lam: float = 0.0,
     ``np.memmap`` by path instead of attaching CSR shared-memory blocks —
     only the two value buffers are created in shared memory then.
 
+    ``traj_out`` switches the *output* transport the same way: an
+    :class:`~repro.store.traj.AppendTrajectory` whose pre-sized ``rows.bin``
+    every worker maps writable and fills shard row-slices of directly (the
+    parent only publishes each completed round with an atomic header update
+    — a crash mid-round leaves the previous round's readable prefix).  No
+    ``(rounds + 1, n)`` RAM array exists then; the return value is a
+    read-only map of the published prefix.
+
     The pool and the shared-memory blocks live exactly as long as this call:
     they are torn down in a ``finally`` even when a worker raises, so no
     ``/dev/shm`` segment outlives a crashed round.
@@ -211,9 +238,11 @@ def process_trajectory(csr, rounds: int, *, lam: float = 0.0,
         raise AlgorithmError(f"max_workers must be >= 1, got {max_workers}")
     n = csr.num_nodes
     bounds = tuple(plan)
-    trajectory, start = init_trajectory(n, rounds, prefix)
+    trajectory, start = init_trajectory(n, rounds, prefix, out=traj_out)
     if start >= rounds:
-        return trajectory  # fully served by the prefix: no pool, no blocks
+        # Fully served by the prefix (or the already-published on-disk
+        # rounds): no pool, no blocks.
+        return traj_out.as_array(rounds) if traj_out is not None else trajectory
     from concurrent.futures import ProcessPoolExecutor
     from multiprocessing import shared_memory
 
@@ -241,21 +270,35 @@ def process_trajectory(csr, rounds: int, *, lam: float = 0.0,
                 # spawn workers run their own resource tracker (see
                 # _unregister_from_tracker); fork workers share the parent's.
                 "private_tracker": ctx.get_start_method() != "fork"}
+        if traj_out is not None:
+            # Pre-size rows.bin so workers can map the full (rounds + 1, n)
+            # region; the tail stays unpublished until each round's publish.
+            traj_out.presize(rounds)
+            spec["traj"] = traj_out.rows_spec(rounds)
         pool = ProcessPoolExecutor(max_workers=max_workers, mp_context=ctx,
                                    initializer=_worker_init, initargs=(spec,))
         src = 0
-        np.copyto(values[src], trajectory[start])
+        np.copyto(values[src],
+                  traj_out.row(start) if traj_out is not None
+                  else trajectory[start])
         for t in range(start + 1, rounds + 1):
-            futures = [pool.submit(_run_shard, lo, hi, src) for lo, hi in bounds]
+            futures = [pool.submit(_run_shard, lo, hi, src, t)
+                       for lo, hi in bounds]
             for future in futures:
                 future.result()  # re-raises worker exceptions in the parent
             new = values[1 - src]
-            trajectory[t] = new
+            if traj_out is not None:
+                traj_out.publish(t)
+            else:
+                trajectory[t] = new
             if np.array_equal(new, values[src]):
-                trajectory[t:] = new
+                if traj_out is not None:
+                    traj_out.fill_to(rounds, new)
+                else:
+                    trajectory[t:] = new
                 break
             src = 1 - src
-        return trajectory
+        return traj_out.as_array(rounds) if traj_out is not None else trajectory
     finally:
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=True)

@@ -42,7 +42,9 @@ class Graph:
         meaningful: their coreness and maximal density are 0).
     """
 
-    __slots__ = ("_adj", "_loops", "_num_edges", "_total_weight")
+    # __weakref__ lets long-lived registries (the serve layer's per-graph
+    # lock map) hold graphs weakly instead of pinning them forever.
+    __slots__ = ("_adj", "_loops", "_num_edges", "_total_weight", "__weakref__")
 
     def __init__(self, edges: Optional[Iterable[Sequence]] = None,
                  nodes: Optional[Iterable[Node]] = None) -> None:

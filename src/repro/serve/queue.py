@@ -39,6 +39,7 @@ and every engine is deterministic (the equivalence suites pin this).
 from __future__ import annotations
 
 import threading
+import weakref
 from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
@@ -48,6 +49,7 @@ from repro.engine.batch import BatchJob, BatchResult, BatchRunner
 from repro.errors import ServeError
 from repro.problems import Problem, ProblemLike, get_problem
 from repro.session import Session
+from repro.utils.numeric import canonical_lam
 
 
 @dataclass
@@ -198,7 +200,13 @@ class JobQueue(_AsyncFrontend):
         self.runner = runner if runner is not None else BatchRunner(
             engine if engine is not None else "vectorized",
             store=store, **engine_options)
-        self._graph_locks: Dict[int, threading.Lock] = {}
+        #: id(graph) -> (weakref to the graph, its serialisation lock).  Like
+        #: ShardedEngine._fingerprints: the weakref detects id() reuse after a
+        #: graph is collected (an aliased lock would serialise unrelated
+        #: graphs — or worse, hand a recycled id a lock some thread holds),
+        #: and dead entries are pruned so a long-lived queue's lock map does
+        #: not grow with every graph it ever served.
+        self._graph_locks: Dict[int, Tuple[weakref.ref, threading.Lock]] = {}
 
     def _job_key(self, job: BatchJob) -> Optional[tuple]:
         problem = get_problem(job.problem)
@@ -219,7 +227,17 @@ class JobQueue(_AsyncFrontend):
 
     def _graph_lock(self, graph) -> threading.Lock:
         with self._registry_lock:
-            return self._graph_locks.setdefault(id(graph), threading.Lock())
+            key = id(graph)
+            hit = self._graph_locks.get(key)
+            if hit is not None and hit[0]() is graph:
+                return hit[1]
+            dead = [k for k, (ref, _) in self._graph_locks.items()
+                    if ref() is None]
+            for k in dead:
+                del self._graph_locks[k]
+            lock = threading.Lock()
+            self._graph_locks[key] = (weakref.ref(graph), lock)
+            return lock
 
     def _execute(self, job: BatchJob) -> BatchResult:
         with self._graph_lock(job.graph):
@@ -285,8 +303,14 @@ class AsyncSession(_AsyncFrontend):
 
     def _request_key(self, problem: ProblemLike, params: dict) -> Optional[tuple]:
         prob = get_problem(problem)
-        # Mirror Session.solve's normalisation: an explicit lam at the session
-        # default is the same request as an omitted one.
+        # Mirror Session.solve's normalisation exactly: canonicalise λ before
+        # any key is derived from it (so every equivalent spelling — and in
+        # particular -0.0 vs 0.0 — coalesces onto one in-flight future, and a
+        # non-finite λ is rejected here at submit time, not inside a worker
+        # future), then collapse an explicit lam at the session default onto
+        # the omitted spelling.
+        if params.get("lam") is not None:
+            params = {**params, "lam": canonical_lam(params["lam"])}
         if params.get("lam") == self.session.default_lam:
             params = {**params, "lam": None}
         base = prob.request_key(params)

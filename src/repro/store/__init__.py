@@ -13,9 +13,13 @@ known graph resumes bit-identically from disk.
 >>> session.coreness(rounds=8)                          # doctest: +SKIP
 
 See :mod:`repro.store.store` for the on-disk layout, atomicity and corruption
-semantics, and the ``repro cache`` CLI for inspection and purging.
+semantics, :mod:`repro.store.traj` for the append-only out-of-core trajectory
+buffer (``trajectory-lam<λ>.traj/``), and the ``repro cache`` CLI for
+inspection and purging.
 """
 
 from repro.store.store import SCHEMA_VERSION, ArtifactStore, StoreError
+from repro.store.traj import TRAJ_SCHEMA_VERSION, AppendTrajectory
 
-__all__ = ["ArtifactStore", "StoreError", "SCHEMA_VERSION"]
+__all__ = ["ArtifactStore", "StoreError", "SCHEMA_VERSION",
+           "AppendTrajectory", "TRAJ_SCHEMA_VERSION"]

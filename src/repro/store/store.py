@@ -12,6 +12,20 @@ One directory per graph, addressed by its CSR content fingerprint
         result-T<T>-lam<λ>-<rule>-k<0|1>.npz   # full SurvivingNumbers (see below)
         csr/                             # memory-mapped CSR arrays, written by
           meta.json, *.bin               # repro.graph.mmap_csr for out-of-core runs
+        trajectory-lam<λ>.traj/          # append-only out-of-core trajectory
+          header.json, rows.bin          # (repro.store.traj): rounds are appended
+                                         # by the engine and published with atomic
+                                         # header updates; row t at offset t*n*8
+
+The ``.traj`` directory is the spilled twin of ``trajectory-lam<λ>.npz``:
+engines running with ``trajectory_storage="mmap"`` append completed rounds
+directly into ``rows.bin`` and publish each one by atomically replacing
+``header.json``, so a crash loses at most the un-published round — readers
+always see a complete round prefix (clamped to what the file actually holds).
+Loads consult both spellings and serve whichever holds more rounds, preferring
+the mapped file on ties (no RAM copy); ``info``/``purge``/``evict`` account
+the directory like the ``csr/`` arrays, with ``header.json`` treated as the
+descriptor that is only removed when its rows are gone.
 
 λ is spelled canonically in filenames (:func:`repro.utils.numeric.canonical_lam`:
 ``-0.0`` and ``0.0`` are one artifact, matching the in-memory caches that
@@ -52,6 +66,7 @@ from repro.core.rounding import LambdaGrid
 from repro.core.surviving import SurvivingNumbers
 from repro.errors import StoreError
 from repro.graph.mmap_csr import CSR_DIR_NAME, is_fingerprint
+from repro.store import traj as traj_store
 from repro.utils.numeric import canonical_lam
 from repro.utils.serialize import json_node
 
@@ -197,12 +212,7 @@ class ArtifactStore:
         self._write_graph_meta(fingerprint, trajectory.shape[1], labels)
         return path
 
-    def load_trajectory(self, fingerprint: str, lam: float) -> Optional[np.ndarray]:
-        """The stored trajectory for ``(fingerprint, λ)``, or None.
-
-        Absent, corrupted, schema-mismatching and fingerprint-mismatching
-        files all read as None (a miss).
-        """
+    def _load_npz_trajectory(self, fingerprint: str, lam: float) -> Optional[np.ndarray]:
         loaded = self._load_npz(self._trajectory_path(fingerprint, lam),
                                 kind="trajectory", fingerprint=fingerprint, lam=lam)
         if loaded is None:
@@ -219,16 +229,42 @@ class ArtifactStore:
         finally:
             archive.close()
 
+    def load_trajectory(self, fingerprint: str, lam: float) -> Optional[np.ndarray]:
+        """The stored trajectory for ``(fingerprint, λ)``, or None.
+
+        Consults both spellings — the monolithic ``.npz`` and the append-only
+        ``.traj`` directory — and serves whichever holds more rounds; on a tie
+        the ``.traj`` file wins, as a read-only ``np.memmap`` (no RAM copy).
+        Absent, corrupted, schema-mismatching and fingerprint-mismatching
+        files all read as None (a miss).
+        """
+        mapped = traj_store.open_trajectory(self.root, fingerprint, lam)
+        npz = self._load_npz_trajectory(fingerprint, lam)
+        if mapped is None:
+            return npz
+        if npz is None or mapped.shape[0] >= npz.shape[0]:
+            return mapped
+        return npz
+
     def trajectory_rounds(self, fingerprint: str, lam: float) -> Optional[int]:
-        """Round count of the stored trajectory without loading the array."""
+        """Round count of the stored trajectory without loading the arrays.
+
+        The maximum over both spellings (``.npz`` metadata and the ``.traj``
+        append header, the latter clamped to the rows actually on disk).
+        """
+        counts = []
         loaded = self._load_npz(self._trajectory_path(fingerprint, lam),
                                 kind="trajectory", fingerprint=fingerprint, lam=lam)
-        if loaded is None:
-            return None
-        meta, archive = loaded
-        archive.close()
-        rounds = meta.get("rounds")
-        return int(rounds) if isinstance(rounds, int) else None
+        if loaded is not None:
+            meta, archive = loaded
+            archive.close()
+            rounds = meta.get("rounds")
+            if isinstance(rounds, int):
+                counts.append(int(rounds))
+        appended = traj_store.published_rounds(self.root, fingerprint, lam)
+        if appended is not None:
+            counts.append(appended)
+        return max(counts) if counts else None
 
     # ----------------------------------------------------------------- results
     def save_result(self, fingerprint: str, result: SurvivingNumbers, *,
@@ -322,7 +358,31 @@ class ArtifactStore:
         """
         return self.graph_dir(fingerprint) / CSR_DIR_NAME
 
+    def traj_dir(self, fingerprint: str, lam: float) -> Path:
+        """The append-only ``.traj`` directory of ``(fingerprint, λ)``.
+
+        Written by engines running with ``trajectory_storage="mmap"`` (see
+        :mod:`repro.store.traj`); accounted for and removed like any other
+        artifact.
+        """
+        self.graph_dir(fingerprint)  # same malformed-fingerprint contract
+        return traj_store.traj_dir(self.root, fingerprint, lam)
+
+    def record_graph(self, fingerprint: str, n: int,
+                     labels: Sequence[Hashable] = ()) -> None:
+        """Ensure the human-facing ``graph.json`` descriptor exists.
+
+        Idempotent; used by callers that create artifacts without going
+        through ``save_trajectory``/``save_result`` (e.g. a session whose
+        engine appended the trajectory straight into the ``.traj`` file).
+        """
+        self._write_graph_meta(fingerprint, n, labels)
+
     def _artifact_files(self, fingerprint: Optional[str] = None) -> Iterator[Path]:
+        # Hidden files are skipped everywhere: a ``.{name}.tmp-*`` file is an
+        # in-flight atomic write, not an artifact — counting it misreports
+        # ``info`` and letting ``purge``/``evict`` delete it would yank a
+        # temp file out from under a concurrent writer's ``os.replace``.
         dirs = [self.graph_dir(fingerprint)] if fingerprint else (
             [p for p in sorted(self.root.iterdir())
              if p.is_dir() and is_fingerprint(p.name)]
@@ -330,10 +390,15 @@ class ArtifactStore:
         for directory in dirs:
             if directory.is_dir():
                 for path in sorted(directory.iterdir()):
+                    if path.name.startswith("."):
+                        continue
                     if path.is_file():
                         yield path
-                    elif path.is_dir() and path.name == CSR_DIR_NAME:
-                        yield from sorted(p for p in path.iterdir() if p.is_file())
+                    elif path.is_dir() and (path.name == CSR_DIR_NAME
+                                            or traj_store.is_traj_dir(path)):
+                        yield from sorted(
+                            p for p in path.iterdir()
+                            if p.is_file() and not p.name.startswith("."))
 
     def fingerprints(self) -> Tuple[str, ...]:
         """Fingerprints of every graph with at least one stored file.
@@ -352,28 +417,42 @@ class ArtifactStore:
     def _is_csr_file(path: Path) -> bool:
         return path.parent.name == CSR_DIR_NAME
 
+    @staticmethod
+    def _is_traj_file(path: Path) -> bool:
+        return traj_store.is_traj_dir(path.parent)
+
     def info(self, fingerprint: Optional[str] = None) -> dict:
         """Totals (and per-graph rows) for the CLI and tests.
 
         Returns ``{"root", "graphs": [{"fingerprint", "files", "bytes",
-        "csr_bytes", "kinds"}, ...], "files", "bytes"}``; ``csr_bytes`` is
-        the slice of ``bytes`` held by memory-mapped CSR arrays (the
-        out-of-core footprint ``repro cache ls`` reports per graph).
+        "csr_bytes", "traj_bytes", "kinds"}, ...], "files", "bytes"}``;
+        ``csr_bytes`` / ``traj_bytes`` are the slices of ``bytes`` held by
+        memory-mapped CSR arrays and append-only trajectories (the
+        out-of-core footprint ``repro cache ls`` reports per graph).  A file
+        vanishing between the directory scan and its ``stat`` (a concurrent
+        ``purge``/``evict``/replace) is skipped, not a crash.
         """
         graphs = []
         total_files = total_bytes = 0
         targets = (fingerprint,) if fingerprint else self.fingerprints()
         for fp in targets:
-            files = [p for p in self._artifact_files(fp)]
-            sizes = {p: p.stat().st_size for p in files}
+            sizes = {}
+            for p in self._artifact_files(fp):
+                try:
+                    sizes[p] = p.stat().st_size
+                except OSError:
+                    continue  # deleted/replaced mid-scan: not an artifact now
             size = sum(sizes.values())
             csr_bytes = sum(s for p, s in sizes.items() if self._is_csr_file(p))
+            traj_bytes = sum(s for p, s in sizes.items() if self._is_traj_file(p))
             kinds = sorted({"csr" if self._is_csr_file(p)
+                            else "trajectory" if self._is_traj_file(p)
                             else p.name.split("-")[0].removesuffix(".json")
-                            for p in files})
-            graphs.append({"fingerprint": fp, "files": len(files),
-                           "bytes": size, "csr_bytes": csr_bytes, "kinds": kinds})
-            total_files += len(files)
+                            for p in sizes})
+            graphs.append({"fingerprint": fp, "files": len(sizes),
+                           "bytes": size, "csr_bytes": csr_bytes,
+                           "traj_bytes": traj_bytes, "kinds": kinds})
+            total_files += len(sizes)
             total_bytes += size
         return {"root": str(self.root), "graphs": graphs,
                 "files": total_files, "bytes": total_bytes}
@@ -396,7 +475,9 @@ class ArtifactStore:
              if p.is_dir() and is_fingerprint(p.name)]
             if self.root.is_dir() else [])
         for directory in dirs:
-            for candidate in (directory / CSR_DIR_NAME, directory):
+            subdirs = [p for p in directory.iterdir() if p.is_dir()] \
+                if directory.is_dir() else []
+            for candidate in subdirs + [directory]:
                 try:
                     candidate.rmdir()
                 except OSError:
@@ -406,21 +487,27 @@ class ArtifactStore:
     def evict(self, max_bytes: int) -> int:
         """Remove oldest-modified artifacts until the store fits ``max_bytes``.
 
-        Memory-mapped CSR arrays are evictable like any other artifact (a
-        later out-of-core run re-materialises them — the revalidation in
-        :mod:`repro.graph.mmap_csr` treats a torn set as absent).  The
-        ``graph.json`` / ``csr/meta.json`` descriptors are only removed when
-        their directory has no artifacts left.  Returns the number of files
-        removed.
+        Memory-mapped CSR arrays and append-only trajectories are evictable
+        like any other artifact (a later out-of-core run re-materialises /
+        recomputes them — the revalidation in :mod:`repro.graph.mmap_csr` and
+        the header clamp in :mod:`repro.store.traj` treat a torn set as
+        absent).  The ``graph.json`` / ``csr/meta.json`` / ``.traj``
+        ``header.json`` descriptors are only removed when their directory has
+        no artifacts left.  Returns the number of files removed.
         """
         if max_bytes < 0:
             raise StoreError(f"max_bytes must be >= 0, got {max_bytes}")
         entries = []
         for path in self._artifact_files():
             if path.name == "graph.json" or (
-                    self._is_csr_file(path) and path.name == "meta.json"):
+                    self._is_csr_file(path) and path.name == "meta.json") or (
+                    self._is_traj_file(path)
+                    and path.name == traj_store.HEADER_NAME):
                 continue
-            stat = path.stat()
+            try:
+                stat = path.stat()
+            except OSError:  # pragma: no cover - vanished mid-scan
+                continue
             entries.append((stat.st_mtime, stat.st_size, path))
         total = sum(size for _, size, _ in entries)
         removed = 0
@@ -436,14 +523,20 @@ class ArtifactStore:
         for directory in ([p for p in self.root.iterdir()
                            if p.is_dir() and is_fingerprint(p.name)]
                           if self.root.is_dir() else []):
-            csr_dir = directory / CSR_DIR_NAME
-            if csr_dir.is_dir() and not any(p for p in csr_dir.iterdir()
-                                            if p.name != "meta.json"):
-                (csr_dir / "meta.json").unlink(missing_ok=True)
-                try:
-                    csr_dir.rmdir()
-                except OSError:  # pragma: no cover - concurrent write
-                    pass
+            for subdir in [p for p in directory.iterdir() if p.is_dir()]:
+                if subdir.name == CSR_DIR_NAME:
+                    descriptor = "meta.json"
+                elif traj_store.is_traj_dir(subdir):
+                    descriptor = traj_store.HEADER_NAME
+                else:
+                    continue
+                if not any(p for p in subdir.iterdir()
+                           if p.name != descriptor):
+                    (subdir / descriptor).unlink(missing_ok=True)
+                    try:
+                        subdir.rmdir()
+                    except OSError:  # pragma: no cover - concurrent write
+                        pass
             artifacts = [p for p in directory.iterdir() if p.name != "graph.json"]
             if not artifacts:
                 (directory / "graph.json").unlink(missing_ok=True)

@@ -1,11 +1,11 @@
 """The standing benchmark harness cannot silently rot (bench marker).
 
 Runs ``scripts/bench.py --smoke`` end-to-end as a subprocess (the way CI and
-operators invoke it) and validates the emitted ``BENCH_PR5.json``-style
+operators invoke it) and validates the emitted ``BENCH_PR6.json``-style
 document against the schema; also validates the committed bench documents
-(``BENCH_PR3.json`` / ``BENCH_PR4.json`` legacy schemas, ``BENCH_PR5.json``)
-at the repo root when present, so a schema change cannot strand the persisted
-perf trajectory.
+(``BENCH_PR3.json`` / ``BENCH_PR4.json`` legacy schemas, ``BENCH_PR5.json``,
+``BENCH_PR6.json``) at the repo root when present, so a schema change cannot
+strand the persisted perf trajectory.
 """
 
 from __future__ import annotations
@@ -60,14 +60,22 @@ def test_smoke_run_emits_valid_document(tmp_path):
     # The out-of-core scenario ran over mapped files, bit-identically.
     assert document["out_of_core"]
     assert {row["config"] for row in document["out_of_core"]} == {
-        "mmap-seq", "mmap-process"}
+        "mmap-seq", "mmap-process",
+        "mmap-traj-seq", "mmap-traj-thread", "mmap-traj-process"}
     assert all(row["identical"] and row["csr_bytes_on_disk"] > 0
                for row in document["out_of_core"])
+    # The spilled-trajectory configs wrote the .traj buffer and resumed from
+    # the surviving prefix after a simulated torn write, bit-identically.
+    traj_rows = [row for row in document["out_of_core"]
+                 if "traj" in row["config"]]
+    assert traj_rows
+    assert all(row["traj_bytes_on_disk"] > 0 and row["resumed_identical"]
+               and row["resume_from_rounds"] >= 0 for row in traj_rows)
 
 
 @pytest.mark.bench
 @pytest.mark.parametrize("name", ["BENCH_PR3.json", "BENCH_PR4.json",
-                                  "BENCH_PR5.json"])
+                                  "BENCH_PR5.json", "BENCH_PR6.json"])
 def test_committed_bench_documents_match_schema(name):
     committed = REPO_ROOT / name
     if not committed.exists():

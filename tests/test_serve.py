@@ -236,6 +236,55 @@ class TestLifecycleAndErrors:
             JobQueue(BatchRunner("faithful"), engine="sharded:8")
 
 
+class TestGraphLockHygiene:
+    """Regression: the per-graph lock map grew forever and trusted id() reuse.
+
+    ``JobQueue._graph_locks`` was keyed by ``id(graph)`` and never pruned, so
+    a long-lived queue leaked one lock per graph it ever served — and a
+    recycled ``id()`` could hand a brand-new graph a lock some thread still
+    held for a dead one.  The map now holds weakrefs (like
+    ``ShardedEngine._fingerprints``) and prunes dead entries on access.
+    """
+
+    def _fresh_graph(self, seed):
+        from repro.graph.generators.random_graphs import barabasi_albert
+
+        return barabasi_albert(20, 2, seed=seed)
+
+    def test_lock_is_stable_for_a_live_graph(self, graphs):
+        g1, _ = graphs
+        with JobQueue(max_workers=1) as queue:
+            assert queue._graph_lock(g1) is queue._graph_lock(g1)
+            assert len(queue._graph_locks) == 1
+
+    def test_dead_graphs_are_pruned_from_the_lock_map(self, graphs):
+        import gc
+
+        g1, _ = graphs
+        with JobQueue(max_workers=1) as queue:
+            for seed in range(5):
+                queue._graph_lock(self._fresh_graph(seed))  # dies immediately
+            gc.collect()
+            # The next lookup prunes every dead entry.
+            queue._graph_lock(g1)
+            assert len(queue._graph_locks) == 1
+
+    def test_recycled_id_is_not_handed_a_stale_lock(self, graphs):
+        import gc
+        import threading
+        import weakref
+
+        g1, _ = graphs
+        with JobQueue(max_workers=1) as queue:
+            stale_lock = threading.Lock()
+            doomed = self._fresh_graph(0)
+            # Simulate id() reuse: a dead graph's entry sits at g1's id.
+            queue._graph_locks[id(g1)] = (weakref.ref(doomed), stale_lock)
+            del doomed
+            gc.collect()
+            assert queue._graph_lock(g1) is not stale_lock
+
+
 class TestAsyncSession:
     def test_matches_synchronous_session(self, graphs):
         g1, _ = graphs
@@ -275,6 +324,51 @@ class TestAsyncSession:
             AsyncSession()
         with pytest.raises(ServeError):
             AsyncSession(session=Session(g1), store="/tmp/nope")
+
+    def test_lambda_spellings_coalesce_in_flight(self, graphs):
+        # Regression: AsyncSession._request_key skipped the λ canonicalisation
+        # Session.solve performs, so equivalent spellings of the same request
+        # could miss the in-flight dedup (and a bad λ only failed inside the
+        # worker future).  Serve with a non-default λ so the explicit
+        # spellings stay in the key and must canonicalise to coalesce.
+        g1, _ = graphs
+        gated = _Gated()
+        with AsyncSession(g1, lam=0.25, max_workers=2) as serve:
+            first = serve.submit(gated, rounds=3, lam=-0.0)
+            assert gated.started.wait(timeout=10)
+            second = serve.submit(gated, rounds=3, lam=0.0)
+            assert second is first  # -0.0 and 0.0 are one request
+            assert serve.stats.deduplicated == 1
+            gated.release.set()
+            first.result()
+        assert serve.stats.submitted == 1
+
+    def test_default_lambda_spelled_explicitly_coalesces(self, graphs):
+        g1, _ = graphs
+        gated = _Gated()
+        with AsyncSession(g1, max_workers=2) as serve:
+            first = serve.submit(gated, rounds=3)
+            assert gated.started.wait(timeout=10)
+            # -0.0 must canonicalise first, then collapse onto the omitted
+            # spelling of the session default 0.0.
+            second = serve.submit(gated, rounds=3, lam=-0.0)
+            assert second is first
+            assert serve.stats.deduplicated == 1
+            gated.release.set()
+            first.result()
+
+    def test_non_finite_lambda_fails_at_submit_time(self, graphs):
+        from repro.errors import InvalidLambdaError
+
+        g1, _ = graphs
+        with AsyncSession(g1, max_workers=1) as serve:
+            for bad in (float("nan"), float("inf"), float("-inf")):
+                with pytest.raises(InvalidLambdaError):
+                    # Rejected before any worker runs — a NaN λ would
+                    # otherwise never dedup (NaN != NaN) and only fail
+                    # inside the future.
+                    serve.submit("coreness", rounds=3, lam=bad)
+        assert serve.stats.submitted == 0
 
     def test_store_backed_async_session(self, graphs, tmp_path):
         g1, _ = graphs

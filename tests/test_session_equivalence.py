@@ -29,7 +29,11 @@ ENGINES = ("vectorized", "sharded:3", "faithful",
            # store (the restart matrix below) they live in the store's own
            # per-fingerprint csr/ layout — cold, warm and restarted requests
            # must stay bit-identical to the in-memory engines.
-           "sharded:shards=3,storage=mmap")
+           "sharded:shards=3,storage=mmap",
+           # Out-of-core output: the trajectory itself is appended to an
+           # on-disk .traj buffer (see repro.store.traj) instead of being
+           # held as one (T+1) x n allocation.
+           "sharded:shards=3,storage=mmap,traj=mmap")
 
 
 def _skip_if_faithful_cannot_run(engine, graph):

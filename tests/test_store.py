@@ -368,6 +368,58 @@ class TestLambdaCanonicalisation:
         assert repr(meta["lam"]) == "0.0"
 
 
+class TestInFlightVisibility:
+    """Regression: a stalled writer's temp file leaked into info/purge/evict.
+
+    ``_artifact_files`` yielded the hidden ``.…tmp-…`` files a concurrent (or
+    crashed) writer leaves while an atomic replace is in flight, so ``info``
+    counted phantom bytes, ``purge`` deleted a file another process was about
+    to ``os.replace``, and ``evict`` could pick one as its oldest victim.
+    Hidden files are now invisible to the management surface, and ``info``
+    tolerates files vanishing between ``iterdir`` and ``stat``.
+    """
+
+    def test_stalled_temp_files_are_invisible(self, store, fingerprint):
+        store.save_trajectory(fingerprint, 0.0, np.zeros((3, 4)))
+        stalled = (store.graph_dir(fingerprint)
+                   / ".trajectory-lam0.5.npz.tmp-999-1")
+        stalled.write_bytes(b"half-written")
+        info = store.info(fingerprint)
+        assert info["files"] == 2  # graph.json + trajectory, not the temp
+        assert info["graphs"][0]["kinds"] == ["graph", "trajectory"]
+        assert store.evict(max_bytes=0) == 1  # the trajectory, never the temp
+        assert stalled.exists()
+
+    def test_purge_leaves_in_flight_writes_alone(self, store, fingerprint):
+        store.save_trajectory(fingerprint, 0.0, np.zeros((3, 4)))
+        stalled = (store.graph_dir(fingerprint)
+                   / ".trajectory-lam0.5.npz.tmp-999-1")
+        stalled.write_bytes(b"half-written")
+        assert store.purge(fingerprint) == 2
+        assert stalled.exists()  # not ours to delete mid-replace
+
+    def test_info_tolerates_files_vanishing_mid_scan(self, store, fingerprint,
+                                                     monkeypatch):
+        from pathlib import Path
+
+        store.save_trajectory(fingerprint, 0.0, np.zeros((3, 4)))
+        victim = store.save_trajectory(fingerprint, 0.5, np.zeros((3, 4)))
+        real_stat = Path.stat
+
+        def racing_stat(self, **kwargs):
+            if self.name == victim.name:
+                # Deleted between iterdir and stat.
+                import errno
+
+                raise FileNotFoundError(errno.ENOENT, "vanished", str(self))
+            return real_stat(self, **kwargs)
+
+        monkeypatch.setattr(Path, "stat", racing_stat)
+        info = store.info(fingerprint)
+        assert info["files"] == 2  # graph.json + the surviving trajectory
+        assert info["graphs"][0]["fingerprint"] == fingerprint
+
+
 class TestCsrAccounting:
     """The store accounts for (and removes) the out-of-core csr/ arrays."""
 

@@ -1,0 +1,413 @@
+"""The out-of-core trajectory buffer: append protocol, engines, sessions.
+
+Contract under test (see :mod:`repro.store.traj` and the
+``trajectory_storage`` option of :class:`repro.engine.sharded.ShardedEngine`):
+
+* the append protocol — rows first, then an atomic ``header.json`` publish —
+  round-trips bit-identically, resumes from whatever prefix is on disk, and
+  clamps torn tails (a crash mid-append costs at most the unpublished rounds,
+  never a wrong or unreadable prefix);
+* a foreign, corrupt or mismatching header reads as absent and a fresh writer
+  starts over — corruption can cost a recompute, never a wrong answer;
+* every engine configuration (sequential, thread, process; CSR in memory or
+  mapped) with ``trajectory_storage="mmap"`` produces trajectories
+  bit-identical to the in-memory engines, including after a simulated crash;
+* the thread-parallel mode reuses one pool per engine (and ``close`` shuts it
+  down) instead of paying pool startup on every call;
+* a store-backed :class:`~repro.session.Session` adopts, extends, accounts
+  for, and purges the ``.traj`` artifact in place of the monolithic ``.npz``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import get_engine
+from repro.engine.sharded import ShardedEngine
+from repro.errors import AlgorithmError, StoreError
+from repro.graph.csr import graph_to_csr
+from repro.graph.generators.random_graphs import barabasi_albert
+from repro.graph.mmap_csr import is_fingerprint
+from repro.session import Session
+from repro.store import AppendTrajectory, ArtifactStore
+from repro.store.traj import (
+    HEADER_NAME,
+    ROWS_NAME,
+    is_traj_dir,
+    open_trajectory,
+    published_rounds,
+    rows_path,
+    traj_dir,
+)
+
+#: A syntactically valid fingerprint for format-level tests.
+FP = "ab" * 32
+
+
+@pytest.fixture
+def graph():
+    return barabasi_albert(120, 3, seed=11)
+
+
+def _rows(count, n=4):
+    """``count`` distinct, easily recognisable float64 rows."""
+    return np.arange(count * n, dtype=np.float64).reshape(count, n) + 1.0
+
+
+class TestAppendFormat:
+    def test_empty_file_seeds_the_all_inf_initial_row(self, tmp_path):
+        with AppendTrajectory.open(tmp_path, FP, 0.0, num_nodes=4) as traj:
+            assert traj.ensure_prefix() == 0
+            assert np.all(np.isposinf(traj.row(0)))
+        assert published_rounds(tmp_path, FP, 0.0) == 0
+
+    def test_appended_rounds_round_trip_and_reopen_resumes(self, tmp_path):
+        rows = _rows(3)
+        with AppendTrajectory.open(tmp_path, FP, 0.0, num_nodes=4) as traj:
+            traj.ensure_prefix()
+            for row in rows:
+                traj.append_row(row)
+            assert traj.rounds == 3
+        # A fresh handle resumes from the on-disk rows — they ARE the state.
+        with AppendTrajectory.open(tmp_path, FP, 0.0, num_nodes=4) as traj:
+            assert traj.ensure_prefix() == 3
+            assert np.array_equal(traj.as_array()[1:], rows)
+        mapped = open_trajectory(tmp_path, FP, 0.0)
+        assert mapped.shape == (4, 4)
+        assert np.array_equal(mapped[1:], rows)
+
+    def test_torn_tail_is_clamped_never_served(self, tmp_path):
+        with AppendTrajectory.open(tmp_path, FP, 0.0, num_nodes=4) as traj:
+            traj.ensure_prefix(_rows(4))
+        # Crash mid-append: the file holds 2 full rows plus a partial one,
+        # while the header still claims 3 rounds.
+        path = rows_path(tmp_path, FP, 0.0)
+        with open(path, "r+b") as handle:
+            handle.truncate(2 * 4 * 8 + 5)
+        assert published_rounds(tmp_path, FP, 0.0) == 1
+        assert open_trajectory(tmp_path, FP, 0.0).shape == (2, 4)
+        # A writer resumes after the surviving prefix, not the torn claim.
+        with AppendTrajectory.open(tmp_path, FP, 0.0, num_nodes=4) as traj:
+            assert traj.ensure_prefix() == 1
+
+    def test_foreign_header_reads_as_absent_and_is_wiped(self, tmp_path):
+        with AppendTrajectory.open(tmp_path, FP, 0.0, num_nodes=4) as traj:
+            traj.ensure_prefix(_rows(3))
+        header = traj_dir(tmp_path, FP, 0.0) / HEADER_NAME
+        header.write_text(header.read_text().replace(FP, "cd" * 32))
+        assert published_rounds(tmp_path, FP, 0.0) is None
+        assert open_trajectory(tmp_path, FP, 0.0) is None
+        with AppendTrajectory.open(tmp_path, FP, 0.0, num_nodes=4) as traj:
+            assert traj.rounds == -1  # started over
+            assert traj.ensure_prefix() == 0
+
+    def test_corrupt_header_reads_as_absent(self, tmp_path):
+        with AppendTrajectory.open(tmp_path, FP, 0.0, num_nodes=4) as traj:
+            traj.ensure_prefix(_rows(2))
+        (traj_dir(tmp_path, FP, 0.0) / HEADER_NAME).write_text("{not json")
+        assert published_rounds(tmp_path, FP, 0.0) is None
+
+    def test_node_count_mismatch_starts_over(self, tmp_path):
+        with AppendTrajectory.open(tmp_path, FP, 0.0, num_nodes=4) as traj:
+            traj.ensure_prefix(_rows(2))
+        with AppendTrajectory.open(tmp_path, FP, 0.0, num_nodes=5) as traj:
+            assert traj.rounds == -1
+
+    def test_ensure_prefix_appends_only_the_missing_rows(self, tmp_path):
+        rows = _rows(5)
+        with AppendTrajectory.open(tmp_path, FP, 0.0, num_nodes=4) as traj:
+            assert traj.ensure_prefix(rows[:3]) == 2
+            assert traj.ensure_prefix(rows) == 4
+            # A shorter prefix never truncates what is already published.
+            assert traj.ensure_prefix(rows[:2]) == 4
+            assert np.array_equal(traj.as_array(), rows)
+
+    def test_ensure_prefix_rejects_wrong_width(self, tmp_path):
+        with AppendTrajectory.open(tmp_path, FP, 0.0, num_nodes=4) as traj:
+            with pytest.raises(StoreError, match="does not fit"):
+                traj.ensure_prefix(np.zeros((2, 5)))
+
+    def test_fill_to_repeats_the_fixed_point_row(self, tmp_path):
+        with AppendTrajectory.open(tmp_path, FP, 0.0, num_nodes=4) as traj:
+            traj.ensure_prefix(_rows(2))
+            fixed = traj.row(1)
+            traj.fill_to(6, fixed)
+            array = traj.as_array()
+        assert array.shape == (7, 4)
+        assert np.array_equal(array[1:], np.broadcast_to(fixed, (6, 4)))
+
+    def test_as_array_caps_to_the_requested_rounds(self, tmp_path):
+        rows = _rows(5)
+        with AppendTrajectory.open(tmp_path, FP, 0.0, num_nodes=4) as traj:
+            traj.ensure_prefix(rows)
+            assert traj.as_array(2).shape == (3, 4)
+            assert np.array_equal(traj.as_array(2), rows[:3])
+
+    def test_unpublished_rows_are_unreadable(self, tmp_path):
+        with AppendTrajectory.open(tmp_path, FP, 0.0, num_nodes=4) as traj:
+            traj.ensure_prefix(_rows(2))
+            with pytest.raises(StoreError, match="not published"):
+                traj.row(5)
+
+    def test_presize_leaves_the_tail_unpublished(self, tmp_path):
+        with AppendTrajectory.open(tmp_path, FP, 0.0, num_nodes=4) as traj:
+            traj.ensure_prefix(_rows(2))
+            traj.presize(10)
+        assert rows_path(tmp_path, FP, 0.0).stat().st_size == 11 * 4 * 8
+        # The pre-sized (zeroed) region is exactly a torn tail: clamped out.
+        assert published_rounds(tmp_path, FP, 0.0) == 1
+
+    def test_minus_zero_lambda_addresses_the_same_artifact(self, tmp_path):
+        assert traj_dir(tmp_path, FP, -0.0) == traj_dir(tmp_path, FP, 0.0)
+        with AppendTrajectory.open(tmp_path, FP, -0.0, num_nodes=4) as traj:
+            traj.ensure_prefix(_rows(2))
+        assert published_rounds(tmp_path, FP, 0.0) == 1
+
+    def test_malformed_fingerprint_never_touches_the_filesystem(self, tmp_path):
+        with pytest.raises(StoreError, match="fingerprint"):
+            traj_dir(tmp_path, "abc", 0.0)
+        assert not any(tmp_path.iterdir())
+
+    def test_num_nodes_must_be_positive(self, tmp_path):
+        with pytest.raises(StoreError, match="n >= 1"):
+            AppendTrajectory.open(tmp_path, FP, 0.0, num_nodes=0)
+
+    def test_no_temp_files_survive_a_publish(self, tmp_path):
+        with AppendTrajectory.open(tmp_path, FP, 0.0, num_nodes=4) as traj:
+            traj.ensure_prefix(_rows(3))
+        names = {p.name for p in traj_dir(tmp_path, FP, 0.0).iterdir()}
+        assert names == {HEADER_NAME, ROWS_NAME}
+
+    def test_is_traj_dir_recognises_the_layout(self, tmp_path):
+        assert is_traj_dir(traj_dir(tmp_path, FP, 0.0))
+        assert not is_traj_dir(tmp_path / FP / "csr")
+
+
+class TestEngineEquivalence:
+    """trajectory_storage="mmap" engines are bit-identical to in-memory runs."""
+
+    def _variants(self, tmp_path):
+        return [
+            ShardedEngine(num_shards=4, trajectory_storage="mmap",
+                          storage_dir=tmp_path / "a"),
+            ShardedEngine(num_shards=4, storage="mmap",
+                          trajectory_storage="mmap",
+                          storage_dir=tmp_path / "b"),
+            ShardedEngine(num_shards=4, max_workers=2, parallel="thread",
+                          trajectory_storage="mmap",
+                          storage_dir=tmp_path / "c"),
+            ShardedEngine(num_shards=4, max_workers=2, parallel="process",
+                          storage="mmap", trajectory_storage="mmap",
+                          storage_dir=tmp_path / "d"),
+        ]
+
+    def test_all_modes_bit_identical_and_spilled(self, graph, tmp_path):
+        reference = get_engine("vectorized").run(graph, 6, track_kept=True)
+        for engine in self._variants(tmp_path):
+            result = engine.run(graph, 6, track_kept=True)
+            assert result.values == reference.values, engine.describe()
+            assert result.kept == reference.kept, engine.describe()
+            assert np.array_equal(result.trajectory, reference.trajectory), \
+                engine.describe()
+            # The trajectory really is the on-disk buffer, not a copy.
+            assert isinstance(result.trajectory, np.memmap), engine.describe()
+            engine.close()
+
+    def test_fresh_engine_resumes_from_the_spilled_prefix(self, graph,
+                                                          tmp_path):
+        reference = get_engine("vectorized").run(graph, 9, track_kept=False)
+        first = ShardedEngine(num_shards=4, trajectory_storage="mmap",
+                              storage_dir=tmp_path)
+        first.run(graph, 5, track_kept=False)
+        first.close()
+        resumed = ShardedEngine(num_shards=4, trajectory_storage="mmap",
+                                storage_dir=tmp_path)
+        result = resumed.run(graph, 9, track_kept=False)
+        assert np.array_equal(result.trajectory, reference.trajectory)
+        resumed.close()
+
+    def test_crash_recovery_through_the_engine(self, graph, tmp_path):
+        reference = get_engine("vectorized").run(graph, 8, track_kept=False)
+        engine = ShardedEngine(num_shards=4, trajectory_storage="mmap",
+                               storage_dir=tmp_path)
+        engine.run(graph, 8, track_kept=False)
+        engine.close()
+        fingerprint = next(p.name for p in tmp_path.iterdir()
+                           if is_fingerprint(p.name))
+        # Tear the file mid-row: 3 intact rows plus a partial fourth.
+        with open(rows_path(tmp_path, fingerprint, 0.0), "r+b") as handle:
+            handle.truncate(3 * graph.num_nodes * 8 + 17)
+        assert published_rounds(tmp_path, fingerprint, 0.0) == 2
+        fresh = ShardedEngine(num_shards=4, trajectory_storage="mmap",
+                              storage_dir=tmp_path)
+        result = fresh.run(graph, 8, track_kept=False)
+        assert np.array_equal(result.trajectory, reference.trajectory)
+        fresh.close()
+
+    def test_registry_spec_spells_trajectory_storage(self):
+        engine = get_engine("sharded:shards=4,traj=mmap")
+        assert engine.trajectory_storage == "mmap"
+        assert "trajectory=mmap" in engine.describe()
+
+    def test_unknown_trajectory_storage_mode_rejected(self):
+        with pytest.raises(AlgorithmError, match="trajectory_storage"):
+            ShardedEngine(trajectory_storage="bogus")
+
+    def test_memory_mode_never_spills_the_trajectory(self, graph, tmp_path):
+        engine = ShardedEngine(trajectory_storage="memory", spill_bytes=0,
+                               storage_dir=tmp_path)
+        assert not engine._uses_traj_mmap(graph_to_csr(graph), rounds=4)
+
+    def test_auto_spill_needs_a_directory_and_a_big_trajectory(self, graph,
+                                                               tmp_path):
+        csr = graph_to_csr(graph)
+        homeless = ShardedEngine(spill_bytes=0)
+        assert not homeless._uses_traj_mmap(csr, rounds=4)  # nowhere to spill
+        bound = ShardedEngine(spill_bytes=0, storage_dir=tmp_path)
+        assert bound._uses_traj_mmap(csr, rounds=4)
+        small = ShardedEngine(spill_bytes=1 << 40, storage_dir=tmp_path)
+        assert not small._uses_traj_mmap(csr, rounds=4)  # fits in memory
+
+    def test_auto_spilled_run_matches_memory(self, graph, tmp_path):
+        reference = get_engine("vectorized").run(graph, 5, track_kept=False)
+        engine = ShardedEngine(num_shards=4, spill_bytes=0,
+                               storage_dir=tmp_path)
+        result = engine.run(graph, 5, track_kept=False)
+        assert np.array_equal(result.trajectory, reference.trajectory)
+        assert isinstance(result.trajectory, np.memmap)
+        engine.close()
+
+
+class TestThreadPoolReuse:
+    """Perf fix: one pool per engine, not a fresh ThreadPoolExecutor per call."""
+
+    def test_pool_is_created_lazily_and_reused(self, graph):
+        engine = ShardedEngine(num_shards=4, max_workers=2, parallel="thread")
+        assert engine._thread_pool is None
+        engine.run(graph, 3, track_kept=False)
+        pool = engine._thread_pool
+        assert pool is not None
+        engine.run(graph, 4, track_kept=False)
+        assert engine._thread_pool is pool
+
+    def test_close_shuts_the_pool_down(self, graph):
+        engine = ShardedEngine(num_shards=4, max_workers=2, parallel="thread")
+        engine.run(graph, 3, track_kept=False)
+        pool = engine._thread_pool
+        engine.close()
+        assert engine._thread_pool is None
+        with pytest.raises(RuntimeError):
+            pool.submit(lambda: None)  # really shut down
+        # The engine stays usable: a new pool is built on demand.
+        result = engine.run(graph, 3, track_kept=False)
+        assert engine._thread_pool is not None
+        assert engine._thread_pool is not pool
+        assert result.values == get_engine("vectorized").run(
+            graph, 3, track_kept=False).values
+
+    def test_close_without_a_pool_is_a_noop(self):
+        ShardedEngine(num_shards=2).close()
+
+
+class TestStoreIntegration:
+    def test_load_trajectory_prefers_the_longer_artifact(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        npz_rows = _rows(4)
+        store.save_trajectory(FP, 0.0, npz_rows)
+        # No .traj yet: the .npz is served.
+        assert store.load_trajectory(FP, 0.0).shape == (4, 4)
+        # A longer .traj wins ...
+        with AppendTrajectory.open(store.root, FP, 0.0, num_nodes=4) as traj:
+            traj.ensure_prefix(_rows(6))
+        loaded = store.load_trajectory(FP, 0.0)
+        assert isinstance(loaded, np.memmap) and loaded.shape == (6, 4)
+        assert store.trajectory_rounds(FP, 0.0) == 5
+        # ... and a longer .npz wins back.
+        store.save_trajectory(FP, 0.0, _rows(9))
+        assert store.load_trajectory(FP, 0.0).shape == (9, 4)
+        assert store.trajectory_rounds(FP, 0.0) == 8
+
+    def test_ties_prefer_the_mapped_artifact(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.save_trajectory(FP, 0.0, _rows(4))
+        with AppendTrajectory.open(store.root, FP, 0.0, num_nodes=4) as traj:
+            traj.ensure_prefix(_rows(4))
+        assert isinstance(store.load_trajectory(FP, 0.0), np.memmap)
+
+    def test_info_purge_and_evict_account_for_traj_files(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.record_graph(FP, 4)
+        with AppendTrajectory.open(store.root, FP, 0.0, num_nodes=4) as traj:
+            traj.ensure_prefix(_rows(3))
+        row = store.info(FP)["graphs"][0]
+        assert row["traj_bytes"] > 0
+        assert "trajectory" in row["kinds"]
+        assert row["files"] == 3  # graph.json + header.json + rows.bin
+        assert store.purge(FP) == 3
+        assert not store.graph_dir(FP).exists()
+
+    def test_evict_to_zero_clears_traj_artifacts(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.record_graph(FP, 4)
+        with AppendTrajectory.open(store.root, FP, 0.0, num_nodes=4) as traj:
+            traj.ensure_prefix(_rows(3))
+        # Only the data file counts; header.json is descriptor cleanup.
+        assert store.evict(max_bytes=0) == 1
+        assert store.fingerprints() == ()
+        assert not traj_dir(store.root, FP, 0.0).exists()
+
+
+class TestSessionSpill:
+    SPEC = "sharded:shards=4,traj=mmap"
+
+    def test_session_spills_traj_instead_of_npz(self, graph, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        reference = Session(graph).coreness(rounds=6)
+        session = Session(graph, engine=self.SPEC, store=store)
+        assert session.coreness(rounds=6).values == reference.values
+        names = {p.name for p in store.graph_dir(session.fingerprint).iterdir()}
+        assert "trajectory-lam0.0.traj" in names
+        assert not any(name.endswith(".npz") for name in names)
+        assert session.stats.disk_writes == 1
+        assert store.trajectory_rounds(session.fingerprint, 0.0) == 6
+        row = store.info(session.fingerprint)["graphs"][0]
+        assert row["traj_bytes"] > 0 and "trajectory" in row["kinds"]
+
+    def test_restart_resumes_bit_identically_from_the_traj(self, graph,
+                                                           tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        first = Session(graph, engine=self.SPEC, store=store)
+        warmed = first.coreness(rounds=6)
+        restarted = Session(graph, engine=self.SPEC, store=store)
+        again = restarted.coreness(rounds=6)
+        assert restarted.stats.disk_hits == 1
+        assert again.values == warmed.values
+        # Extending past the stored prefix appends, bit-identically.
+        reference = get_engine("vectorized").run(graph, 9, track_kept=False)
+        extended = restarted.coreness(rounds=9)
+        assert np.array_equal(extended.surviving.trajectory,
+                              reference.trajectory)
+
+    def test_torn_traj_resumes_from_the_surviving_prefix(self, graph,
+                                                         tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        session = Session(graph, engine=self.SPEC, store=store)
+        session.coreness(rounds=8)
+        reference = get_engine("vectorized").run(graph, 8, track_kept=False)
+        path = rows_path(store.root, session.fingerprint, 0.0)
+        with open(path, "r+b") as handle:
+            handle.truncate(4 * graph.num_nodes * 8 + 9)
+        restarted = Session(graph, engine=self.SPEC, store=store)
+        result = restarted.coreness(rounds=8)
+        assert np.array_equal(result.surviving.trajectory,
+                              reference.trajectory)
+
+    def test_purge_removes_the_spilled_session_artifacts(self, graph,
+                                                         tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        session = Session(graph, engine=self.SPEC, store=store)
+        session.coreness(rounds=4)
+        assert store.purge() >= 3  # graph.json + header.json + rows.bin
+        assert store.fingerprints() == ()
+        assert not store.graph_dir(session.fingerprint).exists()
