@@ -15,6 +15,15 @@ Times, on seeded Barabási–Albert and Erdős–Rényi graphs:
 * **store** — a cold run against a fresh persistent artifact store vs a
   warm-*restart*-from-disk (a brand-new `Session(store=...)` on the same
   graph), with a bit-identical check — the perf trajectory of `repro.store`;
+* **serve** — a load generator against a live ``repro serve`` HTTP server on
+  loopback: the graph is shipped over the wire as a repro-graph-v1 document,
+  then N client threads submit a mixed problem schedule (each thread walks
+  the request matrix from a different offset) and long-poll every job to
+  completion.  Reports p50/p99 submit-to-done latency, throughput, and the
+  in-flight dedup hit-rate from ``/metrics``; one ``include=result`` fetch
+  per distinct request is checked bit-identical against an in-process
+  ``Session.solve`` on the same document — the perf trajectory of
+  `repro.serve.http`;
 * **out_of_core** — the memory-mapped CSR mode (`sharded:storage=mmap`,
   sequential and process-pool): cold (materialise the arrays on disk, then
   run over `np.memmap` views) vs warm (files revalidated by fingerprint, no
@@ -30,7 +39,7 @@ Times, on seeded Barabási–Albert and Erdős–Rényi graphs:
   the surviving prefix and still produce the bit-identical trajectory.
 
 Results are written as machine-readable JSON (``--out``, default
-``BENCH_PR6.json`` at the repo root) so future PRs have a baseline to regress
+``BENCH_PR7.json`` at the repo root) so future PRs have a baseline to regress
 against::
 
     python scripts/bench.py                     # full run (10k-200k nodes)
@@ -41,10 +50,12 @@ against::
 The JSON schema (validated by ``tests/test_bench_harness.py``) is
 ``{"schema": "repro-bench/3", "machine": {...}, "params": {...},
 "engines": [...], "kept_sets": [...], "sessions": [...], "store": [...],
-"out_of_core": [...]}``; every row carries its graph, timings and speedups.
-Legacy documents still validate minus the sections added later
+"out_of_core": [...], "serve": [...]}``; every row carries its graph, timings
+and speedups.  Legacy documents still validate minus the sections added later
 (``repro-bench/1`` without ``store``, ``repro-bench/2`` without
-``out_of_core``), so the committed PR3/PR4 trajectories stay checkable.
+``out_of_core``, and schema-3 documents written before the HTTP front-end
+without ``serve`` — ``serve`` is optional-but-validated within schema 3), so
+the committed PR3-PR6 trajectories stay checkable.
 Speedup claims are only meaningful relative to ``machine.cpu_count`` —
 process parallelism cannot beat the baseline on a single-CPU container, and
 the JSON records that context instead of hiding it.
@@ -90,6 +101,12 @@ LEGACY_SCHEMAS = ("repro-bench/1", "repro-bench/2")
 REQUIRED_TOP_LEVEL = ("schema", "generated_by", "smoke", "machine", "params",
                       "engines", "kept_sets", "sessions", "store",
                       "out_of_core")
+
+#: Sections every *new* document carries but older documents of the same
+#: schema string may lack (added mid-schema): validated when present, never
+#: required.  ``serve`` landed with the HTTP front-end, after schema 3
+#: documents had already been committed.
+OPTIONAL_TOP_LEVEL = ("serve",)
 
 #: Sections absent from the legacy schemas (schema -> missing keys).
 _LEGACY_MISSING = {"repro-bench/1": ("store", "out_of_core"),
@@ -270,6 +287,107 @@ def bench_store(graphs, rounds, log):
     return rows
 
 
+def bench_serve(graphs, rounds, serve_workers, clients, log):
+    """N client threads of mixed problems against a live loopback server.
+
+    The graph crosses the wire as a repro-graph-v1 document (so the reference
+    session below consumes the *same* document — CSR fingerprints hash
+    adjacency insertion order).  Each client thread owns one keep-alive
+    connection and walks the request matrix (coreness / orientation × two
+    round budgets) from its own offset, so distinct requests race and
+    identical in-flight ones exercise the dedup path.  Latency is
+    submit-to-done per request (summary polling, so the measurement is not
+    dominated by shipping per-node JSON); one ``include=result`` fetch per
+    distinct request is compared bit-for-bit against ``Session.solve``.
+    """
+    import threading
+
+    from repro.graph import io as graph_io
+    from repro.serve.client import ServeClient
+    from repro.serve.http import ReproHTTPServer
+
+    rows = []
+    for graph_name, graph in graphs:
+        payload = graph_io.to_dict(graph)
+        requests = [{"problem": problem, "rounds": budget}
+                    for problem in ("coreness", "orientation")
+                    for budget in (max(1, rounds // 2), rounds)]
+        with ReproHTTPServer(workers=serve_workers) as server:
+            with ServeClient(server.host, server.port) as setup:
+                fingerprint = setup.upload_graph(graph_io.from_dict(payload))
+            latencies, failures = [], []
+            lock = threading.Lock()
+
+            def hammer(thread_index):
+                try:
+                    with ServeClient(server.host, server.port,
+                                     tenant=f"bench-{thread_index}") as cli:
+                        offset = thread_index % len(requests)
+                        for request in (requests[offset:]
+                                        + requests[:offset]):
+                            start = time.perf_counter()
+                            issued = cli.submit(fingerprint, **request)
+                            cli.result(issued["job"])
+                            elapsed = time.perf_counter() - start
+                            with lock:
+                                latencies.append(elapsed)
+                except Exception as exc:  # pragma: no cover - diagnostics
+                    with lock:
+                        failures.append(f"client {thread_index}: {exc!r}")
+
+            start_total = time.perf_counter()
+            threads = [threading.Thread(target=hammer, args=(index,))
+                       for index in range(clients)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            total_seconds = time.perf_counter() - start_total
+            if failures:
+                raise RuntimeError(f"serve bench clients failed: {failures}")
+
+            # Bit-identity: one full-result fetch per distinct request vs the
+            # in-process session on the same document.
+            reference = Session(graph_io.from_dict(payload))
+            identical = True
+            with ServeClient(server.host, server.port) as checker:
+                for request in requests:
+                    issued = checker.submit(fingerprint, **request)
+                    doc = checker.result(issued["job"], include_result=True)
+                    want = json.loads(json.dumps(reference.solve(
+                        request["problem"],
+                        rounds=request["rounds"]).to_dict()))
+                    identical = identical and doc["result"] == want
+                metrics = checker.metrics()
+        serve_stats = metrics["serve"]
+        observed = serve_stats["submitted"] + serve_stats["dedup_hits"]
+        row = {
+            "graph": graph_name, "n": graph.num_nodes, "m": graph.num_edges,
+            "rounds": rounds, "config": f"serve-{clients}x{serve_workers}",
+            "clients": clients, "serve_workers": serve_workers,
+            "requests": len(latencies),
+            "total_seconds": round(total_seconds, 6),
+            "throughput_rps": round(len(latencies) / total_seconds, 4)
+            if total_seconds > 0 else float("inf"),
+            "p50_latency_seconds": round(
+                float(np.percentile(latencies, 50)), 6),
+            "p99_latency_seconds": round(
+                float(np.percentile(latencies, 99)), 6),
+            "submitted": serve_stats["submitted"],
+            "dedup_hits": serve_stats["dedup_hits"],
+            "dedup_hit_rate": round(serve_stats["dedup_hits"] / observed, 4)
+            if observed else 0.0,
+            "identical": identical,
+        }
+        rows.append(row)
+        log(f"  serve   {graph_name:>12s} {row['config']:<14s} "
+            f"p50 {row['p50_latency_seconds']:8.4f}s "
+            f"p99 {row['p99_latency_seconds']:8.4f}s "
+            f"{row['throughput_rps']:7.2f} req/s "
+            f"dedup {row['dedup_hit_rate']:.0%} identical={identical}")
+    return rows
+
+
 def bench_out_of_core(graphs, rounds, shards, workers, repeats, log,
                       traj_rounds=None):
     """The memory-mapped CSR mode against the in-memory sharded baseline.
@@ -386,7 +504,8 @@ def bench_out_of_core(graphs, rounds, shards, workers, repeats, log,
 
 
 def run_benchmarks(sizes, rounds, shards, workers, repeats, seed, smoke,
-                   log=lambda line: None, traj_rounds=None) -> dict:
+                   log=lambda line: None, traj_rounds=None,
+                   serve_clients=4, serve_workers=2) -> dict:
     graphs = list(_graphs(sizes, seed))
     document = {
         "schema": SCHEMA,
@@ -400,11 +519,14 @@ def run_benchmarks(sizes, rounds, shards, workers, repeats, seed, smoke,
         "params": {"sizes": list(sizes), "rounds": rounds, "shards": shards,
                    "workers": workers, "repeats": repeats, "seed": seed,
                    "traj_rounds": traj_rounds if traj_rounds is not None
-                   else rounds},
+                   else rounds,
+                   "serve_clients": serve_clients,
+                   "serve_workers": serve_workers},
         "engines": bench_engines(graphs, rounds, shards, workers, repeats, log),
         "kept_sets": bench_kept_sets(graphs, rounds, repeats, log),
         "sessions": bench_sessions(graphs, rounds, shards, workers, log),
         "store": bench_store(graphs, rounds, log),
+        "serve": bench_serve(graphs, rounds, serve_workers, serve_clients, log),
         "out_of_core": bench_out_of_core(graphs, rounds, shards, workers,
                                          repeats, log,
                                          traj_rounds=traj_rounds),
@@ -457,6 +579,19 @@ def validate_document(document: dict) -> None:
             raise ValueError(f"store row is not bit-identical: {row}")
         if row["disk_hits"] < 1:
             raise ValueError(f"store restart did not hit the disk: {row}")
+    for row in document.get("serve", ()):
+        for key in ("graph", "config", "clients", "serve_workers", "requests",
+                    "total_seconds", "throughput_rps", "p50_latency_seconds",
+                    "p99_latency_seconds", "submitted", "dedup_hits",
+                    "dedup_hit_rate", "identical"):
+            if key not in row:
+                raise ValueError(f"serve row is missing {key!r}: {row}")
+        if not row["identical"]:
+            raise ValueError(f"serve row is not bit-identical: {row}")
+        if row["requests"] < row["clients"]:
+            raise ValueError(f"serve row lost client requests: {row}")
+        if row["p99_latency_seconds"] < row["p50_latency_seconds"]:
+            raise ValueError(f"serve row has inverted percentiles: {row}")
     for row in document.get("out_of_core", ()):
         for key in ("graph", "config", "cold_seconds", "warm_seconds",
                     "in_memory_seconds", "csr_bytes_on_disk", "identical"):
@@ -502,24 +637,35 @@ def main() -> int:
     parser.add_argument("--seed", type=int, default=99)
     parser.add_argument("--smoke", action="store_true",
                         help="seconds-long run on one small graph (CI)")
+    parser.add_argument("--serve-clients", type=int, default=4,
+                        help="concurrent HTTP clients hammering the serve "
+                             "scenario (default: 4)")
+    parser.add_argument("--serve-workers", type=int, default=2,
+                        help="queue workers behind the benchmarked HTTP "
+                             "server (default: 2)")
     parser.add_argument("--out", "--output", dest="output", type=Path,
-                        default=REPO_ROOT / "BENCH_PR6.json",
+                        default=REPO_ROOT / "BENCH_PR7.json",
                         help="where to write the JSON document "
-                             "(default: BENCH_PR6.json at the repo root)")
+                             "(default: BENCH_PR7.json at the repo root)")
     args = parser.parse_args()
 
     sizes = [2_000] if args.smoke else args.sizes
     repeats = 1 if args.smoke else args.repeats
     traj_rounds = 12 if args.smoke else args.traj_rounds
+    serve_clients = min(2, args.serve_clients) if args.smoke \
+        else args.serve_clients
     workers = args.workers if args.workers is not None \
         else max(4, os.cpu_count() or 1)
 
     print(f"bench: sizes={sizes} rounds={args.rounds} "
           f"traj_rounds={traj_rounds} shards={args.shards} "
-          f"workers={workers} repeats={repeats} cpu_count={os.cpu_count()}")
+          f"workers={workers} repeats={repeats} "
+          f"serve_clients={serve_clients} cpu_count={os.cpu_count()}")
     document = run_benchmarks(sizes, args.rounds, args.shards, workers, repeats,
                               args.seed, args.smoke, log=print,
-                              traj_rounds=traj_rounds)
+                              traj_rounds=traj_rounds,
+                              serve_clients=serve_clients,
+                              serve_workers=args.serve_workers)
     validate_document(document)
     args.output.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
     print(f"bench: results written to {args.output}")

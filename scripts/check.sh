@@ -7,8 +7,10 @@
 # (trajectory spilled to the append-only .traj buffer, bit-identical and
 # prefix-resumable), the warm-session throughput
 # benchmark (>= 2x over cold per-call on repeated mixed requests), the
-# persistent-store smoke (second run served from disk, bit-identical) and
-# the `repro cache` CLI smoke.
+# persistent-store smoke (second run served from disk, bit-identical),
+# the `repro cache` CLI smoke and the HTTP serve smoke (`repro serve` as a
+# subprocess on an ephemeral port: jobs over a real socket, /metrics,
+# graceful SIGTERM drain with no staging files left in the store).
 #
 # Usage:  ./scripts/check.sh            (from anywhere; repo root is inferred)
 set -euo pipefail
@@ -101,15 +103,19 @@ echo "== repro cache CLI smoke =="
 STORE_DIR="$(mktemp -d -t repro_cache_smoke.XXXXXX)"
 trap 'rm -rf "$STORE_DIR"' EXIT
 python -m repro batch --dataset caveman --rounds 6 --store "$STORE_DIR" > /dev/null
-# Capture instead of piping into `grep -q`: under pipefail, grep exiting on
-# the first match would SIGPIPE the still-printing CLI and fail the check.
-BATCH_OUT="$(python -m repro batch --dataset caveman --rounds 6 --store "$STORE_DIR" --async)"
-grep -q "disk_hits=1" <<< "$BATCH_OUT" \
+# A plain pipe is safe under pipefail: the CLI exits 0 on BrokenPipeError,
+# so grep -q quitting on the first match cannot fail the check.
+python -m repro batch --dataset caveman --rounds 6 --store "$STORE_DIR" --async \
+    | grep -q "disk_hits=1" \
     || { echo "cache smoke: second run missed the store"; exit 1; }
 python -m repro cache ls --store "$STORE_DIR"
 python -m repro cache info --store "$STORE_DIR" > /dev/null
 python -m repro cache purge --store "$STORE_DIR" | grep -q "purged" \
     || { echo "cache smoke: purge failed"; exit 1; }
+
+echo
+echo "== HTTP serve smoke (ephemeral port, jobs over the wire, SIGTERM drain) =="
+python scripts/serve_smoke.py
 
 echo
 echo "check.sh: all green"

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Smoke-test the HTTP service the way an operator runs it.
+
+Launches ``python -m repro serve`` as a real subprocess on an ephemeral
+port backed by a throwaway store, then over a real socket: uploads the
+caveman dataset, runs one job per registered problem, checks ``/metrics``
+accounting, and finally SIGTERMs the server.  The drain must exit 0 and
+may not leave ``*.tmp`` staging files behind in the store (the atomic
+publish contract: readers only ever see complete artifacts).
+
+Used by scripts/check.sh; exits non-zero on any failure.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve.client import ServeClient  # noqa: E402
+
+BANNER = re.compile(r"listening on http://([^:]+):(\d+)")
+PROBLEMS = ("coreness", "orientation", "densest")
+
+
+def wait_for_banner(proc, deadline=20.0):
+    start = time.monotonic()
+    while time.monotonic() - start < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise RuntimeError("server exited before announcing its port")
+        match = BANNER.search(line)
+        if match:
+            return match.group(1), int(match.group(2))
+    raise RuntimeError("server never announced its port")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        store = pathlib.Path(tmp) / "store"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--store", str(store), "--workers", "2"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            cwd=REPO_ROOT, env=env)
+        try:
+            host, port = wait_for_banner(proc)
+            with ServeClient(host, port) as client:
+                fingerprint = client.upload_dataset("caveman")
+                jobs = [client.submit(fingerprint, problem=problem, rounds=6)
+                        for problem in PROBLEMS]
+                for issued in jobs:
+                    doc = client.result(issued["job"])
+                    assert doc["status"] == "done", doc
+                metrics = client.metrics()
+                serve = metrics["serve"]
+                assert serve["submitted"] == len(PROBLEMS), serve
+                assert serve["queue_depth"] == 0, serve
+                assert metrics["store"] is not None, "store not wired in"
+                assert metrics["store"]["files"] >= 1, metrics["store"]
+            proc.send_signal(signal.SIGTERM)
+            returncode = proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        output = proc.stdout.read()
+        if returncode != 0:
+            print(output, file=sys.stderr)
+            print(f"serve smoke: server exited {returncode} on SIGTERM",
+                  file=sys.stderr)
+            return 1
+        strays = [p for p in store.rglob("*") if "tmp" in p.name]
+        if strays:
+            print(f"serve smoke: drain left staging files: {strays}",
+                  file=sys.stderr)
+            return 1
+        if not any(store.rglob("*.json")):
+            print("serve smoke: store is empty after the run", file=sys.stderr)
+            return 1
+    print(f"serve smoke: {len(PROBLEMS)} problems over the wire, graceful "
+          "drain, no staging files left behind")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

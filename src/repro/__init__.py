@@ -51,10 +51,15 @@ from repro.errors import (
     GraphError,
     InvalidLambdaError,
     ProtocolError,
+    QueueFullError,
+    QuotaExceededError,
     ReproError,
     ServeError,
     SimulationError,
     StoreError,
+    UnknownResourceError,
+    WireFormatError,
+    error_from_dict,
 )
 from repro.graph.csr import csr_fingerprint, graph_fingerprint
 from repro.graph.datasets import list_datasets, load_dataset
@@ -66,7 +71,13 @@ from repro.problems import (
     get_problem,
     register_problem,
 )
-from repro.serve import AsyncSession, JobQueue, ServeStats
+from repro.serve import (
+    AsyncSession,
+    JobQueue,
+    ReproHTTPServer,
+    ServeClient,
+    ServeStats,
+)
 from repro.session import Session, SessionStats
 from repro.store import ArtifactStore
 
@@ -95,6 +106,12 @@ __all__ = [
     "BatchJob",
     "MappedCSR",
     "mmap_csr",
+    "ArtifactStore",
+    "AsyncSession",
+    "JobQueue",
+    "ServeStats",
+    "ReproHTTPServer",
+    "ServeClient",
     "ReproError",
     "GraphError",
     "ProtocolError",
@@ -102,4 +119,11 @@ __all__ = [
     "AlgorithmError",
     "InvalidLambdaError",
     "ConvergenceError",
+    "StoreError",
+    "ServeError",
+    "QueueFullError",
+    "QuotaExceededError",
+    "UnknownResourceError",
+    "WireFormatError",
+    "error_from_dict",
 ]

@@ -16,6 +16,7 @@ dataset) without writing Python::
     python -m repro cache ls --store ./cache
     python -m repro cache info --store ./cache
     python -m repro cache purge --store ./cache [--fingerprint HEX]
+    python -m repro serve --host 127.0.0.1 --port 8080 --store ./cache --workers 4
     python -m repro engines
     python -m repro problems
     python -m repro datasets
@@ -28,7 +29,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import signal
 import sys
+import threading
 from pathlib import Path
 from typing import Optional, Sequence
 
@@ -154,6 +158,36 @@ def _build_parser() -> argparse.ArgumentParser:
     cache_parser.add_argument("--fingerprint", default=None, metavar="HEX",
                               help="restrict ls/purge to one graph fingerprint")
 
+    serve_parser = subparsers.add_parser(
+        "serve", help="serve jobs over HTTP/JSON (graph uploads, submission, "
+                      "long-polling, /metrics) until SIGTERM/SIGINT")
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address (default 127.0.0.1)")
+    serve_parser.add_argument("--port", type=int, default=8080,
+                              help="TCP port; 0 picks an ephemeral port "
+                                   "(default 8080)")
+    serve_parser.add_argument("--store", type=Path, default=None, metavar="DIR",
+                              help="persistent artifact store backing the "
+                                   "served sessions (resumed across restarts)")
+    serve_parser.add_argument("--workers", type=int, default=2, metavar="N",
+                              help="job worker threads (default 2)")
+    serve_parser.add_argument("--max-pending", type=int, default=None,
+                              metavar="N",
+                              help="backpressure bound: submissions beyond N "
+                                   "queued-or-running jobs get HTTP 429 "
+                                   "(default: unbounded)")
+    serve_parser.add_argument("--quota-rate", type=float, default=None,
+                              metavar="R",
+                              help="per-tenant request quota: R requests/s "
+                                   "token-bucket refill (default: no quotas)")
+    serve_parser.add_argument("--quota-burst", type=float, default=None,
+                              metavar="B",
+                              help="token-bucket burst size (default: "
+                                   "max(1, quota-rate))")
+    serve_parser.add_argument("--engine", default="vectorized", metavar="SPEC",
+                              help="execution engine spec for every served job "
+                                   "(default: vectorized)")
+
     subparsers.add_parser("engines", help="list the registered execution engines")
     subparsers.add_parser("problems", help="list the registered problems")
     subparsers.add_parser("datasets", help="list the bundled synthetic datasets")
@@ -240,6 +274,42 @@ def _command_cache(args: argparse.Namespace, out) -> int:
             print("(store is empty)", file=out)
     print(f"# store={info['root']} graphs={len(info['graphs'])} "
           f"files={info['files']} bytes={info['bytes']}", file=out)
+    return 0
+
+
+def _command_serve(args: argparse.Namespace, out,
+                   ready: Optional[threading.Event] = None,
+                   stop: Optional[threading.Event] = None) -> int:
+    """Run the HTTP server until SIGTERM/SIGINT, then drain gracefully.
+
+    ``ready``/``stop`` exist for in-process tests (and embedding): ``ready``
+    is set once the socket is bound, ``stop`` requests the same graceful
+    drain a signal would.  Signal handlers are installed only on the main
+    thread (the only place Python allows them).
+    """
+    from repro.serve.http import ReproHTTPServer
+
+    server = ReproHTTPServer(
+        args.host, args.port, engine=get_engine(args.engine),
+        store=args.store, workers=args.workers, max_pending=args.max_pending,
+        quota_rate=args.quota_rate, quota_burst=args.quota_burst)
+    stop = stop if stop is not None else threading.Event()
+    if threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(signum, lambda _s, _f: stop.set())
+    server.start()
+    print(f"# repro-serve {__version__} listening on "
+          f"http://{server.host}:{server.port} "
+          f"(engine={args.engine}, workers={args.workers}, "
+          f"store={args.store if args.store is not None else '-'})",
+          file=out, flush=True)
+    if ready is not None:
+        ready.set()
+    stop.wait()
+    print("# draining: finishing in-flight jobs, flushing the store",
+          file=out, flush=True)
+    server.drain()
+    print("# drained; bye", file=out, flush=True)
     return 0
 
 
@@ -362,38 +432,60 @@ def _command_densest(args: argparse.Namespace, out) -> int:
     return 0
 
 
+_COMMANDS = {
+    "batch": _command_batch,
+    "cache": _command_cache,
+    "serve": _command_serve,
+    "coreness": _command_coreness,
+    "orientation": _command_orientation,
+    "densest": _command_densest,
+}
+
+_PLAIN_COMMANDS = {
+    "datasets": _command_datasets,
+    "engines": _command_engines,
+    "problems": _command_problems,
+}
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
     parser = _build_parser()
     args = parser.parse_args(argv)
     try:
-        if args.command == "datasets":
-            return _command_datasets(out)
-        if args.command == "engines":
-            return _command_engines(out)
-        if args.command == "problems":
-            return _command_problems(out)
-        if args.command == "batch":
-            return _command_batch(args, out)
-        if args.command == "cache":
-            return _command_cache(args, out)
-        if args.command == "coreness":
-            return _command_coreness(args, out)
-        if args.command == "orientation":
-            return _command_orientation(args, out)
-        if args.command == "densest":
-            return _command_densest(args, out)
+        if args.command in _PLAIN_COMMANDS:
+            code = _PLAIN_COMMANDS[args.command](out)
+        else:
+            code = _COMMANDS[args.command](args, out)
+        # Flush inside the handler's reach: a downstream reader that quit
+        # (broken pipe) usually only surfaces when buffered output is flushed,
+        # which would otherwise happen during interpreter shutdown — as an
+        # unhandled BrokenPipeError traceback and exit code 120.
+        if hasattr(out, "flush"):
+            out.flush()
+        return code
     except ReproError as exc:
         # Covers InvalidLambdaError too (a non-finite --lam rejected at the
         # boundary): it is a ReproError first, a ValueError second — so
-        # arbitrary internal ValueErrors still surface as tracebacks.
-        print(f"error: {exc}", file=sys.stderr)
+        # arbitrary internal ValueErrors still surface as tracebacks.  The
+        # bracketed code is the same stable identifier the HTTP error bodies
+        # carry (the repro.errors wire protocol).
+        print(f"error [{exc.code}]: {exc}", file=sys.stderr)
         return 2
     except FileNotFoundError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        print(f"error [not-found]: {exc}", file=sys.stderr)
         return 2
-    return 1  # pragma: no cover - unreachable with required subparsers
+    except BrokenPipeError:
+        # Downstream closed stdout early (`repro cache ls | head -1`, or a
+        # `grep -q` that matched and quit): a normal end of conversation, not
+        # a crash.  Point stdout at devnull so interpreter shutdown does not
+        # die flushing the dead pipe, and exit 0 — the command did its work;
+        # failing here would break `set -o pipefail` pipelines whose readers
+        # legitimately stop early.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

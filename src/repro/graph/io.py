@@ -52,15 +52,15 @@ def _parse_label(token: str):
         return token
 
 
-def read_edge_list(path: PathLike, *, default_weight: float = 1.0) -> Graph:
-    """Read a whitespace-separated edge list written by :func:`write_edge_list`.
+def parse_edge_list(text: str, *, default_weight: float = 1.0) -> Graph:
+    """Parse edge-list *text* (the format of :func:`write_edge_list`).
 
-    Also accepts plain SNAP-style files (``u v`` per line, ``#`` comments).  Repeated
-    edges accumulate weight, consistently with :meth:`Graph.add_edge`.
+    The in-memory twin of :func:`read_edge_list`, shared with transports that
+    receive the bytes over a socket instead of a file (the HTTP graph upload
+    of :mod:`repro.serve.http`).
     """
-    path = Path(path)
     graph = Graph()
-    for raw in path.read_text(encoding="utf-8").splitlines():
+    for raw in text.splitlines():
         line = raw.strip()
         if not line:
             continue
@@ -79,6 +79,16 @@ def read_edge_list(path: PathLike, *, default_weight: float = 1.0) -> Graph:
         else:
             raise GraphError(f"malformed edge-list line: {raw!r}")
     return graph
+
+
+def read_edge_list(path: PathLike, *, default_weight: float = 1.0) -> Graph:
+    """Read a whitespace-separated edge list written by :func:`write_edge_list`.
+
+    Also accepts plain SNAP-style files (``u v`` per line, ``#`` comments).  Repeated
+    edges accumulate weight, consistently with :meth:`Graph.add_edge`.
+    """
+    return parse_edge_list(Path(path).read_text(encoding="utf-8"),
+                           default_weight=default_weight)
 
 
 def to_dict(graph: Graph) -> dict:

@@ -1,4 +1,4 @@
-"""Async job serving: futures, in-flight dedup, bounded backpressure.
+"""Async job serving: futures, in-flight dedup, bounded backpressure — and HTTP.
 
 :class:`JobQueue` serves :class:`~repro.engine.batch.BatchJob`\\ s over a
 shared :class:`~repro.engine.batch.BatchRunner` worker pool;
@@ -9,6 +9,12 @@ bound their queue with ``max_pending`` backpressure, and stream results via
 ``map`` — see :mod:`repro.serve.queue` for the semantics and the
 bit-identical-to-sequential guarantee.
 
+:class:`ReproHTTPServer` (:mod:`repro.serve.http`) puts a real socket in
+front of one :class:`JobQueue` + :class:`~repro.store.ArtifactStore` —
+content-fingerprinted graph resources, job submission/long-polling, streamed
+batches, per-tenant quotas and a ``/metrics`` endpoint — and
+:class:`ServeClient` (:mod:`repro.serve.client`) is its stdlib client.
+
 >>> from repro import AsyncSession, load_dataset
 >>> with AsyncSession(load_dataset("caveman"), max_workers=2) as serve:
 ...     future = serve.submit("coreness", rounds=4)
@@ -17,6 +23,9 @@ bit-identical-to-sequential guarantee.
 True
 """
 
+from repro.serve.client import ServeClient
+from repro.serve.http import ReproHTTPServer, TokenBucket
 from repro.serve.queue import AsyncSession, JobQueue, ServeStats
 
-__all__ = ["AsyncSession", "JobQueue", "ServeStats"]
+__all__ = ["AsyncSession", "JobQueue", "ServeStats", "ReproHTTPServer",
+           "ServeClient", "TokenBucket"]

@@ -1,0 +1,225 @@
+"""A thin stdlib client for :mod:`repro.serve.http`.
+
+:class:`ServeClient` wraps one keep-alive :class:`http.client.HTTPConnection`
+and speaks the server's JSON wire protocol: non-2xx responses carry a
+``{"error": {"code", "message"}}`` body which the client rebuilds into the
+matching :mod:`repro.errors` class via :func:`~repro.errors.error_from_dict` —
+so remote failures raise exactly what the in-process call would have raised
+(``QuotaExceededError`` keeps its ``retry_after``, unknown codes degrade to
+:class:`~repro.errors.ReproError`).
+
+One connection serves one thread; a load generator runs one client per
+thread (connections in :mod:`http.client` are not thread-safe, and the
+internal lock here only guards against accidental sharing, not for
+throughput).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.errors import ReproError, ServeError, error_from_dict
+from repro.graph.graph import Graph
+from repro.graph.io import to_dict as graph_to_dict
+
+
+class ServeClient:
+    """JSON/HTTP client for a :class:`~repro.serve.http.ReproHTTPServer`.
+
+    >>> with ServeClient("127.0.0.1", 8080) as client:        # doctest: +SKIP
+    ...     fp = client.upload_dataset("caveman")
+    ...     job = client.submit(fp, problem="coreness", rounds=6)
+    ...     done = client.result(job["job"])
+    ...     done["objective"]
+    """
+
+    def __init__(self, host: str, port: int, *, tenant: Optional[str] = None,
+                 timeout: float = 120.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.tenant = tenant
+        self._conn = http.client.HTTPConnection(host, self.port,
+                                                timeout=timeout)
+        self._lock = threading.Lock()
+
+    # ---------------------------------------------------------------- plumbing
+    def _headers(self, extra: Optional[Dict[str, str]] = None) -> Dict[str, str]:
+        headers = {"Accept": "application/json"}
+        if self.tenant is not None:
+            headers["X-Repro-Tenant"] = self.tenant
+        if extra:
+            headers.update(extra)
+        return headers
+
+    @staticmethod
+    def _raise_for_payload(status: int, payload) -> None:
+        if 200 <= status < 300:
+            return
+        if isinstance(payload, dict) and isinstance(payload.get("error"), dict):
+            raise error_from_dict(payload["error"])
+        raise ServeError(f"HTTP {status} without a structured error body: "
+                         f"{payload!r}")
+
+    def _request(self, method: str, path: str, body=None,
+                 content_type: str = "application/json") -> dict:
+        if isinstance(body, (dict, list)):
+            body = json.dumps(body).encode("utf-8")
+        headers = self._headers()
+        if body is not None:
+            headers["Content-Type"] = content_type
+        with self._lock:
+            try:
+                self._conn.request(method, path, body=body, headers=headers)
+                response = self._conn.getresponse()
+                raw = response.read()
+                status = response.status
+            except (ConnectionError, http.client.HTTPException, OSError) as exc:
+                self._conn.close()  # force a fresh connection next call
+                raise ServeError(f"{method} {path} failed: {exc}") from exc
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeError(f"{method} {path}: non-JSON response "
+                             f"(HTTP {status})") from exc
+        self._raise_for_payload(status, payload)
+        return payload
+
+    # ------------------------------------------------------------------ basics
+    def health(self) -> dict:
+        return self._request("GET", "/health")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def graphs(self) -> List[dict]:
+        return self._request("GET", "/graphs")["graphs"]
+
+    def jobs(self) -> List[dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    # ------------------------------------------------------------------ graphs
+    def upload_graph(self, graph: Graph) -> str:
+        """Upload ``graph`` (JSON container format); returns its fingerprint."""
+        doc = self._request("PUT", "/graphs", body=graph_to_dict(graph))
+        return doc["fingerprint"]
+
+    def upload_dataset(self, name: str, *, weighted: bool = False) -> str:
+        """Register a bundled dataset by name; returns its fingerprint."""
+        doc = self._request("PUT", "/graphs",
+                            body={"dataset": name, "weighted": weighted})
+        return doc["fingerprint"]
+
+    def upload_edge_list(self, text: str) -> str:
+        """Upload edge-list text (``u v [w]`` lines); returns its fingerprint."""
+        doc = self._request("PUT", "/graphs", body=text.encode("utf-8"),
+                            content_type="text/plain")
+        return doc["fingerprint"]
+
+    def graph(self, fingerprint: str) -> dict:
+        return self._request("GET", f"/graphs/{fingerprint}")
+
+    # -------------------------------------------------------------------- jobs
+    def submit(self, fingerprint: str, *, problem: str = "coreness",
+               **fields) -> dict:
+        """Submit one job; returns the 202 document (``job`` id,
+        ``deduplicated`` flag, current status)."""
+        return self._request("POST", f"/graphs/{fingerprint}/jobs",
+                             body={"problem": problem, **fields})
+
+    def poll(self, job_id: str, *, wait: Optional[float] = None,
+             include_result: bool = False) -> dict:
+        """Fetch a job document; ``wait`` long-polls up to that many seconds."""
+        query = []
+        if wait is not None:
+            query.append(f"wait={wait:g}")
+        if include_result:
+            query.append("include=result")
+        suffix = ("?" + "&".join(query)) if query else ""
+        return self._request("GET", f"/jobs/{job_id}{suffix}")
+
+    def result(self, job_id: str, *, timeout: float = 300.0,
+               include_result: bool = False) -> dict:
+        """Long-poll until the job finishes; raise its error if it failed.
+
+        Returns the completed job document.  A server-side job failure is
+        rebuilt into the matching :class:`~repro.errors.ReproError` subclass
+        and raised here, mirroring what ``future.result()`` does in-process.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServeError(f"job {job_id!r} did not finish "
+                                 f"within {timeout:g}s")
+            doc = self.poll(job_id, wait=min(remaining, 30.0),
+                            include_result=include_result)
+            if doc["status"] == "done":
+                return doc
+            if doc["status"] == "error":
+                error = doc.get("error")
+                if isinstance(error, dict) and "code" in error:
+                    raise error_from_dict(error)
+                raise ReproError(str(error))
+
+    # ------------------------------------------------------------------- batch
+    def batch(self, fingerprint: str, requests: List[dict], *,
+              include_result: bool = False) -> Iterator[dict]:
+        """Stream one completed job document per request, in submit order.
+
+        Holds the connection for the whole stream (chunked NDJSON); consume
+        the iterator fully before issuing other calls on this client.
+        """
+        body = {"requests": requests}
+        if include_result:
+            body["include"] = "result"
+        encoded = json.dumps(body).encode("utf-8")
+        headers = self._headers({"Content-Type": "application/json"})
+        with self._lock:
+            try:
+                self._conn.request("POST", f"/graphs/{fingerprint}/batch",
+                                   body=encoded, headers=headers)
+                response = self._conn.getresponse()
+            except (ConnectionError, http.client.HTTPException, OSError) as exc:
+                self._conn.close()
+                raise ServeError(f"batch submit failed: {exc}") from exc
+            if response.status != 200:
+                raw = response.read()
+                try:
+                    payload = json.loads(raw.decode("utf-8")) if raw else {}
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    payload = {}
+                self._raise_for_payload(response.status, payload)
+            # http.client undoes the chunked framing; readline() returns one
+            # NDJSON document per line as the server flushes them.
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+
+    # --------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def solve_many(client: ServeClient, fingerprint: str,
+               requests: Iterable[dict]) -> List[dict]:
+    """Submit every request, then long-poll each to completion (submit order).
+
+    The submit-all-then-poll shape (rather than one-at-a-time) is what lets
+    the server's in-flight dedup coalesce duplicates across the list.
+    """
+    issued = [client.submit(fingerprint, **request) for request in requests]
+    return [client.result(doc["job"]) for doc in issued]

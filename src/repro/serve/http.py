@@ -1,0 +1,714 @@
+"""`repro.serve.http` — the network front-end over ``JobQueue`` + ``ArtifactStore``.
+
+Everything below PR 4's serving layer is in-process only; this module puts a
+real socket in front of it, with nothing beyond the standard library
+(:mod:`http.server` / :mod:`socketserver`).  One
+:class:`ReproHTTPServer` wraps one :class:`~repro.serve.JobQueue` (shared
+:class:`~repro.engine.batch.BatchRunner`, one session per graph, in-flight
+dedup via :meth:`~repro.problems.Problem.request_key`) and, optionally, one
+persistent :class:`~repro.store.ArtifactStore` — so N remote clients get the
+exact semantics the in-process tests pin: concurrent mixed requests are
+bit-identical to sequential ``Session.solve``, identical in-flight requests
+coalesce onto one execution, restarts resume from the store.
+
+Resources are content fingerprints
+----------------------------------
+Graphs are addressed by :func:`~repro.graph.csr.csr_fingerprint` — uploading
+the same bytes twice registers one graph, and a store-backed server resumes
+that graph's artifacts across restarts::
+
+    PUT  /graphs                      upload (edge-list text or JSON) or name a
+                                      bundled dataset; -> {"fingerprint", ...}
+    GET  /graphs                      registered graphs
+    GET  /graphs/<fp>                 one graph's descriptor
+    POST /graphs/<fp>/jobs            submit one problem request -> job id
+    GET  /jobs/<id>                   poll; ?wait=<s> long-polls,
+                                      ?include=result attaches the full result
+    GET  /jobs                        every issued job (summaries)
+    POST /graphs/<fp>/batch           submit a request list, stream NDJSON
+                                      results back in submission order
+    GET  /metrics                     ServeStats + session/store counters
+    GET  /health                      liveness probe
+
+Admission control
+-----------------
+Two client-visible 429 conditions, both structured
+(:mod:`repro.errors` wire protocol, ``{"error": {"code", "message"}}``):
+
+* **per-tenant token-bucket quotas** (``quota_rate`` requests/s refill,
+  ``quota_burst`` bucket size, tenant = ``X-Repro-Tenant`` header) →
+  ``429`` with code ``quota-exceeded`` and a ``Retry-After`` header;
+* **queue backpressure** — job submission uses the non-blocking path, so when
+  ``max_pending`` executions are in flight the server answers ``429`` with
+  code ``queue-full`` instead of stalling the socket.
+
+Lifecycle
+---------
+:meth:`ReproHTTPServer.start` serves on a background thread;
+:meth:`~ReproHTTPServer.drain` is the graceful shutdown the CLI binds to
+SIGTERM: stop accepting connections, finish the in-flight handler threads and
+queued jobs (sessions persist their artifacts per request, so a drained
+store holds no half-written state — atomic tmp+rename writes never leave
+``.tmp`` files behind), then close the worker pool.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Iterable, List, Optional, Tuple
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from repro._version import __version__
+from repro.engine.batch import BatchJob, BatchResult
+from repro.errors import (
+    AlgorithmError,
+    GraphError,
+    QuotaExceededError,
+    ReproError,
+    ServeError,
+    StoreError,
+    UnknownResourceError,
+    WireFormatError,
+)
+from repro.graph.csr import csr_fingerprint, graph_to_csr
+from repro.graph.datasets import list_datasets, load_dataset
+from repro.graph.graph import Graph
+from repro.graph.io import from_dict as graph_from_dict
+from repro.graph.io import parse_edge_list
+from repro.serve.queue import JobQueue
+from repro.store import ArtifactStore
+
+#: Longest long-poll a single ``?wait=`` request may hold a handler thread
+#: (longer waits re-poll; an unbounded wait would stall graceful drain).
+MAX_WAIT_SECONDS = 30.0
+
+#: BatchJob fields a wire submission may set (everything else is 400).
+_JOB_FIELDS = ("problem", "name", "epsilon", "gamma", "rounds", "lam",
+               "tie_break", "track_kept")
+
+#: HTTP status per error class; resolved along the exception's MRO so
+#: subclasses inherit their parent's mapping unless they claim their own.
+_STATUS_BY_ERROR = {
+    QuotaExceededError: 429,
+    # QueueFullError maps through ServeError's MRO entry below? No — it needs
+    # 429, not 503, so it gets its own row.
+    UnknownResourceError: 404,
+    WireFormatError: 400,
+    AlgorithmError: 400,
+    GraphError: 400,
+    StoreError: 400,
+    ServeError: 503,
+    ReproError: 500,
+}
+# QueueFullError imported lazily into the table to keep the import list tidy.
+from repro.errors import QueueFullError  # noqa: E402  (table completeness)
+
+_STATUS_BY_ERROR[QueueFullError] = 429
+
+
+def _status_for(exc: ReproError) -> int:
+    for cls in type(exc).__mro__:
+        if cls in _STATUS_BY_ERROR:
+            return _STATUS_BY_ERROR[cls]
+    return 500  # pragma: no cover - ReproError row always matches
+
+
+class TokenBucket:
+    """A thread-safe token bucket: ``rate`` tokens/s refill, ``burst`` capacity.
+
+    ``try_acquire`` returns ``0.0`` when a token was taken, else the seconds
+    until enough tokens will have refilled — the ``Retry-After`` a transport
+    should surface.
+    """
+
+    def __init__(self, rate: float, burst: float) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ServeError(f"token bucket needs positive rate/burst, "
+                             f"got rate={rate}, burst={burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._stamp = time.monotonic()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, tokens: float = 1.0) -> float:
+        with self._lock:
+            now = time.monotonic()
+            self._tokens = min(self.burst,
+                               self._tokens + (now - self._stamp) * self.rate)
+            self._stamp = now
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return 0.0
+            return (tokens - self._tokens) / self.rate
+
+
+@dataclass
+class _GraphRecord:
+    """One registered graph (the server always serves the *first* upload's
+    object, so every job on a fingerprint shares one session)."""
+
+    fingerprint: str
+    graph: Graph
+    source: str                        #: "dataset:<name>" | "edge-list" | "json"
+    uploads: int = 1                   #: times this content was (re-)uploaded
+
+
+@dataclass
+class _JobRecord:
+    """One issued job id and the future that answers it."""
+
+    id: str
+    fingerprint: str
+    problem: str
+    tenant: str
+    label: str
+    future: "Future[BatchResult]"
+    submitted_unix: float = field(default_factory=time.time)
+
+
+class ReproHTTPServer(ThreadingHTTPServer):
+    """A threaded HTTP/JSON server over one :class:`JobQueue` + store.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (read it back from
+        :attr:`port`).
+    engine, store, workers, max_pending, engine_options:
+        Forwarded to the owned :class:`~repro.serve.JobQueue` /
+        :class:`~repro.engine.batch.BatchRunner` (``store`` also registers
+        the artifact store the metrics report on).
+    quota_rate, quota_burst:
+        Per-tenant token bucket (requests/s refill and bucket size); ``None``
+        disables quotas.  Tenants are named by the ``X-Repro-Tenant`` header
+        (missing header → the ``"default"`` tenant).
+    """
+
+    daemon_threads = False     #: drain joins handler threads: finish, not kill
+    block_on_close = True
+    allow_reuse_address = True
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 engine="vectorized", store=None, workers: int = 2,
+                 max_pending: Optional[int] = None,
+                 quota_rate: Optional[float] = None,
+                 quota_burst: Optional[float] = None,
+                 **engine_options) -> None:
+        self.store: Optional[ArtifactStore] = (
+            ArtifactStore(store) if store is not None
+            and not isinstance(store, ArtifactStore) else store)
+        self.queue = JobQueue(engine=engine, store=self.store,
+                              max_workers=workers, max_pending=max_pending,
+                              **engine_options)
+        self.quota_rate = quota_rate
+        self.quota_burst = (quota_burst if quota_burst is not None
+                            else max(1.0, float(quota_rate or 0.0)))
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._graphs: Dict[str, _GraphRecord] = {}
+        self._jobs: Dict[str, _JobRecord] = {}
+        self._by_future: Dict[Future, _JobRecord] = {}
+        self._job_counter = 0
+        self._rejected_quota = 0
+        self._rejected_backpressure = 0
+        self._state_lock = threading.Lock()
+        self._draining = False
+        self._serve_thread: Optional[threading.Thread] = None
+        super().__init__((host, port), _Handler)
+
+    # ---------------------------------------------------------------- lifecycle
+    @property
+    def port(self) -> int:
+        """The bound TCP port (useful after binding port 0)."""
+        return self.server_address[1]
+
+    @property
+    def host(self) -> str:
+        return self.server_address[0]
+
+    def start(self) -> "ReproHTTPServer":
+        """Serve on a background thread (returns immediately)."""
+        if self._serve_thread is not None:
+            raise ServeError("server is already running")
+        self._serve_thread = threading.Thread(
+            target=self.serve_forever, name="repro-http", daemon=True)
+        self._serve_thread.start()
+        return self
+
+    def drain(self) -> None:
+        """Graceful shutdown: stop accepting, finish in-flight, close the queue.
+
+        New submissions observed by still-running handler threads are refused
+        with 503 (``serve`` code) the moment draining begins; the accept loop
+        stops; handler threads are joined (``block_on_close``), which waits
+        out their long-polls and streams; finally the worker pool drains its
+        queued jobs.  Idempotent.
+        """
+        with self._state_lock:
+            if self._draining:
+                return
+            self._draining = True
+        self.shutdown()            # stop serve_forever (no new connections)
+        self.server_close()        # join in-flight handler threads
+        self.queue.close(wait=True)  # finish queued jobs, release the pool
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=10)
+            self._serve_thread = None
+
+    def __enter__(self) -> "ReproHTTPServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.drain()
+
+    # ----------------------------------------------------------------- tenants
+    def _charge_tenant(self, tenant: str, tokens: float = 1.0) -> None:
+        if self.quota_rate is None:
+            return
+        with self._state_lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = TokenBucket(
+                    self.quota_rate, self.quota_burst)
+        retry_after = bucket.try_acquire(tokens)
+        if retry_after > 0.0:
+            with self._state_lock:
+                self._rejected_quota += 1
+            raise QuotaExceededError(
+                f"tenant {tenant!r} exceeded its request quota "
+                f"({self.quota_rate:g}/s, burst {self.quota_burst:g})",
+                retry_after=retry_after)
+
+    # ------------------------------------------------------------------ graphs
+    def register_graph(self, graph: Graph, *, source: str) -> Tuple[str, bool]:
+        """Register ``graph`` under its content fingerprint.
+
+        Returns ``(fingerprint, created)``; re-uploading identical content
+        keeps serving the first object (one session per graph in the shared
+        runner) and merely bumps its upload counter.
+        """
+        if graph.num_nodes == 0:
+            raise GraphError("an uploaded graph needs at least one node")
+        fingerprint = csr_fingerprint(graph_to_csr(graph))
+        with self._state_lock:
+            hit = self._graphs.get(fingerprint)
+            if hit is not None:
+                hit.uploads += 1
+                return fingerprint, False
+            self._graphs[fingerprint] = _GraphRecord(
+                fingerprint=fingerprint, graph=graph, source=source)
+            return fingerprint, True
+
+    def graph_record(self, fingerprint: str) -> _GraphRecord:
+        with self._state_lock:
+            hit = self._graphs.get(fingerprint)
+        if hit is None:
+            raise UnknownResourceError(
+                f"no graph registered under fingerprint {fingerprint!r} "
+                f"(PUT /graphs first)")
+        return hit
+
+    def _graph_from_payload(self, payload: dict) -> Tuple[Graph, str]:
+        if "dataset" in payload:
+            name = payload["dataset"]
+            if not isinstance(name, str) or name not in list_datasets():
+                raise WireFormatError(
+                    f"unknown dataset {name!r}; expected one of "
+                    f"{', '.join(list_datasets())}")
+            weighted = bool(payload.get("weighted", False))
+            return load_dataset(name, weighted=weighted), f"dataset:{name}"
+        if payload.get("format") == "repro-graph-v1":
+            return graph_from_dict(payload), "json"
+        if "edge_list" in payload:
+            if not isinstance(payload["edge_list"], str):
+                raise WireFormatError("edge_list must be a string")
+            return parse_edge_list(payload["edge_list"]), "edge-list"
+        raise WireFormatError(
+            "graph upload must carry one of: {'dataset': name}, "
+            "{'edge_list': text}, or a repro-graph-v1 document")
+
+    # -------------------------------------------------------------------- jobs
+    def _build_job(self, graph: Graph, payload: dict) -> BatchJob:
+        if not isinstance(payload, dict):
+            raise WireFormatError(f"job request must be an object, "
+                                  f"got {type(payload).__name__}")
+        unknown = sorted(set(payload) - set(_JOB_FIELDS))
+        if unknown:
+            raise WireFormatError(
+                f"unknown job field(s) {', '.join(map(repr, unknown))}; "
+                f"allowed: {', '.join(_JOB_FIELDS)}")
+        fields = dict(payload)
+        problem = fields.pop("problem", "coreness")
+        if not isinstance(problem, str):
+            raise WireFormatError("problem must be a registered problem name")
+        try:
+            return BatchJob(graph=graph, problem=problem, **fields)
+        except TypeError as exc:
+            raise WireFormatError(f"bad job request: {exc}") from exc
+
+    def submit_job(self, fingerprint: str, payload: dict, *,
+                   tenant: str = "default") -> dict:
+        """Admit one wire submission; returns the job's wire document.
+
+        Order of admission control: quota (cheapest, per tenant), then the
+        queue's own validation + non-blocking backpressure.  The returned
+        document carries ``deduplicated=True`` when the submission coalesced
+        onto an already-issued job id.
+        """
+        with self._state_lock:
+            if self._draining:
+                raise ServeError("server is draining; not accepting jobs")
+        record_graph = self.graph_record(fingerprint)
+        self._charge_tenant(tenant)
+        job = self._build_job(record_graph.graph, payload)
+        try:
+            future = self.queue.submit(job, block=False)
+        except QueueFullError:
+            with self._state_lock:
+                self._rejected_backpressure += 1
+            raise
+        problem_name = job.problem_name()
+        with self._state_lock:
+            hit = self._by_future.get(future)
+            if hit is not None:
+                return {**self.job_document(hit), "deduplicated": True}
+            self._job_counter += 1
+            record = _JobRecord(id=f"j{self._job_counter:06d}",
+                                fingerprint=fingerprint, problem=problem_name,
+                                tenant=tenant, label=job.label(), future=future)
+            self._jobs[record.id] = record
+            self._by_future[future] = record
+        # Once done, the future can never coalesce again (the queue forgets
+        # it), so drop the reverse mapping; the job record itself stays
+        # pollable for the server's lifetime.
+        future.add_done_callback(self._forget_future)
+        return {**self.job_document(record), "deduplicated": False}
+
+    def _forget_future(self, future: Future) -> None:
+        with self._state_lock:
+            self._by_future.pop(future, None)
+
+    def job_record(self, job_id: str) -> _JobRecord:
+        with self._state_lock:
+            hit = self._jobs.get(job_id)
+        if hit is None:
+            raise UnknownResourceError(f"no job {job_id!r} was ever issued")
+        return hit
+
+    def job_document(self, record: _JobRecord, *,
+                     include_result: bool = False) -> dict:
+        """The wire form of one job: status plus (on completion) the stats
+        row, the scalar objective, and — only when asked — the full
+        ``result.to_dict()`` payload (per-node values are large)."""
+        doc = {"job": record.id, "fingerprint": record.fingerprint,
+               "problem": record.problem, "label": record.label,
+               "tenant": record.tenant}
+        future = record.future
+        if not future.done():
+            doc["status"] = "pending"
+            return doc
+        exc = future.exception()
+        if exc is not None:
+            doc["status"] = "error"
+            doc["error"] = (exc.to_dict() if isinstance(exc, ReproError)
+                            else {"code": "error", "message": str(exc)})
+            return doc
+        batch_result: BatchResult = future.result()
+        stats = batch_result.stats
+        doc["status"] = "done"
+        doc["stats"] = {"engine": stats.engine, "rounds": stats.rounds,
+                        "seconds": stats.seconds,
+                        "converged_round": stats.converged_round,
+                        "num_nodes": stats.num_nodes,
+                        "num_edges": stats.num_edges}
+        doc["objective"] = stats.objective
+        if include_result:
+            doc["result"] = batch_result.result.to_dict()
+        return doc
+
+    def wait_job(self, record: _JobRecord, wait: float) -> None:
+        """Block up to ``wait`` seconds (capped) for the job to finish."""
+        try:
+            record.future.exception(timeout=min(max(0.0, wait),
+                                                MAX_WAIT_SECONDS))
+        except FutureTimeoutError:
+            pass  # still pending: the document will say so
+
+    def stream_batch(self, fingerprint: str, payloads: List[dict], *,
+                     tenant: str = "default",
+                     include_result: bool = False) -> Iterable[dict]:
+        """Submit ``payloads`` and yield their job documents in submit order.
+
+        The whole batch is charged against the tenant's quota up front (one
+        token per request — a batch is not a quota loophole) and submitted
+        through the *blocking* path: ``max_pending`` then throttles how far
+        submission runs ahead, exactly like :meth:`JobQueue.map`, while
+        results stream back in submission order as they complete.
+        """
+        with self._state_lock:
+            if self._draining:
+                raise ServeError("server is draining; not accepting jobs")
+        if not payloads:
+            raise WireFormatError("batch needs a non-empty 'requests' list")
+        record_graph = self.graph_record(fingerprint)
+        self._charge_tenant(tenant, tokens=float(len(payloads)))
+        jobs = [self._build_job(record_graph.graph, payload)
+                for payload in payloads]
+
+        def documents():
+            pending: List[_JobRecord] = []
+            emitted = 0
+            for job in jobs:
+                future = self.queue.submit(job, block=True)
+                with self._state_lock:
+                    record = self._by_future.get(future)
+                    if record is None:
+                        self._job_counter += 1
+                        record = _JobRecord(
+                            id=f"j{self._job_counter:06d}",
+                            fingerprint=fingerprint,
+                            problem=job.problem_name(), tenant=tenant,
+                            label=job.label(), future=future)
+                        self._jobs[record.id] = record
+                        self._by_future[future] = record
+                        future.add_done_callback(self._forget_future)
+                pending.append(record)
+                while pending and pending[0].future.done():
+                    yield self.job_document(pending.pop(0),
+                                            include_result=include_result)
+                    emitted += 1
+            for record in pending:
+                record.future.exception()  # wait without raising
+                yield self.job_document(record, include_result=include_result)
+
+        return documents()
+
+    # ----------------------------------------------------------------- metrics
+    def metrics(self) -> dict:
+        """The ``/metrics`` document: ServeStats + session + store counters."""
+        with self._state_lock:
+            jobs = list(self._jobs.values())
+            graphs = len(self._graphs)
+            rejected_quota = self._rejected_quota
+            rejected_backpressure = self._rejected_backpressure
+        by_status: Dict[str, int] = {"pending": 0, "done": 0, "error": 0}
+        for record in jobs:
+            if not record.future.done():
+                by_status["pending"] += 1
+            elif record.future.exception() is not None:
+                by_status["error"] += 1
+            else:
+                by_status["done"] += 1
+        document = {
+            "server": {"version": __version__, "graphs": graphs,
+                       "draining": self._draining,
+                       "rejected_quota": rejected_quota,
+                       "rejected_backpressure": rejected_backpressure,
+                       "quota_rate": self.quota_rate,
+                       "max_pending": self.queue.max_pending},
+            "serve": self.queue.stats.to_dict(),
+            "session": self.queue.runner.aggregate_stats(),
+            "jobs": {"total": len(jobs), **by_status},
+        }
+        if self.store is not None:
+            info = self.store.info()
+            document["store"] = {"root": info["root"], "files": info["files"],
+                                 "bytes": info["bytes"],
+                                 "graphs": len(info["graphs"])}
+        else:
+            document["store"] = None
+        return document
+
+    def graphs_document(self) -> dict:
+        with self._state_lock:
+            records = list(self._graphs.values())
+        return {"graphs": [self._graph_doc(record) for record in records]}
+
+    @staticmethod
+    def _graph_doc(record: _GraphRecord) -> dict:
+        return {"fingerprint": record.fingerprint,
+                "n": record.graph.num_nodes, "m": record.graph.num_edges,
+                "source": record.source, "uploads": record.uploads}
+
+    def jobs_document(self) -> dict:
+        with self._state_lock:
+            records = list(self._jobs.values())
+        return {"jobs": [self.job_document(record) for record in records]}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP verbs/paths onto the :class:`ReproHTTPServer` methods."""
+
+    server: ReproHTTPServer
+    protocol_version = "HTTP/1.1"
+    server_version = f"repro-serve/{__version__}"
+    timeout = 60          #: a stalled peer cannot pin a handler thread forever
+
+    # ------------------------------------------------------------------ plumbing
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # request logging is the operator's proxy's job, not stderr's
+
+    def _send_json(self, status: int, payload: dict,
+                   headers: Tuple[Tuple[str, str], ...] = ()) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in headers:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_payload(self, exc: ReproError) -> None:
+        headers: Tuple[Tuple[str, str], ...] = ()
+        if isinstance(exc, QuotaExceededError):
+            headers = (("Retry-After", f"{max(0.0, exc.retry_after):.3f}"),)
+        self._send_json(_status_for(exc), {"error": exc.to_dict()}, headers)
+
+    def _read_json(self) -> dict:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            raise WireFormatError("bad Content-Length header")
+        if length <= 0:
+            raise WireFormatError("request needs a JSON body")
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise WireFormatError(f"request body is not JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise WireFormatError("request body must be a JSON object")
+        return payload
+
+    def _tenant(self) -> str:
+        return self.headers.get("X-Repro-Tenant", "default").strip() or "default"
+
+    def _dispatch(self, method: str) -> None:
+        try:
+            parts = urlsplit(self.path)
+            segments = [unquote(s) for s in parts.path.split("/") if s]
+            query = parse_qs(parts.query)
+            route = getattr(self, f"_route_{method.lower()}")
+            route(segments, query)
+        except ReproError as exc:
+            self._send_error_payload(exc)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # the client went away; nothing to answer
+        except Exception as exc:  # noqa: BLE001 - last-resort 500, never a hang
+            self._send_json(500, {"error": {"code": "error",
+                                            "message": f"{type(exc).__name__}: "
+                                                       f"{exc}"}})
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        self._dispatch("GET")
+
+    def do_PUT(self) -> None:  # noqa: N802
+        self._dispatch("PUT")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    # -------------------------------------------------------------------- routes
+    def _route_get(self, segments: List[str], query: dict) -> None:
+        if segments == ["health"]:
+            self._send_json(200, {"status": "ok", "version": __version__})
+        elif segments == ["metrics"]:
+            self._send_json(200, self.server.metrics())
+        elif segments == ["graphs"]:
+            self._send_json(200, self.server.graphs_document())
+        elif len(segments) == 2 and segments[0] == "graphs":
+            record = self.server.graph_record(segments[1])
+            self._send_json(200, self.server._graph_doc(record))
+        elif segments == ["jobs"]:
+            self._send_json(200, self.server.jobs_document())
+        elif len(segments) == 2 and segments[0] == "jobs":
+            record = self.server.job_record(segments[1])
+            if "wait" in query:
+                try:
+                    wait = float(query["wait"][0])
+                except ValueError:
+                    raise WireFormatError(
+                        f"wait must be a number of seconds, "
+                        f"got {query['wait'][0]!r}")
+                self.server.wait_job(record, wait)
+            include_result = query.get("include", ["summary"])[0] == "result"
+            self._send_json(200, self.server.job_document(
+                record, include_result=include_result))
+        else:
+            raise UnknownResourceError(f"no route GET {self.path!r}")
+
+    def _route_put(self, segments: List[str], query: dict) -> None:
+        if segments == ["graphs"]:
+            tenant = self._tenant()
+            # Quotas cover every mutating request, uploads included (reads —
+            # polling, /metrics — stay free so a throttled client can still
+            # collect what it already paid for).
+            self.server._charge_tenant(tenant)
+            content_type = (self.headers.get("Content-Type") or
+                            "application/json").split(";")[0].strip()
+            if content_type == "text/plain":
+                try:
+                    length = int(self.headers.get("Content-Length", "0"))
+                except ValueError:
+                    raise WireFormatError("bad Content-Length header")
+                text = self.rfile.read(max(0, length)).decode("utf-8",
+                                                              errors="replace")
+                graph, source = parse_edge_list(text), "edge-list"
+            else:
+                payload = self._read_json()
+                graph, source = self.server._graph_from_payload(payload)
+            fingerprint, created = self.server.register_graph(graph,
+                                                              source=source)
+            record = self.server.graph_record(fingerprint)
+            self._send_json(201 if created else 200,
+                            {**self.server._graph_doc(record),
+                             "created": created, "tenant": tenant})
+        else:
+            raise UnknownResourceError(f"no route PUT {self.path!r}")
+
+    def _route_post(self, segments: List[str], query: dict) -> None:
+        if len(segments) == 3 and segments[0] == "graphs" \
+                and segments[2] == "jobs":
+            payload = self._read_json()
+            document = self.server.submit_job(segments[1], payload,
+                                              tenant=self._tenant())
+            self._send_json(202, document)
+        elif len(segments) == 3 and segments[0] == "graphs" \
+                and segments[2] == "batch":
+            payload = self._read_json()
+            requests = payload.get("requests")
+            if not isinstance(requests, list):
+                raise WireFormatError("batch body must carry a 'requests' list")
+            include_result = payload.get("include") == "result"
+            documents = self.server.stream_batch(
+                segments[1], requests, tenant=self._tenant(),
+                include_result=include_result)
+            self._stream_ndjson(documents)
+        elif segments == ["graphs"]:
+            self._route_put(segments, query)   # POST /graphs is PUT's alias
+        else:
+            raise UnknownResourceError(f"no route POST {self.path!r}")
+
+    def _stream_ndjson(self, documents: Iterable[dict]) -> None:
+        """Chunked ``application/x-ndjson``: one job document per line, in
+        submission order, written as each job completes."""
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        try:
+            for document in documents:
+                line = json.dumps(document).encode("utf-8") + b"\n"
+                self.wfile.write(f"{len(line):X}\r\n".encode("ascii")
+                                 + line + b"\r\n")
+                self.wfile.flush()
+            self.wfile.write(b"0\r\n\r\n")
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client hung up mid-stream; jobs keep running server-side

@@ -42,11 +42,11 @@ import threading
 import weakref
 from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.engine.batch import BatchJob, BatchResult, BatchRunner
-from repro.errors import ServeError
+from repro.errors import QueueFullError, ServeError
 from repro.problems import Problem, ProblemLike, get_problem
 from repro.session import Session
 from repro.utils.numeric import canonical_lam
@@ -54,15 +54,39 @@ from repro.utils.numeric import canonical_lam
 
 @dataclass
 class ServeStats:
-    """Counters of what an async front-end accepted and ran."""
+    """Counters of what an async front-end accepted and ran.
+
+    ``queue_depth`` is a live gauge (requests accepted but not yet completed
+    — exactly what ``max_pending`` bounds), not a monotone counter;
+    ``per_problem`` counts every request by canonical problem name, whether it
+    started an execution or coalesced onto one.  Both feed the HTTP
+    ``/metrics`` endpoint, where ``dedup_hits`` is the wire spelling of
+    ``deduplicated``.
+    """
 
     submitted: int = 0      #: requests accepted for execution
     deduplicated: int = 0   #: submissions coalesced onto an in-flight future
     completed: int = 0      #: executions finished (successfully or not)
+    queue_depth: int = 0    #: gauge: executions accepted and not yet completed
+    #: requests per canonical problem name (accepted + coalesced)
+    per_problem: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def dedup_hits(self) -> int:
+        """Wire alias of :attr:`deduplicated` (the ``/metrics`` spelling)."""
+        return self.deduplicated
+
+    def count_problem(self, name: Optional[str]) -> None:
+        """Count one request against ``name`` (None: problem unresolvable)."""
+        if name is not None:
+            self.per_problem[name] = self.per_problem.get(name, 0) + 1
 
     def to_dict(self) -> dict:
         """JSON-serializable snapshot of the counters."""
-        return dict(vars(self))
+        snapshot = dict(vars(self))
+        snapshot["per_problem"] = dict(self.per_problem)
+        snapshot["dedup_hits"] = self.deduplicated
+        return snapshot
 
 
 class _AsyncFrontend:
@@ -85,11 +109,17 @@ class _AsyncFrontend:
         self._closed = False
 
     # ------------------------------------------------------------- submission
-    def _submit(self, key, fn, *args) -> Future:
+    def _submit(self, key, fn, *args, block: bool = True,
+                problem: Optional[str] = None) -> Future:
         """Submit ``fn(*args)``, coalescing onto an in-flight future for ``key``.
 
-        ``key=None`` (unhashable request parameters) skips dedup.  Blocks when
-        ``max_pending`` executions are already queued-or-running.
+        ``key=None`` (unhashable request parameters) skips dedup.  When
+        ``max_pending`` executions are already queued-or-running, ``block=True``
+        waits for capacity while ``block=False`` raises
+        :class:`~repro.errors.QueueFullError` immediately (the shape a network
+        front-end needs: backpressure becomes a 429, not a stalled socket).
+        ``problem`` is the canonical problem name counted in
+        :attr:`ServeStats.per_problem`.
         """
         with self._registry_lock:
             if self._closed:
@@ -98,9 +128,14 @@ class _AsyncFrontend:
                 hit = self._inflight.get(key)
                 if hit is not None:
                     self.stats.deduplicated += 1
+                    self.stats.count_problem(problem)
                     return hit
         if self._capacity is not None:
-            self._capacity.acquire()   # backpressure: block until capacity frees
+            # Backpressure: block until capacity frees, or refuse outright.
+            if not self._capacity.acquire(blocking=block):
+                raise QueueFullError(
+                    f"{type(self).__name__} is at max_pending={self.max_pending} "
+                    f"jobs queued-or-running")
         holding_permit = self._capacity is not None
         try:
             with self._registry_lock:
@@ -112,12 +147,15 @@ class _AsyncFrontend:
                     hit = self._inflight.get(key)
                     if hit is not None:
                         self.stats.deduplicated += 1
+                        self.stats.count_problem(problem)
                         return hit
                 future = self._pool.submit(self._run_one, fn, *args)
                 holding_permit = False   # the running job now owns the permit
                 if key is not None:
                     self._inflight[key] = future
                 self.stats.submitted += 1
+                self.stats.queue_depth += 1
+                self.stats.count_problem(problem)
         finally:
             if holding_permit:
                 self._capacity.release()
@@ -131,6 +169,7 @@ class _AsyncFrontend:
         finally:
             with self._registry_lock:
                 self.stats.completed += 1
+                self.stats.queue_depth -= 1
             if self._capacity is not None:
                 self._capacity.release()
 
@@ -208,8 +247,9 @@ class JobQueue(_AsyncFrontend):
         #: not grow with every graph it ever served.
         self._graph_locks: Dict[int, Tuple[weakref.ref, threading.Lock]] = {}
 
-    def _job_key(self, job: BatchJob) -> Optional[tuple]:
-        problem = get_problem(job.problem)
+    def _job_key(self, job: BatchJob,
+                 problem: Optional[Problem] = None) -> Optional[tuple]:
+        problem = get_problem(job.problem) if problem is None else problem
         # Validates the job up front (budget + param consistency), so a bad
         # job fails at submit time, not inside a worker.
         params = BatchRunner._job_params(job, problem)
@@ -243,14 +283,17 @@ class JobQueue(_AsyncFrontend):
         with self._graph_lock(job.graph):
             return self.runner.run_job(job)
 
-    def submit(self, job: BatchJob) -> "Future[BatchResult]":
+    def submit(self, job: BatchJob, *, block: bool = True) -> "Future[BatchResult]":
         """Accept one job; returns a future of its :class:`BatchResult`.
 
         An identical in-flight job (same graph, problem and canonicalised
-        parameters) shares one future and one execution.  Blocks when
-        ``max_pending`` jobs are already in flight.
+        parameters) shares one future and one execution.  With ``max_pending``
+        jobs already in flight, ``block=True`` waits for capacity;
+        ``block=False`` raises :class:`~repro.errors.QueueFullError` instead.
         """
-        return self._submit(self._job_key(job), self._execute, job)
+        problem = get_problem(job.problem)
+        return self._submit(self._job_key(job, problem), self._execute, job,
+                            block=block, problem=problem.name)
 
     def map(self, jobs: Iterable[BatchJob]) -> Iterator[BatchResult]:
         """Stream results in submission order with bounded in-flight jobs.
@@ -301,8 +344,9 @@ class AsyncSession(_AsyncFrontend):
         self.session = session
         self._session_lock = threading.Lock()
 
-    def _request_key(self, problem: ProblemLike, params: dict) -> Optional[tuple]:
-        prob = get_problem(problem)
+    def _request_key(self, problem: ProblemLike, params: dict,
+                     prob: Optional[Problem] = None) -> Optional[tuple]:
+        prob = get_problem(problem) if prob is None else prob
         # Mirror Session.solve's normalisation exactly: canonicalise λ before
         # any key is derived from it (so every equivalent spelling — and in
         # particular -0.0 vs 0.0 — coalesces onto one in-flight future, and a
@@ -324,8 +368,10 @@ class AsyncSession(_AsyncFrontend):
 
     def submit(self, problem: ProblemLike, **params) -> Future:
         """Accept one request; returns a future of the problem result."""
-        return self._submit(self._request_key(problem, params),
-                            self._execute, problem, params)
+        prob = get_problem(problem)
+        return self._submit(self._request_key(problem, params, prob),
+                            self._execute, problem, params,
+                            problem=prob.name)
 
     def map(self, requests: Iterable[Tuple[ProblemLike, dict]]) -> Iterator:
         """Stream results for ``(problem, params)`` pairs in submission order."""

@@ -3,9 +3,9 @@
 Runs ``scripts/bench.py --smoke`` end-to-end as a subprocess (the way CI and
 operators invoke it) and validates the emitted ``BENCH_PR6.json``-style
 document against the schema; also validates the committed bench documents
-(``BENCH_PR3.json`` / ``BENCH_PR4.json`` legacy schemas, ``BENCH_PR5.json``,
-``BENCH_PR6.json``) at the repo root when present, so a schema change cannot
-strand the persisted perf trajectory.
+(``BENCH_PR3.json`` / ``BENCH_PR4.json`` legacy schemas, ``BENCH_PR5.json``
+through ``BENCH_PR7.json``) at the repo root when present, so a schema change
+cannot strand the persisted perf trajectory.
 """
 
 from __future__ import annotations
@@ -71,11 +71,18 @@ def test_smoke_run_emits_valid_document(tmp_path):
     assert traj_rows
     assert all(row["traj_bytes_on_disk"] > 0 and row["resumed_identical"]
                and row["resume_from_rounds"] >= 0 for row in traj_rows)
+    # The serve scenario drove jobs over a real loopback socket,
+    # bit-identically, and measured client-observed latency.
+    assert document["serve"]
+    assert all(row["identical"] and row["requests"] >= row["clients"]
+               and row["p99_latency_seconds"] >= row["p50_latency_seconds"] > 0
+               for row in document["serve"])
 
 
 @pytest.mark.bench
 @pytest.mark.parametrize("name", ["BENCH_PR3.json", "BENCH_PR4.json",
-                                  "BENCH_PR5.json", "BENCH_PR6.json"])
+                                  "BENCH_PR5.json", "BENCH_PR6.json",
+                                  "BENCH_PR7.json"])
 def test_committed_bench_documents_match_schema(name):
     committed = REPO_ROOT / name
     if not committed.exists():

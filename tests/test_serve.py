@@ -285,6 +285,88 @@ class TestGraphLockHygiene:
             assert queue._graph_lock(g1) is not stale_lock
 
 
+class TestServeStatsCounters:
+    """The /metrics-feeding counters: queue_depth gauge, per-problem tallies,
+    the dedup_hits wire alias, and the non-blocking 429 path."""
+
+    def test_queue_depth_tracks_inflight_executions(self, graphs):
+        g1, _ = graphs
+        gated = _Gated()
+        with JobQueue(max_workers=1) as queue:
+            assert queue.stats.queue_depth == 0
+            future = queue.submit(BatchJob(graph=g1, problem=gated, rounds=3))
+            assert gated.started.wait(timeout=10)
+            assert queue.stats.queue_depth == 1
+            gated.release.set()
+            future.result()
+        assert queue.stats.queue_depth == 0
+
+    def test_per_problem_counts_accepted_and_coalesced(self, graphs):
+        g1, _ = graphs
+        gated = _Gated()
+        with JobQueue(max_workers=2) as queue:
+            first = queue.submit(BatchJob(graph=g1, problem=gated, rounds=3))
+            assert gated.started.wait(timeout=10)
+            queue.submit(BatchJob(graph=g1, problem=gated, rounds=3))  # dedup
+            ori = queue.submit(BatchJob(graph=g1, problem="orientation",
+                                        rounds=3))
+            gated.release.set()
+            first.result()
+            ori.result()
+        # A coalesced submission still counts against its problem: per_problem
+        # measures request traffic, not executions.
+        assert queue.stats.per_problem == {"coreness": 2, "orientation": 1}
+
+    def test_dedup_hits_is_the_wire_alias_of_deduplicated(self):
+        from repro.serve import ServeStats
+
+        stats = ServeStats(deduplicated=3)
+        assert stats.dedup_hits == 3
+
+    def test_to_dict_is_a_detached_snapshot(self, graphs):
+        g1, _ = graphs
+        with JobQueue(max_workers=1) as queue:
+            queue.submit(BatchJob(graph=g1, rounds=3)).result()
+        snapshot = queue.stats.to_dict()
+        assert snapshot["submitted"] == 1
+        assert snapshot["dedup_hits"] == 0
+        assert snapshot["queue_depth"] == 0
+        assert snapshot["per_problem"] == {"coreness": 1}
+        snapshot["per_problem"]["coreness"] = 99   # must not alias the gauge
+        assert queue.stats.per_problem["coreness"] == 1
+
+    def test_nonblocking_submit_raises_queue_full(self, graphs):
+        from repro.errors import QueueFullError
+
+        g1, _ = graphs
+        gated = _Gated()
+        with JobQueue(max_workers=1, max_pending=1) as queue:
+            first = queue.submit(BatchJob(graph=g1, problem=gated, rounds=3))
+            assert gated.started.wait(timeout=10)
+            with pytest.raises(QueueFullError):
+                queue.submit(BatchJob(graph=g1, rounds=4), block=False)
+            # An identical in-flight request still coalesces at capacity.
+            assert queue.submit(BatchJob(graph=g1, problem=gated, rounds=3),
+                                block=False) is first
+            gated.release.set()
+            first.result()
+        # The refused job was never accepted.
+        assert queue.stats.submitted == 1
+        # Capacity freed: the non-blocking path admits again after completion.
+        with JobQueue(max_workers=1, max_pending=1) as queue:
+            queue.submit(BatchJob(graph=g1, rounds=3), block=False).result()
+            assert queue.submit(BatchJob(graph=g1, rounds=4),
+                                block=False).result().surviving.values
+
+    def test_async_session_counts_problems_too(self, graphs):
+        g1, _ = graphs
+        with AsyncSession(g1, max_workers=2) as serve:
+            serve.submit("coreness", rounds=3).result()
+            serve.submit("orientation", rounds=3).result()
+            serve.submit("coreness", rounds=3).result()  # session-cache hit
+        assert serve.stats.per_problem == {"coreness": 2, "orientation": 1}
+
+
 class TestAsyncSession:
     def test_matches_synchronous_session(self, graphs):
         g1, _ = graphs

@@ -1,0 +1,480 @@
+"""The HTTP front-end: wire equivalence, dedup, quotas, backpressure, drain.
+
+Everything runs against a real socket (ephemeral port, loopback).  The
+acceptance contract mirrors tests/test_serve.py one layer out: N client
+threads of mixed problems against a live server are bit-identical to
+sequential in-process ``Session.solve`` — including a restart from a
+persistent store.  Timing tests gate on events, never sleeps.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+import repro.problems as problems_module
+from repro.errors import (
+    AlgorithmError,
+    QueueFullError,
+    QuotaExceededError,
+    ServeError,
+    UnknownResourceError,
+    WireFormatError,
+)
+from repro.graph.datasets import load_dataset
+from repro.graph.io import to_dict as graph_to_dict
+from repro.problems import CorenessProblem, register_problem
+from repro.serve.client import ServeClient, solve_many
+from repro.serve.http import ReproHTTPServer, TokenBucket
+from repro.session import Session
+
+
+@pytest.fixture
+def server():
+    with ReproHTTPServer(workers=4) as srv:
+        yield srv
+
+
+@pytest.fixture
+def client(server):
+    with ServeClient(server.host, server.port) as cli:
+        yield cli
+
+
+@pytest.fixture
+def gated_problem():
+    """A coreness twin registered as 'gated-http' that blocks until released."""
+
+    class _GatedHTTP(CorenessProblem):
+        name = "gated-http"
+        started = threading.Event()
+        release = threading.Event()
+
+        def solve(self, session, **params):
+            type(self).started.set()
+            assert type(self).release.wait(timeout=10), "gate never released"
+            return super().solve(session, **params)
+
+    register_problem("gated-http", _GatedHTTP)
+    try:
+        yield _GatedHTTP
+    finally:
+        _GatedHTTP.release.set()
+        problems_module._FACTORIES.pop("gated-http", None)
+
+
+def _mixed_requests():
+    return [{"problem": problem, "rounds": rounds}
+            for problem in ("coreness", "orientation")
+            for rounds in (3, 6)]
+
+
+class TestGraphResources:
+    def test_upload_is_idempotent_on_content(self, client):
+        first = client.upload_dataset("caveman")
+        assert len(first) == 64 and set(first) <= set("0123456789abcdef")
+        assert client.upload_dataset("caveman") == first
+        record = client.graph(first)
+        assert record["uploads"] == 2
+        assert record["n"] == load_dataset("caveman").num_nodes
+
+    def test_json_upload_is_idempotent_and_serves_correctly(self, client):
+        # The fingerprint hashes the CSR view, which keeps adjacency
+        # *insertion order* — so a JSON round trip (edges() order) need not
+        # collide with the dataset upload, but identical documents must, and
+        # the uploaded copy must solve exactly like its in-process twin.
+        from repro.graph.io import from_dict
+
+        payload = graph_to_dict(load_dataset("caveman"))
+        fp = client.upload_graph(from_dict(payload))
+        assert client.upload_graph(from_dict(payload)) == fp
+        issued = client.submit(fp, problem="coreness", rounds=6)
+        doc = client.result(issued["job"], include_result=True)
+        reference = Session(from_dict(payload)).coreness(rounds=6)
+        assert doc["result"] == json.loads(json.dumps(reference.to_dict()))
+
+    def test_edge_list_upload(self, client):
+        fp = client.upload_edge_list("0 1 2.0\n1 2\n# isolated: 9\n")
+        record = client.graph(fp)
+        assert record["n"] == 4 and record["m"] == 2
+        assert record["source"] == "edge-list"
+
+    def test_graphs_listing(self, client):
+        fp = client.upload_dataset("caveman")
+        assert [g["fingerprint"] for g in client.graphs()] == [fp]
+
+    def test_unknown_dataset_is_a_wire_error(self, client):
+        with pytest.raises(WireFormatError, match="unknown dataset"):
+            client.upload_dataset("atlantis")
+
+    def test_unknown_fingerprint_is_404(self, client):
+        with pytest.raises(UnknownResourceError):
+            client.graph("f" * 64)
+
+    def test_unroutable_path_is_404(self, client):
+        with pytest.raises(UnknownResourceError):
+            client._request("GET", "/nope")
+
+
+class TestJobLifecycle:
+    def test_submit_poll_result(self, client):
+        fp = client.upload_dataset("caveman")
+        issued = client.submit(fp, problem="coreness", rounds=6)
+        assert issued["job"].startswith("j")
+        assert issued["deduplicated"] is False
+        done = client.result(issued["job"])
+        assert done["status"] == "done"
+        assert done["stats"]["rounds"] == 6
+        assert done["objective"] == pytest.approx(
+            Session(load_dataset("caveman")).coreness(rounds=6).max_value)
+
+    def test_full_result_is_bit_identical_to_inprocess(self, client):
+        fp = client.upload_dataset("caveman")
+        issued = client.submit(fp, problem="coreness", rounds=6)
+        doc = client.result(issued["job"], include_result=True)
+        reference = Session(load_dataset("caveman")).coreness(rounds=6)
+        assert doc["result"] == json.loads(json.dumps(reference.to_dict()))
+
+    def test_poll_without_wait_reports_pending(self, client, gated_problem):
+        fp = client.upload_dataset("caveman")
+        issued = client.submit(fp, problem="gated-http", rounds=3)
+        assert gated_problem.started.wait(timeout=10)
+        assert client.poll(issued["job"])["status"] == "pending"
+        gated_problem.release.set()
+        assert client.result(issued["job"])["status"] == "done"
+
+    def test_submit_to_unknown_graph_is_404(self, client):
+        with pytest.raises(UnknownResourceError):
+            client.submit("e" * 64, problem="coreness", rounds=3)
+
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(UnknownResourceError):
+            client.poll("j424242")
+
+    def test_invalid_params_fail_at_submission(self, client):
+        fp = client.upload_dataset("caveman")
+        with pytest.raises(AlgorithmError):
+            client.submit(fp, problem="coreness", rounds=3, epsilon=0.5)
+        with pytest.raises(AlgorithmError):
+            client.submit(fp, problem="nope", rounds=3)
+        with pytest.raises(WireFormatError, match="unknown job field"):
+            client.submit(fp, problem="coreness", rounds=3, frobnicate=1)
+
+    def test_worker_failures_surface_as_error_documents(self, client):
+        class _FailingHTTP(CorenessProblem):
+            name = "failing-http"
+
+            def solve(self, session, **params):
+                raise RuntimeError("deliberate worker failure")
+
+        register_problem("failing-http", _FailingHTTP)
+        try:
+            fp = client.upload_dataset("caveman")
+            issued = client.submit(fp, problem="failing-http", rounds=3)
+            with pytest.raises(Exception, match="deliberate worker failure"):
+                client.result(issued["job"])
+            doc = client.poll(issued["job"])
+            assert doc["status"] == "error"
+            assert doc["error"]["code"] == "error"
+        finally:
+            problems_module._FACTORIES.pop("failing-http", None)
+
+    def test_jobs_listing(self, client):
+        fp = client.upload_dataset("caveman")
+        ids = {client.submit(fp, problem="coreness", rounds=r)["job"]
+               for r in (3, 4)}
+        for job_id in ids:
+            client.result(job_id)
+        assert {doc["job"] for doc in client.jobs()} == ids
+
+
+class TestInFlightDedupOverTheWire:
+    def test_identical_inflight_submissions_share_one_job_id(
+            self, server, client, gated_problem):
+        fp = client.upload_dataset("caveman")
+        first = client.submit(fp, problem="gated-http", rounds=3)
+        assert gated_problem.started.wait(timeout=10)
+        second = client.submit(fp, problem="gated-http", rounds=3)
+        assert second["job"] == first["job"]
+        assert second["deduplicated"] is True
+        gated_problem.release.set()
+        assert client.result(first["job"])["status"] == "done"
+        metrics = client.metrics()
+        assert metrics["serve"]["dedup_hits"] == 1
+        assert metrics["serve"]["submitted"] == 1
+        assert metrics["serve"]["per_problem"] == {"gated-http": 2}
+
+
+class TestQuotas:
+    def test_exhausted_bucket_is_429_with_retry_after(self):
+        with ReproHTTPServer(workers=1, quota_rate=0.001,
+                             quota_burst=2.0) as server:
+            with ServeClient(server.host, server.port, tenant="busy") as cli:
+                fp = cli.upload_dataset("caveman")        # token 1
+                cli.submit(fp, problem="coreness", rounds=3)  # token 2
+                with pytest.raises(QuotaExceededError) as info:
+                    cli.submit(fp, problem="coreness", rounds=4)
+                assert info.value.retry_after > 0
+                # Polling is quota-free: a throttled client can still collect.
+                assert cli.metrics()["server"]["rejected_quota"] == 1
+
+    def test_tenants_have_independent_buckets(self):
+        with ReproHTTPServer(workers=1, quota_rate=0.001,
+                             quota_burst=1.0) as server:
+            with ServeClient(server.host, server.port, tenant="a") as one:
+                fp = one.upload_dataset("caveman")
+                with pytest.raises(QuotaExceededError):
+                    one.submit(fp, problem="coreness", rounds=3)
+                with ServeClient(server.host, server.port, tenant="b") as two:
+                    issued = two.submit(fp, problem="coreness", rounds=3)
+                    assert two.result(issued["job"])["status"] == "done"
+
+    def test_token_bucket_refills_at_rate(self):
+        bucket = TokenBucket(rate=10.0, burst=1.0)
+        assert bucket.try_acquire() == 0.0
+        retry = bucket.try_acquire()
+        assert 0.0 < retry <= 0.1
+
+    def test_invalid_bucket_bounds_rejected(self):
+        with pytest.raises(ServeError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ServeError):
+            TokenBucket(rate=1.0, burst=-2.0)
+
+
+class TestBackpressure:
+    def test_submission_beyond_max_pending_is_429(self, gated_problem):
+        with ReproHTTPServer(workers=1, max_pending=1) as server:
+            with ServeClient(server.host, server.port) as cli:
+                fp = cli.upload_dataset("caveman")
+                first = cli.submit(fp, problem="gated-http", rounds=3)
+                assert gated_problem.started.wait(timeout=10)
+                with pytest.raises(QueueFullError):
+                    cli.submit(fp, problem="coreness", rounds=4)
+                # Identical in-flight requests coalesce even at capacity.
+                dup = cli.submit(fp, problem="gated-http", rounds=3)
+                assert dup["job"] == first["job"] and dup["deduplicated"]
+                gated_problem.release.set()
+                assert cli.result(first["job"])["status"] == "done"
+                metrics = cli.metrics()
+                assert metrics["server"]["rejected_backpressure"] == 1
+                assert metrics["serve"]["queue_depth"] == 0
+
+
+class TestBatchStreaming:
+    def test_streams_in_submission_order(self, client):
+        fp = client.upload_dataset("caveman")
+        requests = _mixed_requests()
+        docs = list(client.batch(fp, requests))
+        assert [d["problem"] for d in docs] == [r["problem"] for r in requests]
+        assert all(d["status"] == "done" for d in docs)
+
+    def test_duplicate_batch_entries_coalesce(self, server, client,
+                                              gated_problem):
+        # The gate holds the first entry in flight until its duplicate has
+        # demonstrably coalesced (or a timeout frees the batch so the
+        # assertion can fail with evidence instead of hanging).
+        fp = client.upload_dataset("caveman")
+
+        def release_after_dedup():
+            tick = threading.Event()
+            for _ in range(1000):
+                if server.queue.stats.deduplicated >= 1:
+                    break
+                tick.wait(0.01)
+            gated_problem.release.set()
+
+        releaser = threading.Thread(target=release_after_dedup, daemon=True)
+        releaser.start()
+        docs = list(client.batch(
+            fp, [{"problem": "gated-http", "rounds": 3},
+                 {"problem": "orientation", "rounds": 3},
+                 {"problem": "gated-http", "rounds": 3}]))
+        releaser.join(timeout=30)
+        assert docs[0]["job"] == docs[2]["job"]
+        assert client.metrics()["serve"]["dedup_hits"] == 1
+
+    def test_batch_results_match_inprocess(self, client):
+        fp = client.upload_dataset("caveman")
+        docs = list(client.batch(fp, [{"problem": "coreness", "rounds": 6}],
+                                 include_result=True))
+        reference = Session(load_dataset("caveman")).coreness(rounds=6)
+        assert docs[0]["result"] == json.loads(json.dumps(reference.to_dict()))
+
+    def test_empty_batch_is_a_wire_error(self, client):
+        fp = client.upload_dataset("caveman")
+        with pytest.raises(WireFormatError):
+            list(client.batch(fp, []))
+
+
+class TestMetricsDocument:
+    def test_shape(self, client):
+        fp = client.upload_dataset("caveman")
+        issued = client.submit(fp, problem="coreness", rounds=3)
+        client.result(issued["job"])
+        metrics = client.metrics()
+        assert metrics["server"]["graphs"] == 1
+        assert metrics["server"]["draining"] is False
+        assert metrics["serve"]["submitted"] == 1
+        assert metrics["serve"]["completed"] == 1
+        assert metrics["jobs"] == {"total": 1, "pending": 0, "done": 1,
+                                   "error": 0}
+        assert metrics["store"] is None          # no store configured
+        assert metrics["session"]["result_hits"] >= 0
+        assert metrics["session"]["disk_hits"] == 0
+
+    def test_health(self, client):
+        assert client.health()["status"] == "ok"
+
+
+class TestConcurrentWireEquivalence:
+    """Satellite 4 / acceptance: >=4 client threads of mixed problems against
+    a live server, bit-identical to sequential in-process solves."""
+
+    THREADS = 4
+
+    def _reference(self):
+        expected = {}
+        for dataset in ("caveman", "communities"):
+            session = Session(load_dataset(dataset))
+            for request in _mixed_requests():
+                result = session.solve(request["problem"],
+                                       rounds=request["rounds"])
+                expected[(dataset, request["problem"], request["rounds"])] = (
+                    json.loads(json.dumps(result.to_dict())))
+        return expected
+
+    def test_concurrent_clients_match_sequential_sessions(self, server):
+        expected = self._reference()
+        with ServeClient(server.host, server.port) as setup:
+            fps = {name: setup.upload_dataset(name)
+                   for name in ("caveman", "communities")}
+        outcomes, failures = {}, []
+
+        def hammer(thread_index):
+            try:
+                with ServeClient(server.host, server.port) as cli:
+                    # Each thread walks the full matrix from a different
+                    # offset, so distinct requests race on every graph.
+                    work = [(d, r) for d in ("caveman", "communities")
+                            for r in _mixed_requests()]
+                    offset = thread_index % len(work)
+                    for dataset, request in work[offset:] + work[:offset]:
+                        issued = cli.submit(fps[dataset], **request)
+                        doc = cli.result(issued["job"], include_result=True)
+                        outcomes[(thread_index, dataset, request["problem"],
+                                  request["rounds"])] = doc["result"]
+            except Exception as exc:  # pragma: no cover - diagnostic path
+                failures.append((thread_index, exc))
+
+        threads = [threading.Thread(target=hammer, args=(i,))
+                   for i in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not failures, failures
+        assert len(outcomes) == self.THREADS * len(expected)
+        for (_, dataset, problem, rounds), result in outcomes.items():
+            assert result == expected[(dataset, problem, rounds)], (
+                dataset, problem, rounds)
+
+    def test_solve_many_coalesces_duplicates(self, server, gated_problem):
+        # The gate keeps the first submission in flight while its three
+        # duplicates arrive, so all four must land on one job id.
+        def release_after_dedup():
+            tick = threading.Event()
+            for _ in range(1000):
+                if server.queue.stats.deduplicated >= 3:
+                    break
+                tick.wait(0.01)
+            gated_problem.release.set()
+
+        releaser = threading.Thread(target=release_after_dedup, daemon=True)
+        releaser.start()
+        with ServeClient(server.host, server.port) as cli:
+            fp = cli.upload_dataset("caveman")
+            requests = [{"problem": "gated-http", "rounds": 5}] * 4
+            docs = solve_many(cli, fp, requests)
+            releaser.join(timeout=30)
+            assert len({doc["job"] for doc in docs}) == 1
+            assert all(doc["status"] == "done" for doc in docs)
+
+
+class TestStoreAndDrain:
+    def test_restart_from_store_serves_disk_hits(self, tmp_path):
+        store = tmp_path / "store"
+        requests = _mixed_requests()
+        with ReproHTTPServer(workers=2, store=store) as first:
+            with ServeClient(first.host, first.port) as cli:
+                fp = cli.upload_dataset("caveman")
+                before = [doc["result"] for doc in
+                          (cli.result(cli.submit(fp, **r)["job"],
+                                      include_result=True)
+                           for r in requests)]
+        # Graceful drain must leave no half-written artifacts behind.
+        stray = [p for p in store.rglob("*") if "tmp" in p.name]
+        assert stray == []
+        with ReproHTTPServer(workers=2, store=store) as second:
+            with ServeClient(second.host, second.port) as cli:
+                fp = cli.upload_dataset("caveman")
+                after = [doc["result"] for doc in
+                         (cli.result(cli.submit(fp, **r)["job"],
+                                     include_result=True)
+                          for r in requests)]
+                metrics = cli.metrics()
+                assert metrics["session"]["disk_hits"] >= 1
+                assert metrics["store"]["files"] > 0
+        assert after == before
+
+    def test_drain_is_idempotent_and_kills_the_socket(self, server):
+        host, port = server.host, server.port
+        with ServeClient(host, port) as cli:
+            assert cli.health()["status"] == "ok"
+        server.drain()
+        server.drain()
+        with ServeClient(host, port, timeout=2.0) as cli:
+            with pytest.raises(ServeError):
+                cli.health()
+
+    def test_drain_finishes_inflight_jobs(self, gated_problem):
+        server = ReproHTTPServer(workers=1).start()
+        with ServeClient(server.host, server.port) as cli:
+            fp = cli.upload_dataset("caveman")
+            issued = cli.submit(fp, problem="gated-http", rounds=3)
+        assert gated_problem.started.wait(timeout=10)
+        release = threading.Timer(0.05, gated_problem.release.set)
+        release.start()
+        server.drain()   # must wait for the job, not abandon it
+        release.join()
+        record = server.job_record(issued["job"])
+        assert record.future.done() and record.future.exception() is None
+
+
+class TestCLIServeCommand:
+    def test_command_serve_runs_and_drains(self, tmp_path):
+        import io
+        import re
+
+        from repro.cli import _build_parser, _command_serve
+
+        args = _build_parser().parse_args(
+            ["serve", "--host", "127.0.0.1", "--port", "0",
+             "--store", str(tmp_path / "store"), "--workers", "2"])
+        out, ready, stop = io.StringIO(), threading.Event(), threading.Event()
+        runner = threading.Thread(
+            target=_command_serve, args=(args, out, ready, stop), daemon=True)
+        runner.start()
+        assert ready.wait(timeout=30), "server never came up"
+        port = int(re.search(r"http://127\.0\.0\.1:(\d+)", out.getvalue())
+                   .group(1))
+        with ServeClient("127.0.0.1", port) as cli:
+            fp = cli.upload_dataset("caveman")
+            issued = cli.submit(fp, problem="coreness", rounds=3)
+            assert cli.result(issued["job"])["status"] == "done"
+        stop.set()
+        runner.join(timeout=30)
+        assert not runner.is_alive()
+        assert "drained" in out.getvalue()

@@ -182,6 +182,72 @@ class TestStoreRestartMatrix:
         assert store.load_trajectory(session.fingerprint, 0.0) is not None
 
 
+class TestWireEquivalence:
+    """The session-equivalence contract extended over a real socket.
+
+    A graph shipped as a repro-graph-v1 document and solved through
+    :mod:`repro.serve.http` must answer bit-identically to ``Session.solve``
+    on the same document in-process — including a server restart that serves
+    from a persistent store.  (Both sides of the comparison consume the
+    *document*: the CSR fingerprint hashes adjacency insertion order, so the
+    wire identity is the serialised graph, not the original object.)
+    """
+
+    @pytest.mark.parametrize("graph, rounds", SUITE[::2])
+    def test_wire_results_match_inprocess_solve(self, graph, rounds):
+        import json
+
+        from repro.graph import io as graph_io
+        from repro.serve.client import ServeClient
+        from repro.serve.http import ReproHTTPServer
+
+        if graph.num_nodes == 0:
+            pytest.skip("the HTTP front-end rejects empty graph uploads")
+        payload = graph_io.to_dict(graph)
+        reference = Session(graph_io.from_dict(payload))
+        expected = {
+            problem: json.loads(json.dumps(
+                reference.solve(problem, rounds=rounds).to_dict()))
+            for problem in ("coreness", "orientation")
+        }
+        with ReproHTTPServer(workers=2) as server:
+            with ServeClient(server.host, server.port) as cli:
+                fp = cli.upload_graph(graph_io.from_dict(payload))
+                for problem, want in expected.items():
+                    issued = cli.submit(fp, problem=problem, rounds=rounds)
+                    doc = cli.result(issued["job"], include_result=True)
+                    assert doc["result"] == want, problem
+
+    def test_wire_restart_from_store_matches(self, tmp_path, two_communities):
+        import json
+
+        from repro.graph import io as graph_io
+        from repro.serve.client import ServeClient
+        from repro.serve.http import ReproHTTPServer
+
+        payload = graph_io.to_dict(two_communities)
+        store = tmp_path / "store"
+
+        def run_once():
+            with ReproHTTPServer(workers=2, store=store) as server:
+                with ServeClient(server.host, server.port) as cli:
+                    fp = cli.upload_graph(graph_io.from_dict(payload))
+                    issued = cli.submit(fp, problem="orientation", rounds=6)
+                    doc = cli.result(issued["job"], include_result=True)
+                    return doc["result"], cli.metrics()["session"]
+
+        first, first_stats = run_once()
+        assert first_stats["disk_writes"] >= 1
+        served, restart_stats = run_once()
+        assert served == first
+        # The restarted server answered from the store, not a recompute.
+        assert restart_stats["disk_hits"] == 1
+        assert restart_stats["rounds_executed"] == 0
+
+        reference = Session(graph_io.from_dict(payload)).orientation(rounds=6)
+        assert first == json.loads(json.dumps(reference.to_dict()))
+
+
 class TestDensestPhase1Reuse:
     """``message_accounting=False`` serves Phase 1 from the cached trajectory.
 
