@@ -24,6 +24,15 @@ Times, on seeded Barabási–Albert and Erdős–Rényi graphs:
   per distinct request is checked bit-identical against an in-process
   ``Session.solve`` on the same document — the perf trajectory of
   `repro.serve.http`;
+* **densest** — the Theorem I.3 weak-densest pipeline end to end:
+  ``weak_densest_subsets(engine="array")`` (phases 2-4 on the CSR kernels of
+  `repro.engine.densest_kernels`, Phase 1 on the vectorised trajectory)
+  against the faithful 4-phase simulator pipeline, with per-phase wall-times
+  for the array path, a bit-identical check on the reported
+  subsets/densities/assignment, and the end-to-end speedup (the simulator
+  reference runs once per graph up to ``--densest-reference-max-nodes``; the
+  acceptance bar is >= 5x at 100k nodes) — the perf trajectory of the
+  densest fast path;
 * **out_of_core** — the memory-mapped CSR mode (`sharded:storage=mmap`,
   sequential and process-pool): cold (materialise the arrays on disk, then
   run over `np.memmap` views) vs warm (files revalidated by fingerprint, no
@@ -39,7 +48,7 @@ Times, on seeded Barabási–Albert and Erdős–Rényi graphs:
   the surviving prefix and still produce the bit-identical trajectory.
 
 Results are written as machine-readable JSON (``--out``, default
-``BENCH_PR7.json`` at the repo root) so future PRs have a baseline to regress
+``BENCH_PR8.json`` at the repo root) so future PRs have a baseline to regress
 against::
 
     python scripts/bench.py                     # full run (10k-200k nodes)
@@ -53,9 +62,10 @@ The JSON schema (validated by ``tests/test_bench_harness.py``) is
 "out_of_core": [...], "serve": [...]}``; every row carries its graph, timings
 and speedups.  Legacy documents still validate minus the sections added later
 (``repro-bench/1`` without ``store``, ``repro-bench/2`` without
-``out_of_core``, and schema-3 documents written before the HTTP front-end
-without ``serve`` — ``serve`` is optional-but-validated within schema 3), so
-the committed PR3-PR6 trajectories stay checkable.
+``out_of_core``, and schema-3 documents written before the HTTP front-end or
+the densest fast path without ``serve`` / ``densest`` — both are
+optional-but-validated within schema 3), so the committed PR3-PR7
+trajectories stay checkable.
 Speedup claims are only meaningful relative to ``machine.cpu_count`` —
 process parallelism cannot beat the baseline on a single-CPU container, and
 the JSON records that context instead of hiding it.
@@ -104,9 +114,10 @@ REQUIRED_TOP_LEVEL = ("schema", "generated_by", "smoke", "machine", "params",
 
 #: Sections every *new* document carries but older documents of the same
 #: schema string may lack (added mid-schema): validated when present, never
-#: required.  ``serve`` landed with the HTTP front-end, after schema 3
-#: documents had already been committed.
-OPTIONAL_TOP_LEVEL = ("serve",)
+#: required.  ``serve`` landed with the HTTP front-end and ``densest`` with
+#: the array-path densest pipeline, after schema 3 documents had already
+#: been committed.
+OPTIONAL_TOP_LEVEL = ("serve", "densest")
 
 #: Sections absent from the legacy schemas (schema -> missing keys).
 _LEGACY_MISSING = {"repro-bench/1": ("store", "out_of_core"),
@@ -114,6 +125,12 @@ _LEGACY_MISSING = {"repro-bench/1": ("store", "out_of_core"),
 
 #: Largest graph the faithful per-node simulator is timed on.
 FAITHFUL_MAX_NODES = 20_000
+
+#: Largest graph the faithful 4-phase densest reference (≈ ``5T + 6``
+#: simulator rounds of per-node message objects) is run on for the speedup /
+#: bit-identity check.  The default covers the 100k acceptance point; the
+#: 200k row then reports the array path's timings only.
+DENSEST_REFERENCE_MAX_NODES = 120_000
 
 
 def best_of(fn, repeats: int) -> float:
@@ -388,6 +405,95 @@ def bench_serve(graphs, rounds, serve_workers, clients, log):
     return rows
 
 
+def bench_densest(graphs, densest_rounds, repeats, log,
+                  reference_max_nodes=DENSEST_REFERENCE_MAX_NODES):
+    """The weak-densest fast path (phases 2-4 as CSR kernels) vs the simulator.
+
+    Every row times the array path twice over: the four phases individually
+    (Phase 1 as the vectorised λ=0 trajectory, then the ``densest_kernels``
+    BFS forest / per-tree elimination / aggregation on exactly the inputs the
+    end-to-end run feeds them) and the end-to-end
+    ``weak_densest_subsets(engine="array")`` call including dict assembly.
+    Graphs up to ``reference_max_nodes`` additionally run the faithful
+    4-phase simulator pipeline once (far too slow for best-of repeats) for
+    the speedup and the bit-identity check on ``subsets`` /
+    ``reported_densities`` / ``node_assignment`` / ``best_leader``.
+    """
+    from repro.core.densest import weak_densest_subsets
+    from repro.core.rounds import guarantee_after_rounds
+    from repro.engine.densest_kernels import (
+        aggregate_and_decide,
+        bfs_forest,
+        identity_ranks,
+        local_elimination_rounds,
+    )
+
+    T = densest_rounds
+    rows = []
+    for graph_name, graph in graphs:
+        csr = graph_to_csr(graph)
+
+        phase1_seconds = best_of(lambda: compact_trajectory(csr, T), repeats)
+        values = np.ascontiguousarray(compact_trajectory(csr, T)[T])
+        ranks_seconds = best_of(lambda: identity_ranks(csr), repeats)
+        ranks = identity_ranks(csr)
+        phase2_seconds = best_of(
+            lambda: bfs_forest(csr, values, T, ranks=ranks), repeats)
+        forest = bfs_forest(csr, values, T, ranks=ranks)
+        phase3_seconds = best_of(
+            lambda: local_elimination_rounds(csr, forest, values, T), repeats)
+        num, deg = local_elimination_rounds(csr, forest, values, T)
+        factor = guarantee_after_rounds(graph.num_nodes, T)
+        phase4_seconds = best_of(
+            lambda: aggregate_and_decide(forest, num, deg, values, factor),
+            repeats)
+
+        fast_seconds = best_of(
+            lambda: weak_densest_subsets(graph, rounds=T, engine="array",
+                                         csr=csr),
+            repeats)
+        fast = weak_densest_subsets(graph, rounds=T, engine="array", csr=csr)
+
+        row = {
+            "graph": graph_name, "n": graph.num_nodes, "m": graph.num_edges,
+            "rounds": T, "config": "densest-array",
+            "fast_seconds": round(fast_seconds, 6),
+            "phase_seconds": {
+                "phase1_surviving": round(phase1_seconds, 6),
+                "identity_ranks": round(ranks_seconds, 6),
+                "phase2_bfs_forest": round(phase2_seconds, 6),
+                "phase3_local_elimination": round(phase3_seconds, 6),
+                "phase4_aggregation": round(phase4_seconds, 6),
+            },
+            "num_subsets": len(fast.subsets),
+        }
+        if graph.num_nodes <= reference_max_nodes:
+            start = time.perf_counter()
+            reference = weak_densest_subsets(graph, rounds=T)
+            reference_seconds = time.perf_counter() - start
+            identical = (
+                fast.subsets == reference.subsets
+                and fast.reported_densities == reference.reported_densities
+                and fast.node_assignment == reference.node_assignment
+                and fast.best_leader == reference.best_leader)
+            row.update({
+                "reference_seconds": round(reference_seconds, 6),
+                "speedup_vs_reference": round(
+                    reference_seconds / fast_seconds, 4)
+                if fast_seconds > 0 else float("inf"),
+                "identical": identical,
+            })
+            log(f"  densest {graph_name:>12s} fast {fast_seconds:8.3f}s "
+                f"reference {reference_seconds:8.3f}s "
+                f"speedup {row['speedup_vs_reference']:8.1f}x "
+                f"identical={identical}")
+        else:
+            log(f"  densest {graph_name:>12s} fast {fast_seconds:8.3f}s "
+                f"(reference skipped: n > {reference_max_nodes})")
+        rows.append(row)
+    return rows
+
+
 def bench_out_of_core(graphs, rounds, shards, workers, repeats, log,
                       traj_rounds=None):
     """The memory-mapped CSR mode against the in-memory sharded baseline.
@@ -505,7 +611,8 @@ def bench_out_of_core(graphs, rounds, shards, workers, repeats, log,
 
 def run_benchmarks(sizes, rounds, shards, workers, repeats, seed, smoke,
                    log=lambda line: None, traj_rounds=None,
-                   serve_clients=4, serve_workers=2) -> dict:
+                   serve_clients=4, serve_workers=2, densest_rounds=6,
+                   densest_reference_max_nodes=DENSEST_REFERENCE_MAX_NODES) -> dict:
     graphs = list(_graphs(sizes, seed))
     document = {
         "schema": SCHEMA,
@@ -521,12 +628,16 @@ def run_benchmarks(sizes, rounds, shards, workers, repeats, seed, smoke,
                    "traj_rounds": traj_rounds if traj_rounds is not None
                    else rounds,
                    "serve_clients": serve_clients,
-                   "serve_workers": serve_workers},
+                   "serve_workers": serve_workers,
+                   "densest_rounds": densest_rounds,
+                   "densest_reference_max_nodes": densest_reference_max_nodes},
         "engines": bench_engines(graphs, rounds, shards, workers, repeats, log),
         "kept_sets": bench_kept_sets(graphs, rounds, repeats, log),
         "sessions": bench_sessions(graphs, rounds, shards, workers, log),
         "store": bench_store(graphs, rounds, log),
         "serve": bench_serve(graphs, rounds, serve_workers, serve_clients, log),
+        "densest": bench_densest(graphs, densest_rounds, repeats, log,
+                                 reference_max_nodes=densest_reference_max_nodes),
         "out_of_core": bench_out_of_core(graphs, rounds, shards, workers,
                                          repeats, log,
                                          traj_rounds=traj_rounds),
@@ -592,6 +703,22 @@ def validate_document(document: dict) -> None:
             raise ValueError(f"serve row lost client requests: {row}")
         if row["p99_latency_seconds"] < row["p50_latency_seconds"]:
             raise ValueError(f"serve row has inverted percentiles: {row}")
+    for row in document.get("densest", ()):
+        for key in ("graph", "n", "m", "rounds", "config", "fast_seconds",
+                    "phase_seconds"):
+            if key not in row:
+                raise ValueError(f"densest row is missing {key!r}: {row}")
+        for key in ("phase1_surviving", "phase2_bfs_forest",
+                    "phase3_local_elimination", "phase4_aggregation"):
+            if key not in row["phase_seconds"]:
+                raise ValueError(
+                    f"densest row is missing phase timing {key!r}: {row}")
+        if "reference_seconds" in row:
+            if not row.get("identical"):
+                raise ValueError(f"densest row is not bit-identical: {row}")
+            if "speedup_vs_reference" not in row:
+                raise ValueError(
+                    f"densest row has a reference but no speedup: {row}")
     for row in document.get("out_of_core", ()):
         for key in ("graph", "config", "cold_seconds", "warm_seconds",
                     "in_memory_seconds", "csr_bytes_on_disk", "identical"):
@@ -643,15 +770,25 @@ def main() -> int:
     parser.add_argument("--serve-workers", type=int, default=2,
                         help="queue workers behind the benchmarked HTTP "
                              "server (default: 2)")
+    parser.add_argument("--densest-rounds", type=int, default=6,
+                        help="round budget T for the densest scenario "
+                             "(default: 6 — the faithful reference costs "
+                             "~5T+6 simulator rounds per graph)")
+    parser.add_argument("--densest-reference-max-nodes", type=int,
+                        default=DENSEST_REFERENCE_MAX_NODES,
+                        help="largest graph the faithful densest reference "
+                             "pipeline is run on (larger rows report array "
+                             "timings only)")
     parser.add_argument("--out", "--output", dest="output", type=Path,
-                        default=REPO_ROOT / "BENCH_PR7.json",
+                        default=REPO_ROOT / "BENCH_PR8.json",
                         help="where to write the JSON document "
-                             "(default: BENCH_PR7.json at the repo root)")
+                             "(default: BENCH_PR8.json at the repo root)")
     args = parser.parse_args()
 
     sizes = [2_000] if args.smoke else args.sizes
     repeats = 1 if args.smoke else args.repeats
     traj_rounds = 12 if args.smoke else args.traj_rounds
+    densest_rounds = 3 if args.smoke else args.densest_rounds
     serve_clients = min(2, args.serve_clients) if args.smoke \
         else args.serve_clients
     workers = args.workers if args.workers is not None \
@@ -665,7 +802,10 @@ def main() -> int:
                               args.seed, args.smoke, log=print,
                               traj_rounds=traj_rounds,
                               serve_clients=serve_clients,
-                              serve_workers=args.serve_workers)
+                              serve_workers=args.serve_workers,
+                              densest_rounds=densest_rounds,
+                              densest_reference_max_nodes=(
+                                  args.densest_reference_max_nodes))
     validate_document(document)
     args.output.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
     print(f"bench: results written to {args.output}")

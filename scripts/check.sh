@@ -8,9 +8,11 @@
 # prefix-resumable), the warm-session throughput
 # benchmark (>= 2x over cold per-call on repeated mixed requests), the
 # persistent-store smoke (second run served from disk, bit-identical),
-# the `repro cache` CLI smoke and the HTTP serve smoke (`repro serve` as a
+# the `repro cache` CLI smoke, the HTTP serve smoke (`repro serve` as a
 # subprocess on an ephemeral port: jobs over a real socket, /metrics,
-# graceful SIGTERM drain with no staging files left in the store).
+# graceful SIGTERM drain with no staging files left in the store), and the
+# densest fast-path smoke (phases 2-4 on the CSR kernels, bit-identical to
+# the faithful 4-phase simulator pipeline).
 #
 # Usage:  ./scripts/check.sh            (from anywhere; repo root is inferred)
 set -euo pipefail
@@ -116,6 +118,26 @@ python -m repro cache purge --store "$STORE_DIR" | grep -q "purged" \
 echo
 echo "== HTTP serve smoke (ephemeral port, jobs over the wire, SIGTERM drain) =="
 python scripts/serve_smoke.py
+
+echo
+echo "== densest fast-path smoke (engine=array bit-identical to simulator) =="
+python - <<'PY'
+from repro.core.densest import weak_densest_subsets
+from repro.graph.generators.random_graphs import barabasi_albert
+
+graph = barabasi_albert(1500, 3, seed=33)
+reference = weak_densest_subsets(graph, rounds=4)
+fast = weak_densest_subsets(graph, rounds=4, engine="array")
+assert fast.subsets == reference.subsets, "array subsets differ"
+assert fast.reported_densities == reference.reported_densities, \
+    "array reported densities differ"
+assert fast.node_assignment == reference.node_assignment, \
+    "array node assignment differs"
+assert fast.best_leader == reference.best_leader, "array best leader differs"
+assert fast.messages_total == 0 and reference.messages_total > 0
+print(f"densest smoke: engine=array bit-identical on n=1500 (T=4, "
+      f"{len(fast.subsets)} subsets)")
+PY
 
 echo
 echo "check.sh: all green"

@@ -8,7 +8,12 @@ from repro.core.api import (
     approximate_densest_subsets,
     approximate_orientation,
 )
-from repro.core.bfs import BFSConstructionProtocol, BFSOutput, run_bfs_construction
+from repro.core.bfs import (
+    BFSConstructionProtocol,
+    BFSOutput,
+    comparable_identity,
+    run_bfs_construction,
+)
 from repro.core.densest import WeakDensestResult, expected_total_rounds, weak_densest_subsets
 from repro.core.elimination import (
     EliminationResult,
@@ -68,6 +73,7 @@ __all__ = [
     "approximate_orientation",
     "BFSConstructionProtocol",
     "BFSOutput",
+    "comparable_identity",
     "run_bfs_construction",
     "WeakDensestResult",
     "expected_total_rounds",

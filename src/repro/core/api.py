@@ -162,16 +162,18 @@ def approximate_orientation(graph: Graph, *, epsilon: Optional[float] = None,
 
 def approximate_densest_subsets(graph: Graph, *, epsilon: Optional[float] = None,
                                 gamma: Optional[float] = None,
-                                rounds: Optional[int] = None) -> WeakDensestResult:
+                                rounds: Optional[int] = None,
+                                engine: Optional[str] = None) -> WeakDensestResult:
     """Theorem I.3: the weak densest subset collection (Definition IV.1).
 
     One-shot wrapper over :meth:`repro.session.Session.densest` (which delegates
-    to :func:`repro.core.densest.weak_densest_subsets`, the faithful 4-phase
-    pipeline).
+    to :func:`repro.core.densest.weak_densest_subsets`).  ``engine`` selects the
+    phases-2-4 implementation: the faithful simulator by default, the batched
+    CSR kernels with ``engine="array"``.
     """
     from repro.session import Session
 
     if graph.num_nodes == 0:
         raise AlgorithmError("the weak densest subset problem needs a non-empty graph")
     session = Session(graph)
-    return session.densest(epsilon=epsilon, gamma=gamma, rounds=rounds)
+    return session.densest(epsilon=epsilon, gamma=gamma, rounds=rounds, engine=engine)

@@ -32,11 +32,23 @@ Leader = Tuple[Hashable, float]
 def leader_key(leader: Leader):
     """Sort key realising the paper's total order ``⪰`` on ``(v, b_v)`` pairs."""
     node, value = leader
-    return (value, _comparable(node))
+    return (value, comparable_identity(node))
 
 
-def _comparable(node: Hashable):
+def comparable_identity(node: Hashable):
+    """The globally known total order on node identities used by every tie-break.
+
+    Identities of mixed types are ordered by type name first, then by ``repr``
+    — note this is *string* order, so among integer labels ``9 ≻ 10``.  The
+    array path (:func:`repro.engine.densest_kernels.identity_ranks`) bakes this
+    exact order into its int64 ranks; the two must never diverge, or the BFS
+    forests (and hence the reported subsets) drift between engines.
+    """
     return (type(node).__name__, repr(node))
+
+
+#: Backwards-compatible alias of :func:`comparable_identity`.
+_comparable = comparable_identity
 
 
 @dataclass(frozen=True)
@@ -121,7 +133,7 @@ class BFSConstructionProtocol(NodeProtocol):
                     best_leader = candidate
                     best_sender = sender
                 elif (leader_key(candidate) == leader_key(best_leader)
-                      and _comparable(sender) > _comparable(best_sender)):
+                      and comparable_identity(sender) > comparable_identity(best_sender)):
                     best_sender = sender
             if best_leader is not None and leader_key(best_leader) > leader_key(self.leader):
                 self.leader = best_leader

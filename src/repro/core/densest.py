@@ -1,6 +1,6 @@
 """Theorem I.3 — the full weak-densest-subset pipeline (Definition IV.1).
 
-The pipeline chains the four phases of Section IV on the faithful simulator:
+The pipeline chains the four phases of Section IV:
 
 1. **Phase 1** — Algorithm 2 for ``T`` rounds: every node learns a surviving number
    ``b_v`` (a γ-approximation of its maximal density);
@@ -17,6 +17,24 @@ leader), every member knows its leader and the announced density, and — provid
 acceptance threshold of Algorithm 6 is the analysis-supported ``b_v / γ`` — the
 subset of the globally best leader has density at least ``ρ* / γ`` (Lemma IV.4,
 Corollary IV.5).
+
+Execution engines
+-----------------
+Two implementations of phases 2-4 are available through the ``engine``
+parameter of :func:`weak_densest_subsets`:
+
+* ``"faithful"`` (default; aliases ``"simulation"``, ``"reference"``) — the
+  per-node protocols on the synchronous simulator.  This is the reference
+  ground truth and the only path with round/message accounting.
+* ``"array"`` (alias ``"vectorized"``) — the batched CSR kernels of
+  :mod:`repro.engine.densest_kernels`.  Phase 1 runs on the vectorised engine
+  (or is served from a caller-supplied trajectory-backed result), phases 2-4
+  as segmented NumPy over the CSR view; ``rounds_per_phase`` then reports the
+  *nominal* per-phase budgets and ``messages_total`` is 0.  For integer and
+  dyadic edge weights the reported ``subsets`` / ``reported_densities`` /
+  ``node_assignment`` are bit-identical to the faithful path (the
+  cross-engine corpus pins this); arbitrary float weights carry the usual
+  last-ulp caveat of :mod:`repro.engine.kernels`.
 """
 
 from __future__ import annotations
@@ -24,6 +42,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
 
 from repro.core.aggregation import (
     AggregationOutput,
@@ -35,7 +55,12 @@ from repro.core.local_elimination import LocalEliminationOutput, run_local_elimi
 from repro.core.rounds import guarantee_after_rounds, rounds_for_epsilon, rounds_for_gamma
 from repro.core.surviving import SurvivingNumbers, run_compact_elimination
 from repro.errors import AlgorithmError
+from repro.graph.csr import CSRAdjacency
 from repro.graph.graph import Graph
+
+#: Engine spellings accepted by :func:`weak_densest_subsets`.
+REFERENCE_DENSEST_ENGINES = ("faithful", "simulation", "reference")
+ARRAY_DENSEST_ENGINES = ("array", "vectorized")
 
 
 @dataclass
@@ -54,13 +79,27 @@ class WeakDensestResult:
     phase1_reused: bool = False                 #: Phase 1 served from a precomputed
                                                 #: trajectory; ``messages_total`` then
                                                 #: covers phases 2-4 only
+    engine: str = "faithful"                    #: which phases-2-4 implementation ran
+                                                #: (``"faithful"`` or ``"array"``)
 
     @property
     def best_leader(self) -> Optional[Hashable]:
-        """Leader of the subset with the largest *recomputed* density."""
+        """Leader of the subset with the largest *recomputed* density.
+
+        Density ties are broken by :func:`~repro.utils.ordering.stable_node_order`
+        (the earliest leader in the stable order wins), never by dict insertion
+        order — so the faithful and array paths, whose collection orders differ,
+        report the same leader.
+        """
         if not self.actual_densities:
             return None
-        return max(self.actual_densities, key=lambda k: self.actual_densities[k])
+        from repro.utils.ordering import stable_node_order
+
+        best = None
+        for leader in stable_node_order(self.actual_densities):
+            if best is None or self.actual_densities[leader] > self.actual_densities[best]:
+                best = leader
+        return best
 
     @property
     def best_density(self) -> float:
@@ -97,6 +136,7 @@ class WeakDensestResult:
         return {
             "problem": "densest",
             "gamma": self.gamma,
+            "engine": self.engine,
             "phase1_reused": self.phase1_reused,
             "rounds_total": self.rounds_total,
             "rounds_per_phase": dict(self.rounds_per_phase),
@@ -109,10 +149,79 @@ class WeakDensestResult:
         }
 
 
+def _collect_reference_outputs(agg_outputs: Dict[Hashable, "AggregationOutput"],
+                               ) -> Tuple[Dict[Hashable, set], Dict[Hashable, float],
+                                          Dict[Hashable, Optional[Hashable]]]:
+    """Assemble ``(subsets, reported, node_assignment)`` from Phase-4 outputs.
+
+    Every node of a tree that learned the root's decision must report the same
+    density — the root announced one value and the flood forwards it verbatim.
+    A disagreement means the protocol (or a future refactor of it) corrupted
+    the flood, so it raises instead of being silently masked by last-write-wins
+    dict insertion.
+    """
+    subsets: Dict[Hashable, set] = {}
+    reported: Dict[Hashable, float] = {}
+    node_assignment: Dict[Hashable, Optional[Hashable]] = {}
+    for v, out in agg_outputs.items():
+        node_assignment[v] = out.leader_id if out.sigma == 1 else None
+        if out.sigma == 1:
+            subsets.setdefault(out.leader_id, set()).add(v)
+        if out.density is not None:
+            previous = reported.get(out.leader_id)
+            if previous is not None and previous != out.density:
+                raise AlgorithmError(
+                    f"inconsistent reported density for tree {out.leader_id!r}: "
+                    f"{previous!r} vs {out.density!r} (node {v!r})")
+            reported[out.leader_id] = out.density
+    return subsets, reported, node_assignment
+
+
+def _phase1_values_array(surviving: SurvivingNumbers, csr: CSRAdjacency) -> np.ndarray:
+    """The Phase-1 surviving numbers as a float64 vector aligned with the CSR ids."""
+    trajectory = surviving.trajectory
+    if (trajectory is not None and surviving.node_order == csr.labels()
+            and trajectory.shape[0] > surviving.rounds):
+        return np.ascontiguousarray(trajectory[surviving.rounds], dtype=np.float64)
+    values = surviving.values
+    return np.array([values[label] for label in csr.labels()], dtype=np.float64)
+
+
+def _array_phases(graph: Graph, surviving: SurvivingNumbers, T: int, factor: float,
+                  csr: Optional[CSRAdjacency],
+                  ) -> Tuple[Dict[Hashable, set], Dict[Hashable, float],
+                             Dict[Hashable, Optional[Hashable]]]:
+    """Phases 2-4 on the CSR kernels of :mod:`repro.engine.densest_kernels`."""
+    from repro.engine.densest_kernels import densest_phases
+    from repro.graph.csr import graph_to_csr
+
+    if csr is None:
+        csr = graph_to_csr(graph)
+    labels = csr.labels()
+    values = _phase1_values_array(surviving, csr)
+    forest, num, _deg, decision = densest_phases(csr, values, T, factor)
+
+    subsets: Dict[Hashable, set] = {}
+    node_assignment: Dict[Hashable, Optional[Hashable]] = {
+        label: None for label in labels}
+    for i in np.flatnonzero(decision.sigma):
+        member = labels[i]
+        leader = labels[forest.leader[i]]
+        node_assignment[member] = leader
+        subsets.setdefault(leader, set()).add(member)
+    # Accepted roots are their own leaders, and each accepted tree had at least
+    # one member surviving its chosen round — so these keys match ``subsets``.
+    reported = {labels[root]: float(decision.density[root])
+                for root in np.flatnonzero(decision.t_star >= 0)}
+    return subsets, reported, node_assignment
+
+
 def weak_densest_subsets(graph: Graph, *, epsilon: Optional[float] = None,
                          gamma: Optional[float] = None, rounds: Optional[int] = None,
                          acceptance_factor: Optional[float] = None,
                          phase1: Optional[SurvivingNumbers] = None,
+                         engine: Optional[str] = None,
+                         csr: Optional[CSRAdjacency] = None,
                          ) -> WeakDensestResult:
     """Run the Theorem I.3 pipeline.
 
@@ -128,16 +237,34 @@ def weak_densest_subsets(graph: Graph, *, epsilon: Optional[float] = None,
     phase1:
         Optional precomputed Phase-1 :class:`~repro.core.surviving.SurvivingNumbers`
         for the *same* graph, λ = 0 and the same round budget — typically a
-        session's cached λ=0 trajectory.  Skips the faithful Phase-1
-        simulation; the result's ``messages_total`` then covers phases 2-4
-        only and ``phase1_reused`` is set.  Use only when Phase-1 message
-        accounting is not needed.  With integer/dyadic edge weights every
-        engine computes bit-identical surviving numbers, so phases 2-4 are
-        unchanged; arbitrary float weights carry the last-ulp caveat of
-        :mod:`repro.engine.kernels`.
+        session's cached λ=0 trajectory.  Skips Phase-1 execution; the result's
+        ``messages_total`` then covers phases 2-4 only and ``phase1_reused`` is
+        set.  Use only when Phase-1 message accounting is not needed.  With
+        integer/dyadic edge weights every engine computes bit-identical
+        surviving numbers, so phases 2-4 are unchanged; arbitrary float weights
+        carry the last-ulp caveat of :mod:`repro.engine.kernels`.
+    engine:
+        ``"faithful"`` (default) runs phases 2-4 as per-node protocols on the
+        synchronous simulator, with round/message accounting; ``"array"`` runs
+        them as batched CSR kernels (see the module docstring), in which case
+        Phase 1 — unless supplied via ``phase1`` — runs on the vectorised
+        engine, ``messages_total`` is 0 and ``rounds_per_phase`` reports the
+        nominal budgets.
+    csr:
+        Optional prebuilt CSR view of ``graph`` (e.g. a session's cached one);
+        only consulted by the array engine, which otherwise builds its own.
     """
     if graph.num_nodes == 0:
         raise AlgorithmError("the weak densest subset problem needs a non-empty graph")
+    resolved_engine = "faithful" if engine is None else str(engine)
+    if resolved_engine in REFERENCE_DENSEST_ENGINES:
+        use_array = False
+    elif resolved_engine in ARRAY_DENSEST_ENGINES:
+        use_array = True
+    else:
+        raise AlgorithmError(
+            f"unknown densest engine {engine!r}; expected one of "
+            f"{REFERENCE_DENSEST_ENGINES + ARRAY_DENSEST_ENGINES}")
     n = graph.num_nodes
     provided = [p is not None for p in (epsilon, gamma, rounds)]
     if sum(provided) != 1:
@@ -154,6 +281,7 @@ def weak_densest_subsets(graph: Graph, *, epsilon: Optional[float] = None,
     factor = acceptance_factor if acceptance_factor is not None else derived_gamma
 
     # Phase 1: surviving numbers (or a caller-supplied precomputed result).
+    run1 = None
     if phase1 is not None:
         if phase1.rounds != T:
             raise AlgorithmError(
@@ -166,39 +294,45 @@ def weak_densest_subsets(graph: Graph, *, epsilon: Optional[float] = None,
         if set(phase1.values) != set(graph.nodes()):
             raise AlgorithmError(
                 "precomputed phase1 does not cover the nodes of this graph")
-        surviving, run1 = phase1, None
+        surviving = phase1
+    elif use_array:
+        from repro.engine.base import get_engine
+
+        surviving = get_engine("vectorized").run(graph, T, lam=0.0,
+                                                 track_kept=False, csr=csr)
     else:
         surviving, run1 = run_compact_elimination(graph, T, lam=0.0, track_kept=False)
-    # Phase 2: BFS forest.
-    bfs_outputs, run2 = run_bfs_construction(graph, surviving.values, T)
-    # Phase 3: per-tree elimination.
-    local_outputs, run3 = run_local_elimination(graph, bfs_outputs, T)
-    # Phase 4: aggregation + decision.
-    agg_outputs, run4 = run_aggregation(graph, bfs_outputs, local_outputs, factor, T)
 
-    subsets: Dict[Hashable, set] = {}
-    reported: Dict[Hashable, float] = {}
-    node_assignment: Dict[Hashable, Optional[Hashable]] = {}
-    for v, out in agg_outputs.items():
-        if out.sigma == 1:
-            subsets.setdefault(out.leader_id, set()).add(v)
-            node_assignment[v] = out.leader_id
-            if out.density is not None:
-                reported[out.leader_id] = out.density
-        else:
-            node_assignment[v] = None
+    if use_array:
+        subsets, reported, node_assignment = _array_phases(
+            graph, surviving, T, factor, csr)
+        rounds_per_phase = {
+            "phase1_surviving": T,
+            "phase2_bfs": total_bfs_rounds(T),
+            "phase3_local_elimination": T,
+            "phase4_aggregation": total_aggregation_rounds(T),
+        }
+        messages_total = 0
+    else:
+        # Phase 2: BFS forest.
+        bfs_outputs, run2 = run_bfs_construction(graph, surviving.values, T)
+        # Phase 3: per-tree elimination.
+        local_outputs, run3 = run_local_elimination(graph, bfs_outputs, T)
+        # Phase 4: aggregation + decision.
+        agg_outputs, run4 = run_aggregation(graph, bfs_outputs, local_outputs,
+                                            factor, T)
+        subsets, reported, node_assignment = _collect_reference_outputs(agg_outputs)
+        rounds_per_phase = {
+            "phase1_surviving": run1.stats.num_rounds if run1 is not None else T,
+            "phase2_bfs": run2.stats.num_rounds,
+            "phase3_local_elimination": run3.stats.num_rounds,
+            "phase4_aggregation": run4.stats.num_rounds,
+        }
+        messages_total = sum(run.stats.total_messages
+                             for run in (run1, run2, run3, run4) if run is not None)
 
     actual = {leader: graph.subset_density(members)
               for leader, members in subsets.items() if members}
-
-    rounds_per_phase = {
-        "phase1_surviving": run1.stats.num_rounds if run1 is not None else T,
-        "phase2_bfs": run2.stats.num_rounds,
-        "phase3_local_elimination": run3.stats.num_rounds,
-        "phase4_aggregation": run4.stats.num_rounds,
-    }
-    messages_total = sum(run.stats.total_messages
-                         for run in (run1, run2, run3, run4) if run is not None)
 
     return WeakDensestResult(
         subsets={k: frozenset(v) for k, v in subsets.items()},
@@ -210,7 +344,8 @@ def weak_densest_subsets(graph: Graph, *, epsilon: Optional[float] = None,
         rounds_per_phase=rounds_per_phase,
         messages_total=messages_total,
         gamma=derived_gamma,
-        phase1_reused=run1 is None,
+        phase1_reused=phase1 is not None,
+        engine="array" if use_array else "faithful",
     )
 
 

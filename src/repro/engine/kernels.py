@@ -249,6 +249,36 @@ def threshold_round_range(csr: CSRAdjacency, alive: np.ndarray, threshold: float
     return alive[lo:hi] & (deg >= threshold)
 
 
+def restricted_threshold_round_range(csr: CSRAdjacency, alive: np.ndarray,
+                                     leaders: np.ndarray, thresholds: np.ndarray,
+                                     lo: int, hi: int) -> Tuple[np.ndarray, np.ndarray]:
+    """One round of Algorithm 5 (tree-restricted elimination) for ``lo..hi-1``.
+
+    The per-tree variant of :func:`threshold_round_range`: a node's degree only
+    counts surviving neighbours that adopted the *same leader* (``leaders`` is
+    the full per-node leader-id vector from Phase 2), and the threshold is
+    per-node (the leader's surviving number ``b_u``, gathered by the caller).
+    Returns ``(new_alive, deg)`` for the range: the survival mask after the
+    round and the restricted weighted degree that was compared against the
+    threshold — the ``deg_v[t]`` record that Phase 4 aggregates.  Nodes that
+    were already inactive record a degree of 0.0, matching the faithful
+    protocol (inactive nodes never execute the round body).
+    """
+    start, stop = int(csr.indptr[lo]), int(csr.indptr[hi])
+    local_n = hi - lo
+    counts = np.diff(csr.indptr[lo:hi + 1])
+    rows = np.repeat(np.arange(local_n), counts)
+    src = csr.indices[start:stop]
+    same = leaders[src] == leaders[lo:hi][rows]
+    contrib = np.where(alive[src] & same, csr.weights[start:stop], 0.0)
+    deg = np.zeros(local_n, dtype=np.float64)
+    np.add.at(deg, rows, contrib)
+    deg += csr.loops[lo:hi]
+    alive_range = alive[lo:hi]
+    deg = np.where(alive_range, deg, 0.0)
+    return alive_range & (deg >= thresholds[lo:hi]), deg
+
+
 def threshold_masks(csr: CSRAdjacency, threshold: float, rounds: int, *,
                     plan: Optional[ShardPlan] = None) -> np.ndarray:
     """Per-round survival masks of Algorithm 1 (shape ``(rounds + 1, n)``).

@@ -240,17 +240,26 @@ class OrientationProblem(Problem):
 class DensestProblem(Problem):
     """Theorem I.3 — the weak densest subset collection.
 
-    The 4-phase pipeline runs end-to-end on the faithful simulator (its round
-    and message accounting is part of the result), so by default it does not
+    By default the 4-phase pipeline runs end-to-end on the faithful simulator
+    (its round and message accounting is part of the result), so it does not
     consume the session's CSR view or engine; the session still deduplicates
     repeated identical requests through its problem-result cache.  With
     ``message_accounting=False`` Phase 1 is served from the session's cached
     λ=0 elimination trajectory instead of re-simulating it; the result's
-    ``messages_total`` then covers phases 2-4 only.  For integer/dyadic edge
-    weights the cached values are bit-identical to the faithful simulation,
-    so phases 2-4 — and the reported subsets — are unchanged; for arbitrary
-    float weights they may differ in the last ulp (the usual caveat of
-    :mod:`repro.engine.kernels`), which can tip a threshold comparison.
+    ``messages_total`` then covers phases 2-4 only.
+
+    With ``engine="array"`` the whole pipeline runs at array speed: phases 2-4
+    on the CSR kernels of :mod:`repro.engine.densest_kernels` over the
+    session's cached CSR view, and Phase 1 from the session's cached λ=0
+    trajectory whenever the session engine produces trajectories (the faithful
+    session engine cannot, so Phase 1 then runs on a one-off vectorised pass).
+    Message accounting does not exist on this path — ``messages_total`` is 0
+    and ``rounds_per_phase`` reports nominal budgets.
+
+    For integer/dyadic edge weights every engine combination reports
+    bit-identical subsets; for arbitrary float weights they may differ in the
+    last ulp (the usual caveat of :mod:`repro.engine.kernels`), which can tip
+    a threshold comparison.
     """
 
     name = "densest"
@@ -260,9 +269,13 @@ class DensestProblem(Problem):
     def solve(self, session: "Session", *, epsilon: Optional[float] = None,
               gamma: Optional[float] = None, rounds: Optional[int] = None,
               acceptance_factor: Optional[float] = None,
-              message_accounting: bool = True):
+              message_accounting: bool = True,
+              engine: Optional[str] = None):
+        from repro.core.densest import ARRAY_DENSEST_ENGINES
+
+        use_array = engine is not None and engine in ARRAY_DENSEST_ENGINES
         phase1 = None
-        if not message_accounting and session.supports_trajectories:
+        if (use_array or not message_accounting) and session.supports_trajectories:
             from repro.core.rounds import resolve_round_budget
 
             T = resolve_round_budget(session.graph.num_nodes, epsilon, gamma, rounds)
@@ -272,7 +285,8 @@ class DensestProblem(Problem):
         return weak_densest_subsets(session.graph, epsilon=epsilon, gamma=gamma,
                                     rounds=rounds,
                                     acceptance_factor=acceptance_factor,
-                                    phase1=phase1)
+                                    phase1=phase1, engine=engine,
+                                    csr=session.csr if use_array else None)
 
     def objective(self, result) -> float:
         return result.best_density

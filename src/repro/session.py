@@ -551,7 +551,8 @@ class Session:
     def densest(self, *, epsilon: Optional[float] = None,
                 gamma: Optional[float] = None, rounds: Optional[int] = None,
                 acceptance_factor: Optional[float] = None,
-                message_accounting: bool = True):
+                message_accounting: bool = True,
+                engine: Optional[str] = None):
         """Theorem I.3 — :class:`~repro.core.densest.WeakDensestResult`.
 
         Runs the faithful 4-phase pipeline (message accounting included);
@@ -562,7 +563,14 @@ class Session:
         are skipped, and the reported subsets are unchanged for
         integer/dyadic edge weights (arbitrary float weights carry the usual
         last-ulp caveat of :mod:`repro.engine.kernels`).
+
+        Pass ``engine="array"`` to run phases 2-4 on the batched CSR kernels
+        of :mod:`repro.engine.densest_kernels` as well — the whole pipeline
+        then executes at array speed over the session's cached CSR view and
+        λ=0 trajectory, with the same bit-identity contract and no message
+        accounting (see :class:`repro.problems.DensestProblem`).
         """
         return self.solve("densest", epsilon=epsilon, gamma=gamma, rounds=rounds,
                           acceptance_factor=acceptance_factor,
-                          message_accounting=message_accounting)
+                          message_accounting=message_accounting,
+                          engine=engine)

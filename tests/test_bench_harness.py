@@ -4,7 +4,7 @@ Runs ``scripts/bench.py --smoke`` end-to-end as a subprocess (the way CI and
 operators invoke it) and validates the emitted ``BENCH_PR6.json``-style
 document against the schema; also validates the committed bench documents
 (``BENCH_PR3.json`` / ``BENCH_PR4.json`` legacy schemas, ``BENCH_PR5.json``
-through ``BENCH_PR7.json``) at the repo root when present, so a schema change
+through ``BENCH_PR8.json``) at the repo root when present, so a schema change
 cannot strand the persisted perf trajectory.
 """
 
@@ -77,12 +77,19 @@ def test_smoke_run_emits_valid_document(tmp_path):
     assert all(row["identical"] and row["requests"] >= row["clients"]
                and row["p99_latency_seconds"] >= row["p50_latency_seconds"] > 0
                for row in document["serve"])
+    # The densest fast path ran bit-identically against the simulator
+    # reference and beat it even on the smoke graph (the full-run acceptance
+    # bar is >= 5x at 100k nodes).
+    assert document["densest"]
+    assert all("reference_seconds" in row and row["identical"]
+               and row["speedup_vs_reference"] > 1.0
+               for row in document["densest"])
 
 
 @pytest.mark.bench
 @pytest.mark.parametrize("name", ["BENCH_PR3.json", "BENCH_PR4.json",
                                   "BENCH_PR5.json", "BENCH_PR6.json",
-                                  "BENCH_PR7.json"])
+                                  "BENCH_PR7.json", "BENCH_PR8.json"])
 def test_committed_bench_documents_match_schema(name):
     committed = REPO_ROOT / name
     if not committed.exists():

@@ -294,3 +294,51 @@ class TestDensestPhase1Reuse:
         assert reused is not full
         assert session.densest(rounds=4, message_accounting=False) is reused
         assert session.densest(rounds=4) is full
+
+
+class TestDensestArrayPath:
+    """``engine="array"`` runs phases 2-4 on the CSR kernels through the session.
+
+    The warm path composes with the Phase-1 trajectory reuse: the session's
+    cached λ=0 trajectory serves Phase 1, the cached CSR view feeds the
+    kernels, and the reported subsets stay bit-identical to the all-faithful
+    pipeline (the full-corpus contract lives in test_densest_equivalence.py).
+    """
+
+    @pytest.mark.parametrize("engine", ("vectorized", "sharded:3"))
+    def test_warm_array_path_matches_faithful_pipeline(self, two_communities,
+                                                       engine):
+        full = Session(two_communities).densest(rounds=4)
+        session = Session(two_communities, engine=engine)
+        session.coreness(rounds=4)  # warms the λ=0 trajectory
+        fast = session.densest(rounds=4, engine="array")
+        assert fast.engine == "array" and full.engine == "faithful"
+        assert fast.phase1_reused  # served from the session's trajectory cache
+        assert fast.subsets == full.subsets
+        assert fast.reported_densities == full.reported_densities
+        assert fast.actual_densities == full.actual_densities
+        assert fast.node_assignment == full.node_assignment
+        assert fast.best_leader == full.best_leader
+        assert fast.messages_total == 0
+        assert session.stats.result_hits >= 1
+
+    def test_cold_array_path_matches_and_caches(self, two_communities):
+        session = Session(two_communities)
+        fast = session.densest(rounds=4, engine="array")
+        full = session.densest(rounds=4)
+        assert fast.subsets == full.subsets
+        assert fast.reported_densities == full.reported_densities
+        # Distinct request keys: the array result is cached separately from
+        # the faithful one and served on repeat.
+        assert session.densest(rounds=4, engine="array") is fast
+        assert session.densest(rounds=4) is full
+
+    def test_faithful_session_engine_still_runs_array_phases(self,
+                                                             two_communities):
+        session = Session(two_communities, engine="faithful")
+        fast = session.densest(rounds=4, engine="array")
+        full = Session(two_communities).densest(rounds=4)
+        assert fast.engine == "array"
+        assert not fast.phase1_reused  # no trajectory cache on this engine
+        assert fast.subsets == full.subsets
+        assert fast.reported_densities == full.reported_densities
