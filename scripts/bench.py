@@ -47,8 +47,14 @@ Times, on seeded Barabási–Albert and Erdős–Rényi graphs:
   truncated mid-round to simulate a crash, a fresh engine must *resume* from
   the surviving prefix and still produce the bit-identical trajectory.
 
+* **obs_overhead** — the observability tax: cold solves with tracing
+  disabled (the default — instrumented call sites pay only a no-op guard)
+  vs the same solves with a ring tracer installed, with a bit-identity
+  check, the recorded span inventory of one traced solve, and the measured
+  per-call cost of a disabled span — the perf trajectory of `repro.obs`.
+
 Results are written as machine-readable JSON (``--out``, default
-``BENCH_PR8.json`` at the repo root) so future PRs have a baseline to regress
+``BENCH_PR9.json`` at the repo root) so future PRs have a baseline to regress
 against::
 
     python scripts/bench.py                     # full run (10k-200k nodes)
@@ -62,10 +68,10 @@ The JSON schema (validated by ``tests/test_bench_harness.py``) is
 "out_of_core": [...], "serve": [...]}``; every row carries its graph, timings
 and speedups.  Legacy documents still validate minus the sections added later
 (``repro-bench/1`` without ``store``, ``repro-bench/2`` without
-``out_of_core``, and schema-3 documents written before the HTTP front-end or
-the densest fast path without ``serve`` / ``densest`` — both are
-optional-but-validated within schema 3), so the committed PR3-PR7
-trajectories stay checkable.
+``out_of_core``, and schema-3 documents written before the HTTP front-end,
+the densest fast path or the observability layer without ``serve`` /
+``densest`` / ``obs_overhead`` — all optional-but-validated within
+schema 3), so the committed PR3-PR8 trajectories stay checkable.
 Speedup claims are only meaningful relative to ``machine.cpu_count`` —
 process parallelism cannot beat the baseline on a single-CPU container, and
 the JSON records that context instead of hiding it.
@@ -117,7 +123,7 @@ REQUIRED_TOP_LEVEL = ("schema", "generated_by", "smoke", "machine", "params",
 #: required.  ``serve`` landed with the HTTP front-end and ``densest`` with
 #: the array-path densest pipeline, after schema 3 documents had already
 #: been committed.
-OPTIONAL_TOP_LEVEL = ("serve", "densest")
+OPTIONAL_TOP_LEVEL = ("serve", "densest", "obs_overhead")
 
 #: Sections absent from the legacy schemas (schema -> missing keys).
 _LEGACY_MISSING = {"repro-bench/1": ("store", "out_of_core"),
@@ -494,6 +500,73 @@ def bench_densest(graphs, densest_rounds, repeats, log,
     return rows
 
 
+def bench_obs_overhead(graphs, rounds, repeats, log):
+    """Traced vs untraced cold solves: tracing must be free when off.
+
+    Per graph: best-of cold ``Session.coreness`` with tracing disabled (the
+    shipping default — every instrumented call site pays only its no-op
+    guard), then the same cold solve with a ring tracer installed.  The two
+    must be bit-identical; the row reports the enabled-tracing overhead, the
+    spans a single traced solve records (the hot path end to end must
+    appear), and the measured per-call cost of a disabled ``span()`` — the
+    number that has to stay negligible for the ≤2% end-to-end budget.
+    """
+    from repro.obs import trace as obs_trace
+
+    required_spans = ("session.solve", "session.surviving", "engine.run",
+                      "kernel.round_range")
+    rows = []
+    for graph_name, graph in graphs:
+
+        def cold_solve():
+            return Session(graph).coreness(rounds=rounds)
+
+        obs_trace.disable()
+        untraced_seconds = best_of(cold_solve, repeats)
+        untraced_values = cold_solve().values
+
+        # Disabled-gate microcost: what every instrumented call site pays
+        # per request when tracing is off.
+        calls = 100_000
+        start = time.perf_counter()
+        for _ in range(calls):
+            with obs_trace.span("noop.probe"):
+                pass
+        noop_span_seconds = (time.perf_counter() - start) / calls
+
+        tracer = obs_trace.enable()
+        try:
+            traced_seconds = best_of(cold_solve, repeats)
+            tracer.clear()
+            traced_values = cold_solve().values
+            span_names = sorted({record["name"] for record in tracer.spans()})
+            spans_recorded = tracer.emitted
+        finally:
+            obs_trace.disable()
+
+        identical = traced_values == untraced_values
+        overhead = ((traced_seconds - untraced_seconds) / untraced_seconds
+                    * 100.0) if untraced_seconds > 0 else 0.0
+        row = {
+            "graph": graph_name, "n": graph.num_nodes, "m": graph.num_edges,
+            "rounds": rounds, "config": "obs-overhead",
+            "untraced_seconds": round(untraced_seconds, 6),
+            "traced_seconds": round(traced_seconds, 6),
+            "overhead_percent": round(overhead, 4),
+            "noop_span_seconds_per_call": round(noop_span_seconds, 10),
+            "spans_recorded": int(spans_recorded),
+            "span_names": span_names,
+            "spans_complete": all(name in span_names
+                                  for name in required_spans),
+            "identical": identical,
+        }
+        rows.append(row)
+        log(f"  obs     {graph_name:>12s} untraced {untraced_seconds:7.3f}s "
+            f"traced {traced_seconds:7.3f}s overhead {overhead:+6.2f}% "
+            f"spans {spans_recorded:>5d} identical={identical}")
+    return rows
+
+
 def bench_out_of_core(graphs, rounds, shards, workers, repeats, log,
                       traj_rounds=None):
     """The memory-mapped CSR mode against the in-memory sharded baseline.
@@ -638,6 +711,7 @@ def run_benchmarks(sizes, rounds, shards, workers, repeats, seed, smoke,
         "serve": bench_serve(graphs, rounds, serve_workers, serve_clients, log),
         "densest": bench_densest(graphs, densest_rounds, repeats, log,
                                  reference_max_nodes=densest_reference_max_nodes),
+        "obs_overhead": bench_obs_overhead(graphs, rounds, repeats, log),
         "out_of_core": bench_out_of_core(graphs, rounds, shards, workers,
                                          repeats, log,
                                          traj_rounds=traj_rounds),
@@ -719,6 +793,21 @@ def validate_document(document: dict) -> None:
             if "speedup_vs_reference" not in row:
                 raise ValueError(
                     f"densest row has a reference but no speedup: {row}")
+    for row in document.get("obs_overhead", ()):
+        for key in ("graph", "n", "m", "rounds", "untraced_seconds",
+                    "traced_seconds", "overhead_percent",
+                    "noop_span_seconds_per_call", "spans_recorded",
+                    "span_names", "spans_complete", "identical"):
+            if key not in row:
+                raise ValueError(f"obs_overhead row is missing {key!r}: {row}")
+        if not row["identical"]:
+            raise ValueError(f"obs_overhead row is not bit-identical: {row}")
+        if not row["spans_complete"]:
+            raise ValueError(f"obs_overhead traced solve is missing hot-path "
+                             f"spans: {row}")
+        if row["spans_recorded"] < 1:
+            raise ValueError(f"obs_overhead traced solve recorded no spans: "
+                             f"{row}")
     for row in document.get("out_of_core", ()):
         for key in ("graph", "config", "cold_seconds", "warm_seconds",
                     "in_memory_seconds", "csr_bytes_on_disk", "identical"):
@@ -780,9 +869,9 @@ def main() -> int:
                              "pipeline is run on (larger rows report array "
                              "timings only)")
     parser.add_argument("--out", "--output", dest="output", type=Path,
-                        default=REPO_ROOT / "BENCH_PR8.json",
+                        default=REPO_ROOT / "BENCH_PR9.json",
                         help="where to write the JSON document "
-                             "(default: BENCH_PR8.json at the repo root)")
+                             "(default: BENCH_PR9.json at the repo root)")
     args = parser.parse_args()
 
     sizes = [2_000] if args.smoke else args.sizes

@@ -9,10 +9,12 @@
 # benchmark (>= 2x over cold per-call on repeated mixed requests), the
 # persistent-store smoke (second run served from disk, bit-identical),
 # the `repro cache` CLI smoke, the HTTP serve smoke (`repro serve` as a
-# subprocess on an ephemeral port: jobs over a real socket, /metrics,
-# graceful SIGTERM drain with no staging files left in the store), and the
-# densest fast-path smoke (phases 2-4 on the CSR kernels, bit-identical to
-# the faithful 4-phase simulator pipeline).
+# subprocess on an ephemeral port: jobs over a real socket, /metrics in both
+# JSON and Prometheus exposition, graceful SIGTERM drain with no staging
+# files left in the store), the densest fast-path smoke (phases 2-4 on the
+# CSR kernels, bit-identical to the faithful 4-phase simulator pipeline),
+# and the observability smoke (a traced solve exported to Chrome trace
+# format plus a non-empty `repro trace summarize` per-span table).
 #
 # Usage:  ./scripts/check.sh            (from anywhere; repo root is inferred)
 set -euo pipefail
@@ -138,6 +140,26 @@ assert fast.messages_total == 0 and reference.messages_total > 0
 print(f"densest smoke: engine=array bit-identical on n=1500 (T=4, "
       f"{len(fast.subsets)} subsets)")
 PY
+
+echo
+echo "== observability smoke (traced solve -> export -> summarize; /metrics prometheus) =="
+OBS_DIR="$(mktemp -d -t repro_obs_smoke.XXXXXX)"
+trap 'rm -rf "$STORE_DIR" "$OBS_DIR"' EXIT
+python -m repro coreness --dataset caveman --epsilon 0.5 \
+    --trace "$OBS_DIR/run.trace" > /dev/null
+python -m repro trace export --input "$OBS_DIR/run.trace" --chrome \
+    --output "$OBS_DIR/run.chrome.json" > /dev/null
+python - "$OBS_DIR/run.chrome.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+names = {event["name"] for event in doc["traceEvents"]}
+missing = {"session.solve", "engine.run", "kernel.round_range"} - names
+assert not missing, f"chrome trace is missing hot-path spans: {missing}"
+print(f"obs smoke: chrome trace carries {len(doc['traceEvents'])} spans")
+PY
+python -m repro trace summarize --input "$OBS_DIR/run.trace" \
+    | grep -q "kernel.round_range" \
+    || { echo "obs smoke: summarize has no per-phase table"; exit 1; }
 
 echo
 echo "check.sh: all green"

@@ -4,9 +4,10 @@
 Launches ``python -m repro serve`` as a real subprocess on an ephemeral
 port backed by a throwaway store, then over a real socket: uploads the
 caveman dataset, runs one job per registered problem, checks ``/metrics``
-accounting, and finally SIGTERMs the server.  The drain must exit 0 and
-may not leave ``*.tmp`` staging files behind in the store (the atomic
-publish contract: readers only ever see complete artifacts).
+accounting (both the JSON document and the Prometheus text exposition),
+and finally SIGTERMs the server.  The drain must exit 0 and may not leave
+``*.tmp`` staging files behind in the store (the atomic publish contract:
+readers only ever see complete artifacts).
 
 Used by scripts/check.sh; exits non-zero on any failure.
 """
@@ -21,6 +22,7 @@ import subprocess
 import sys
 import tempfile
 import time
+import urllib.request
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -29,6 +31,34 @@ from repro.serve.client import ServeClient  # noqa: E402
 
 BANNER = re.compile(r"listening on http://([^:]+):(\d+)")
 PROBLEMS = ("coreness", "orientation", "densest")
+SAMPLE_LINE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$')
+
+
+def check_prometheus_exposition(host, port):
+    """Scrape /metrics?format=prometheus and parse the text exposition."""
+    url = f"http://{host}:{port}/metrics?format=prometheus"
+    with urllib.request.urlopen(url, timeout=10) as response:
+        assert response.status == 200, response.status
+        content_type = response.headers.get("Content-Type", "")
+        assert content_type.startswith("text/plain; version=0.0.4"), \
+            content_type
+        text = response.read().decode("utf-8")
+    names = set()
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            assert parts[0] == "#" and parts[1] in ("HELP", "TYPE"), line
+            continue
+        assert SAMPLE_LINE.match(line), f"unparseable sample line: {line!r}"
+        names.add(line.split("{", 1)[0].split(" ", 1)[0])
+    required = {"repro_http_jobs", "repro_http_jobs_by_status",
+                "repro_serve_submitted_total", "repro_solve_latency_seconds_count"}
+    missing = required - names
+    assert not missing, f"exposition is missing families: {missing}"
+    return len(names)
 
 
 def wait_for_banner(proc, deadline=20.0):
@@ -69,6 +99,7 @@ def main() -> int:
                 assert serve["queue_depth"] == 0, serve
                 assert metrics["store"] is not None, "store not wired in"
                 assert metrics["store"]["files"] >= 1, metrics["store"]
+            families = check_prometheus_exposition(host, port)
             proc.send_signal(signal.SIGTERM)
             returncode = proc.wait(timeout=30)
         finally:
@@ -89,8 +120,9 @@ def main() -> int:
         if not any(store.rglob("*.json")):
             print("serve smoke: store is empty after the run", file=sys.stderr)
             return 1
-    print(f"serve smoke: {len(PROBLEMS)} problems over the wire, graceful "
-          "drain, no staging files left behind")
+    print(f"serve smoke: {len(PROBLEMS)} problems over the wire, "
+          f"{families} prometheus families parsed, graceful drain, "
+          "no staging files left behind")
     return 0
 
 

@@ -14,8 +14,9 @@ reported numbers).
 from __future__ import annotations
 
 import math
-import time
 from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro import obs
 
 from repro.analysis.convergence import convergence_trace, values_at_round
 from repro.analysis.invariants import check_orientation_invariants
@@ -305,13 +306,14 @@ def experiment_e8_scaling(sizes: Sequence[int] = (200, 500, 1000, 2000), *,
             "rounds": rounds,
         }
         for spec, eng in resolved:
-            start = time.perf_counter()
-            eng.run(graph, rounds, track_kept=False)
-            record[f"{spec}_seconds"] = time.perf_counter() - start
+            with obs.timed("experiment.engine_run", engine=spec, n=n) as timing:
+                eng.run(graph, rounds, track_kept=False)
+            record[f"{spec}_seconds"] = timing.seconds
         if include_simulation and n <= 1000:
-            start = time.perf_counter()
-            _, run = run_compact_elimination(graph, rounds, track_kept=False)
-            record["simulation_seconds"] = time.perf_counter() - start
+            with obs.timed("experiment.simulation", n=n) as timing:
+                _, run = run_compact_elimination(graph, rounds,
+                                                 track_kept=False)
+            record["simulation_seconds"] = timing.seconds
             record["messages"] = run.stats.total_messages
             record["total_megabits"] = run.stats.total_bits / 1e6
         rows.append(record)
@@ -357,12 +359,12 @@ def ablation_a2_update_variants(*, sizes: Sequence[int] = (100, 1000, 10000),
     for d in sizes:
         values = rng.integers(0, d, size=d).astype(float).tolist()
         entries = [(i, values[i], 1.0) for i in range(d)]
-        start = time.perf_counter()
-        sorted_result = update_sorted(entries)
-        sorted_seconds = time.perf_counter() - start
-        start = time.perf_counter()
-        counting_result = update_counting(values)
-        counting_seconds = time.perf_counter() - start
+        with obs.timed("experiment.update_sorted", degree=d) as timing:
+            sorted_result = update_sorted(entries)
+        sorted_seconds = timing.seconds
+        with obs.timed("experiment.update_counting", degree=d) as timing:
+            counting_result = update_counting(values)
+        counting_seconds = timing.seconds
         rows.append({
             "degree_d": d,
             "sorted_value": sorted_result.value,

@@ -17,6 +17,10 @@ dataset) without writing Python::
     python -m repro cache info --store ./cache
     python -m repro cache purge --store ./cache [--fingerprint HEX]
     python -m repro serve --host 127.0.0.1 --port 8080 --store ./cache --workers 4
+    python -m repro serve --port 8080 --access-log access.ndjson
+    python -m repro coreness --dataset caveman --epsilon 0.5 --trace run.trace
+    python -m repro trace summarize --input run.trace
+    python -m repro trace export --input run.trace --chrome --output run.json
     python -m repro engines
     python -m repro problems
     python -m repro datasets
@@ -69,6 +73,13 @@ def _build_parser() -> argparse.ArgumentParser:
         budget.add_argument("--rounds", type=int, help="explicit round budget T")
         sub.add_argument("--output", type=Path, default=None,
                          help="write per-node results as TSV instead of a table")
+        add_trace_argument(sub)
+
+    def add_trace_argument(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--trace", type=Path, default=None, metavar="PATH",
+                         help="enable repro.obs tracing for this run and "
+                              "append span records (JSONL) to PATH; inspect "
+                              "with the 'trace' subcommand")
 
     def add_engine_argument(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--engine", default="vectorized", metavar="SPEC",
@@ -147,6 +158,7 @@ def _build_parser() -> argparse.ArgumentParser:
     batch_parser.add_argument("--serve-workers", type=int, default=2, metavar="N",
                               help="JobQueue worker threads for --async (default 2)")
     add_engine_argument(batch_parser)
+    add_trace_argument(batch_parser)
 
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or purge a persistent artifact store")
@@ -187,6 +199,29 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--engine", default="vectorized", metavar="SPEC",
                               help="execution engine spec for every served job "
                                    "(default: vectorized)")
+    serve_parser.add_argument("--access-log", type=Path, default=None,
+                              metavar="PATH",
+                              help="append one NDJSON access-log line per "
+                                   "request (method, path, status, tenant, "
+                                   "duration, job id) to PATH; default: no "
+                                   "access logging")
+    add_trace_argument(serve_parser)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="inspect a JSONL span trace recorded with --trace")
+    trace_parser.add_argument("action", choices=("export", "summarize"),
+                              help="export: re-emit the trace as JSON "
+                                   "(--chrome renders Chrome trace-event "
+                                   "format); summarize: per-span-name "
+                                   "latency table")
+    trace_parser.add_argument("--input", type=Path, required=True,
+                              metavar="PATH", help="JSONL trace file")
+    trace_parser.add_argument("--chrome", action="store_true",
+                              help="export as Chrome trace-event JSON "
+                                   "(openable in Perfetto / chrome://tracing)")
+    trace_parser.add_argument("--output", type=Path, default=None,
+                              metavar="PATH",
+                              help="write the export to PATH instead of stdout")
 
     subparsers.add_parser("engines", help="list the registered execution engines")
     subparsers.add_parser("problems", help="list the registered problems")
@@ -292,7 +327,8 @@ def _command_serve(args: argparse.Namespace, out,
     server = ReproHTTPServer(
         args.host, args.port, engine=get_engine(args.engine),
         store=args.store, workers=args.workers, max_pending=args.max_pending,
-        quota_rate=args.quota_rate, quota_burst=args.quota_burst)
+        quota_rate=args.quota_rate, quota_burst=args.quota_burst,
+        access_log=args.access_log)
     stop = stop if stop is not None else threading.Event()
     if threading.current_thread() is threading.main_thread():
         for signum in (signal.SIGTERM, signal.SIGINT):
@@ -432,10 +468,40 @@ def _command_densest(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_trace(args: argparse.Namespace, out) -> int:
+    """Inspect a JSONL span trace: per-name latency table or re-export."""
+    from repro.obs import trace as obs_trace
+
+    records = obs_trace.read_jsonl(args.input)
+    if args.action == "summarize":
+        rows = [[row["name"], row["count"], f"{row['total_seconds']:.6g}",
+                 f"{row['mean_seconds']:.6g}", f"{row['p50_seconds']:.6g}",
+                 f"{row['p95_seconds']:.6g}", f"{row['max_seconds']:.6g}"]
+                for row in obs_trace.summarize(records)]
+        if rows:
+            print(format_table(["span", "count", "total_s", "mean_s",
+                                "p50_s", "p95_s", "max_s"], rows), file=out)
+        else:
+            print("(trace is empty)", file=out)
+        print(f"# spans={len(records)} input={args.input}", file=out)
+        return 0
+    payload = obs_trace.chrome_trace(records) if args.chrome else records
+    text = json.dumps(payload, indent=2)
+    if args.output is None:
+        print(text, file=out)
+    else:
+        args.output.write_text(text + "\n", encoding="utf-8")
+        kind = "chrome trace" if args.chrome else "trace records"
+        print(f"# {kind} ({len(records)} span(s)) written to {args.output}",
+              file=out)
+    return 0
+
+
 _COMMANDS = {
     "batch": _command_batch,
     "cache": _command_cache,
     "serve": _command_serve,
+    "trace": _command_trace,
     "coreness": _command_coreness,
     "orientation": _command_orientation,
     "densest": _command_densest,
@@ -453,6 +519,10 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     parser = _build_parser()
     args = parser.parse_args(argv)
+    trace_path = getattr(args, "trace", None)
+    if trace_path is not None:
+        from repro.obs import trace as obs_trace
+        obs_trace.enable(jsonl_path=trace_path)
     try:
         if args.command in _PLAIN_COMMANDS:
             code = _PLAIN_COMMANDS[args.command](out)
@@ -486,6 +556,9 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         devnull = os.open(os.devnull, os.O_WRONLY)
         os.dup2(devnull, sys.stdout.fileno())
         return 0
+    finally:
+        if trace_path is not None:
+            obs_trace.disable()  # flush + close the JSONL exporter
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -57,6 +57,7 @@ from repro.core.surviving import SurvivingNumbers, run_compact_elimination
 from repro.errors import AlgorithmError
 from repro.graph.csr import CSRAdjacency
 from repro.graph.graph import Graph
+from repro.obs import trace as obs_trace
 
 #: Engine spellings accepted by :func:`weak_densest_subsets`.
 REFERENCE_DENSEST_ENGINES = ("faithful", "simulation", "reference")
@@ -304,8 +305,9 @@ def weak_densest_subsets(graph: Graph, *, epsilon: Optional[float] = None,
         surviving, run1 = run_compact_elimination(graph, T, lam=0.0, track_kept=False)
 
     if use_array:
-        subsets, reported, node_assignment = _array_phases(
-            graph, surviving, T, factor, csr)
+        with obs_trace.span("densest.phases", engine="array", T=T, n=n):
+            subsets, reported, node_assignment = _array_phases(
+                graph, surviving, T, factor, csr)
         rounds_per_phase = {
             "phase1_surviving": T,
             "phase2_bfs": total_bfs_rounds(T),
@@ -314,13 +316,14 @@ def weak_densest_subsets(graph: Graph, *, epsilon: Optional[float] = None,
         }
         messages_total = 0
     else:
-        # Phase 2: BFS forest.
-        bfs_outputs, run2 = run_bfs_construction(graph, surviving.values, T)
-        # Phase 3: per-tree elimination.
-        local_outputs, run3 = run_local_elimination(graph, bfs_outputs, T)
-        # Phase 4: aggregation + decision.
-        agg_outputs, run4 = run_aggregation(graph, bfs_outputs, local_outputs,
-                                            factor, T)
+        with obs_trace.span("densest.phases", engine="faithful", T=T, n=n):
+            # Phase 2: BFS forest.
+            bfs_outputs, run2 = run_bfs_construction(graph, surviving.values, T)
+            # Phase 3: per-tree elimination.
+            local_outputs, run3 = run_local_elimination(graph, bfs_outputs, T)
+            # Phase 4: aggregation + decision.
+            agg_outputs, run4 = run_aggregation(graph, bfs_outputs,
+                                                local_outputs, factor, T)
         subsets, reported, node_assignment = _collect_reference_outputs(agg_outputs)
         rounds_per_phase = {
             "phase1_surviving": run1.stats.num_rounds if run1 is not None else T,

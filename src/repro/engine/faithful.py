@@ -11,6 +11,7 @@ for the message-size experiments.
 from __future__ import annotations
 
 from repro.engine.base import Engine
+from repro.obs import trace as obs_trace
 
 
 class FaithfulEngine(Engine):
@@ -25,9 +26,11 @@ class FaithfulEngine(Engine):
 
         # csr/grid/warm_start hints are ignored: the simulator replays every
         # round per node anyway (the message accounting depends on it).
-        result, _ = run_compact_elimination(graph, rounds, lam=lam,
-                                            tie_break=tie_break,
-                                            track_kept=track_kept)
+        with obs_trace.span("engine.run", engine=self.name, rounds=rounds,
+                            lam=lam):
+            result, _ = run_compact_elimination(graph, rounds, lam=lam,
+                                                tie_break=tie_break,
+                                                track_kept=track_kept)
         return result
 
     def describe(self) -> str:

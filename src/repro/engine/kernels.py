@@ -35,6 +35,7 @@ accumulates with Python floats); callers compare with tolerances there.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
@@ -42,6 +43,14 @@ import numpy as np
 from repro.core.rounding import LambdaGrid
 from repro.errors import AlgorithmError
 from repro.graph.csr import CSRAdjacency
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import get_registry
+
+#: Always-on per-round kernel-time histogram (process-wide default registry).
+#: One ``observe`` per round is ~µs against round costs of ms and up.
+KERNEL_ROUND_SECONDS = get_registry().histogram(
+    "repro_kernel_round_seconds",
+    "Wall time of one synchronous elimination round (all shards)")
 
 #: A shard plan: contiguous, disjoint ``[lo, hi)`` node ranges covering ``0..n``.
 ShardPlan = Sequence[Tuple[int, int]]
@@ -201,20 +210,47 @@ def compact_trajectory(csr: CSRAdjacency, rounds: int, *, lam: float = 0.0,
     bounds = tuple(plan) if plan is not None else ((0, n),)
     trajectory, start = init_trajectory(n, rounds, prefix, out=out)
     current = out.row(start) if out is not None else trajectory[start].copy()
+    # One tracer/context fetch per call; per-round work stays a None-check
+    # when tracing is disabled.  Shard spans recorded from pool threads pass
+    # the caller's context explicitly (thread-local stacks don't cross).
+    tracer = obs_trace.active()
+    parent = obs_trace.current_context() if tracer is not None else None
     for t in range(start + 1, rounds + 1):
+        round_unix = time.time() if tracer is not None else 0.0
+        round_perf = time.perf_counter()
         if len(bounds) == 1:
             lo, hi = bounds[0]
             new = compact_round_range(csr, current, lo, hi, grid)
         else:
             new = np.empty(n, dtype=np.float64)
             if shard_map is not None:
-                chunks = shard_map(
-                    lambda b: compact_round_range(csr, current, b[0], b[1], grid), bounds)
+                if tracer is None:
+                    run_shard = (lambda b, _cur=current:
+                                 compact_round_range(csr, _cur, b[0], b[1], grid))
+                else:
+                    def run_shard(b, _cur=current, _t=t):
+                        shard_unix = time.time()
+                        shard_perf = time.perf_counter()
+                        chunk = compact_round_range(csr, _cur, b[0], b[1], grid)
+                        tracer.record_span(
+                            "kernel.shard", start_unix=shard_unix,
+                            duration=time.perf_counter() - shard_perf,
+                            parent=parent,
+                            attrs={"lo": b[0], "hi": b[1], "round": _t})
+                        return chunk
+                chunks = shard_map(run_shard, bounds)
                 for (lo, hi), chunk in zip(bounds, chunks):
                     new[lo:hi] = chunk
             else:
                 for lo, hi in bounds:
                     new[lo:hi] = compact_round_range(csr, current, lo, hi, grid)
+        round_seconds = time.perf_counter() - round_perf
+        KERNEL_ROUND_SECONDS.observe(round_seconds)
+        if tracer is not None:
+            tracer.record_span(
+                "kernel.round_range", start_unix=round_unix,
+                duration=round_seconds, parent=parent,
+                attrs={"round": t, "shards": len(bounds), "n": n})
         if out is not None:
             out.append_row(new)
         else:

@@ -78,6 +78,7 @@ import numpy as np
 from repro.engine.kernels import compact_trajectory, shard_plan
 from repro.engine.vectorized import TrajectoryEngine
 from repro.errors import AlgorithmError
+from repro.obs import trace as obs_trace
 
 #: Target number of nodes per shard when ``num_shards`` is not given.
 DEFAULT_SHARD_NODES = 16384
@@ -376,20 +377,25 @@ class ShardedEngine(TrajectoryEngine):
             csr_files = view.file_specs()
         sink = self._trajectory_sink(view, rounds, lam)
         try:
-            if self.parallel is not None and len(plan) > 1:
-                if self.parallel == "process":
-                    from repro.engine.shm import process_trajectory
+            with obs_trace.span(
+                    "engine.trajectory", shards=len(plan),
+                    parallel=self.parallel or "sequential",
+                    storage="mmap" if csr_files is not None else "memory",
+                    trajectory="mmap" if sink is not None else "memory"):
+                if self.parallel is not None and len(plan) > 1:
+                    if self.parallel == "process":
+                        from repro.engine.shm import process_trajectory
 
-                    return process_trajectory(view, rounds, lam=lam, plan=plan,
-                                              max_workers=self.effective_workers(),
-                                              prefix=prefix, csr_files=csr_files,
-                                              traj_out=sink)
-                pool = self._ensure_thread_pool()
+                        return process_trajectory(
+                            view, rounds, lam=lam, plan=plan,
+                            max_workers=self.effective_workers(),
+                            prefix=prefix, csr_files=csr_files, traj_out=sink)
+                    pool = self._ensure_thread_pool()
+                    return compact_trajectory(view, rounds, lam=lam, plan=plan,
+                                              shard_map=pool.map, prefix=prefix,
+                                              out=sink)
                 return compact_trajectory(view, rounds, lam=lam, plan=plan,
-                                          shard_map=pool.map, prefix=prefix,
-                                          out=sink)
-            return compact_trajectory(view, rounds, lam=lam, plan=plan,
-                                      prefix=prefix, out=sink)
+                                          prefix=prefix, out=sink)
         finally:
             if sink is not None:
                 sink.close()

@@ -40,13 +40,16 @@ teardown tests pin this).
 from __future__ import annotations
 
 import os
+import time
 import uuid
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.engine.kernels import ShardPlan, compact_round_range, init_trajectory
+from repro.engine.kernels import (KERNEL_ROUND_SECONDS, ShardPlan,
+                                  compact_round_range, init_trajectory)
 from repro.errors import AlgorithmError
+from repro.obs import trace as obs_trace
 
 #: Prefix of every shared-memory segment this module creates (the teardown
 #: tests glob ``/dev/shm`` for it to prove nothing leaks).
@@ -158,19 +161,36 @@ def _worker_attach() -> tuple:
     return _WORKER_CACHE
 
 
-def _run_shard(lo: int, hi: int, src: int, t: Optional[int] = None) -> Tuple[int, int]:
+def _run_shard(lo: int, hi: int, src: int, t: Optional[int] = None) -> Tuple:
     """One shard of one round: read buffer ``src``, write buffer ``1 - src``.
 
     ``t`` is the round number being computed; in spilled-trajectory mode the
     worker also writes the shard's slice of row ``t`` into the mapped file.
+
+    When the parent traced the run, the spec carries the parent span's wire
+    context under ``"obs"``; the worker then times the shard and returns a
+    third element — a ``kernel.shard`` span record tagged with the range —
+    which the parent ingests (the worker has no tracer of its own).  Without
+    tracing the return shape is the plain ``(lo, hi)`` it always was.
     """
     if os.environ.get(FAIL_SHARD_ENV):
         raise RuntimeError(f"injected shard failure for range [{lo}, {hi})")
+    spec = _WORKER_SPEC
+    obs_wire = spec.get("obs") if spec is not None else None
+    if obs_wire is not None:
+        shard_unix = time.time()
+        shard_perf = time.perf_counter()
     csr, grid, values, traj, _ = _worker_attach()
     new = compact_round_range(csr, values[src], lo, hi, grid)
     values[1 - src][lo:hi] = new
     if traj is not None and t is not None:
         traj[t, lo:hi] = new
+    if obs_wire is not None:
+        record = obs_trace.remote_span_record(
+            "kernel.shard", obs_wire, start_unix=shard_unix,
+            duration=time.perf_counter() - shard_perf,
+            attrs={"lo": lo, "hi": hi, "round": t})
+        return lo, hi, record
     return lo, hi
 
 
@@ -270,6 +290,13 @@ def process_trajectory(csr, rounds: int, *, lam: float = 0.0,
                 # spawn workers run their own resource tracker (see
                 # _unregister_from_tracker); fork workers share the parent's.
                 "private_tracker": ctx.get_start_method() != "fork"}
+        tracer = obs_trace.active()
+        parent_ctx = obs_trace.current_context() if tracer is not None else None
+        if tracer is not None:
+            # Span context rides the existing worker spec; workers answer
+            # with per-shard span records (see _run_shard).
+            spec["obs"] = (parent_ctx.to_wire() if parent_ctx is not None
+                           else ("", ""))
         if traj_out is not None:
             # Pre-size rows.bin so workers can map the full (rounds + 1, n)
             # region; the tail stays unpublished until each round's publish.
@@ -282,10 +309,22 @@ def process_trajectory(csr, rounds: int, *, lam: float = 0.0,
                   traj_out.row(start) if traj_out is not None
                   else trajectory[start])
         for t in range(start + 1, rounds + 1):
+            round_unix = time.time() if tracer is not None else 0.0
+            round_perf = time.perf_counter()
             futures = [pool.submit(_run_shard, lo, hi, src, t)
                        for lo, hi in bounds]
             for future in futures:
-                future.result()  # re-raises worker exceptions in the parent
+                result = future.result()  # re-raises worker exceptions
+                if tracer is not None and len(result) == 3:
+                    tracer.ingest(result[2])
+            round_seconds = time.perf_counter() - round_perf
+            KERNEL_ROUND_SECONDS.observe(round_seconds)
+            if tracer is not None:
+                tracer.record_span(
+                    "kernel.round_range", start_unix=round_unix,
+                    duration=round_seconds, parent=parent_ctx,
+                    attrs={"round": t, "shards": len(bounds), "n": n,
+                           "parallel": "process"})
             new = values[1 - src]
             if traj_out is not None:
                 traj_out.publish(t)

@@ -14,6 +14,7 @@ import numpy as np
 from repro.engine.base import Engine
 from repro.engine.kernels import compact_trajectory
 from repro.errors import AlgorithmError
+from repro.obs import trace as obs_trace
 
 
 class TrajectoryEngine(Engine):
@@ -39,14 +40,18 @@ class TrajectoryEngine(Engine):
             csr = graph_to_csr(graph)
         if grid is None:
             grid = grid_for_graph(graph, lam)
-        if warm_start is not None and self._trajectory_accepts_prefix():
-            trajectory = self.trajectory(csr, rounds, lam=lam, prefix=warm_start)
-        else:
-            # Subclasses written against the original hint-free trajectory()
-            # signature keep working: they just recompute every round.
-            trajectory = self.trajectory(csr, rounds, lam=lam)
-        return self.assemble(csr, trajectory, rounds, grid, tie_break=tie_break,
-                             track_kept=track_kept)
+        with obs_trace.span("engine.run", engine=self.name, rounds=rounds,
+                            lam=lam, n=csr.num_nodes):
+            if warm_start is not None and self._trajectory_accepts_prefix():
+                trajectory = self.trajectory(csr, rounds, lam=lam,
+                                             prefix=warm_start)
+            else:
+                # Subclasses written against the original hint-free
+                # trajectory() signature keep working: they just recompute
+                # every round.
+                trajectory = self.trajectory(csr, rounds, lam=lam)
+            return self.assemble(csr, trajectory, rounds, grid,
+                                 tie_break=tie_break, track_kept=track_kept)
 
     def _trajectory_accepts_prefix(self) -> bool:
         cached = getattr(self, "_prefix_support", None)

@@ -25,6 +25,7 @@ from typing import Dict, Iterable, Iterator, List, Optional
 from repro.errors import ReproError, ServeError, error_from_dict
 from repro.graph.graph import Graph
 from repro.graph.io import to_dict as graph_to_dict
+from repro.obs import trace as obs_trace
 
 
 class ServeClient:
@@ -71,7 +72,8 @@ class ServeClient:
         headers = self._headers()
         if body is not None:
             headers["Content-Type"] = content_type
-        with self._lock:
+        with self._lock, obs_trace.span("client.request", method=method,
+                                        path=path) as sp:
             try:
                 self._conn.request(method, path, body=body, headers=headers)
                 response = self._conn.getresponse()
@@ -80,6 +82,7 @@ class ServeClient:
             except (ConnectionError, http.client.HTTPException, OSError) as exc:
                 self._conn.close()  # force a fresh connection next call
                 raise ServeError(f"{method} {path} failed: {exc}") from exc
+            sp.set(status=status)
         try:
             payload = json.loads(raw.decode("utf-8")) if raw else {}
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:

@@ -27,8 +27,21 @@ that graph's artifacts across restarts::
     GET  /jobs                        every issued job (summaries)
     POST /graphs/<fp>/batch           submit a request list, stream NDJSON
                                       results back in submission order
-    GET  /metrics                     ServeStats + session/store counters
+    GET  /metrics                     ServeStats + session/store counters;
+                                      ?format=prometheus renders text
+                                      exposition from the MetricsRegistry
     GET  /health                      liveness probe
+
+Observability
+-------------
+Every request runs inside an ``http.request`` span (:mod:`repro.obs` —
+a no-op unless tracing is enabled) and, when the server was built with
+``access_log=``, appends one NDJSON line per request (method, path, status,
+tenant, duration; job id + dedup flag on submissions).  Default stderr
+request logging stays suppressed either way.  Job records keep a by-status
+count updated on completion (no full scan under the state lock) and finished
+records are garbage-collected beyond ``max_finished_jobs`` — polling an
+evicted id answers 404 like a never-issued one.
 
 Admission control
 -----------------
@@ -81,6 +94,14 @@ from repro.graph.datasets import list_datasets, load_dataset
 from repro.graph.graph import Graph
 from repro.graph.io import from_dict as graph_from_dict
 from repro.graph.io import parse_edge_list
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import (
+    MetricsRegistry,
+    counter_families,
+    family,
+    gauge_family,
+    get_registry,
+)
 from repro.serve.queue import JobQueue
 from repro.store import ArtifactStore
 
@@ -171,6 +192,7 @@ class _JobRecord:
     label: str
     future: "Future[BatchResult]"
     submitted_unix: float = field(default_factory=time.time)
+    status: str = "pending"            #: "pending" | "done" | "error"
 
 
 class ReproHTTPServer(ThreadingHTTPServer):
@@ -189,6 +211,13 @@ class ReproHTTPServer(ThreadingHTTPServer):
         Per-tenant token bucket (requests/s refill and bucket size); ``None``
         disables quotas.  Tenants are named by the ``X-Repro-Tenant`` header
         (missing header → the ``"default"`` tenant).
+    access_log:
+        ``None`` (default, no access logging), a path to append NDJSON
+        access-log lines to, or an open text stream (not closed on drain).
+    max_finished_jobs:
+        Retain at most this many finished (done/error) job records; the
+        oldest finished records beyond the cap are evicted and answer 404.
+        ``None`` disables the bound (pre-PR behaviour).
     """
 
     daemon_threads = False     #: drain joins handler threads: finish, not kill
@@ -200,6 +229,8 @@ class ReproHTTPServer(ThreadingHTTPServer):
                  max_pending: Optional[int] = None,
                  quota_rate: Optional[float] = None,
                  quota_burst: Optional[float] = None,
+                 access_log=None,
+                 max_finished_jobs: Optional[int] = 1024,
                  **engine_options) -> None:
         self.store: Optional[ArtifactStore] = (
             ArtifactStore(store) if store is not None
@@ -210,16 +241,34 @@ class ReproHTTPServer(ThreadingHTTPServer):
         self.quota_rate = quota_rate
         self.quota_burst = (quota_burst if quota_burst is not None
                             else max(1.0, float(quota_rate or 0.0)))
+        if max_finished_jobs is not None and max_finished_jobs < 0:
+            raise ServeError(f"max_finished_jobs must be >= 0 or None, "
+                             f"got {max_finished_jobs}")
+        self.max_finished_jobs = max_finished_jobs
         self._buckets: Dict[str, TokenBucket] = {}
         self._graphs: Dict[str, _GraphRecord] = {}
-        self._jobs: Dict[str, _JobRecord] = {}
+        self._jobs: Dict[str, _JobRecord] = {}   # insertion-ordered (dict)
         self._by_future: Dict[Future, _JobRecord] = {}
+        self._jobs_by_status: Dict[str, int] = {"pending": 0, "done": 0,
+                                                "error": 0}
+        self._evicted_jobs = 0
         self._job_counter = 0
         self._rejected_quota = 0
         self._rejected_backpressure = 0
         self._state_lock = threading.Lock()
         self._draining = False
         self._serve_thread: Optional[threading.Thread] = None
+        self._access_lock = threading.Lock()
+        self._access_owned = False
+        if access_log is None:
+            self._access_file = None
+        elif hasattr(access_log, "write"):
+            self._access_file = access_log
+        else:
+            self._access_file = open(access_log, "a", encoding="utf-8")
+            self._access_owned = True
+        self.registry = MetricsRegistry()
+        self.registry.register_collector(self._collect_families)
         super().__init__((host, port), _Handler)
 
     # ---------------------------------------------------------------- lifecycle
@@ -260,6 +309,10 @@ class ReproHTTPServer(ThreadingHTTPServer):
         if self._serve_thread is not None:
             self._serve_thread.join(timeout=10)
             self._serve_thread = None
+        if self._access_owned and self._access_file is not None:
+            with self._access_lock:
+                self._access_file.close()
+                self._access_file = None
 
     def __enter__(self) -> "ReproHTTPServer":
         return self.start()
@@ -384,15 +437,45 @@ class ReproHTTPServer(ThreadingHTTPServer):
                                 tenant=tenant, label=job.label(), future=future)
             self._jobs[record.id] = record
             self._by_future[future] = record
+            self._jobs_by_status["pending"] += 1
         # Once done, the future can never coalesce again (the queue forgets
-        # it), so drop the reverse mapping; the job record itself stays
-        # pollable for the server's lifetime.
-        future.add_done_callback(self._forget_future)
+        # it), so drop the reverse mapping and move the by-status counter;
+        # the job record stays pollable until retention evicts it.
+        future.add_done_callback(self._job_finished)
         return {**self.job_document(record), "deduplicated": False}
 
-    def _forget_future(self, future: Future) -> None:
+    def _job_finished(self, future: Future) -> None:
+        """Done-callback: settle the record's status and bound retention.
+
+        Keeping ``_jobs_by_status`` updated here is what lets ``/metrics``
+        answer without walking every job record under ``_state_lock``.
+        """
         with self._state_lock:
-            self._by_future.pop(future, None)
+            record = self._by_future.pop(future, None)
+            if record is None or record.status != "pending":
+                return
+            record.status = ("error" if future.exception() is not None
+                             else "done")
+            self._jobs_by_status["pending"] -= 1
+            self._jobs_by_status[record.status] += 1
+            self._evict_finished_locked()
+
+    def _evict_finished_locked(self) -> None:
+        """Drop the oldest finished records beyond ``max_finished_jobs``."""
+        if self.max_finished_jobs is None:
+            return
+        finished = (self._jobs_by_status["done"]
+                    + self._jobs_by_status["error"])
+        if finished <= self.max_finished_jobs:
+            return
+        for job_id in [record.id for record in self._jobs.values()
+                       if record.status != "pending"]:
+            if finished <= self.max_finished_jobs:
+                break
+            record = self._jobs.pop(job_id)
+            self._jobs_by_status[record.status] -= 1
+            self._evicted_jobs += 1
+            finished -= 1
 
     def job_record(self, job_id: str) -> _JobRecord:
         with self._state_lock:
@@ -468,7 +551,8 @@ class ReproHTTPServer(ThreadingHTTPServer):
                 future = self.queue.submit(job, block=True)
                 with self._state_lock:
                     record = self._by_future.get(future)
-                    if record is None:
+                    created = record is None
+                    if created:
                         self._job_counter += 1
                         record = _JobRecord(
                             id=f"j{self._job_counter:06d}",
@@ -477,7 +561,11 @@ class ReproHTTPServer(ThreadingHTTPServer):
                             label=job.label(), future=future)
                         self._jobs[record.id] = record
                         self._by_future[future] = record
-                        future.add_done_callback(self._forget_future)
+                        self._jobs_by_status["pending"] += 1
+                if created:
+                    # Outside the lock: a done future runs the callback
+                    # synchronously, and _job_finished takes _state_lock.
+                    future.add_done_callback(self._job_finished)
                 pending.append(record)
                 while pending and pending[0].future.done():
                     yield self.job_document(pending.pop(0),
@@ -491,30 +579,30 @@ class ReproHTTPServer(ThreadingHTTPServer):
 
     # ----------------------------------------------------------------- metrics
     def metrics(self) -> dict:
-        """The ``/metrics`` document: ServeStats + session + store counters."""
+        """The ``/metrics`` document: ServeStats + session + store counters.
+
+        Job counts come from the by-status counters the done-callbacks
+        maintain — O(1) under the lock, not a scan of every record ever
+        issued.
+        """
         with self._state_lock:
-            jobs = list(self._jobs.values())
+            total_jobs = len(self._jobs)
+            by_status = dict(self._jobs_by_status)
             graphs = len(self._graphs)
             rejected_quota = self._rejected_quota
             rejected_backpressure = self._rejected_backpressure
-        by_status: Dict[str, int] = {"pending": 0, "done": 0, "error": 0}
-        for record in jobs:
-            if not record.future.done():
-                by_status["pending"] += 1
-            elif record.future.exception() is not None:
-                by_status["error"] += 1
-            else:
-                by_status["done"] += 1
+            evicted_jobs = self._evicted_jobs
         document = {
             "server": {"version": __version__, "graphs": graphs,
                        "draining": self._draining,
                        "rejected_quota": rejected_quota,
                        "rejected_backpressure": rejected_backpressure,
+                       "evicted_jobs": evicted_jobs,
                        "quota_rate": self.quota_rate,
                        "max_pending": self.queue.max_pending},
             "serve": self.queue.stats.to_dict(),
             "session": self.queue.runner.aggregate_stats(),
-            "jobs": {"total": len(jobs), **by_status},
+            "jobs": {"total": total_jobs, **by_status},
         }
         if self.store is not None:
             info = self.store.info()
@@ -524,6 +612,73 @@ class ReproHTTPServer(ThreadingHTTPServer):
         else:
             document["store"] = None
         return document
+
+    def _collect_families(self) -> list:
+        """Scrape-time collector: server/serve/session/store families."""
+        with self._state_lock:
+            total_jobs = len(self._jobs)
+            by_status = dict(self._jobs_by_status)
+            graphs = len(self._graphs)
+            rejected_quota = self._rejected_quota
+            rejected_backpressure = self._rejected_backpressure
+            evicted_jobs = self._evicted_jobs
+            draining = self._draining
+        families = [
+            gauge_family("repro_http_graphs", "Registered graphs",
+                         float(graphs)),
+            gauge_family("repro_http_draining",
+                         "1 while the server drains, else 0",
+                         1.0 if draining else 0.0),
+            gauge_family("repro_http_jobs", "Retained job records",
+                         float(total_jobs)),
+            family("repro_http_jobs_by_status", "gauge",
+                   "Retained job records by status",
+                   [("", {"status": status}, float(count))
+                    for status, count in sorted(by_status.items())]),
+            family("repro_http_jobs_evicted_total", "counter",
+                   "Finished job records dropped by bounded retention",
+                   [("", {}, float(evicted_jobs))]),
+            family("repro_http_rejected_total", "counter",
+                   "Submissions refused by admission control",
+                   [("", {"reason": "backpressure"},
+                     float(rejected_backpressure)),
+                    ("", {"reason": "quota"}, float(rejected_quota))]),
+        ]
+        families.extend(self.queue.stats.metric_families())
+        families.extend(counter_families(
+            "repro_session", self.queue.runner.aggregate_stats(),
+            "Aggregated session counter"))
+        if self.store is not None:
+            info = self.store.info()
+            families.append(gauge_family(
+                "repro_store_files", "Files in the artifact store",
+                float(info["files"])))
+            families.append(gauge_family(
+                "repro_store_bytes", "Bytes in the artifact store",
+                float(info["bytes"])))
+            families.append(gauge_family(
+                "repro_store_graphs", "Graphs with artifacts in the store",
+                float(len(info["graphs"]))))
+        return families
+
+    def render_prometheus(self) -> str:
+        """Text exposition: this server's registry + the process-wide one
+        (always-on kernel-round and solve-latency histograms)."""
+        return self.registry.render(get_registry())
+
+    # -------------------------------------------------------------- access log
+    def log_access(self, entry: dict) -> None:
+        """Append one NDJSON access-log line; a broken stream never fails
+        the request being logged (best effort by design)."""
+        with self._access_lock:
+            stream = self._access_file
+            if stream is None:
+                return
+            try:
+                stream.write(json.dumps(entry) + "\n")
+                stream.flush()
+            except (OSError, ValueError):
+                pass
 
     def graphs_document(self) -> dict:
         with self._state_lock:
@@ -552,16 +707,28 @@ class _Handler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------ plumbing
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
-        pass  # request logging is the operator's proxy's job, not stderr's
+        """Suppress stdlib stderr logging; structured access logging is the
+        opt-in NDJSON stream (``ReproHTTPServer(access_log=...)``) written
+        from :meth:`_dispatch` — never stderr noise by default."""
 
     def _send_json(self, status: int, payload: dict,
                    headers: Tuple[Tuple[str, str], ...] = ()) -> None:
         body = json.dumps(payload).encode("utf-8")
+        self._status = status
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
         for name, value in headers:
             self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self._status = status
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
 
@@ -591,20 +758,36 @@ class _Handler(BaseHTTPRequestHandler):
         return self.headers.get("X-Repro-Tenant", "default").strip() or "default"
 
     def _dispatch(self, method: str) -> None:
+        start = time.perf_counter()
+        self._status = 0          # 0 = connection dropped before an answer
+        self._log_extra: Dict[str, object] = {}
         try:
-            parts = urlsplit(self.path)
-            segments = [unquote(s) for s in parts.path.split("/") if s]
-            query = parse_qs(parts.query)
-            route = getattr(self, f"_route_{method.lower()}")
-            route(segments, query)
-        except ReproError as exc:
-            self._send_error_payload(exc)
-        except (BrokenPipeError, ConnectionResetError):
-            pass  # the client went away; nothing to answer
-        except Exception as exc:  # noqa: BLE001 - last-resort 500, never a hang
-            self._send_json(500, {"error": {"code": "error",
-                                            "message": f"{type(exc).__name__}: "
-                                                       f"{exc}"}})
+            with obs_trace.span("http.request", method=method,
+                                path=self.path) as sp:
+                try:
+                    parts = urlsplit(self.path)
+                    segments = [unquote(s) for s in parts.path.split("/") if s]
+                    query = parse_qs(parts.query)
+                    route = getattr(self, f"_route_{method.lower()}")
+                    route(segments, query)
+                except ReproError as exc:
+                    self._send_error_payload(exc)
+                except (BrokenPipeError, ConnectionResetError):
+                    pass  # the client went away; nothing to answer
+                except Exception as exc:  # noqa: BLE001 - last-resort 500
+                    self._send_json(
+                        500, {"error": {"code": "error",
+                                        "message": f"{type(exc).__name__}: "
+                                                   f"{exc}"}})
+                sp.set(status=self._status)
+        finally:
+            if self.server._access_file is not None:
+                self.server.log_access(
+                    {"ts": time.time(), "method": method, "path": self.path,
+                     "status": self._status, "tenant": self._tenant(),
+                     "duration_ms": round(
+                         (time.perf_counter() - start) * 1000.0, 3),
+                     **self._log_extra})
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib casing
         self._dispatch("GET")
@@ -620,7 +803,15 @@ class _Handler(BaseHTTPRequestHandler):
         if segments == ["health"]:
             self._send_json(200, {"status": "ok", "version": __version__})
         elif segments == ["metrics"]:
-            self._send_json(200, self.server.metrics())
+            fmt = query.get("format", ["json"])[0]
+            if fmt == "prometheus":
+                self._send_text(200, self.server.render_prometheus(),
+                                "text/plain; version=0.0.4; charset=utf-8")
+            elif fmt == "json":
+                self._send_json(200, self.server.metrics())
+            else:
+                raise WireFormatError(f"unknown metrics format {fmt!r}; "
+                                      f"expected 'json' or 'prometheus'")
         elif segments == ["graphs"]:
             self._send_json(200, self.server.graphs_document())
         elif len(segments) == 2 and segments[0] == "graphs":
@@ -679,6 +870,9 @@ class _Handler(BaseHTTPRequestHandler):
             payload = self._read_json()
             document = self.server.submit_job(segments[1], payload,
                                               tenant=self._tenant())
+            self._log_extra = {"job": document.get("job"),
+                               "deduplicated": document.get("deduplicated",
+                                                            False)}
             self._send_json(202, document)
         elif len(segments) == 3 and segments[0] == "graphs" \
                 and segments[2] == "batch":
@@ -699,6 +893,7 @@ class _Handler(BaseHTTPRequestHandler):
     def _stream_ndjson(self, documents: Iterable[dict]) -> None:
         """Chunked ``application/x-ndjson``: one job document per line, in
         submission order, written as each job completes."""
+        self._status = 200
         self.send_response(200)
         self.send_header("Content-Type", "application/x-ndjson")
         self.send_header("Transfer-Encoding", "chunked")

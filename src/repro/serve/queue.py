@@ -39,6 +39,7 @@ and every engine is deterministic (the equivalence suites pin this).
 from __future__ import annotations
 
 import threading
+import time
 import weakref
 from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -47,6 +48,8 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.engine.batch import BatchJob, BatchResult, BatchRunner
 from repro.errors import QueueFullError, ServeError
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import counter_families, family, gauge_family
 from repro.problems import Problem, ProblemLike, get_problem
 from repro.session import Session
 from repro.utils.numeric import canonical_lam
@@ -87,6 +90,29 @@ class ServeStats:
         snapshot["per_problem"] = dict(self.per_problem)
         snapshot["dedup_hits"] = self.deduplicated
         return snapshot
+
+    def metric_families(self, prefix: str = "repro_serve") -> list:
+        """These counters as metric families for a ``MetricsRegistry``.
+
+        How the serving stats register into the observability layer (via
+        ``register_collector``) instead of being hand-merged: the monotone
+        counters become ``<prefix>_*_total``, ``queue_depth`` stays a gauge,
+        and ``per_problem`` becomes one labelled counter family.
+        """
+        families = counter_families(
+            prefix,
+            {"submitted": self.submitted, "deduplicated": self.deduplicated,
+             "completed": self.completed},
+            "Serving counter")
+        families.append(gauge_family(
+            f"{prefix}_queue_depth",
+            "Executions accepted and not yet completed", self.queue_depth))
+        families.append(family(
+            f"{prefix}_requests_total", "counter",
+            "Requests by canonical problem name (accepted + coalesced)",
+            [("", {"problem": name}, float(count))
+             for name, count in sorted(self.per_problem.items())]))
+        return families
 
 
 class _AsyncFrontend:
@@ -149,7 +175,14 @@ class _AsyncFrontend:
                         self.stats.deduplicated += 1
                         self.stats.count_problem(problem)
                         return hit
-                future = self._pool.submit(self._run_one, fn, *args)
+                # When tracing, the submitter's span context and submit time
+                # ride along so the worker can record the queue wait and
+                # parent its execution span across the pool boundary.
+                obs_ctx = None
+                if obs_trace.active() is not None:
+                    obs_ctx = (obs_trace.current_context(), time.time(),
+                               time.perf_counter())
+                future = self._pool.submit(self._run_one, obs_ctx, fn, *args)
                 holding_permit = False   # the running job now owns the permit
                 if key is not None:
                     self._inflight[key] = future
@@ -163,8 +196,19 @@ class _AsyncFrontend:
             future.add_done_callback(lambda _done, key=key: self._forget(key))
         return future
 
-    def _run_one(self, fn, *args):
+    def _run_one(self, obs_ctx, fn, *args):
+        execute_span = None
+        tracer = obs_trace.active()
+        if tracer is not None and obs_ctx is not None:
+            parent, submit_unix, submit_perf = obs_ctx
+            tracer.record_span(
+                "serve.queue_wait", start_unix=submit_unix,
+                duration=time.perf_counter() - submit_perf, parent=parent)
+            execute_span = obs_trace.span("serve.execute", parent=parent)
         try:
+            if execute_span is not None:
+                with execute_span:
+                    return fn(*args)
             return fn(*args)
         finally:
             with self._registry_lock:

@@ -41,10 +41,11 @@ from __future__ import annotations
 
 import inspect
 import os
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -55,12 +56,21 @@ from repro.engine.base import Engine, EngineLike, get_engine
 from repro.errors import AlgorithmError
 from repro.graph.csr import CSRAdjacency, csr_fingerprint, graph_to_csr
 from repro.graph.graph import Graph
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import counter_families, get_registry
 from repro.problems import Problem, ProblemLike, get_problem
 from repro.store import ArtifactStore
 from repro.utils.numeric import canonical_lam
 
 #: Something the ``store=`` parameter accepts: a store instance or its root.
 StoreLike = Union[ArtifactStore, str, Path]
+
+#: Always-on per-problem solve latency (process-wide default registry); one
+#: ``observe`` per executed :meth:`Session.solve` (cache hits excluded).
+SOLVE_SECONDS = get_registry().histogram(
+    "repro_solve_latency_seconds",
+    "Wall time of one executed Session.solve request",
+    labelnames=("problem",))
 
 
 @dataclass
@@ -85,6 +95,17 @@ class SessionStats:
     def to_dict(self) -> dict:
         """JSON-serializable snapshot of the counters."""
         return dict(vars(self))
+
+    def metric_families(self, prefix: str = "repro_session") -> List[tuple]:
+        """These counters as metric families (``<prefix>_<name>_total``).
+
+        The adapter that registers session counters into a
+        :class:`repro.obs.metrics.MetricsRegistry` (via
+        ``register_collector``) instead of being hand-merged into a JSON
+        document; works on aggregated totals too via
+        :func:`repro.obs.metrics.counter_families`.
+        """
+        return counter_families(prefix, self.to_dict(), "Session counter")
 
 
 class Session:
@@ -278,53 +299,61 @@ class Session:
         if hit is not None:
             self.stats.result_hits += 1
             return hit
-        prefix = self._trajectories.get(lam)
-        if self.store is not None and self._array_engine:
-            prefix = self._adopt_stored_trajectory(lam, T, prefix)
-        if prefix is not None and prefix.shape[0] > T:
-            # Fully covered by the cached trajectory: answer from a view
-            # without invoking the engine (which would allocate and copy the
-            # whole prefix just to be discarded); kept sets, when requested,
-            # are recovered from the sliced rows exactly as the engine would.
-            result = self._sliced_result(T, lam, prefix, tie_break=tie_break,
-                                         track_kept=track_kept)
-            warm = prefix
-        else:
-            if self.store is not None and not self._array_engine:
-                loaded = self._load_stored_result(T, lam, tie_break=tie_break,
-                                                  track_kept=track_kept)
-                if loaded is not None:
-                    self._cache_put(self._results, key, loaded)
-                    return loaded
-            # The warm-start hint only goes to engines that will actually
-            # consume it (and `warm` only counts as reuse then); engines
-            # written against hint-free signatures keep working unchanged,
-            # with every round honestly counted as executed.
-            warm = prefix if "warm_start" in self._run_hints \
-                and self._engine_takes_prefix() else None
-            run_kwargs = {}
-            if "csr" in self._run_hints:
-                run_kwargs["csr"] = self.csr
-            if "grid" in self._run_hints:
-                run_kwargs["grid"] = self.grid(lam)
-            if warm is not None:
-                run_kwargs["warm_start"] = warm
-            result = self.engine.run(self.graph, T, lam=lam, tie_break=tie_break,
-                                     track_kept=track_kept, **run_kwargs)
-        self._account(T, warm, result)
-        if result.trajectory is not None and (
-                prefix is None or result.trajectory.shape[0] > prefix.shape[0]):
-            self._trajectories[lam] = result.trajectory
-            # Earlier cached results for this λ hold bit-identical prefixes of
-            # the new longest array (round determinism); rebind them to views
-            # so a budget sweep — ascending or descending — retains one
-            # O(T_max * n) trajectory, not O(T_max^2 * n) floats.
-            for (cached_T, cached_lam, _, _), cached in self._results.items():
-                if cached_lam == lam and cached.trajectory is not None:
-                    cached.trajectory = result.trajectory[:cached_T + 1]
-        self._persist(lam, result, tie_break=tie_break, track_kept=track_kept)
-        self._cache_put(self._results, key, result)
-        return result
+        with obs_trace.span("session.surviving", rounds=T, lam=lam,
+                            engine=self.engine.name):
+            prefix = self._trajectories.get(lam)
+            if self.store is not None and self._array_engine:
+                prefix = self._adopt_stored_trajectory(lam, T, prefix)
+            if prefix is not None and prefix.shape[0] > T:
+                # Fully covered by the cached trajectory: answer from a view
+                # without invoking the engine (which would allocate and copy
+                # the whole prefix just to be discarded); kept sets, when
+                # requested, are recovered from the sliced rows exactly as
+                # the engine would.
+                result = self._sliced_result(T, lam, prefix,
+                                             tie_break=tie_break,
+                                             track_kept=track_kept)
+                warm = prefix
+            else:
+                if self.store is not None and not self._array_engine:
+                    loaded = self._load_stored_result(T, lam,
+                                                      tie_break=tie_break,
+                                                      track_kept=track_kept)
+                    if loaded is not None:
+                        self._cache_put(self._results, key, loaded)
+                        return loaded
+                # The warm-start hint only goes to engines that will actually
+                # consume it (and `warm` only counts as reuse then); engines
+                # written against hint-free signatures keep working unchanged,
+                # with every round honestly counted as executed.
+                warm = prefix if "warm_start" in self._run_hints \
+                    and self._engine_takes_prefix() else None
+                run_kwargs = {}
+                if "csr" in self._run_hints:
+                    run_kwargs["csr"] = self.csr
+                if "grid" in self._run_hints:
+                    run_kwargs["grid"] = self.grid(lam)
+                if warm is not None:
+                    run_kwargs["warm_start"] = warm
+                result = self.engine.run(self.graph, T, lam=lam,
+                                         tie_break=tie_break,
+                                         track_kept=track_kept, **run_kwargs)
+            self._account(T, warm, result)
+            if result.trajectory is not None and (
+                    prefix is None or result.trajectory.shape[0] > prefix.shape[0]):
+                self._trajectories[lam] = result.trajectory
+                # Earlier cached results for this λ hold bit-identical
+                # prefixes of the new longest array (round determinism);
+                # rebind them to views so a budget sweep — ascending or
+                # descending — retains one O(T_max * n) trajectory, not
+                # O(T_max^2 * n) floats.
+                for (cached_T, cached_lam, _, _), cached in self._results.items():
+                    if cached_lam == lam and cached.trajectory is not None:
+                        cached.trajectory = result.trajectory[:cached_T + 1]
+            self._persist(lam, result, tie_break=tie_break,
+                          track_kept=track_kept)
+            self._cache_put(self._results, key, result)
+            return result
 
     # ------------------------------------------------------------- persistence
     def _adopt_stored_trajectory(self, lam: float, T: int,
@@ -504,7 +533,11 @@ class Session:
             if hit is not None:
                 self.stats.problem_hits += 1
                 return hit
-        result = prob.solve(self, **params)
+        start = time.perf_counter()
+        with obs_trace.span("session.solve", problem=prob.name,
+                            n=self.graph.num_nodes):
+            result = prob.solve(self, **params)
+        SOLVE_SECONDS.observe(time.perf_counter() - start, problem=prob.name)
         if key is not None:
             self._cache_put(self._problem_results, key, result)
         return result

@@ -66,6 +66,7 @@ from repro.core.rounding import LambdaGrid
 from repro.core.surviving import SurvivingNumbers
 from repro.errors import StoreError
 from repro.graph.mmap_csr import CSR_DIR_NAME, is_fingerprint
+from repro.obs import trace as obs_trace
 from repro.store import traj as traj_store
 from repro.utils.numeric import canonical_lam
 from repro.utils.serialize import json_node
@@ -208,8 +209,10 @@ class ArtifactStore:
                 "fingerprint": fingerprint, "lam": canonical_lam(lam),
                 "rounds": int(trajectory.shape[0] - 1), "n": int(trajectory.shape[1])}
         path = self._trajectory_path(fingerprint, lam)
-        self._write_npz(path, meta, {"trajectory": trajectory})
-        self._write_graph_meta(fingerprint, trajectory.shape[1], labels)
+        with obs_trace.span("store.save_trajectory", fingerprint=fingerprint,
+                            lam=meta["lam"], rounds=meta["rounds"]):
+            self._write_npz(path, meta, {"trajectory": trajectory})
+            self._write_graph_meta(fingerprint, trajectory.shape[1], labels)
         return path
 
     def _load_npz_trajectory(self, fingerprint: str, lam: float) -> Optional[np.ndarray]:
@@ -238,13 +241,18 @@ class ArtifactStore:
         Absent, corrupted, schema-mismatching and fingerprint-mismatching
         files all read as None (a miss).
         """
-        mapped = traj_store.open_trajectory(self.root, fingerprint, lam)
-        npz = self._load_npz_trajectory(fingerprint, lam)
-        if mapped is None:
-            return npz
-        if npz is None or mapped.shape[0] >= npz.shape[0]:
-            return mapped
-        return npz
+        with obs_trace.span("store.load_trajectory", fingerprint=fingerprint,
+                            lam=canonical_lam(lam)) as sp:
+            mapped = traj_store.open_trajectory(self.root, fingerprint, lam)
+            npz = self._load_npz_trajectory(fingerprint, lam)
+            if mapped is not None and (npz is None
+                                       or mapped.shape[0] >= npz.shape[0]):
+                loaded = mapped
+            else:
+                loaded = npz
+            sp.set(hit=loaded is not None,
+                   rounds=-1 if loaded is None else loaded.shape[0] - 1)
+            return loaded
 
     def trajectory_rounds(self, fingerprint: str, lam: float) -> Optional[int]:
         """Round count of the stored trajectory without loading the arrays.
@@ -296,12 +304,14 @@ class ArtifactStore:
                 "stats_summary": result.stats_summary}
         path = self._result_path(fingerprint, rounds=result.rounds, lam=lam,
                                  tie_break=tie_break, track_kept=track_kept)
-        self._write_npz(path, meta, {
-            "values": values,
-            "kept_indices": np.asarray(kept_ids, dtype=np.int64),
-            "kept_indptr": kept_indptr,
-        })
-        self._write_graph_meta(fingerprint, len(labels), labels)
+        with obs_trace.span("store.save_result", fingerprint=fingerprint,
+                            lam=meta["lam"], rounds=meta["rounds"]):
+            self._write_npz(path, meta, {
+                "values": values,
+                "kept_indices": np.asarray(kept_ids, dtype=np.int64),
+                "kept_indptr": kept_indptr,
+            })
+            self._write_graph_meta(fingerprint, len(labels), labels)
         return path
 
     def load_result(self, fingerprint: str, *, rounds: int, lam: float,
@@ -318,7 +328,10 @@ class ArtifactStore:
         """
         path = self._result_path(fingerprint, rounds=rounds, lam=lam,
                                  tie_break=tie_break, track_kept=track_kept)
-        loaded = self._load_npz(path, kind="result", fingerprint=fingerprint, lam=lam)
+        with obs_trace.span("store.load_result", fingerprint=fingerprint,
+                            lam=canonical_lam(lam), rounds=rounds):
+            loaded = self._load_npz(path, kind="result",
+                                    fingerprint=fingerprint, lam=lam)
         if loaded is None:
             return None
         meta, archive = loaded

@@ -53,6 +53,7 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 from pathlib import Path
 from typing import Optional
 
@@ -60,6 +61,7 @@ import numpy as np
 
 from repro.errors import StoreError
 from repro.graph.mmap_csr import is_fingerprint
+from repro.obs import trace as obs_trace
 from repro.utils.numeric import canonical_lam
 
 #: Suffix of the per-(graph, λ) trajectory directory.
@@ -264,6 +266,12 @@ class AppendTrajectory:
         replace, so a reader that sees the new header can read every row it
         advertises.
         """
+        # publish() runs once per round on the spilled hot path, so the span
+        # is explicitly gated: disabled tracing pays one None-check.
+        tracer = obs_trace.active()
+        if tracer is not None:
+            publish_unix = time.time()
+            publish_perf = time.perf_counter()
         self._file.flush()
         header = {"schema": TRAJ_SCHEMA_VERSION, "fingerprint": self.fingerprint,
                   "lam": self.lam, "n": self.num_nodes, "dtype": TRAJ_DTYPE,
@@ -271,6 +279,12 @@ class AppendTrajectory:
         _atomic_write_bytes(self.directory / HEADER_NAME,
                             (json.dumps(header, indent=2) + "\n").encode("utf-8"))
         self.rounds = int(rounds)
+        if tracer is not None:
+            tracer.record_span(
+                "traj.publish", start_unix=publish_unix,
+                duration=time.perf_counter() - publish_perf,
+                parent=obs_trace.current_context(),
+                attrs={"rounds": int(rounds), "n": self.num_nodes})
 
     def append_row(self, values: np.ndarray) -> None:
         """Append one completed round and publish it."""

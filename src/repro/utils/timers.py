@@ -1,25 +1,37 @@
-"""A tiny wall-clock timer used by the experiment harnesses.
+"""Deprecated wall-clock timer — superseded by :mod:`repro.obs` spans.
 
-The benchmark harness relies on ``pytest-benchmark`` for statistically sound
-measurements; :class:`Timer` only provides coarse timings for progress reporting in
-examples and experiment scripts.
+:class:`Timer` predates the observability subsystem; new code should use
+``repro.obs.timed(name)`` (always measures, additionally records a span when
+tracing is enabled) or ``repro.obs.span(name)`` inside instrumented paths.
+The class stays as a thin shim so existing experiment scripts keep working,
+but constructing one raises a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterator
 from contextlib import contextmanager
+
+from repro.obs import trace as obs_trace
 
 
 @dataclass
 class Timer:
     """Accumulates named wall-clock durations.
 
+    .. deprecated::
+        Use :func:`repro.obs.timed` / :func:`repro.obs.span` instead; a
+        traced run then exports these measurements alongside every other
+        span instead of keeping them in a private dict.
+
     Example
     -------
-    >>> timer = Timer()
+    >>> import warnings
+    >>> with warnings.catch_warnings():
+    ...     warnings.simplefilter("ignore", DeprecationWarning)
+    ...     timer = Timer()
     >>> with timer.measure("peel"):
     ...     _ = sum(range(10))
     >>> timer.total("peel") >= 0.0
@@ -29,15 +41,20 @@ class Timer:
     totals: Dict[str, float] = field(default_factory=dict)
     counts: Dict[str, int] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        warnings.warn(
+            "repro.utils.timers.Timer is deprecated; use repro.obs.timed() "
+            "or repro.obs.span() instead", DeprecationWarning, stacklevel=2)
+
     @contextmanager
     def measure(self, name: str) -> Iterator[None]:
         """Context manager accumulating the elapsed time under ``name``."""
-        start = time.perf_counter()
+        timing = obs_trace.timed(name)
         try:
-            yield
+            with timing:
+                yield
         finally:
-            elapsed = time.perf_counter() - start
-            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self.totals[name] = self.totals.get(name, 0.0) + timing.seconds
             self.counts[name] = self.counts.get(name, 0) + 1
 
     def total(self, name: str) -> float:

@@ -4,7 +4,7 @@ Runs ``scripts/bench.py --smoke`` end-to-end as a subprocess (the way CI and
 operators invoke it) and validates the emitted ``BENCH_PR6.json``-style
 document against the schema; also validates the committed bench documents
 (``BENCH_PR3.json`` / ``BENCH_PR4.json`` legacy schemas, ``BENCH_PR5.json``
-through ``BENCH_PR8.json``) at the repo root when present, so a schema change
+through ``BENCH_PR9.json``) at the repo root when present, so a schema change
 cannot strand the persisted perf trajectory.
 """
 
@@ -84,12 +84,21 @@ def test_smoke_run_emits_valid_document(tmp_path):
     assert all("reference_seconds" in row and row["identical"]
                and row["speedup_vs_reference"] > 1.0
                for row in document["densest"])
+    # The observability tax: traced solves stayed bit-identical and a traced
+    # solve recorded the hot path end to end (the ≤2% disabled-overhead bar
+    # is asserted on the full run's 100k row, not the smoke graph).
+    assert document["obs_overhead"]
+    assert all(row["identical"] and row["spans_complete"]
+               and row["spans_recorded"] >= 1
+               and row["noop_span_seconds_per_call"] < 1e-5
+               for row in document["obs_overhead"])
 
 
 @pytest.mark.bench
 @pytest.mark.parametrize("name", ["BENCH_PR3.json", "BENCH_PR4.json",
                                   "BENCH_PR5.json", "BENCH_PR6.json",
-                                  "BENCH_PR7.json", "BENCH_PR8.json"])
+                                  "BENCH_PR7.json", "BENCH_PR8.json",
+                                  "BENCH_PR9.json"])
 def test_committed_bench_documents_match_schema(name):
     committed = REPO_ROOT / name
     if not committed.exists():

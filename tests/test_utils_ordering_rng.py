@@ -57,8 +57,17 @@ class TestRng:
 
 
 class TestTimer:
+    @staticmethod
+    def _timer() -> Timer:
+        with pytest.warns(DeprecationWarning, match="repro.obs"):
+            return Timer()
+
+    def test_constructing_warns_deprecated(self):
+        with pytest.warns(DeprecationWarning, match=r"repro\.obs\.timed"):
+            Timer()
+
     def test_measure_accumulates(self):
-        timer = Timer()
+        timer = self._timer()
         with timer.measure("x"):
             sum(range(100))
         with timer.measure("x"):
@@ -66,13 +75,20 @@ class TestTimer:
         assert timer.count("x") == 2
         assert timer.total("x") >= 0.0
 
+    def test_measure_accumulates_on_exception(self):
+        timer = self._timer()
+        with pytest.raises(RuntimeError):
+            with timer.measure("boom"):
+                raise RuntimeError("boom")
+        assert timer.count("boom") == 1
+
     def test_unknown_name_reports_zero(self):
-        timer = Timer()
+        timer = self._timer()
         assert timer.total("missing") == 0.0
         assert timer.count("missing") == 0
 
     def test_summary_lists_all_timers(self):
-        timer = Timer()
+        timer = self._timer()
         with timer.measure("a"):
             pass
         with timer.measure("b"):
