@@ -52,9 +52,14 @@ Times, on seeded Barabási–Albert and Erdős–Rényi graphs:
   vs the same solves with a ring tracer installed, with a bit-identity
   check, the recorded span inventory of one traced solve, and the measured
   per-call cost of a disabled span — the perf trajectory of `repro.obs`.
+* **streaming** — k small edge deltas chained against the largest graph:
+  per-update staleness (delta application + frontier-restricted incremental
+  re-solve), the incremental-vs-cold speedup with a bit-identity check, and
+  a forced frontier-fraction-0 update exercising the cold-fallback
+  threshold — the perf trajectory of ``Session.apply_delta``.
 
 Results are written as machine-readable JSON (``--out``, default
-``BENCH_PR9.json`` at the repo root) so future PRs have a baseline to regress
+``BENCH_PR10.json`` at the repo root) so future PRs have a baseline to regress
 against::
 
     python scripts/bench.py                     # full run (10k-200k nodes)
@@ -123,7 +128,7 @@ REQUIRED_TOP_LEVEL = ("schema", "generated_by", "smoke", "machine", "params",
 #: required.  ``serve`` landed with the HTTP front-end and ``densest`` with
 #: the array-path densest pipeline, after schema 3 documents had already
 #: been committed.
-OPTIONAL_TOP_LEVEL = ("serve", "densest", "obs_overhead")
+OPTIONAL_TOP_LEVEL = ("serve", "densest", "obs_overhead", "streaming")
 
 #: Sections absent from the legacy schemas (schema -> missing keys).
 _LEGACY_MISSING = {"repro-bench/1": ("store", "out_of_core"),
@@ -682,10 +687,119 @@ def bench_out_of_core(graphs, rounds, shards, workers, repeats, log,
     return rows
 
 
+def bench_streaming(graphs, rounds, log, *, updates, ops_per_update, seed,
+                    frontier_fraction=0.75):
+    """Edge-stream scenario: k small deltas chained against the largest graph.
+
+    Each update mutates a handful of edges (far below 1% of m), derives the
+    child session with ``Session.apply_delta`` and re-solves through the
+    frontier-restricted path; a cold solve on the mutated graph checks
+    bit-identity (and provides the speedup baseline) at the first and last
+    update.  One extra update runs with ``max_frontier_fraction=0`` so the
+    fallback threshold is exercised in every benchmark run.  ``staleness`` is
+    the wall-clock from an update's arrival to a fresh result (delta
+    application + incremental re-solve).
+    """
+    from repro.graph import GraphDelta
+
+    graph_name, graph = max(graphs, key=lambda item: item[1].num_nodes)
+    rng = np.random.default_rng(seed)
+    edges = [(u, v, w) for u, v, w in graph.edges(data=True) if u != v]
+    order = rng.permutation(len(edges))
+    nodes = list(graph.nodes())
+
+    session = Session(graph)
+    session.coreness(rounds=rounds)   # the live parent the stream mutates
+    apply_seconds, solve_seconds = [], []
+    cold_seconds = []
+    runs = fallbacks = recomputed = peak = 0
+    identical = True
+    cursor = 0
+    for update in range(updates):
+        take = [edges[i] for i in order[cursor:cursor + ops_per_update]]
+        cursor += ops_per_update
+        half = max(1, len(take) // 2)
+        remove = tuple((u, v) for u, v, _ in take[:half])
+        reweight = tuple((u, v, w + 1.0) for u, v, w in take[half:])
+        added = []
+        while len(added) < 2:
+            u = nodes[int(rng.integers(0, len(nodes)))]
+            v = nodes[int(rng.integers(0, len(nodes)))]
+            if u != v and not session.graph.has_edge(u, v) \
+                    and all(a[:2] != (u, v) and a[:2] != (v, u) for a in added):
+                added.append((u, v, 2.0))
+        delta = GraphDelta(add_edges=tuple(added), remove_edges=remove,
+                           set_weights=reweight)
+
+        start = time.perf_counter()
+        child = session.apply_delta(delta,
+                                    max_frontier_fraction=frontier_fraction)
+        apply_seconds.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        incremental = child.coreness(rounds=rounds)
+        solve_seconds.append(time.perf_counter() - start)
+        runs += child.stats.incremental_runs
+        fallbacks += child.stats.incremental_fallbacks
+        recomputed += child.stats.frontier_nodes_recomputed
+        peak = max(peak, child.stats.frontier_peak_nodes)
+
+        if update in (0, updates - 1):   # cold baseline + bit-identity check
+            start = time.perf_counter()
+            cold = Session(child.graph).coreness(rounds=rounds)
+            cold_seconds.append(time.perf_counter() - start)
+            identical = identical and incremental.values == cold.values and \
+                bool(np.array_equal(incremental.surviving.trajectory,
+                                    cold.surviving.trajectory))
+        session = child
+
+    # Fallback threshold: fraction 0 forces the cold path through the same
+    # apply_delta API; the answer must stay identical.
+    take = [edges[i] for i in order[cursor:cursor + 1]]
+    forced = session.apply_delta(
+        GraphDelta(set_weights=tuple((u, v, w + 1.0) for u, v, w in take)),
+        max_frontier_fraction=0.0)
+    forced_result = forced.coreness(rounds=rounds)
+    fallback_exercised = forced.stats.incremental_fallbacks == 1
+    fallbacks += forced.stats.incremental_fallbacks
+    fallback_cold = Session(forced.graph).coreness(rounds=rounds)
+    identical = identical and forced_result.values == fallback_cold.values
+
+    staleness = [a + s for a, s in zip(apply_seconds, solve_seconds)]
+    mean = lambda xs: sum(xs) / len(xs)  # noqa: E731 - local shorthand
+    cold_best = min(cold_seconds)
+    row = {
+        "graph": graph_name, "n": graph.num_nodes, "m": graph.num_edges,
+        "rounds": rounds, "updates": updates,
+        "ops_per_update": ops_per_update + 2,   # edge ops + the 2 added edges
+        "frontier_fraction": frontier_fraction,
+        "apply_seconds_mean": round(mean(apply_seconds), 6),
+        "incremental_seconds_mean": round(mean(solve_seconds), 6),
+        "staleness_seconds_mean": round(mean(staleness), 6),
+        "updates_per_second": round(1.0 / mean(staleness), 2),
+        "cold_seconds": round(cold_best, 6),
+        "speedup_vs_cold": round(cold_best / mean(solve_seconds), 2)
+        if mean(solve_seconds) > 0 else float("inf"),
+        "incremental_runs": runs,
+        "incremental_fallbacks": fallbacks,
+        "frontier_nodes_recomputed": recomputed,
+        "frontier_peak_nodes": peak,
+        "fallback_exercised": fallback_exercised,
+        "identical": identical,
+    }
+    log(f"  stream  {graph_name:>12s} {updates} updates "
+        f"staleness {row['staleness_seconds_mean']:9.6f}s "
+        f"cold {cold_best:7.3f}s speedup x{row['speedup_vs_cold']:.1f} "
+        f"identical={identical}")
+    return [row]
+
+
 def run_benchmarks(sizes, rounds, shards, workers, repeats, seed, smoke,
                    log=lambda line: None, traj_rounds=None,
                    serve_clients=4, serve_workers=2, densest_rounds=6,
-                   densest_reference_max_nodes=DENSEST_REFERENCE_MAX_NODES) -> dict:
+                   densest_reference_max_nodes=DENSEST_REFERENCE_MAX_NODES,
+                   stream_updates=None, stream_ops=8) -> dict:
+    if stream_updates is None:
+        stream_updates = 3 if smoke else 6
     graphs = list(_graphs(sizes, seed))
     document = {
         "schema": SCHEMA,
@@ -703,7 +817,8 @@ def run_benchmarks(sizes, rounds, shards, workers, repeats, seed, smoke,
                    "serve_clients": serve_clients,
                    "serve_workers": serve_workers,
                    "densest_rounds": densest_rounds,
-                   "densest_reference_max_nodes": densest_reference_max_nodes},
+                   "densest_reference_max_nodes": densest_reference_max_nodes,
+                   "stream_updates": stream_updates, "stream_ops": stream_ops},
         "engines": bench_engines(graphs, rounds, shards, workers, repeats, log),
         "kept_sets": bench_kept_sets(graphs, rounds, repeats, log),
         "sessions": bench_sessions(graphs, rounds, shards, workers, log),
@@ -712,6 +827,9 @@ def run_benchmarks(sizes, rounds, shards, workers, repeats, seed, smoke,
         "densest": bench_densest(graphs, densest_rounds, repeats, log,
                                  reference_max_nodes=densest_reference_max_nodes),
         "obs_overhead": bench_obs_overhead(graphs, rounds, repeats, log),
+        "streaming": bench_streaming(graphs, rounds, log,
+                                     updates=stream_updates,
+                                     ops_per_update=stream_ops, seed=seed),
         "out_of_core": bench_out_of_core(graphs, rounds, shards, workers,
                                          repeats, log,
                                          traj_rounds=traj_rounds),
@@ -808,6 +926,28 @@ def validate_document(document: dict) -> None:
         if row["spans_recorded"] < 1:
             raise ValueError(f"obs_overhead traced solve recorded no spans: "
                              f"{row}")
+    for row in document.get("streaming", ()):
+        for key in ("graph", "n", "m", "rounds", "updates", "ops_per_update",
+                    "frontier_fraction", "apply_seconds_mean",
+                    "incremental_seconds_mean", "staleness_seconds_mean",
+                    "updates_per_second", "cold_seconds", "speedup_vs_cold",
+                    "incremental_runs", "incremental_fallbacks",
+                    "frontier_peak_nodes", "fallback_exercised", "identical"):
+            if key not in row:
+                raise ValueError(f"streaming row is missing {key!r}: {row}")
+        if not row["identical"]:
+            raise ValueError(f"streaming row is not bit-identical: {row}")
+        if row["updates"] < 1:
+            raise ValueError(f"streaming row ran no updates: {row}")
+        if not row["fallback_exercised"] or row["incremental_fallbacks"] < 1:
+            raise ValueError(f"streaming row never exercised the fallback "
+                             f"threshold: {row}")
+        if row["incremental_runs"] < 1:
+            raise ValueError(f"streaming row never took the frontier path: "
+                             f"{row}")
+        if not document.get("smoke") and row["speedup_vs_cold"] <= 1.0:
+            raise ValueError(f"streaming re-solve is not faster than cold: "
+                             f"{row}")
     for row in document.get("out_of_core", ()):
         for key in ("graph", "config", "cold_seconds", "warm_seconds",
                     "in_memory_seconds", "csr_bytes_on_disk", "identical"):
@@ -868,10 +1008,13 @@ def main() -> int:
                         help="largest graph the faithful densest reference "
                              "pipeline is run on (larger rows report array "
                              "timings only)")
+    parser.add_argument("--stream-updates", type=int, default=None,
+                        help="edge-stream updates in the streaming scenario "
+                             "(default: 6, smoke: 3)")
     parser.add_argument("--out", "--output", dest="output", type=Path,
-                        default=REPO_ROOT / "BENCH_PR9.json",
+                        default=REPO_ROOT / "BENCH_PR10.json",
                         help="where to write the JSON document "
-                             "(default: BENCH_PR9.json at the repo root)")
+                             "(default: BENCH_PR10.json at the repo root)")
     args = parser.parse_args()
 
     sizes = [2_000] if args.smoke else args.sizes
@@ -894,7 +1037,8 @@ def main() -> int:
                               serve_workers=args.serve_workers,
                               densest_rounds=densest_rounds,
                               densest_reference_max_nodes=(
-                                  args.densest_reference_max_nodes))
+                                  args.densest_reference_max_nodes),
+                              stream_updates=args.stream_updates)
     validate_document(document)
     args.output.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
     print(f"bench: results written to {args.output}")

@@ -23,6 +23,14 @@ REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "$REPO_ROOT"
 export PYTHONPATH="$REPO_ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
 
+echo "== repo hygiene (no tracked bytecode) =="
+if git ls-files | grep -E '(\.py[co]$|__pycache__/)' ; then
+    echo "check.sh: tracked Python bytecode found; git rm --cached it" >&2
+    exit 1
+fi
+echo "clean"
+
+echo
 echo "== tier-1 tests =="
 python -m pytest -x -q
 

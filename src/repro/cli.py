@@ -206,6 +206,35 @@ def _build_parser() -> argparse.ArgumentParser:
                                    "duration, job id) to PATH; default: no "
                                    "access logging")
     add_trace_argument(serve_parser)
+    serve_parser.add_argument("--trace-sample", type=int, default=1,
+                              metavar="N",
+                              help="with --trace: record 1 in every N trace "
+                                   "trees (deterministic counter over root "
+                                   "spans, not an RNG; default 1 = trace "
+                                   "every request)")
+
+    delta_parser = subparsers.add_parser(
+        "delta", help="apply a graph delta against a running repro serve "
+                      "instance (POST /graphs/<fp>/deltas); prints the child "
+                      "version's fingerprint")
+    delta_parser.add_argument("--host", default="127.0.0.1",
+                              help="server address (default 127.0.0.1)")
+    delta_parser.add_argument("--port", type=int, default=8080,
+                              help="server TCP port (default 8080)")
+    delta_parser.add_argument("--fingerprint", required=True, metavar="HEX",
+                              help="parent graph fingerprint (a root content "
+                                   "fingerprint or a delta chain fingerprint)")
+    delta_parser.add_argument("--delta", type=Path, required=True,
+                              metavar="PATH",
+                              help="delta document (repro-graph-delta/1 JSON, "
+                                   "see GraphDelta.to_dict)")
+    delta_parser.add_argument("--max-frontier-fraction", type=float,
+                              default=None, metavar="F",
+                              help="fall back to a cold solve when the dirty "
+                                   "frontier exceeds F*n nodes "
+                                   "(default: the server's 0.25)")
+    delta_parser.add_argument("--tenant", default=None,
+                              help="X-Repro-Tenant header value")
 
     trace_parser = subparsers.add_parser(
         "trace", help="inspect a JSONL span trace recorded with --trace")
@@ -468,6 +497,27 @@ def _command_densest(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_delta(args: argparse.Namespace, out) -> int:
+    """Apply a GraphDelta to a served graph; print the child fingerprint."""
+    from repro.graph.delta import GraphDelta
+    from repro.serve.client import ServeClient
+
+    try:
+        payload = json.loads(args.delta.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot read delta document {args.delta}: {exc}") from exc
+    delta = GraphDelta.from_dict(payload)   # validate before going on the wire
+    with ServeClient(args.host, args.port, tenant=args.tenant) as client:
+        doc = client.apply_delta(args.fingerprint, delta,
+                                 max_frontier_fraction=args.max_frontier_fraction)
+    print(f"# {doc['delta']} on {args.fingerprint[:12]}... -> "
+          f"n={doc['n']} m={doc['m']} "
+          f"created={doc['created']} content={doc['content_fingerprint'][:12]}...",
+          file=out)
+    print(doc["fingerprint"], file=out)
+    return 0
+
+
 def _command_trace(args: argparse.Namespace, out) -> int:
     """Inspect a JSONL span trace: per-name latency table or re-export."""
     from repro.obs import trace as obs_trace
@@ -501,6 +551,7 @@ _COMMANDS = {
     "batch": _command_batch,
     "cache": _command_cache,
     "serve": _command_serve,
+    "delta": _command_delta,
     "trace": _command_trace,
     "coreness": _command_coreness,
     "orientation": _command_orientation,
@@ -522,7 +573,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     trace_path = getattr(args, "trace", None)
     if trace_path is not None:
         from repro.obs import trace as obs_trace
-        obs_trace.enable(jsonl_path=trace_path)
+        obs_trace.enable(jsonl_path=trace_path,
+                         sample_rate=getattr(args, "trace_sample", 1))
     try:
         if args.command in _PLAIN_COMMANDS:
             code = _PLAIN_COMMANDS[args.command](out)

@@ -170,6 +170,19 @@ class BatchRunner:
                 max_cached_results=self.max_cached_results)
         return hit
 
+    def adopt_session(self, session: Session) -> Session:
+        """Register an externally built session as the owner of its graph.
+
+        The delta path uses this: ``Session.apply_delta`` mints the child
+        session (carrying its parent link, delta and chain fingerprint), and
+        adopting it here routes every later job on the child graph through
+        the incremental state instead of a fresh cold session.  The adopted
+        session replaces any session previously opened for the same graph
+        object.
+        """
+        self._sessions[id(session.graph)] = session
+        return session
+
     def csr_view(self, graph: Graph) -> CSRAdjacency:
         """The (cached) CSR view of ``graph`` (owned by its session)."""
         return self.session(graph).csr

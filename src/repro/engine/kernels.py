@@ -265,6 +265,179 @@ def compact_trajectory(csr: CSRAdjacency, rounds: int, *, lam: float = 0.0,
     return out.as_array(rounds) if out is not None else trajectory
 
 
+class FrontierWarmStart:
+    """Warm start for a delta-derived graph: recompute only the dirty frontier.
+
+    Carries everything :func:`frontier_trajectory` needs to re-solve a child
+    graph incrementally against its parent's trajectory:
+
+    * ``parent_trajectory`` — the parent's ``(P + 1, parent_n)`` trajectory
+      for the same λ;
+    * ``parent_ids`` — int64 ``(n,)``: the parent integer id of every child
+      node, ``-1`` for nodes the delta introduced;
+    * ``changed`` — sorted int64 child ids whose update rule differs from the
+      parent (delta edge endpoints, re-weighted/removed edge endpoints, new
+      nodes) — the permanent seed of the frontier;
+    * ``max_frontier_fraction`` — the fallback policy: when the dirty set of
+      any round exceeds this fraction of ``n``, the incremental path bails
+      out (returns ``None``) and the caller runs a cold solve instead.
+
+    After the attempt the object reports what happened: ``used`` (the
+    incremental path produced the trajectory), ``fallback_reason`` (why it
+    did not), ``peak_frontier`` and ``nodes_recomputed`` (the work actually
+    done — the rest of the rows were copied from the parent).
+    """
+
+    __slots__ = ("parent_trajectory", "parent_ids", "changed",
+                 "max_frontier_fraction", "used", "fallback_reason",
+                 "peak_frontier", "nodes_recomputed")
+
+    def __init__(self, parent_trajectory: np.ndarray, parent_ids: np.ndarray,
+                 changed: np.ndarray, *,
+                 max_frontier_fraction: float = 0.25) -> None:
+        fraction = float(max_frontier_fraction)
+        if not 0.0 <= fraction <= 1.0:
+            raise AlgorithmError(f"max_frontier_fraction must be in [0, 1], "
+                                 f"got {fraction!r}")
+        self.parent_trajectory = np.asarray(parent_trajectory)
+        self.parent_ids = np.asarray(parent_ids, dtype=np.int64)
+        self.changed = np.unique(np.asarray(changed, dtype=np.int64))
+        self.max_frontier_fraction = fraction
+        self.used = False
+        self.fallback_reason: Optional[str] = None
+        self.peak_frontier = 0
+        self.nodes_recomputed = 0
+
+    def _fallback(self, reason: str) -> None:
+        self.used = False
+        self.fallback_reason = reason
+
+
+def _gathered_sub_csr(csr: CSRAdjacency, ids: np.ndarray):
+    """A CSR view of just the rows ``ids``, indices still in full node space.
+
+    Per-row adjacency order is preserved, so the lexsort tie resolution
+    inside :func:`compact_round_range` is identical to a full-range call —
+    the gathered rows run through the *same shared kernel* as every other
+    engine path.
+    """
+    from types import SimpleNamespace
+
+    starts = np.asarray(csr.indptr)[ids]
+    counts = np.asarray(csr.indptr)[ids + 1] - starts
+    sub_indptr = np.zeros(len(ids) + 1, dtype=np.int64)
+    np.cumsum(counts, out=sub_indptr[1:])
+    positions = np.repeat(starts - sub_indptr[:-1], counts) \
+        + np.arange(int(sub_indptr[-1]), dtype=np.int64)
+    return SimpleNamespace(indptr=sub_indptr,
+                           indices=np.asarray(csr.indices)[positions],
+                           weights=np.asarray(csr.weights)[positions],
+                           loops=np.asarray(csr.loops)[ids])
+
+
+def frontier_trajectory(csr: CSRAdjacency, rounds: int, *, lam: float = 0.0,
+                        warm: FrontierWarmStart) -> Optional[np.ndarray]:
+    """Incremental Algorithm 2 trajectory of a delta-derived graph.
+
+    Exploits the locality of the compact elimination rule: a node's round-``t``
+    value depends only on its *neighbours'* round-``t-1`` values (and its own
+    static loops/weights), never on its own previous value.  So a node whose
+    adjacency is unchanged and whose neighbours all carry parent-identical
+    values can copy the parent's row entry verbatim.  Per round the dirty set
+
+        ``dirty_t = changed ∪ N(diff_{t-1})``
+
+    is recomputed through :func:`compact_round_range` on a gathered sub-CSR
+    (full-space indices, per-row order preserved), where ``diff_{t-1}`` is the
+    set of nodes whose recomputed round-``t-1`` value actually differs from
+    the parent's; everything else is copied from ``warm.parent_trajectory``.
+
+    Returns the full ``(rounds + 1, n)`` trajectory, or ``None`` when the
+    incremental path cannot (parent trajectory too short and not converged)
+    or should not (frontier exceeded ``max_frontier_fraction·n``) run — the
+    caller then falls back to a cold solve.  ``warm`` records the outcome.
+
+    Bit-identity caveat: like the shard-plan invariance of
+    :func:`compact_round_range`, copied-vs-recomputed equality is exact for
+    integer/dyadic-rational weights (the domain the equivalence suite pins);
+    arbitrary float weights carry the usual last-ulp caveat.
+    """
+    if rounds < 0:
+        raise AlgorithmError(f"rounds must be non-negative, got {rounds}")
+    n = csr.num_nodes
+    grid = LambdaGrid(lam=lam)
+    ptraj = warm.parent_trajectory
+    parent_ids = warm.parent_ids
+    if parent_ids.shape != (n,):
+        raise AlgorithmError(f"parent_ids of shape {parent_ids.shape} does "
+                             f"not match a {n}-node CSR view")
+    P = ptraj.shape[0] - 1
+    if P < 1:
+        warm._fallback("parent trajectory has no computed rounds")
+        return None
+    if rounds > P and not np.array_equal(ptraj[P], ptraj[P - 1]):
+        warm._fallback(f"parent trajectory covers {P} < {rounds} rounds "
+                       f"and has not converged")
+        return None
+    limit = int(warm.max_frontier_fraction * n)
+    changed = warm.changed
+    if changed.size and (changed[0] < 0 or changed[-1] >= n):
+        raise AlgorithmError("changed ids out of range")
+    has_parent = parent_ids >= 0
+    gather_ids = parent_ids[has_parent]
+
+    tracer = obs_trace.active()
+    parent_ctx = obs_trace.current_context() if tracer is not None else None
+    trajectory = np.full((rounds + 1, n), np.inf, dtype=np.float64)
+    dirty = changed
+    current = trajectory[0]
+    for t in range(1, rounds + 1):
+        if dirty.size > limit:
+            warm._fallback(f"frontier of {dirty.size} nodes exceeds "
+                           f"{warm.max_frontier_fraction:g} of n={n} "
+                           f"at round {t}")
+            return None
+        warm.peak_frontier = max(warm.peak_frontier, int(dirty.size))
+        round_unix = time.time() if tracer is not None else 0.0
+        round_perf = time.perf_counter()
+        row = trajectory[t]
+        # Untouched nodes: the parent's row verbatim (the fixed-point row
+        # once the parent converged — f(x) = x, so the copy stays exact).
+        row[has_parent] = ptraj[min(t, P)][gather_ids]
+        if dirty.size:
+            new_vals = compact_round_range(_gathered_sub_csr(csr, dirty),
+                                           current, 0, len(dirty), grid)
+            diff_mask = new_vals != row[dirty]
+            row[dirty] = new_vals
+            warm.nodes_recomputed += int(dirty.size)
+        else:
+            diff_mask = np.zeros(0, dtype=bool)
+        round_seconds = time.perf_counter() - round_perf
+        KERNEL_ROUND_SECONDS.observe(round_seconds)
+        if tracer is not None:
+            tracer.record_span(
+                "kernel.frontier_round", start_unix=round_unix,
+                duration=round_seconds, parent=parent_ctx,
+                attrs={"round": t, "dirty": int(dirty.size), "n": n})
+        if np.array_equal(row, current):
+            trajectory[t:] = row  # child fixed point: remaining rows repeat
+            break
+        if diff_mask.any():
+            diff_ids = dirty[diff_mask]
+            starts = np.asarray(csr.indptr)[diff_ids]
+            counts = np.asarray(csr.indptr)[diff_ids + 1] - starts
+            positions = np.repeat(
+                starts - np.concatenate(([0], np.cumsum(counts)[:-1])),
+                counts) + np.arange(int(counts.sum()), dtype=np.int64)
+            neighbours = np.asarray(csr.indices)[positions]
+            dirty = np.unique(np.concatenate((changed, neighbours)))
+        else:
+            dirty = changed
+        current = row
+    warm.used = True
+    return trajectory
+
+
 def threshold_round_range(csr: CSRAdjacency, alive: np.ndarray, threshold: float,
                           lo: int, hi: int) -> np.ndarray:
     """One round of Algorithm 1 (single-threshold elimination) for ``lo..hi-1``.

@@ -12,7 +12,8 @@ import inspect
 import numpy as np
 
 from repro.engine.base import Engine
-from repro.engine.kernels import compact_trajectory
+from repro.engine.kernels import (FrontierWarmStart, compact_trajectory,
+                                  frontier_trajectory)
 from repro.errors import AlgorithmError
 from repro.obs import trace as obs_trace
 
@@ -42,6 +43,20 @@ class TrajectoryEngine(Engine):
             grid = grid_for_graph(graph, lam)
         with obs_trace.span("engine.run", engine=self.name, rounds=rounds,
                             lam=lam, n=csr.num_nodes):
+            if isinstance(warm_start, FrontierWarmStart):
+                # Delta-derived graph: try the frontier-restricted re-solve
+                # against the parent trajectory.  It shares the per-round
+                # kernel with every trajectory engine, so one branch here
+                # covers the vectorized engine and all sharded modes; a None
+                # return (parent too short, frontier too wide) falls through
+                # to the ordinary cold path below.
+                trajectory = frontier_trajectory(csr, rounds, lam=lam,
+                                                 warm=warm_start)
+                if trajectory is not None:
+                    return self.assemble(csr, trajectory, rounds, grid,
+                                         tie_break=tie_break,
+                                         track_kept=track_kept)
+                warm_start = None
             if warm_start is not None and self._trajectory_accepts_prefix():
                 trajectory = self.trajectory(csr, rounds, lam=lam,
                                              prefix=warm_start)

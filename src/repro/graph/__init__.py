@@ -17,6 +17,12 @@ from repro.graph.csr import (
     graph_to_csr,
 )
 from repro.graph.datasets import DatasetSpec, dataset_info, list_datasets, load_dataset
+from repro.graph.delta import (
+    GraphDelta,
+    apply_delta,
+    chain_fingerprint,
+    changed_labels,
+)
 from repro.graph.mmap_csr import (
     MappedCSR,
     csr_edge_bytes,
@@ -52,6 +58,10 @@ __all__ = [
     "csr_subset_density",
     "graph_fingerprint",
     "graph_to_csr",
+    "GraphDelta",
+    "apply_delta",
+    "chain_fingerprint",
+    "changed_labels",
     "MappedCSR",
     "csr_edge_bytes",
     "materialize_csr",

@@ -149,6 +149,39 @@ class _NoopSpan:
 NOOP_SPAN = _NoopSpan()
 
 
+class _SuppressedSpan:
+    """Context manager for an unsampled root span.
+
+    Records nothing, but suppresses descendant tracing on this thread for
+    its dynamic extent (``active()`` answers ``None`` and ``span()`` returns
+    the no-op inside it), so a sampled-out request drops its *whole* tree —
+    not just the root with orphaned children.  Stateless, hence shared.
+    """
+
+    __slots__ = ()
+    name = ""
+    seconds = None
+    attrs: Dict[str, Any] = {}
+
+    def __enter__(self) -> "_SuppressedSpan":
+        _LOCAL.suppressed = getattr(_LOCAL, "suppressed", 0) + 1
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        _LOCAL.suppressed = getattr(_LOCAL, "suppressed", 1) - 1
+        return False
+
+    def set(self, **attrs) -> "_SuppressedSpan":
+        return self
+
+    @property
+    def context(self) -> None:
+        return None
+
+
+SUPPRESSED_SPAN = _SuppressedSpan()
+
+
 class Span:
     """A live span; use as a context manager (``with obs.span(...)``)."""
 
@@ -239,7 +272,7 @@ class _Timed:
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         self.seconds = time.perf_counter() - self._start_perf
-        tracer = _TRACER
+        tracer = active()   # honours sampling suppression, unlike _TRACER
         if tracer is not None:
             tracer.record_span(self.name, start_unix=self._start_unix,
                                duration=self.seconds,
@@ -264,17 +297,32 @@ class Tracer:
     """Bounded in-memory ring of span records plus an optional JSONL sink."""
 
     def __init__(self, *, ring_size: int = 4096,
-                 jsonl_path: Optional[str] = None):
+                 jsonl_path: Optional[str] = None,
+                 sample_rate: int = 1):
         ring_size = int(ring_size)
         if ring_size < 1:
             raise ValueError("tracer ring_size must be >= 1")
+        sample_rate = int(sample_rate)
+        if sample_rate < 1:
+            raise ValueError("tracer sample_rate must be >= 1")
         self.ring_size = ring_size
+        self.sample_rate = sample_rate
         self.jsonl_path = os.fspath(jsonl_path) if jsonl_path is not None else None
         self._ring: deque = deque(maxlen=ring_size)
         self._lock = threading.Lock()
         self._jsonl = (open(self.jsonl_path, "a", encoding="utf-8")
                        if self.jsonl_path is not None else None)
         self.emitted = 0
+        # Deterministic 1-in-N sampling: a plain counter over root spans, not
+        # an RNG, so a test hitting a sampled server N times knows exactly
+        # which requests were traced.  ``count.__next__`` is GIL-atomic.
+        self._root_counter = itertools.count()
+
+    def sample_root(self) -> bool:
+        """Admission decision for a new root span (1-in-``sample_rate``)."""
+        if self.sample_rate <= 1:
+            return True
+        return next(self._root_counter) % self.sample_rate == 0
 
     def _record(self, record: Dict[str, Any]) -> None:
         with self._lock:
@@ -336,11 +384,20 @@ _TRACER: Optional[Tracer] = None
 
 
 def enable(*, ring_size: int = 4096,
-           jsonl_path: Optional[str] = None) -> Tracer:
-    """Install (and return) a process-wide tracer; replaces any previous one."""
+           jsonl_path: Optional[str] = None,
+           sample_rate: int = 1) -> Tracer:
+    """Install (and return) a process-wide tracer; replaces any previous one.
+
+    ``sample_rate=N`` keeps 1 in every N trace *trees*: the decision is made
+    once per root span by a deterministic counter (the 1st, N+1st, ... roots
+    are traced), and an unsampled root suppresses every descendant span on
+    its thread for its dynamic extent.  ``sample_rate=1`` (default) traces
+    everything.
+    """
     global _TRACER
     previous = _TRACER
-    _TRACER = Tracer(ring_size=ring_size, jsonl_path=jsonl_path)
+    _TRACER = Tracer(ring_size=ring_size, jsonl_path=jsonl_path,
+                     sample_rate=sample_rate)
     if previous is not None:
         previous.close()
     return _TRACER
@@ -360,17 +417,26 @@ def enabled() -> bool:
 
 
 def active() -> Optional[Tracer]:
-    """The installed tracer, or ``None`` — the cheap hot-loop gate."""
+    """The installed tracer, or ``None`` — the cheap hot-loop gate.
+
+    Answers ``None`` inside a sampled-out root span's extent, so hot loops
+    gating on ``active()`` drop their records along with the rest of the
+    suppressed tree.
+    """
+    if getattr(_LOCAL, "suppressed", 0) > 0:
+        return None
     return _TRACER
 
 
 def span(name: str, parent: Optional[SpanContext] = None, **attrs):
     """Open a span; returns the shared no-op when tracing is disabled."""
     tracer = _TRACER
-    if tracer is None:
+    if tracer is None or getattr(_LOCAL, "suppressed", 0) > 0:
         return NOOP_SPAN
     if parent is not None and not isinstance(parent, SpanContext):
         parent = SpanContext.from_wire(parent)
+    if parent is None and not _stack() and not tracer.sample_root():
+        return SUPPRESSED_SPAN
     return Span(tracer, name, parent, attrs)
 
 

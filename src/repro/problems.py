@@ -84,7 +84,8 @@ class Problem(ABC):
     #: per-Problem-class cache of the non-None defaults of its solve signature.
     _SOLVE_DEFAULTS: Dict[type, Dict[str, object]] = {}
 
-    def request_key(self, params: Mapping[str, object]) -> Optional[tuple]:
+    def request_key(self, params: Mapping[str, object], *,
+                    lineage: Optional[str] = None) -> Optional[tuple]:
         """Canonical hashable identity of one parametrised request.
 
         Params spelled at their default — ``None`` padding from convenience
@@ -97,6 +98,11 @@ class Problem(ABC):
         and the in-flight dedup of :mod:`repro.serve`; ``None`` (for
         unhashable parameter values) means the request cannot be
         deduplicated.
+
+        ``lineage`` is the graph-version dimension: a delta-derived session
+        passes its chain fingerprint so requests against different versions
+        of "the same" graph never deduplicate into each other, while root
+        sessions (``lineage=None``) keep their historical keys.
         """
         lam = params.get("lam")
         if isinstance(lam, (int, float)) and math.isfinite(lam):
@@ -109,11 +115,12 @@ class Problem(ABC):
                         and p.default is not None}
             Problem._SOLVE_DEFAULTS[type(self)] = defaults
         try:
-            return (self.name, frozenset(
+            base = (self.name, frozenset(
                 (k, v) for k, v in params.items()
                 if v is not None and (k not in defaults or v != defaults[k])))
         except TypeError:  # unhashable parameter value: no deduplication
             return None
+        return base if lineage is None else base + (lineage,)
 
     def describe(self) -> str:
         """One-line human-readable description (used by the CLI)."""

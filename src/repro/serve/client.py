@@ -125,6 +125,22 @@ class ServeClient:
     def graph(self, fingerprint: str) -> dict:
         return self._request("GET", f"/graphs/{fingerprint}")
 
+    def apply_delta(self, fingerprint: str, delta, *,
+                    max_frontier_fraction: Optional[float] = None) -> dict:
+        """Derive a child graph version from ``fingerprint`` by applying
+        ``delta`` (a :class:`~repro.graph.GraphDelta` or its wire dict).
+
+        Returns the child's graph document; its ``fingerprint`` is the
+        *chain* fingerprint — the address later jobs on the mutated graph
+        submit against.
+        """
+        wire = delta if isinstance(delta, dict) else delta.to_dict()
+        body: dict = {"delta": wire}
+        if max_frontier_fraction is not None:
+            body["max_frontier_fraction"] = max_frontier_fraction
+        return self._request("POST", f"/graphs/{fingerprint}/deltas",
+                             body=body)
+
     # -------------------------------------------------------------------- jobs
     def submit(self, fingerprint: str, *, problem: str = "coreness",
                **fields) -> dict:

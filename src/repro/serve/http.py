@@ -91,6 +91,7 @@ from repro.errors import (
 )
 from repro.graph.csr import csr_fingerprint, graph_to_csr
 from repro.graph.datasets import list_datasets, load_dataset
+from repro.graph.delta import GraphDelta
 from repro.graph.graph import Graph
 from repro.graph.io import from_dict as graph_from_dict
 from repro.graph.io import parse_edge_list
@@ -177,8 +178,11 @@ class _GraphRecord:
 
     fingerprint: str
     graph: Graph
-    source: str                        #: "dataset:<name>" | "edge-list" | "json"
+    source: str                        #: "dataset:<name>" | "edge-list" | "json" | "delta"
     uploads: int = 1                   #: times this content was (re-)uploaded
+    parent: Optional[str] = None       #: parent fingerprint for delta-derived versions
+    content_fingerprint: Optional[str] = None  #: content address when the
+                                       #: resource address is a chain fingerprint
 
 
 @dataclass
@@ -269,6 +273,19 @@ class ReproHTTPServer(ThreadingHTTPServer):
             self._access_owned = True
         self.registry = MetricsRegistry()
         self.registry.register_collector(self._collect_families)
+        # Per-tenant label dimension (the aggregate spellings above stay for
+        # dashboards that predate it): who submits, who gets throttled.
+        self._jobs_submitted_by_tenant = self.registry.counter(
+            "repro_http_jobs_submitted_total",
+            "Job submissions admitted, by tenant", labelnames=("tenant",))
+        self._rejected_by_tenant = self.registry.counter(
+            "repro_http_tenant_rejected_total",
+            "Submissions refused by admission control, by tenant and reason",
+            labelnames=("tenant", "reason"))
+        self._deltas_by_tenant = self.registry.counter(
+            "repro_http_deltas_applied_total",
+            "Graph deltas applied, by tenant", labelnames=("tenant",))
+        self._applied_deltas = 0
         super().__init__((host, port), _Handler)
 
     # ---------------------------------------------------------------- lifecycle
@@ -333,6 +350,7 @@ class ReproHTTPServer(ThreadingHTTPServer):
         if retry_after > 0.0:
             with self._state_lock:
                 self._rejected_quota += 1
+            self._rejected_by_tenant.inc(tenant=tenant, reason="quota")
             raise QuotaExceededError(
                 f"tenant {tenant!r} exceeded its request quota "
                 f"({self.quota_rate:g}/s, burst {self.quota_burst:g})",
@@ -386,6 +404,60 @@ class ReproHTTPServer(ThreadingHTTPServer):
             "graph upload must carry one of: {'dataset': name}, "
             "{'edge_list': text}, or a repro-graph-v1 document")
 
+    # ------------------------------------------------------------------ deltas
+    def apply_delta(self, fingerprint: str, payload: dict, *,
+                    tenant: str = "default") -> dict:
+        """Apply one :class:`~repro.graph.GraphDelta` to a registered graph.
+
+        The parent may itself be delta-derived (resources are addressed by
+        chain fingerprint), so versions chain.  The child session is minted
+        by :meth:`repro.session.Session.apply_delta` — carrying the parent
+        link, lineage record and frontier state — and adopted into the shared
+        runner so every later job on the child graph goes through the
+        incremental path.  Deriving a version that is already registered
+        (same chain fingerprint) is idempotent: the existing record answers
+        with ``created=False``.
+        """
+        with self._state_lock:
+            if self._draining:
+                raise ServeError("server is draining; not accepting deltas")
+        record = self.graph_record(fingerprint)
+        self._charge_tenant(tenant)
+        if not isinstance(payload, dict):
+            raise WireFormatError("delta request must be a JSON object")
+        unknown = sorted(set(payload) - {"delta", "max_frontier_fraction"})
+        if unknown:
+            raise WireFormatError(
+                f"unknown delta field(s) {', '.join(map(repr, unknown))}; "
+                f"allowed: 'delta', 'max_frontier_fraction'")
+        if "delta" not in payload:
+            raise WireFormatError("delta request must carry a 'delta' document")
+        delta = GraphDelta.from_dict(payload["delta"])
+        fraction = payload.get("max_frontier_fraction", 0.25)
+        if not isinstance(fraction, (int, float)) or isinstance(fraction, bool):
+            raise WireFormatError("max_frontier_fraction must be a number")
+        parent_session = self.queue.runner.session(record.graph)
+        child = parent_session.apply_delta(delta,
+                                           max_frontier_fraction=float(fraction))
+        child_fp = child.chain_fingerprint
+        with self._state_lock:
+            hit = self._graphs.get(child_fp)
+            created = hit is None
+            if created:
+                hit = self._graphs[child_fp] = _GraphRecord(
+                    fingerprint=child_fp, graph=child.graph, source="delta",
+                    parent=fingerprint,
+                    content_fingerprint=child.fingerprint)
+                self._applied_deltas += 1
+            else:
+                hit.uploads += 1
+        if created:
+            self.queue.runner.adopt_session(child)
+        self._deltas_by_tenant.inc(tenant=tenant)
+        return {**self._graph_doc(hit), "delta": delta.describe(),
+                "operations": delta.num_operations, "created": created,
+                "tenant": tenant}
+
     # -------------------------------------------------------------------- jobs
     def _build_job(self, graph: Graph, payload: dict) -> BatchJob:
         if not isinstance(payload, dict):
@@ -425,7 +497,9 @@ class ReproHTTPServer(ThreadingHTTPServer):
         except QueueFullError:
             with self._state_lock:
                 self._rejected_backpressure += 1
+            self._rejected_by_tenant.inc(tenant=tenant, reason="backpressure")
             raise
+        self._jobs_submitted_by_tenant.inc(tenant=tenant)
         problem_name = job.problem_name()
         with self._state_lock:
             hit = self._by_future.get(future)
@@ -541,6 +615,7 @@ class ReproHTTPServer(ThreadingHTTPServer):
             raise WireFormatError("batch needs a non-empty 'requests' list")
         record_graph = self.graph_record(fingerprint)
         self._charge_tenant(tenant, tokens=float(len(payloads)))
+        self._jobs_submitted_by_tenant.inc(float(len(payloads)), tenant=tenant)
         jobs = [self._build_job(record_graph.graph, payload)
                 for payload in payloads]
 
@@ -592,9 +667,11 @@ class ReproHTTPServer(ThreadingHTTPServer):
             rejected_quota = self._rejected_quota
             rejected_backpressure = self._rejected_backpressure
             evicted_jobs = self._evicted_jobs
+            applied_deltas = self._applied_deltas
         document = {
             "server": {"version": __version__, "graphs": graphs,
                        "draining": self._draining,
+                       "applied_deltas": applied_deltas,
                        "rejected_quota": rejected_quota,
                        "rejected_backpressure": rejected_backpressure,
                        "evicted_jobs": evicted_jobs,
@@ -687,9 +764,14 @@ class ReproHTTPServer(ThreadingHTTPServer):
 
     @staticmethod
     def _graph_doc(record: _GraphRecord) -> dict:
-        return {"fingerprint": record.fingerprint,
-                "n": record.graph.num_nodes, "m": record.graph.num_edges,
-                "source": record.source, "uploads": record.uploads}
+        doc = {"fingerprint": record.fingerprint,
+               "n": record.graph.num_nodes, "m": record.graph.num_edges,
+               "source": record.source, "uploads": record.uploads}
+        if record.parent is not None:
+            doc["parent"] = record.parent
+        if record.content_fingerprint is not None:
+            doc["content_fingerprint"] = record.content_fingerprint
+        return doc
 
     def jobs_document(self) -> dict:
         with self._state_lock:
@@ -874,6 +956,14 @@ class _Handler(BaseHTTPRequestHandler):
                                "deduplicated": document.get("deduplicated",
                                                             False)}
             self._send_json(202, document)
+        elif len(segments) == 3 and segments[0] == "graphs" \
+                and segments[2] == "deltas":
+            payload = self._read_json()
+            document = self.server.apply_delta(segments[1], payload,
+                                               tenant=self._tenant())
+            self._log_extra = {"child": document.get("fingerprint"),
+                               "created": document.get("created", False)}
+            self._send_json(201 if document.get("created") else 200, document)
         elif len(segments) == 3 and segments[0] == "graphs" \
                 and segments[2] == "batch":
             payload = self._read_json()

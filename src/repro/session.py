@@ -55,6 +55,9 @@ from repro.core.surviving import TIE_BREAK_RULES, SurvivingNumbers
 from repro.engine.base import Engine, EngineLike, get_engine
 from repro.errors import AlgorithmError
 from repro.graph.csr import CSRAdjacency, csr_fingerprint, graph_to_csr
+from repro.graph.delta import (GraphDelta, apply_delta as apply_graph_delta,
+                               chain_fingerprint as delta_chain_fingerprint,
+                               changed_labels)
 from repro.graph.graph import Graph
 from repro.obs import trace as obs_trace
 from repro.obs.metrics import counter_families, get_registry
@@ -91,6 +94,10 @@ class SessionStats:
     disk_misses: int = 0        #: store probes that found nothing usable
     disk_writes: int = 0        #: artifacts persisted to the store
     evictions: int = 0          #: cached results dropped by the LRU bound
+    incremental_runs: int = 0   #: runs served by the frontier-restricted path
+    incremental_fallbacks: int = 0  #: frontier attempts that fell back cold
+    frontier_nodes_recomputed: int = 0  #: node-rounds recomputed incrementally
+    frontier_peak_nodes: int = 0  #: widest dirty frontier across incremental runs
 
     def to_dict(self) -> dict:
         """JSON-serializable snapshot of the counters."""
@@ -180,6 +187,15 @@ class Session:
         self._problem_results: "OrderedDict[tuple, object]" = OrderedDict()
         #: rounds known to be on disk per λ (-1: known empty, absent: unknown).
         self._disk_rounds: Dict[float, int] = {}
+        # Incremental state (set by apply_delta on the child session): the
+        # parent session, the delta that derived this graph from it, the
+        # chained lineage fingerprint, and the fallback policy for the
+        # frontier-restricted re-solve.  All None/default on root sessions.
+        self._parent: Optional["Session"] = None
+        self._delta: Optional[GraphDelta] = None
+        self._chain_fingerprint: Optional[str] = None
+        self._max_frontier_fraction: float = 0.25
+        self._frontier_seed: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._array_engine = callable(getattr(self.engine, "trajectory", None))
         # Hints (csr / grid / warm_start) go to any engine whose run()
         # signature declares them — the documented contract — but csr/grid are
@@ -238,6 +254,149 @@ class Session:
         if self._fingerprint is None:
             self._fingerprint = csr_fingerprint(self.csr)
         return self._fingerprint
+
+    @property
+    def chain_fingerprint(self) -> str:
+        """The lineage address of this session's graph version.
+
+        For a delta-derived session this is the chained fingerprint
+        ``H(parent_chain_fp, delta)`` — cheap to mint (no re-hash of the
+        mutated graph) and unique per *path* of mutations.  For a root
+        session it is simply the content :attr:`fingerprint`, so every
+        session has a lineage address and chains can start anywhere.
+        """
+        if self._chain_fingerprint is not None:
+            return self._chain_fingerprint
+        return self.fingerprint
+
+    @property
+    def parent(self) -> Optional["Session"]:
+        """The session this one was derived from via :meth:`apply_delta`
+        (None for root sessions)."""
+        return self._parent
+
+    @property
+    def delta(self) -> Optional[GraphDelta]:
+        """The delta that derived this session's graph (None for roots)."""
+        return self._delta
+
+    # -------------------------------------------------------------- incremental
+    def apply_delta(self, delta: GraphDelta, *,
+                    max_frontier_fraction: float = 0.25) -> "Session":
+        """A child session over the mutated graph, solving incrementally.
+
+        Applies ``delta`` to this session's graph (which is left untouched)
+        and returns a new :class:`Session` that knows its parentage: its
+        first solve per λ recomputes only the dirty-node frontier seeded by
+        the delta's endpoints, copying the parent's trajectory rows for
+        untouched nodes — bit-identical to a cold solve of the mutated graph
+        (the contract pinned by ``tests/test_session_equivalence.py``).  When
+        a round's frontier exceeds ``max_frontier_fraction * n`` (or the
+        parent has no usable trajectory), the child transparently falls back
+        to a cold solve; either way the child persists its own artifacts
+        under its content fingerprint, so later requests and restarts never
+        depend on the parent again.
+
+        With a bound store, the lineage edge
+        ``chain_fingerprint -> (parent, delta)`` is recorded via
+        :meth:`repro.store.ArtifactStore.record_lineage`, making the chain
+        reconstructable (and the delta re-playable) after a restart.
+
+        Chains compose: ``session.apply_delta(d1).apply_delta(d2)`` walks two
+        frontier-restricted solves, each against its immediate parent.
+        """
+        if not isinstance(delta, GraphDelta):
+            raise AlgorithmError(
+                f"apply_delta expects a GraphDelta, got {type(delta).__name__}")
+        if not 0.0 <= float(max_frontier_fraction) <= 1.0:
+            raise AlgorithmError(
+                f"max_frontier_fraction must be in [0, 1], "
+                f"got {max_frontier_fraction!r}")
+        child_graph = apply_graph_delta(self.graph, delta)
+        child = Session(child_graph, engine=self.engine, lam=self._default_lam,
+                        store=self.store,
+                        max_cached_results=self.max_cached_results)
+        child._parent = self
+        child._delta = delta
+        child._max_frontier_fraction = float(max_frontier_fraction)
+        child._chain_fingerprint = delta_chain_fingerprint(
+            self.chain_fingerprint, delta)
+        if self.store is not None:
+            self.store.record_lineage(
+                child._chain_fingerprint, self.chain_fingerprint, delta,
+                content_fingerprint=child.fingerprint,
+                parent_content_fingerprint=self.fingerprint)
+        return child
+
+    def _label_index(self) -> Dict:
+        """Label -> integer id map of this session's CSR view (cached)."""
+        cached = getattr(self, "_label_index_cache", None)
+        if cached is None:
+            cached = {lab: i for i, lab in enumerate(self.csr.labels())}
+            self._label_index_cache = cached
+        return cached
+
+    def _delta_frontier_seed(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(parent_ids, changed)`` for the frontier warm start (cached).
+
+        ``parent_ids[i]`` is the parent CSR id of child node ``i`` (-1 for
+        delta-introduced nodes); ``changed`` is the sorted child ids of every
+        node the delta touched.  Node order is insertion order and
+        :func:`repro.graph.delta.apply_delta` appends new nodes, so the
+        common case is the identity prefix — detected with one tuple
+        comparison instead of a per-node dict walk.
+        """
+        if self._frontier_seed is not None:
+            return self._frontier_seed
+        child_labels = self.csr.labels()
+        parent_labels = self._parent.csr.labels()
+        pn, n = len(parent_labels), len(child_labels)
+        parent_ids = np.full(n, -1, dtype=np.int64)
+        if child_labels[:pn] == parent_labels:
+            parent_ids[:pn] = np.arange(pn, dtype=np.int64)
+        else:  # pragma: no cover - defensive: apply_delta preserves order
+            index = self._parent._label_index()
+            for i, lab in enumerate(child_labels):
+                parent_ids[i] = index.get(lab, -1)
+        child_index = self._label_index()
+        changed = np.fromiter(
+            sorted(child_index[lab] for lab in changed_labels(self._delta)),
+            dtype=np.int64)
+        self._frontier_seed = (parent_ids, changed)
+        return self._frontier_seed
+
+    def _frontier_warm_start(self, lam: float, T: int):
+        """A :class:`~repro.engine.kernels.FrontierWarmStart` for this request,
+        or None when the incremental path cannot apply.
+
+        Requires a parent trajectory at this λ covering ``T`` rounds (or a
+        converged shorter one) — pulled from the parent's memory cache or,
+        after a restart, from its artifact store.  The engine must be a
+        :class:`~repro.engine.vectorized.TrajectoryEngine` (they all share
+        the frontier branch in ``run``); anything else solves cold.
+        """
+        from repro.engine.kernels import FrontierWarmStart
+        from repro.engine.vectorized import TrajectoryEngine
+
+        parent = self._parent
+        if parent is None or not isinstance(self.engine, TrajectoryEngine) \
+                or not parent.supports_trajectories:
+            return None
+        ptraj = parent._trajectories.get(lam)
+        if parent.store is not None:
+            ptraj = parent._adopt_stored_trajectory(lam, T, ptraj)
+        if ptraj is None or ptraj.shape[0] < 2:
+            return None
+        P = ptraj.shape[0] - 1
+        if P < T and not np.array_equal(ptraj[P], ptraj[P - 1]):
+            # Parent rounds don't cover the request and the parent hasn't
+            # reached its fixed point: rows past P are unknown, so the
+            # incremental path cannot be bit-exact.  Solve cold.
+            return None
+        parent_ids, changed = self._delta_frontier_seed()
+        return FrontierWarmStart(
+            ptraj, parent_ids, changed,
+            max_frontier_fraction=self._max_frontier_fraction)
 
     def _cache_put(self, cache: OrderedDict, key, value) -> None:
         """Insert into an LRU-bounded result cache, evicting the oldest."""
@@ -301,6 +460,7 @@ class Session:
             return hit
         with obs_trace.span("session.surviving", rounds=T, lam=lam,
                             engine=self.engine.name):
+            frontier = None
             prefix = self._trajectories.get(lam)
             if self.store is not None and self._array_engine:
                 prefix = self._adopt_stored_trajectory(lam, T, prefix)
@@ -335,10 +495,19 @@ class Session:
                     run_kwargs["grid"] = self.grid(lam)
                 if warm is not None:
                     run_kwargs["warm_start"] = warm
+                elif self._parent is not None and self._array_engine \
+                        and "warm_start" in self._run_hints:
+                    # Delta-derived session with no own trajectory yet: hand
+                    # the engine a frontier warm start against the parent's
+                    # trajectory.  The engine falls back to a cold run by
+                    # itself when the frontier widens past the policy bound.
+                    frontier = self._frontier_warm_start(lam, T)
+                    if frontier is not None:
+                        run_kwargs["warm_start"] = frontier
                 result = self.engine.run(self.graph, T, lam=lam,
                                          tie_break=tie_break,
                                          track_kept=track_kept, **run_kwargs)
-            self._account(T, warm, result)
+            self._account(T, warm, result, frontier=frontier)
             if result.trajectory is not None and (
                     prefix is None or result.trajectory.shape[0] > prefix.shape[0]):
                 self._trajectories[lam] = result.trajectory
@@ -490,11 +659,21 @@ class Session:
                                          track_kept=track_kept)
 
     def _account(self, T: int, warm: Optional[np.ndarray],
-                 result: SurvivingNumbers) -> None:
+                 result: SurvivingNumbers, *, frontier=None) -> None:
         # ``warm`` is the cached trajectory that was actually consumed (served
         # as a slice or handed to a prefix-capable engine) — None whenever the
         # engine ran every round itself, including engines that cannot take
-        # the hint.
+        # the hint.  ``frontier`` is the FrontierWarmStart of an incremental
+        # attempt; it records whether the engine used it or fell back cold.
+        if frontier is not None:
+            if frontier.used:
+                self.stats.incremental_runs += 1
+                self.stats.frontier_nodes_recomputed += frontier.nodes_recomputed
+                self.stats.frontier_peak_nodes = max(
+                    self.stats.frontier_peak_nodes, frontier.peak_frontier)
+                self.stats.rounds_executed += T
+                return
+            self.stats.incremental_fallbacks += 1
         if result.trajectory is None or warm is None:
             self.stats.cold_runs += 1
             self.stats.rounds_executed += T
@@ -527,7 +706,8 @@ class Session:
         if params.get("lam") == self._default_lam:
             params = {**params, "lam": None}
         key = self._request_key(prob, params,
-                                caller_instance=isinstance(problem, Problem))
+                                caller_instance=isinstance(problem, Problem),
+                                lineage=self._chain_fingerprint)
         if key is not None:
             hit = self._cache_get(self._problem_results, key)
             if hit is not None:
@@ -543,12 +723,12 @@ class Session:
         return result
 
     @staticmethod
-    def _request_key(prob: Problem, params: dict, *,
-                     caller_instance: bool) -> Optional[tuple]:
+    def _request_key(prob: Problem, params: dict, *, caller_instance: bool,
+                     lineage: Optional[str] = None) -> Optional[tuple]:
         # The parameter canonicalisation (default-stripping) is the problem's
         # own :meth:`Problem.request_key` — shared with the in-flight dedup of
         # :mod:`repro.serve`.  None (unhashable params) skips request caching.
-        base = prob.request_key(params)
+        base = prob.request_key(params, lineage=lineage)
         if base is None:
             return None
         # Name-resolved problems get a fresh stateless instance per request, so

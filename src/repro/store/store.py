@@ -361,6 +361,88 @@ class ArtifactStore:
         finally:
             archive.close()
 
+    # ----------------------------------------------------------------- lineage
+    def lineage_path(self, chain_fingerprint: str) -> Path:
+        """The ``lineage.json`` descriptor of a chained (delta-derived) version.
+
+        Lives in the version's *chain*-fingerprint directory — a 64-hex
+        address like any content fingerprint, so the same layout, hygiene
+        and management machinery apply.
+        """
+        return self.graph_dir(chain_fingerprint) / "lineage.json"
+
+    def record_lineage(self, chain_fingerprint: str, parent_fingerprint: str,
+                       delta, *, content_fingerprint: Optional[str] = None,
+                       parent_content_fingerprint: Optional[str] = None) -> Path:
+        """Persist the lineage edge ``chain_fingerprint -> (parent, delta)``.
+
+        ``delta`` is a :class:`repro.graph.delta.GraphDelta`; its wire form is
+        embedded so the mutation is replayable after a restart (graphs whose
+        node labels are not JSON scalars record ``delta: null`` — the edge
+        survives, the replay does not).  ``content_fingerprint`` maps the
+        chain address to the mutated graph's content address, which is where
+        the child's own artifacts (trajectories, results, CSR spills) live.
+        Idempotent overwrite: the chain fingerprint determines the content.
+        """
+        try:
+            delta_doc = delta.to_dict()
+            json.dumps(delta_doc)
+        except TypeError:
+            delta_doc = None
+        doc = {"schema": SCHEMA_VERSION, "kind": "lineage",
+               "fingerprint": chain_fingerprint,
+               "parent": parent_fingerprint,
+               "content_fingerprint": content_fingerprint,
+               "parent_content_fingerprint": parent_content_fingerprint,
+               "delta": delta_doc}
+        path = self.lineage_path(chain_fingerprint)
+        with obs_trace.span("store.record_lineage",
+                            fingerprint=chain_fingerprint,
+                            parent=parent_fingerprint):
+            self._atomic_write(path, (json.dumps(doc, indent=2) + "\n")
+                               .encode("utf-8"))
+        return path
+
+    def load_lineage(self, chain_fingerprint: str) -> Optional[dict]:
+        """The lineage record of ``chain_fingerprint``, or None.
+
+        Absent, corrupted, schema-mismatching and address-mismatching files
+        all read as None (the usual "can cost a recompute, never a wrong
+        answer" posture).
+        """
+        try:
+            doc = json.loads(self.lineage_path(chain_fingerprint)
+                             .read_text(encoding="utf-8"))
+        except _LOAD_ERRORS:
+            return None
+        if (not isinstance(doc, dict) or doc.get("schema") != SCHEMA_VERSION
+                or doc.get("kind") != "lineage"
+                or doc.get("fingerprint") != chain_fingerprint
+                or not is_fingerprint(doc.get("parent", ""))):
+            return None
+        return doc
+
+    def lineage_chain(self, chain_fingerprint: str) -> List[dict]:
+        """The recorded ancestry of ``chain_fingerprint``, child first.
+
+        Walks ``parent`` links until a fingerprint with no lineage record —
+        the chain's root (a plain content-addressed graph) — or a cycle
+        (corrupt records) is reached.  An empty list means the fingerprint
+        itself has no recorded lineage.
+        """
+        chain: List[dict] = []
+        seen = {chain_fingerprint}
+        current = chain_fingerprint
+        while True:
+            record = self.load_lineage(current)
+            if record is None:
+                return chain
+            chain.append(record)
+            current = record["parent"]
+            if current in seen:  # corrupt: a cycle is not a lineage
+                return chain
+            seen.add(current)
+
     # -------------------------------------------------------------- management
     def csr_dir(self, fingerprint: str) -> Path:
         """The subdirectory holding ``fingerprint``'s memory-mapped CSR arrays.
@@ -512,7 +594,7 @@ class ArtifactStore:
             raise StoreError(f"max_bytes must be >= 0, got {max_bytes}")
         entries = []
         for path in self._artifact_files():
-            if path.name == "graph.json" or (
+            if path.name in ("graph.json", "lineage.json") or (
                     self._is_csr_file(path) and path.name == "meta.json") or (
                     self._is_traj_file(path)
                     and path.name == traj_store.HEADER_NAME):
@@ -550,6 +632,11 @@ class ArtifactStore:
                         subdir.rmdir()
                     except OSError:  # pragma: no cover - concurrent write
                         pass
+            # graph.json is a descriptor (goes when nothing is left to
+            # describe); lineage.json is a *record* — a few hundred bytes
+            # whose loss would orphan a whole chain of versions, so evict
+            # never candidates it (above) and a directory holding one is
+            # not empty.  Only ``purge`` removes lineage.
             artifacts = [p for p in directory.iterdir() if p.name != "graph.json"]
             if not artifacts:
                 (directory / "graph.json").unlink(missing_ok=True)

@@ -4,7 +4,7 @@ Runs ``scripts/bench.py --smoke`` end-to-end as a subprocess (the way CI and
 operators invoke it) and validates the emitted ``BENCH_PR6.json``-style
 document against the schema; also validates the committed bench documents
 (``BENCH_PR3.json`` / ``BENCH_PR4.json`` legacy schemas, ``BENCH_PR5.json``
-through ``BENCH_PR9.json``) at the repo root when present, so a schema change
+through ``BENCH_PR10.json``) at the repo root when present, so a schema change
 cannot strand the persisted perf trajectory.
 """
 
@@ -92,13 +92,24 @@ def test_smoke_run_emits_valid_document(tmp_path):
                and row["spans_recorded"] >= 1
                and row["noop_span_seconds_per_call"] < 1e-5
                for row in document["obs_overhead"])
+    # The streaming scenario chained deltas through the frontier path,
+    # stayed bit-identical to cold solves on the mutated graphs, and
+    # exercised the fallback threshold (the >1x speedup bar applies to the
+    # full run's 200k graph, not the smoke graph).
+    assert document["streaming"]
+    assert all(row["identical"] and row["fallback_exercised"]
+               and row["incremental_runs"] >= 1
+               and row["incremental_fallbacks"] >= 1
+               and row["updates_per_second"] > 0
+               and row["apply_seconds_mean"] > 0
+               for row in document["streaming"])
 
 
 @pytest.mark.bench
 @pytest.mark.parametrize("name", ["BENCH_PR3.json", "BENCH_PR4.json",
                                   "BENCH_PR5.json", "BENCH_PR6.json",
                                   "BENCH_PR7.json", "BENCH_PR8.json",
-                                  "BENCH_PR9.json"])
+                                  "BENCH_PR9.json", "BENCH_PR10.json"])
 def test_committed_bench_documents_match_schema(name):
     committed = REPO_ROOT / name
     if not committed.exists():

@@ -1,0 +1,116 @@
+"""Property-style fuzz for the densest pipeline's orphan/limbo corners.
+
+The handcrafted adversarial cases in test_densest_equivalence.py pin the
+*known* failure shapes (orphans, stranded subtrees, value plateaus).  This
+suite searches for unknown ones: seeded-random small graphs with
+seeded-random value assignments drawn from a plateau-heavy palette — small
+round budgets plus large value gaps are exactly what strands BFS waves
+mid-flight and produces orphans and limbo subtrees.  Every trial cross-checks
+the faithful per-node protocols against the CSR kernels bit-identically, both
+per phase (via the shared ``_phase_comparison`` harness) and end-to-end
+(``weak_densest_subsets`` faithful vs ``engine="array"``).
+
+All weights and values are integers or halves, so float sums are exact and
+"bit-identical" is a meaningful assertion, not a tolerance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from test_densest_equivalence import _assert_results_identical, _phase_comparison
+
+from repro.core.densest import weak_densest_subsets
+from repro.graph.graph import Graph
+
+#: Plateau-heavy palette: duplicates force identity-order leader election,
+#: the 100.0 outlier builds waves that outrun the round budget (orphans).
+VALUE_PALETTE = (0.5, 1.0, 1.0, 2.0, 2.0, 5.0, 100.0)
+
+
+def random_graph(rng: np.random.Generator) -> Graph:
+    """A random small connected-ish graph biased toward deep, thin shapes.
+
+    Thin shapes (paths, sparse trees) with a far-away high-value node are
+    what produce orphans: the strong leader's wave arrives in the last round
+    and leaves earlier requesters parentless.  Denser trials cover the
+    plateau/tie behaviour instead.
+    """
+    n = int(rng.integers(4, 17))
+    shape = rng.choice(("path", "tree", "sparse", "dense"))
+    labels = (list(range(n)) if rng.random() < 0.7
+              else [f"v{i}" for i in range(n)])
+    rng.shuffle(labels)
+    graph = Graph()
+    edges = set()
+
+    def connect(i, j, w):
+        key = (min(i, j), max(i, j))
+        if i != j and key not in edges:
+            edges.add(key)
+            graph.add_edge(labels[i], labels[j], w)
+
+    weights = rng.choice((1.0, 1.0, 2.0, 4.0), size=4 * n)
+    if shape == "path":
+        for i in range(1, n):
+            connect(i - 1, i, weights[i])
+    elif shape == "tree":
+        for i in range(1, n):
+            connect(int(rng.integers(0, i)), i, weights[i])
+    else:
+        for i in range(1, n):  # spanning tree first: no isolated fragments
+            connect(int(rng.integers(0, i)), i, weights[i])
+        extra = n // 2 if shape == "sparse" else 2 * n
+        for k in range(extra):
+            connect(int(rng.integers(0, n)), int(rng.integers(0, n)),
+                    weights[(n + k) % len(weights)])
+    return graph
+
+
+class TestPhaseKernelFuzz:
+    """Phases 2-4 under random values: protocols vs kernels, node by node."""
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_topology_random_values(self, seed):
+        rng = np.random.default_rng(20_000 + seed)
+        graph = random_graph(rng)
+        values = {v: float(rng.choice(VALUE_PALETTE)) for v in graph.nodes()}
+        T = int(rng.integers(1, 5))          # short budgets strand waves
+        factor = float(rng.choice((1.5, 2.0, 3.0)))
+        _phase_comparison(graph, values, T, factor)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_all_values_equal_pure_identity_order(self, seed):
+        # Total plateau: every leader election falls to the repr-string
+        # identity order — the orphan-free worst case for tie handling.
+        rng = np.random.default_rng(30_000 + seed)
+        graph = random_graph(rng)
+        value = float(rng.choice((1.0, 2.0)))
+        _phase_comparison(graph, {v: value for v in graph.nodes()},
+                          int(rng.integers(1, 4)), 2.0)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_single_giant_among_plateau(self, seed):
+        # One node towers over a flat landscape: its wave must either claim
+        # everything it reaches in T rounds or orphan the requesters it
+        # cannot — the stranded-subtree generator.
+        rng = np.random.default_rng(40_000 + seed)
+        graph = random_graph(rng)
+        nodes = list(graph.nodes())
+        values = {v: 1.0 for v in nodes}
+        values[nodes[int(rng.integers(0, len(nodes)))]] = 100.0
+        _phase_comparison(graph, values, int(rng.integers(1, 4)), 2.0)
+
+
+class TestEndToEndFuzz:
+    """Whole pipeline: faithful simulator vs ``engine="array"``."""
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_faithful_vs_array_bit_identical(self, seed):
+        rng = np.random.default_rng(50_000 + seed)
+        graph = random_graph(rng)
+        rounds = int(rng.integers(1, 6))
+        reference = weak_densest_subsets(graph, rounds=rounds)
+        fast = weak_densest_subsets(graph, rounds=rounds, engine="array")
+        _assert_results_identical(fast, reference)
+        assert fast.subsets_are_disjoint()

@@ -248,6 +248,152 @@ class TestWireEquivalence:
         assert first == json.loads(json.dumps(reference.to_dict()))
 
 
+def _mutation_for(graph):
+    """A deterministic small delta against ``graph``: one edge added between
+    existing non-adjacent nodes (plus one brand-new node), one edge removed,
+    one reweighted — integer weights so bit-identity is exact."""
+    from repro.graph import GraphDelta
+
+    nodes = sorted(graph.nodes(), key=repr)
+    edges = sorted(((u, v, w) for u, v, w in graph.edges(data=True)),
+                   key=lambda e: (repr(e[0]), repr(e[1])))
+    add = [(nodes[0], f"delta-node-{nodes[0]!r}", 2.0)]
+    for u in nodes[:4]:
+        for v in nodes[-4:]:
+            if u != v and not graph.has_edge(u, v):
+                add.append((u, v, 3.0))
+                break
+        else:
+            continue
+        break
+    remove = [(edges[0][0], edges[0][1])] if len(edges) > 1 else []
+    reweight = [(edges[-1][0], edges[-1][1], edges[-1][2] + 1.0)] \
+        if len(edges) > 1 else []
+    return GraphDelta(add_edges=tuple(add), remove_edges=tuple(remove),
+                      set_weights=tuple(reweight))
+
+
+class TestDeltaEquivalence:
+    """Tentpole acceptance: ``Session.apply_delta`` answers bit-identically to
+    a cold solve on the mutated graph — on every engine, through the frontier
+    path, the fallback path, and across a store restart along the lineage
+    chain."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("graph, rounds", SUITE[::2])
+    def test_incremental_matches_cold_solve(self, graph, rounds, engine):
+        from repro.graph import apply_delta
+        _skip_if_faithful_cannot_run(engine, graph)
+        if graph.num_nodes < 4 or graph.num_edges < 2:
+            pytest.skip("the mutation needs a few nodes and edges to touch")
+        delta = _mutation_for(graph)
+        mutated = apply_delta(graph, delta)
+
+        parent = Session(graph, engine=engine)
+        parent.coreness(rounds=rounds)
+        child = parent.apply_delta(delta, max_frontier_fraction=1.0)
+        incremental = child.coreness(rounds=rounds)
+
+        cold = Session(mutated, engine=engine).coreness(rounds=rounds)
+        assert incremental.values == cold.values
+        if incremental.surviving.trajectory is not None:
+            assert np.array_equal(incremental.surviving.trajectory,
+                                  cold.surviving.trajectory)
+        if engine != "faithful":
+            assert child.stats.incremental_runs == 1
+            assert child.stats.frontier_nodes_recomputed > 0
+        else:
+            # No trajectory to re-solve against: the cold path answered.
+            assert child.stats.incremental_runs == 0
+
+    @pytest.mark.parametrize("engine", [e for e in ENGINES if e != "faithful"])
+    def test_fallback_path_is_bit_identical(self, engine, two_communities):
+        from repro.graph import apply_delta
+        delta = _mutation_for(two_communities)
+        parent = Session(two_communities, engine=engine)
+        parent.coreness(rounds=6)
+        # fraction 0: the frontier limit is 0 nodes, so every delta falls back.
+        child = parent.apply_delta(delta, max_frontier_fraction=0.0)
+        fell_back = child.coreness(rounds=6)
+        assert child.stats.incremental_fallbacks == 1
+        assert child.stats.incremental_runs == 0
+        cold = Session(apply_delta(two_communities, delta),
+                       engine=engine).coreness(rounds=6)
+        assert fell_back.values == cold.values
+
+    def test_orientation_through_delta_matches_cold(self, two_communities):
+        from repro.graph import apply_delta
+        delta = _mutation_for(two_communities)
+        parent = Session(two_communities)
+        parent.coreness(rounds=6)
+        child = parent.apply_delta(delta, max_frontier_fraction=1.0)
+        incremental = child.orientation(rounds=6)
+        cold = Session(apply_delta(two_communities, delta)).orientation(rounds=6)
+        assert incremental.values == cold.values
+        assert incremental.orientation.assignment == cold.orientation.assignment
+        assert incremental.orientation.in_weight == cold.orientation.in_weight
+
+    @pytest.mark.parametrize("engine", ("vectorized", "sharded:3",
+                                        "sharded:shards=3,storage=mmap"))
+    def test_restart_along_lineage_chain(self, engine, tmp_path,
+                                         two_communities):
+        from repro.graph import apply_delta, chain_fingerprint
+        store = ArtifactStore(tmp_path / "store")
+        delta = _mutation_for(two_communities)
+
+        parent = Session(two_communities, engine=engine, store=store)
+        parent.coreness(rounds=6)
+        child = parent.apply_delta(delta, max_frontier_fraction=1.0)
+        first = child.coreness(rounds=6)
+        assert child.stats.disk_writes >= 1
+
+        # The lineage record survives in the store and walks back to the root.
+        chain = store.lineage_chain(child.chain_fingerprint)
+        assert len(chain) == 1
+        assert chain[0]["parent"] == parent.fingerprint
+        assert chain[0]["content_fingerprint"] == child.fingerprint
+
+        # Restart: replaying the delta on a fresh parent session over the same
+        # store serves the child's solve from disk, bit-identically.
+        parent2 = Session(two_communities, engine=engine, store=store)
+        child2 = parent2.apply_delta(delta, max_frontier_fraction=1.0)
+        assert child2.chain_fingerprint == child.chain_fingerprint
+        served = child2.coreness(rounds=6)
+        assert child2.stats.disk_hits == 1
+        assert child2.stats.rounds_executed == 0
+        assert served.values == first.values
+        assert np.array_equal(served.surviving.trajectory,
+                              first.surviving.trajectory)
+
+        # ... and a cold session on the mutated graph (no lineage) agrees too.
+        cold = Session(apply_delta(two_communities, delta),
+                       engine=engine).coreness(rounds=6)
+        assert served.values == cold.values
+
+    def test_chained_deltas_grandchild_matches_cold(self, two_communities):
+        from repro.graph import GraphDelta, apply_delta
+        d1 = _mutation_for(two_communities)
+        once = apply_delta(two_communities, d1)
+        d2 = _mutation_for(once)
+        twice = apply_delta(once, d2)
+
+        root = Session(two_communities)
+        root.coreness(rounds=8)
+        child = root.apply_delta(d1, max_frontier_fraction=1.0)
+        child.coreness(rounds=8)
+        grandchild = child.apply_delta(d2, max_frontier_fraction=1.0)
+        incremental = grandchild.coreness(rounds=8)
+
+        cold = Session(twice).coreness(rounds=8)
+        assert incremental.values == cold.values
+        assert grandchild.stats.incremental_runs == 1
+        # Chain fingerprints compose: the grandchild's address hashes the
+        # child's chain address, not its content address.
+        from repro.graph import chain_fingerprint
+        assert grandchild.chain_fingerprint == chain_fingerprint(
+            chain_fingerprint(root.fingerprint, d1), d2)
+
+
 class TestDensestPhase1Reuse:
     """``message_accounting=False`` serves Phase 1 from the cached trajectory.
 
